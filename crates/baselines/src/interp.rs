@@ -1,0 +1,81 @@
+//! Log-log interpolation between calibration anchors.
+//!
+//! Throughput and area of the scaled-up baselines follow power laws
+//! (`c · n^k`); interpolating in log-log space between the paper's own
+//! Table I data points reproduces those points exactly and follows the
+//! local power-law exponent in between and beyond.
+
+/// Interpolates (or extrapolates) `value(n)` from `(n, value)` anchors
+/// in log-log space. Anchors must be sorted by `n` and positive.
+///
+/// # Panics
+///
+/// Panics if fewer than two anchors are given or any anchor is
+/// non-positive.
+///
+/// ```
+/// use cim_baselines::loglog_interpolate;
+/// // A pure square law is reproduced exactly everywhere.
+/// let anchors = [(8usize, 64.0), (32, 1024.0)];
+/// assert!((loglog_interpolate(&anchors, 16) - 256.0).abs() < 1e-9);
+/// ```
+pub fn loglog_interpolate(anchors: &[(usize, f64)], n: usize) -> f64 {
+    assert!(anchors.len() >= 2, "need at least two anchors");
+    assert!(
+        anchors.iter().all(|&(x, y)| x > 0 && y > 0.0),
+        "anchors must be positive"
+    );
+    // Exact hit: return the anchor value verbatim.
+    if let Some(&(_, y)) = anchors.iter().find(|&&(x, _)| x == n) {
+        return y;
+    }
+    // Pick the bracketing (or nearest edge) anchor pair.
+    let (lo, hi) = if n < anchors[0].0 {
+        (anchors[0], anchors[1])
+    } else if n > anchors[anchors.len() - 1].0 {
+        (anchors[anchors.len() - 2], anchors[anchors.len() - 1])
+    } else {
+        let idx = anchors.iter().position(|&(x, _)| x > n).expect("bracketed");
+        (anchors[idx - 1], anchors[idx])
+    };
+    let (x0, y0) = (lo.0 as f64, lo.1);
+    let (x1, y1) = (hi.0 as f64, hi.1);
+    let slope = (y1.ln() - y0.ln()) / (x1.ln() - x0.ln());
+    (y0.ln() + slope * ((n as f64).ln() - x0.ln())).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_anchors_exactly() {
+        let anchors = [(64usize, 243.0), (128, 105.0), (256, 46.0)];
+        for &(n, v) in &anchors {
+            assert_eq!(loglog_interpolate(&anchors, n), v);
+        }
+    }
+
+    #[test]
+    fn reproduces_power_laws() {
+        let anchors = [(10usize, 100.0), (100, 10_000.0)]; // y = x²
+        for n in [20usize, 50, 80] {
+            let got = loglog_interpolate(&anchors, n);
+            let expect = (n * n) as f64;
+            assert!((got - expect).abs() / expect < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn extrapolates_with_edge_slope() {
+        let anchors = [(10usize, 10.0), (20, 20.0)]; // y = x
+        assert!((loglog_interpolate(&anchors, 40) - 40.0).abs() < 1e-9);
+        assert!((loglog_interpolate(&anchors, 5) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two anchors")]
+    fn rejects_single_anchor() {
+        loglog_interpolate(&[(10, 1.0)], 5);
+    }
+}

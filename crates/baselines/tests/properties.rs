@@ -1,0 +1,78 @@
+//! Property tests for the baseline models: interpolation correctness
+//! and the orderings Table I depends on.
+
+use cim_baselines::{loglog_interpolate, models, MultiplierModel, OurKaratsuba};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Log-log interpolation reproduces any power law exactly.
+    #[test]
+    fn interpolation_is_exact_on_power_laws(
+        coeff in 0.1f64..100.0,
+        exponent in -3.0f64..3.0,
+        n in 16usize..1000,
+    ) {
+        let f = |x: usize| coeff * (x as f64).powf(exponent);
+        let anchors = [(16usize, f(16)), (64, f(64)), (256, f(256)), (1024, f(1024))];
+        let got = loglog_interpolate(&anchors, n);
+        let expect = f(n);
+        prop_assert!(
+            (got - expect).abs() / expect < 1e-9,
+            "n={n}: {got} vs {expect}"
+        );
+    }
+
+    /// Every model: throughput decreases with n, area increases with n.
+    #[test]
+    fn models_are_monotone(step in 1usize..8) {
+        let sizes: Vec<usize> = (1..=8).map(|i| i * 32 * step.min(2)).collect();
+        for m in models() {
+            for w in sizes.windows(2) {
+                prop_assert!(
+                    m.throughput_per_mcc(w[1]) <= m.throughput_per_mcc(w[0]) * 1.0001,
+                    "{} throughput must not increase: {} -> {}",
+                    m.name(), w[0], w[1]
+                );
+                prop_assert!(
+                    m.area_cells(w[1]) >= m.area_cells(w[0]),
+                    "{} area must not decrease",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    /// Our design's throughput advantage over both schoolbook
+    /// baselines grows monotonically with n (the asymptotic argument).
+    #[test]
+    fn karatsuba_advantage_grows(i in 1usize..12) {
+        let n1 = i * 32;
+        let n2 = (i + 1) * 32;
+        let ours = OurKaratsuba;
+        for key in ["imaging", "imply-serial"] {
+            let baseline = models()
+                .into_iter()
+                .find(|m| m.key() == key)
+                .expect("registered");
+            let gain1 = ours.throughput_per_mcc(n1) / baseline.throughput_per_mcc(n1);
+            let gain2 = ours.throughput_per_mcc(n2) / baseline.throughput_per_mcc(n2);
+            prop_assert!(
+                gain2 > gain1 * 0.98,
+                "{key}: gain should grow: {gain1} at {n1} -> {gain2} at {n2}"
+            );
+        }
+    }
+
+    /// ATP is always consistent with area / throughput.
+    #[test]
+    fn atp_definition(i in 2usize..16) {
+        let n = i * 32;
+        for m in models() {
+            let atp = m.atp(n);
+            let manual = m.area_cells(n) as f64 / m.throughput_per_mcc(n);
+            prop_assert!((atp - manual).abs() / manual < 1e-12, "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Modular-multiplication methods (paper Sec. IV-F): Montgomery vs
+//! Barrett vs sparse-modulus reduction, at the paper's two motivating
+//! widths (64-bit FHE limb, 384-bit-class ZKP field). Prints the
+//! composed CIM cycle estimates alongside the host wall-clock bench.
+
+use cim_bigint::rng::UintRng;
+use cim_modmul::barrett::BarrettContext;
+use cim_modmul::montgomery::MontgomeryContext;
+use cim_modmul::sparse::SparseModulus;
+use cim_modmul::{fields, ModularReducer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_modmul(c: &mut Criterion) {
+    let cases: Vec<(&str, cim_bigint::Uint)> = vec![
+        ("goldilocks_64", fields::goldilocks()),
+        ("bls12_381", fields::bls12_381_base()),
+    ];
+
+    println!("composed CIM cycle estimates per modular multiplication:");
+    for (name, m) in &cases {
+        let mont = MontgomeryContext::new(m.clone()).expect("odd modulus");
+        let barrett = BarrettContext::new(m.clone()).expect("modulus");
+        println!(
+            "  {name:>12}: montgomery {:>7} cc ({} mults), barrett {:>7} cc ({} mults)",
+            mont.cim_cost().cycles,
+            mont.cim_cost().multiplications,
+            barrett.cim_cost().cycles,
+            barrett.cim_cost().multiplications,
+        );
+    }
+    let sparse = SparseModulus::goldilocks();
+    println!(
+        "  {:>12}: sparse     {:>7} cc ({} mult + {} adds)",
+        "goldilocks_64",
+        sparse.cim_cost().cycles,
+        sparse.cim_cost().multiplications,
+        sparse.cim_cost().additions
+    );
+
+    let mut group = c.benchmark_group("modular_multiplication");
+    for (name, m) in &cases {
+        let mut rng = UintRng::seeded(4);
+        let a = rng.below(m);
+        let b = rng.below(m);
+        let mont = MontgomeryContext::new(m.clone()).expect("odd modulus");
+        let am = mont.to_mont(&a);
+        let bm = mont.to_mont(&b);
+        group.bench_with_input(
+            BenchmarkId::new("montgomery_in_form", name),
+            name,
+            |bench, _| bench.iter(|| mont.mont_mul(&am, &bm)),
+        );
+        let barrett = BarrettContext::new(m.clone()).expect("modulus");
+        group.bench_with_input(BenchmarkId::new("barrett", name), name, |bench, _| {
+            bench.iter(|| barrett.mul_mod(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_divrem", name), name, |bench, _| {
+            bench.iter(|| (&a * &b).rem(m))
+        });
+    }
+    // Sparse applies to the Goldilocks case only.
+    let mut rng = UintRng::seeded(5);
+    let p = fields::goldilocks();
+    let a = rng.below(&p);
+    let b = rng.below(&p);
+    group.bench_function("sparse/goldilocks_64", |bench| {
+        bench.iter(|| sparse.mul_mod(&a, &b))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modmul);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! NTT-based vs schoolbook negacyclic polynomial multiplication
+//! (the FHE workload layer) — host wall-clock crossover, plus the CIM
+//! cycle projection printed per run.
+
+use cim_bigint::rng::UintRng;
+use cim_bigint::Uint;
+use cim_ntt::cost::{poly_mul_cost_schoolbook, poly_mul_cost_sparse};
+use cim_ntt::field::PrimeField;
+use cim_ntt::poly::Polynomial;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn random_poly(field: &PrimeField, n: usize, seed: u64) -> Polynomial {
+    let mut rng = UintRng::seeded(seed);
+    Polynomial::new(
+        field,
+        (0..n).map(|_| rng.below(field.modulus())).collect::<Vec<Uint>>(),
+    )
+}
+
+fn bench_ntt(c: &mut Criterion) {
+    println!("projected CIM cycles per negacyclic product (64-bit limbs):");
+    for log_n in [8usize, 12] {
+        let n = 1 << log_n;
+        let ntt = poly_mul_cost_sparse(n, 64);
+        let school = poly_mul_cost_schoolbook(n, 64);
+        println!(
+            "  N = {n:>5}: NTT {:.2e} cc vs schoolbook {:.2e} cc ({:.0}x)",
+            ntt.total_cycles,
+            school.total_cycles,
+            school.total_cycles / ntt.total_cycles
+        );
+    }
+
+    let field = PrimeField::goldilocks().expect("field");
+    let mut group = c.benchmark_group("negacyclic_poly_mul");
+    group.sample_size(10);
+    for log_n in [6usize, 8] {
+        let n = 1 << log_n;
+        let a = random_poly(&field, n, 1);
+        let b = random_poly(&field, n, 2);
+        group.bench_with_input(BenchmarkId::new("ntt", n), &n, |bench, _| {
+            bench.iter(|| a.mul_negacyclic(&b).expect("mul"))
+        });
+        group.bench_with_input(BenchmarkId::new("schoolbook", n), &n, |bench, _| {
+            bench.iter(|| a.mul_negacyclic_schoolbook(&b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Simulated pipeline-stage execution (Table I substrate): wall-clock
+//! cost of cycle-accurately simulating each stage, plus the end-to-end
+//! multiplier, at the paper's operand sizes. The *simulated cycle*
+//! numbers these stages report are asserted against the paper's
+//! formulas in the test suites; this bench tracks simulator speed.
+
+use cim_bigint::rng::UintRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use karatsuba_cim::chunks::decompose_operand;
+use karatsuba_cim::multiplier::KaratsubaCimMultiplier;
+use karatsuba_cim::multiply::MultiplyStage;
+use karatsuba_cim::postcompute::PostcomputeStage;
+use karatsuba_cim::precompute::PrecomputeStage;
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_stages");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let mut rng = UintRng::seeded(2);
+        let a = rng.exact_bits(n);
+        let b = rng.exact_bits(n);
+        let da = decompose_operand(&a, n);
+        let db = decompose_operand(&b, n);
+        let products: [cim_bigint::Uint; 9] =
+            std::array::from_fn(|i| &da.leaves[i] * &db.leaves[i]);
+
+        let pre = PrecomputeStage::new(n).expect("stage");
+        group.bench_with_input(BenchmarkId::new("precompute", n), &n, |bench, _| {
+            bench.iter(|| pre.run(&a, &b).expect("run"))
+        });
+        let mult = MultiplyStage::new(n).expect("stage");
+        group.bench_with_input(BenchmarkId::new("multiply", n), &n, |bench, _| {
+            bench.iter(|| mult.run(&da.leaves, &db.leaves).expect("run"))
+        });
+        let post = PostcomputeStage::new(n).expect("stage");
+        group.bench_with_input(BenchmarkId::new("postcompute", n), &n, |bench, _| {
+            bench.iter(|| post.run(&products).expect("run"))
+        });
+        let full = KaratsubaCimMultiplier::new(n).expect("multiplier");
+        group.bench_with_input(BenchmarkId::new("end_to_end", n), &n, |bench, _| {
+            bench.iter(|| full.multiply(&a, &b).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

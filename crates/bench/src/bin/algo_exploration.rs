@@ -1,0 +1,63 @@
+//! Reproduces the **Sec. III** algorithm exploration numbers:
+//!
+//! * schoolbook's quadratic AND-operation growth;
+//! * Toom-k's interpolation burden — 25/49/81 constant multiplications
+//!   for k = 3/4/5 (the Vandermonde blow-up);
+//! * unrolled Karatsuba's 9/27/81 multiplications and 10/38/140
+//!   precomputation additions for L = 2/3/4;
+//! * the addition-width uniformity argument (recursive vs unrolled).
+//!
+//! ```text
+//! cargo run -p cim-bench --bin algo_exploration
+//! ```
+
+use cim_bench::{group_digits, TextTable};
+use cim_bigint::mul::schoolbook;
+use cim_bigint::opcount::{karatsuba_unrolled_counts, precompute_width_sets, toom_counts};
+
+fn main() {
+    println!("SEC. III — ALGORITHM EXPLORATION FOR CIM LARGE-INTEGER MULTIPLICATION\n");
+
+    println!("(A) schoolbook: bit-level AND operations grow quadratically:");
+    let mut t = TextTable::new(&["n (bits)", "AND ops (n²)"]);
+    for n in [64usize, 128, 256, 384] {
+        t.row(&[n.to_string(), group_digits(schoolbook::bit_and_ops(n))]);
+    }
+    println!("{}", t.render());
+
+    println!("(B) Toom-k: interpolation needs (2k−1)² constant multiplications");
+    println!("    (paper: \"25, 49, and 81 multiplications for k = 3, 4, and 5\"):");
+    let mut t = TextTable::new(&["k", "pointwise mults (2k−1)", "interpolation mults (2k−1)²"]);
+    for k in 2..=5usize {
+        let c = toom_counts(k);
+        t.row(&[
+            k.to_string(),
+            c.pointwise_multiplications.to_string(),
+            c.interpolation_multiplications.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("    k = 2 (Karatsuba) avoids the blow-up AND needs no fractional");
+    println!("    constants — the paper's pick for CIM.\n");
+
+    println!("(C) unrolled Karatsuba: multiplications and precompute additions");
+    println!("    (paper: \"9, 27, and 81 multiplications and 10, 38, and 140");
+    println!("    additions ... for L = 2, 3, and 4\"):");
+    let mut t = TextTable::new(&["L", "multiplications (3^L)", "precompute additions"]);
+    for depth in 1..=4u32 {
+        let c = karatsuba_unrolled_counts(depth);
+        t.row(&[
+            depth.to_string(),
+            c.multiplications.to_string(),
+            c.precompute_additions.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("(D) addition-width uniformity, n = 256, L = 3:");
+    let (rec, unr) = precompute_width_sets(256, 3);
+    println!("    recursive : one new adder width per level     → {rec:?} bits");
+    println!("    unrolled  : one uniform adder for every level → {unr:?} bits");
+    println!("    (uniformity is what lets the hardware share a single");
+    println!("    fixed-width Kogge-Stone adder array — paper Sec. III-C2)");
+}

@@ -1,0 +1,87 @@
+//! Continuous design-space sweep: throughput, area and ATP of all five
+//! designs across operand widths — the "shape" behind Table I
+//! (who wins, by what factor, and where the crossovers fall).
+//!
+//! ```text
+//! cargo run -p cim-bench --bin sweep
+//! ```
+
+use cim_baselines::{models, MultiplierModel, OurKaratsuba};
+use cim_bench::{table_number, TextTable};
+
+fn main() {
+    let sizes: Vec<usize> = (1..=16).map(|i| i * 32).collect(); // 32..512
+
+    println!("DESIGN-SPACE SWEEP (n = 32…512)\n");
+
+    println!("throughput (multiplications per Mcc):");
+    let mut t = TextTable::new(&["n", "[6]", "[7]", "[8]", "[9]", "Our"]);
+    for &n in &sizes {
+        let row: Vec<String> = models()
+            .iter()
+            .map(|m| table_number(m.throughput_per_mcc(n)))
+            .collect();
+        t.row(&[
+            n.to_string(),
+            row[0].clone(),
+            row[1].clone(),
+            row[2].clone(),
+            row[3].clone(),
+            row[4].clone(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("area-time product (cells / throughput, lower is better):");
+    let mut t = TextTable::new(&["n", "[6]", "[7]", "[8]", "[9]", "Our", "best"]);
+    for &n in &sizes {
+        let atps: Vec<f64> = models().iter().map(|m| m.atp(n)).collect();
+        let best = atps
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty")
+            .0;
+        let names = ["[6]", "[7]", "[8]", "[9]", "Our"];
+        t.row(&[
+            n.to_string(),
+            table_number(atps[0]),
+            table_number(atps[1]),
+            table_number(atps[2]),
+            table_number(atps[3]),
+            table_number(atps[4]),
+            names[best].to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Crossover analysis: where does Our design overtake MultPIM [9]
+    // on ATP? (The paper's Table I shows [9] ahead at 64–384 but the
+    // gap closing: 0.2× → 0.9×.)
+    let ours = OurKaratsuba;
+    let multpim = cim_baselines::MultPim;
+    let crossover = sizes
+        .iter()
+        .find(|&&n| ours.atp(n) < multpim.atp(n))
+        .copied();
+    match crossover {
+        Some(n) => println!("ATP crossover vs MultPIM [9]: n ≈ {n} (gap closes as in Table I)"),
+        None => {
+            let r64 = multpim.atp(64) / ours.atp(64);
+            let r512 = multpim.atp(512) / ours.atp(512);
+            println!(
+                "ATP vs MultPIM [9]: ratio {:.2} at n=64 → {:.2} at n=512 — the gap\n\
+                 closes monotonically (Table I: 0.2× → 0.9×), with the Karatsuba\n\
+                 advantage in row length and endurance at every size",
+                r64, r512
+            );
+        }
+    }
+    println!(
+        "\nOur throughput advantage over the schoolbook baselines grows from\n\
+         {:.0}× ([7], n=64) to {:.0}× ([7], n=512) — the asymptotic gap the\n\
+         paper's title is about.",
+        ours.throughput_per_mcc(64) / cim_baselines::Imaging.throughput_per_mcc(64),
+        ours.throughput_per_mcc(512) / cim_baselines::Imaging.throughput_per_mcc(512)
+    );
+}

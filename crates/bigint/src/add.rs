@@ -1,0 +1,198 @@
+//! Addition, subtraction and comparison primitives on limb vectors.
+
+use crate::uint::Uint;
+use crate::Limb;
+use std::cmp::Ordering;
+
+impl Uint {
+    /// `self + other`.
+    ///
+    /// ```
+    /// use cim_bigint::Uint;
+    /// let a = Uint::from_u64(u64::MAX);
+    /// assert_eq!(a.add(&Uint::one()), Uint::pow2(64));
+    /// ```
+    pub fn add(&self, other: &Uint) -> Uint {
+        let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(longer.len() + 1);
+        let mut carry = 0u64;
+        for (i, &l) in longer.iter().enumerate() {
+            let b = shorter.get(i).copied().unwrap_or(0);
+            let (s1, c1) = l.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 | c2) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Uint::from_limbs(out)
+    }
+
+    /// `self - other` if non-negative, `None` on underflow.
+    ///
+    /// ```
+    /// use cim_bigint::Uint;
+    /// let a = Uint::from_u64(5);
+    /// let b = Uint::from_u64(7);
+    /// assert_eq!(b.checked_sub(&a), Some(Uint::from_u64(2)));
+    /// assert_eq!(a.checked_sub(&b), None);
+    /// ```
+    pub fn checked_sub(&self, other: &Uint) -> Option<Uint> {
+        if self.cmp_magnitude(other) == Ordering::Less {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 | b2) as u64;
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Uint::from_limbs(out))
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`; use [`Uint::checked_sub`] to handle
+    /// underflow gracefully.
+    pub fn sub(&self, other: &Uint) -> Uint {
+        self.checked_sub(other)
+            .expect("subtraction underflow: rhs is larger than lhs")
+    }
+
+    /// Magnitude comparison without allocating.
+    pub(crate) fn cmp_magnitude(&self, other: &Uint) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Adds a single limb in place; used by parsing and division.
+    pub(crate) fn add_assign_limb(&mut self, v: Limb) {
+        let mut carry = v;
+        for limb in self.limbs.iter_mut() {
+            let (s, c) = limb.overflowing_add(carry);
+            *limb = s;
+            carry = c as u64;
+            if carry == 0 {
+                return;
+            }
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Multiplies in place by a single limb; used by parsing.
+    pub(crate) fn mul_assign_limb(&mut self, v: Limb) {
+        let mut carry = 0u128;
+        for limb in self.limbs.iter_mut() {
+            let prod = *limb as u128 * v as u128 + carry;
+            *limb = prod as u64;
+            carry = prod >> 64;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u64);
+        }
+        self.normalize();
+    }
+}
+
+impl Ord for Uint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_magnitude(other)
+    }
+}
+
+impl PartialOrd for Uint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_with_carry_propagation() {
+        let a = Uint::from_limbs(vec![u64::MAX, u64::MAX]);
+        let sum = a.add(&Uint::one());
+        assert_eq!(sum, Uint::pow2(128));
+    }
+
+    #[test]
+    fn add_zero_identity() {
+        let a = Uint::from_u64(12345);
+        assert_eq!(a.add(&Uint::zero()), a);
+        assert_eq!(Uint::zero().add(&a), a);
+    }
+
+    #[test]
+    fn add_commutes_on_mixed_lengths() {
+        let a = Uint::from_limbs(vec![1, 2, 3]);
+        let b = Uint::from_u64(u64::MAX);
+        assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn sub_borrow_chain() {
+        let a = Uint::pow2(128);
+        let d = a.sub(&Uint::one());
+        assert_eq!(d, Uint::from_limbs(vec![u64::MAX, u64::MAX]));
+    }
+
+    #[test]
+    fn sub_self_is_zero() {
+        let a = Uint::from_limbs(vec![7, 8, 9]);
+        assert_eq!(a.sub(&a), Uint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        Uint::one().sub(&Uint::from_u64(2));
+    }
+
+    #[test]
+    fn ordering_across_lengths() {
+        assert!(Uint::pow2(64) > Uint::from_u64(u64::MAX));
+        assert!(Uint::from_u64(1) < Uint::from_u64(2));
+        assert_eq!(Uint::from_u64(5).cmp(&Uint::from_u64(5)), Ordering::Equal);
+    }
+
+    #[test]
+    fn add_assign_limb_grows() {
+        let mut a = Uint::from_u64(u64::MAX);
+        a.add_assign_limb(1);
+        assert_eq!(a, Uint::pow2(64));
+    }
+
+    #[test]
+    fn mul_assign_limb_small() {
+        let mut a = Uint::from_u64(10);
+        a.mul_assign_limb(10);
+        assert_eq!(a, Uint::from_u64(100));
+        let mut b = Uint::from_u64(u64::MAX);
+        b.mul_assign_limb(2);
+        assert_eq!(b.to_u128(), Some(u64::MAX as u128 * 2));
+    }
+}

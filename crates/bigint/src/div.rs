@@ -1,0 +1,210 @@
+//! Long division (Knuth Algorithm D) and single-limb division.
+//!
+//! Division is not performed in-memory by the paper's design; it is
+//! needed on the host side to precompute Barrett's µ and Montgomery
+//! constants (`cim-modmul`) and for decimal formatting.
+
+use crate::uint::Uint;
+use crate::Limb;
+
+impl Uint {
+    /// Divides by a single limb, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_limb(&self, d: Limb) -> (Uint, Limb) {
+        assert!(d != 0, "division by zero");
+        let mut rem = 0u128;
+        let mut q = vec![0u64; self.limbs.len()];
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (Uint::from_limbs(q), rem as u64)
+    }
+
+    /// Divides `self` by `divisor`, returning `(quotient, remainder)`.
+    ///
+    /// Implements Knuth's Algorithm D with normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    ///
+    /// ```
+    /// use cim_bigint::Uint;
+    /// let (q, r) = Uint::from_u64(100).div_rem(&Uint::from_u64(7));
+    /// assert_eq!(q, Uint::from_u64(14));
+    /// assert_eq!(r, Uint::from_u64(2));
+    /// ```
+    pub fn div_rem(&self, divisor: &Uint) -> (Uint, Uint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (Uint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_limb(divisor.limbs[0]);
+            return (q, Uint::from_u64(r));
+        }
+
+        // D1: normalize so the top limb of the divisor has its MSB set.
+        let shift = divisor.limbs.last().expect("non-zero").leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let mut un: Vec<Limb> = u.limbs.clone();
+        un.push(0); // u has m+n+1 digits after normalization
+        let vn = &v.limbs;
+        let v_top = vn[n - 1];
+        let v_next = vn[n - 2];
+
+        let mut q = vec![0u64; m + 1];
+
+        // D2..D7: main loop over quotient digits, most significant first.
+        for j in (0..=m).rev() {
+            // D3: estimate q_hat from the top two dividend digits.
+            let numer = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut q_hat = numer / v_top as u128;
+            let mut r_hat = numer % v_top as u128;
+            while q_hat >> 64 != 0
+                || q_hat * v_next as u128 > ((r_hat << 64) | un[j + n - 2] as u128)
+            {
+                q_hat -= 1;
+                r_hat += v_top as u128;
+                if r_hat >> 64 != 0 {
+                    break;
+                }
+            }
+
+            // D4: multiply-and-subtract  un[j..j+n+1] -= q_hat * v.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = q_hat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = un[j + i] as i128 - (p as u64) as i128 - borrow;
+                un[j + i] = sub as u64; // wraps mod 2^64
+                borrow = if sub < 0 { 1 } else { 0 };
+            }
+            let sub = un[j + n] as i128 - carry as i128 - borrow;
+            un[j + n] = sub as u64;
+
+            q[j] = q_hat as u64;
+
+            // D6: add back if we subtracted one time too many.
+            if sub < 0 {
+                q[j] -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let (s1, c1) = un[j + i].overflowing_add(vn[i]);
+                    let (s2, c2) = s1.overflowing_add(carry);
+                    un[j + i] = s2;
+                    carry = (c1 | c2) as u64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry);
+            }
+        }
+
+        // D8: denormalize the remainder.
+        let rem = Uint::from_limbs(un[..n].to_vec()).shr(shift);
+        (Uint::from_limbs(q), rem)
+    }
+
+    /// `self mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &Uint) -> Uint {
+        self.div_rem(m).1
+    }
+
+    /// `self / d` rounded down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn div_floor(&self, d: &Uint) -> Uint {
+        self.div_rem(d).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(a: &Uint, b: &Uint) {
+        let (q, r) = a.div_rem(b);
+        assert!(r < *b, "remainder must be < divisor");
+        assert_eq!(&(&q * b) + &r, *a, "a = q*b + r must hold");
+    }
+
+    #[test]
+    fn small_cases() {
+        check(&Uint::from_u64(100), &Uint::from_u64(7));
+        check(&Uint::from_u64(7), &Uint::from_u64(100));
+        check(&Uint::zero(), &Uint::from_u64(3));
+        check(&Uint::from_u64(u64::MAX), &Uint::from_u64(u64::MAX));
+    }
+
+    #[test]
+    fn exact_division() {
+        let b = Uint::from_hex("ffffffffffffffffffffffff").unwrap();
+        let a = &b * &Uint::from_u64(123456789);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, Uint::from_u64(123456789));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn multi_limb_divisor() {
+        let a = Uint::from_hex("123456789abcdef0123456789abcdef0123456789abcdef").unwrap();
+        let b = Uint::from_hex("fedcba9876543210fedcba98").unwrap();
+        check(&a, &b);
+    }
+
+    #[test]
+    fn knuth_add_back_case() {
+        // Classic case triggering step D6: dividend 0x7fff...8000...,
+        // divisor 0x8000...0001-like patterns.
+        let a = Uint::from_limbs(vec![0, 0xFFFF_FFFF_FFFF_FFFE, 0x8000_0000_0000_0000]);
+        let b = Uint::from_limbs(vec![0xFFFF_FFFF_FFFF_FFFF, 0x8000_0000_0000_0000]);
+        check(&a, &b);
+    }
+
+    #[test]
+    fn pow2_divisions() {
+        let a = Uint::pow2(500);
+        let b = Uint::pow2(123);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, Uint::pow2(377));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        Uint::one().div_rem(&Uint::zero());
+    }
+
+    #[test]
+    fn rem_and_div_floor() {
+        let a = Uint::from_u64(1000);
+        let m = Uint::from_u64(37);
+        assert_eq!(a.rem(&m), Uint::from_u64(1000 % 37));
+        assert_eq!(a.div_floor(&m), Uint::from_u64(1000 / 37));
+    }
+
+    #[test]
+    fn div_rem_limb_matches_div_rem() {
+        let a = Uint::from_hex("abcdef0123456789abcdef0123456789").unwrap();
+        let (q1, r1) = a.div_rem_limb(12345);
+        let (q2, r2) = a.div_rem(&Uint::from_u64(12345));
+        assert_eq!(q1, q2);
+        assert_eq!(Uint::from_u64(r1), r2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a [`crate::Uint`] from a string fails.
+///
+/// ```
+/// use cim_bigint::Uint;
+/// assert!(Uint::from_hex("xyz").is_err());
+/// assert!(Uint::from_decimal("12a").is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUintError {
+    pub(crate) kind: ParseUintErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseUintErrorKind {
+    Empty,
+    InvalidDigit { ch: char, index: usize, radix: u32 },
+}
+
+impl fmt::Display for ParseUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseUintErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseUintErrorKind::InvalidDigit { ch, index, radix } => write!(
+                f,
+                "invalid digit {ch:?} at position {index} for radix {radix}"
+            ),
+        }
+    }
+}
+
+impl Error for ParseUintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ParseUintError {
+            kind: ParseUintErrorKind::Empty,
+        };
+        assert!(e.to_string().contains("empty"));
+        let e = ParseUintError {
+            kind: ParseUintErrorKind::InvalidDigit {
+                ch: 'z',
+                index: 3,
+                radix: 16,
+            },
+        };
+        assert!(e.to_string().contains('z'));
+        assert!(e.to_string().contains("16"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Recursive Karatsuba multiplication (paper Sec. III-C, Eqs. (1)–(3)).
+//!
+//! Splits each operand into high/low halves, performs three half-size
+//! multiplications and recombines:
+//!
+//! ```text
+//! a·b = (c_h || c_l) + (c_m − c_h − c_l) · 2^(n/2)
+//! with  c_h = a_h·b_h,  c_l = a_l·b_l,  c_m = (a_h+a_l)·(b_h+b_l)
+//! ```
+//!
+//! Complexity O(n^log2(3)) ≈ O(n^1.585).
+
+use super::schoolbook;
+use crate::uint::Uint;
+use crate::LIMB_BITS;
+
+/// Limb count below which recursion falls back to schoolbook.
+const BASE_CASE_LIMBS: usize = 8;
+
+/// Multiplies two integers with recursive Karatsuba.
+///
+/// ```
+/// use cim_bigint::{mul::karatsuba, Uint};
+/// let a = Uint::pow2(1000).sub(&Uint::one());
+/// let b = Uint::pow2(999).add(&Uint::one());
+/// assert_eq!(karatsuba::mul(&a, &b), cim_bigint::mul::schoolbook::mul(&a, &b));
+/// ```
+pub fn mul(a: &Uint, b: &Uint) -> Uint {
+    mul_with_base(a, b, BASE_CASE_LIMBS)
+}
+
+/// Karatsuba with an explicit base-case threshold (in limbs), exposed so
+/// benchmarks can sweep the crossover point.
+///
+/// # Panics
+///
+/// Panics if `base_limbs == 0`.
+pub fn mul_with_base(a: &Uint, b: &Uint, base_limbs: usize) -> Uint {
+    assert!(base_limbs > 0, "base case must be at least one limb");
+    if a.limbs().len().min(b.limbs().len()) <= base_limbs {
+        return schoolbook::mul(a, b);
+    }
+    // Split point: half of the larger operand, in whole limbs.
+    let split_limbs = a.limbs().len().max(b.limbs().len()).div_ceil(2);
+    let split_bits = split_limbs * LIMB_BITS;
+
+    let a_l = a.low_bits(split_bits);
+    let a_h = a.shr(split_bits);
+    let b_l = b.low_bits(split_bits);
+    let b_h = b.shr(split_bits);
+
+    let c_l = mul_with_base(&a_l, &b_l, base_limbs);
+    let c_h = mul_with_base(&a_h, &b_h, base_limbs);
+    let c_m = mul_with_base(&a_h.add(&a_l), &b_h.add(&b_l), base_limbs);
+
+    // c = c_l + (c_m - c_h - c_l) << split + c_h << 2*split.
+    // The middle term is always non-negative.
+    let mid = c_m.sub(&c_h).sub(&c_l);
+    c_l.add(&mid.shl(split_bits)).add(&c_h.shl(2 * split_bits))
+}
+
+/// Number of base multiplications performed by `L`-level Karatsuba:
+/// `3^L` (paper: 9, 27, 81 for L = 2, 3, 4).
+pub fn base_multiplications(levels: u32) -> u64 {
+    3u64.pow(levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::UintRng;
+
+    #[test]
+    fn matches_schoolbook_on_random_inputs() {
+        let mut rng = UintRng::seeded(42);
+        for bits in [100usize, 512, 1000, 2048, 4096] {
+            let a = rng.uniform(bits);
+            let b = rng.uniform(bits / 2 + 1);
+            assert_eq!(mul(&a, &b), schoolbook::mul(&a, &b), "bits = {bits}");
+        }
+    }
+
+    #[test]
+    fn extreme_imbalance() {
+        let a = Uint::pow2(4096).sub(&Uint::one());
+        let b = Uint::from_u64(7);
+        assert_eq!(mul(&a, &b), schoolbook::mul(&a, &b));
+    }
+
+    #[test]
+    fn base_case_sweep_consistent() {
+        let mut rng = UintRng::seeded(3);
+        let a = rng.uniform(1500);
+        let b = rng.uniform(1500);
+        let expect = schoolbook::mul(&a, &b);
+        for base in [1usize, 2, 4, 16] {
+            assert_eq!(mul_with_base(&a, &b, base), expect, "base = {base}");
+        }
+    }
+
+    #[test]
+    fn multiplication_counts() {
+        assert_eq!(base_multiplications(2), 9);
+        assert_eq!(base_multiplications(3), 27);
+        assert_eq!(base_multiplications(4), 81);
+    }
+
+    #[test]
+    fn all_ones_square() {
+        // (2^512 - 1)^2 = 2^1024 - 2^513 + 1 — stresses carry chains.
+        let a = Uint::pow2(512).sub(&Uint::one());
+        let expect = Uint::pow2(1024).sub(&Uint::pow2(513)).add(&Uint::one());
+        assert_eq!(mul(&a, &a), expect);
+    }
+}

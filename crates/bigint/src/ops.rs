@@ -1,0 +1,94 @@
+//! `std::ops` implementations for [`Uint`].
+//!
+//! All binary operators are provided for `&Uint op &Uint` (primary) and
+//! owned variants for convenience. Multiplication dispatches to
+//! [`crate::mul::auto`], which picks schoolbook or Karatsuba by size.
+
+use crate::uint::Uint;
+use std::ops::{Add, Mul, Shl, Shr, Sub};
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $body:expr) => {
+        impl $trait<&Uint> for &Uint {
+            type Output = Uint;
+            fn $method(self, rhs: &Uint) -> Uint {
+                let f: fn(&Uint, &Uint) -> Uint = $body;
+                f(self, rhs)
+            }
+        }
+        impl $trait<Uint> for Uint {
+            type Output = Uint;
+            fn $method(self, rhs: Uint) -> Uint {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&Uint> for Uint {
+            type Output = Uint;
+            fn $method(self, rhs: &Uint) -> Uint {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<Uint> for &Uint {
+            type Output = Uint;
+            fn $method(self, rhs: Uint) -> Uint {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, |a, b| Uint::add(a, b));
+forward_binop!(Sub, sub, |a, b| Uint::sub(a, b));
+forward_binop!(Mul, mul, |a, b| crate::mul::auto(a, b));
+
+impl Shl<usize> for &Uint {
+    type Output = Uint;
+    fn shl(self, k: usize) -> Uint {
+        Uint::shl(self, k)
+    }
+}
+
+impl Shl<usize> for Uint {
+    type Output = Uint;
+    fn shl(self, k: usize) -> Uint {
+        Uint::shl(&self, k)
+    }
+}
+
+impl Shr<usize> for &Uint {
+    type Output = Uint;
+    fn shr(self, k: usize) -> Uint {
+        Uint::shr(self, k)
+    }
+}
+
+impl Shr<usize> for Uint {
+    type Output = Uint;
+    fn shr(self, k: usize) -> Uint {
+        Uint::shr(&self, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_forms() {
+        let a = Uint::from_u64(6);
+        let b = Uint::from_u64(7);
+        assert_eq!(&a + &b, Uint::from_u64(13));
+        assert_eq!(a.clone() + b.clone(), Uint::from_u64(13));
+        assert_eq!(&a * &b, Uint::from_u64(42));
+        assert_eq!(&b - &a, Uint::one());
+        assert_eq!(&a << 2, Uint::from_u64(24));
+        assert_eq!(&a >> 1, Uint::from_u64(3));
+    }
+
+    #[test]
+    fn mixed_ref_owned() {
+        let a = Uint::from_u64(3);
+        assert_eq!(a.clone() + &a, Uint::from_u64(6));
+        assert_eq!(&a + a.clone(), Uint::from_u64(6));
+    }
+}

@@ -1,0 +1,105 @@
+//! Bit-shift operations.
+
+use crate::uint::Uint;
+use crate::LIMB_BITS;
+
+impl Uint {
+    /// `self << k`.
+    ///
+    /// ```
+    /// use cim_bigint::Uint;
+    /// assert_eq!(Uint::one().shl(70), Uint::pow2(70));
+    /// ```
+    pub fn shl(&self, k: usize) -> Uint {
+        if self.is_zero() {
+            return Uint::zero();
+        }
+        let limb_shift = k / LIMB_BITS;
+        let bit_shift = k % LIMB_BITS;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Uint::from_limbs(out)
+    }
+
+    /// `self >> k` (bits shifted out are discarded).
+    ///
+    /// ```
+    /// use cim_bigint::Uint;
+    /// assert_eq!(Uint::pow2(70).shr(70), Uint::one());
+    /// assert_eq!(Uint::from_u64(1).shr(1), Uint::zero());
+    /// ```
+    pub fn shr(&self, k: usize) -> Uint {
+        let limb_shift = k / LIMB_BITS;
+        if limb_shift >= self.limbs.len() {
+            return Uint::zero();
+        }
+        let bit_shift = k % LIMB_BITS;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (LIMB_BITS - bit_shift)));
+            }
+        }
+        Uint::from_limbs(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shl_zero_amount_is_identity() {
+        let x = Uint::from_u128(0xDEAD_BEEF_CAFE_BABE_0123_4567_89AB_CDEF);
+        assert_eq!(x.shl(0), x);
+        assert_eq!(x.shr(0), x);
+    }
+
+    #[test]
+    fn shl_shr_roundtrip() {
+        let x = Uint::from_u128(0x0123_4567_89AB_CDEF_1122_3344_5566_7788);
+        for k in [1, 7, 63, 64, 65, 127, 128, 200] {
+            assert_eq!(x.shl(k).shr(k), x, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn shr_discards_low_bits() {
+        let x = Uint::from_u64(0b1011);
+        assert_eq!(x.shr(1), Uint::from_u64(0b101));
+        assert_eq!(x.shr(4), Uint::zero());
+    }
+
+    #[test]
+    fn shl_of_zero_is_zero() {
+        assert_eq!(Uint::zero().shl(1000), Uint::zero());
+    }
+
+    #[test]
+    fn shl_matches_pow2_mul() {
+        let x = Uint::from_u64(37);
+        assert_eq!(x.shl(100), x.add(&Uint::zero()).shl(100));
+        assert_eq!(x.shl(100).bit_len(), x.bit_len() + 100);
+    }
+
+    #[test]
+    fn shr_beyond_width_is_zero() {
+        assert_eq!(Uint::from_u64(u64::MAX).shr(64), Uint::zero());
+        assert_eq!(Uint::from_u64(u64::MAX).shr(10_000), Uint::zero());
+    }
+}

@@ -1,0 +1,263 @@
+//! A functional depth-1 (classic one-level Karatsuba) pipeline — the
+//! ablation counterpart to the paper's L = 2 design point.
+//!
+//! Fig. 4 compares unroll depths analytically; this module makes the
+//! L = 1 alternative *executable* so the comparison can be simulated:
+//!
+//! * stage 1: two `n/2`-bit additions (`a_m = a_h + a_l`,
+//!   `b_m = b_h + b_l`) on one shared Kogge-Stone adder;
+//! * stage 2: three parallel in-row multiplications of `n/2+1`-bit
+//!   operands — note the rows are ~4× longer than at L = 2, which is
+//!   exactly the practicality cost Fig. 4's ATP captures;
+//! * stage 3: three adder passes
+//!   (`v = c_h + c_l`, `c̃_m = c_m − v`, final LSB-optimized add).
+
+use cim_bigint::Uint;
+use cim_crossbar::{Crossbar, CrossbarError, Executor, MicroOp};
+use cim_logic::kogge_stone::{AddOp, AdderLayout, KoggeStoneAdder, SCRATCH_ROWS};
+use cim_logic::multpim::RowMultiplier;
+
+/// Report of one depth-1 multiplication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Depth1Outcome {
+    /// The verified product.
+    pub product: Uint,
+    /// Measured stage cycles `[pre, mult, post]`.
+    pub stage_cycles: [u64; 3],
+    /// Total area of the three stage arrays in cells.
+    pub area_cells: u64,
+}
+
+/// One-level Karatsuba multiplier on simulated CIM crossbars.
+///
+/// ```
+/// use cim_bigint::Uint;
+/// use karatsuba_cim::depth1::KaratsubaDepth1Multiplier;
+///
+/// # fn main() -> Result<(), cim_crossbar::CrossbarError> {
+/// let mult = KaratsubaDepth1Multiplier::new(32)?;
+/// let out = mult.multiply(&Uint::from_u64(0xDEAD_BEEF), &Uint::from_u64(0x1234_5678))?;
+/// assert_eq!(out.product, Uint::from_u128(0xDEAD_BEEFu128 * 0x1234_5678u128));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KaratsubaDepth1Multiplier {
+    n: usize,
+    multiplier: RowMultiplier,
+}
+
+impl KaratsubaDepth1Multiplier {
+    /// Creates an `n`-bit depth-1 multiplier (`n` even, ≥ 8).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; fallible for interface symmetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is odd or < 8.
+    pub fn new(n: usize) -> Result<Self, CrossbarError> {
+        assert!(n >= 8 && n.is_multiple_of(2), "width must be even, at least 8");
+        Ok(KaratsubaDepth1Multiplier {
+            n,
+            multiplier: RowMultiplier::new(n / 2 + 1),
+        })
+    }
+
+    /// Row length of one stage-2 multiplier row: `12·(n/2+1)` —
+    /// compare `12·(n/4+2)` at L = 2.
+    pub fn mult_row_length(&self) -> usize {
+        self.multiplier.required_cols()
+    }
+
+    /// Total area: stage 1 `(4+2+12)×(n/2+2)` + stage 2 `3×12(n/2+1)`
+    /// + stage 3 `20×1.5n`.
+    pub fn area_cells(&self) -> u64 {
+        let pre = (4 + 2 + SCRATCH_ROWS as u64) * (self.n as u64 / 2 + 2);
+        let mult = 3 * self.mult_row_length() as u64;
+        let post = 20 * (3 * self.n as u64 / 2);
+        pre + mult + post
+    }
+
+    /// Multiplies on simulated hardware, measuring each stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in `n` bits.
+    pub fn multiply(&self, a: &Uint, b: &Uint) -> Result<Depth1Outcome, CrossbarError> {
+        let n = self.n;
+        let h = n / 2;
+
+        // ---- Stage 1: a_m, b_m on a shared (n/2)-bit adder ----
+        // Rows: a_l a_h b_l b_h (0–3), a_m b_m (4–5), scratch 6–17.
+        let pre_cols = h + 2;
+        let mut pre = Crossbar::new(4 + 2 + SCRATCH_ROWS, pre_cols)?;
+        let a_l = a.low_bits(h);
+        let a_h = a.shr(h);
+        let b_l = b.low_bits(h);
+        let b_h = b.shr(h);
+        let mut exec = Executor::new(&mut pre);
+        for (i, v) in [&a_l, &a_h, &b_l, &b_h].iter().enumerate() {
+            exec.step(&MicroOp::write_row(i, &v.to_bits(pre_cols)))?;
+        }
+        let scratch: [usize; SCRATCH_ROWS] = std::array::from_fn(|i| 6 + i);
+        for (x, y, sum) in [(1usize, 0usize, 4usize), (3, 2, 5)] {
+            let adder = KoggeStoneAdder::with_layout(
+                h,
+                AdderLayout {
+                    x_row: x,
+                    y_row: y,
+                    sum_row: sum,
+                    scratch,
+                    col_base: 0,
+                },
+            );
+            exec.run(&adder.program(AddOp::Add))?;
+        }
+        let a_m = Uint::from_bits(&exec.array().read_row_bits(4, 0..pre_cols)?);
+        let b_m = Uint::from_bits(&exec.array().read_row_bits(5, 0..pre_cols)?);
+        exec.step(&MicroOp::reset_region(0..6, 0..pre_cols))?;
+        let pre_cycles = exec.stats().cycles;
+
+        // ---- Stage 2: three parallel in-row multiplications ----
+        let mut mult_array = Crossbar::new(3, self.mult_row_length())?;
+        let (c_l, _) = self.multiplier.run_in(&mut mult_array, 0, 0, &a_l, &b_l)?;
+        let (c_h, _) = self.multiplier.run_in(&mut mult_array, 1, 0, &a_h, &b_h)?;
+        let (c_m, _) = self.multiplier.run_in(&mut mult_array, 2, 0, &a_m, &b_m)?;
+        let mult_cycles = self.multiplier.latency();
+
+        // ---- Stage 3: three passes on a 1.5n-bit adder ----
+        let w = 3 * n / 2;
+        let mut post = Crossbar::new(8 + SCRATCH_ROWS, w + 1)?;
+        let adder = KoggeStoneAdder::with_layout(
+            w,
+            AdderLayout {
+                x_row: 0,
+                y_row: 1,
+                sum_row: 2,
+                scratch: std::array::from_fn(|i| 8 + i),
+                col_base: 0,
+            },
+        );
+        let mut exec = Executor::new(&mut post);
+        let pass = |exec: &mut Executor<'_>,
+                        op: AddOp,
+                        x: &Uint,
+                        y: &Uint|
+         -> Result<Uint, CrossbarError> {
+            exec.step(&MicroOp::reset_rows(&[0, 1, 2], 0..w + 1))?;
+            exec.step(&MicroOp::write_row(0, &x.to_bits(w + 1)))?;
+            exec.step(&MicroOp::write_row(1, &y.to_bits(w + 1)))?;
+            exec.run(&adder.program(op))?;
+            let bits = exec.array().read_row_bits(2, 0..w + 1)?;
+            let full = Uint::from_bits(&bits);
+            Ok(match op {
+                AddOp::Add => full,
+                AddOp::Sub => full.low_bits(w),
+            })
+        };
+        let v = pass(&mut exec, AddOp::Add, &c_h, &c_l)?;
+        let ct_m = pass(&mut exec, AddOp::Sub, &c_m, &v)?;
+        let base_top = c_l.add(&c_h.shl(n)).shr(h);
+        let c_top = pass(&mut exec, AddOp::Add, &base_top, &ct_m)?;
+        let product = c_top.shl(h).add(&c_l.low_bits(h));
+        exec.step(&MicroOp::reset_region(0..8 + SCRATCH_ROWS, 0..w + 1))?;
+        let post_cycles = exec.stats().cycles;
+
+        debug_assert_eq!(product, a * b);
+        Ok(Depth1Outcome {
+            product,
+            stage_cycles: [pre_cycles, mult_cycles, post_cycles],
+            area_cells: self.area_cells(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::DepthCostModel;
+    use crate::multiplier::KaratsubaCimMultiplier;
+    use cim_bigint::rng::UintRng;
+
+    #[test]
+    fn multiplies_correctly() {
+        let mut rng = UintRng::seeded(111);
+        for n in [8usize, 32, 64, 128] {
+            let mult = KaratsubaDepth1Multiplier::new(n).unwrap();
+            let a = rng.uniform(n);
+            let b = rng.uniform(n);
+            let out = mult.multiply(&a, &b).unwrap();
+            assert_eq!(out.product, &a * &b, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_depth2_pipeline() {
+        let mut rng = UintRng::seeded(112);
+        let n = 64;
+        let d1 = KaratsubaDepth1Multiplier::new(n).unwrap();
+        let d2 = KaratsubaCimMultiplier::new(n).unwrap();
+        let a = rng.exact_bits(n);
+        let b = rng.exact_bits(n);
+        assert_eq!(
+            d1.multiply(&a, &b).unwrap().product,
+            d2.multiply(&a, &b).unwrap().product
+        );
+    }
+
+    #[test]
+    fn mult_rows_are_much_longer_than_depth2() {
+        // The L = 1 practicality cost: ~2x longer multiplier rows.
+        let n = 384;
+        let d1 = KaratsubaDepth1Multiplier::new(n).unwrap();
+        let d2_row = 12 * (n / 4 + 2);
+        assert!(d1.mult_row_length() > 19 * n / 10, "{}", d1.mult_row_length());
+        assert!(d1.mult_row_length() as f64 > 1.9 * d2_row as f64);
+    }
+
+    #[test]
+    fn measured_stage_cycles_track_depth_model() {
+        let n = 64;
+        let d1 = KaratsubaDepth1Multiplier::new(n).unwrap();
+        let model = DepthCostModel::new(n, 1);
+        let a = Uint::pow2(n).sub(&Uint::one());
+        let out = d1.multiply(&a, &a).unwrap();
+        // Stage 2 exactly matches the model.
+        assert_eq!(out.stage_cycles[1], model.multiply_latency());
+        // Stages 1 and 3 within 15% (staging-op accounting differences).
+        for (mine, theirs) in [
+            (out.stage_cycles[0], model.precompute_latency()),
+            (out.stage_cycles[2], model.postcompute_latency()),
+        ] {
+            let rel = (mine as f64 - theirs as f64).abs() / theirs as f64;
+            assert!(rel < 0.15, "measured {mine} vs model {theirs}");
+        }
+    }
+
+    #[test]
+    fn simulated_atp_ordering_matches_fig4() {
+        // At n = 384 the L = 2 design must win on simulated ATP.
+        let n = 384;
+        let mut rng = UintRng::seeded(113);
+        let a = rng.exact_bits(n);
+        let b = rng.exact_bits(n);
+
+        let d1 = KaratsubaDepth1Multiplier::new(n).unwrap();
+        let o1 = d1.multiply(&a, &b).unwrap();
+        let ii1 = *o1.stage_cycles.iter().max().unwrap() + 9;
+        let atp1 = o1.area_cells as f64 / (1.0e6 / ii1 as f64);
+
+        let d2 = KaratsubaCimMultiplier::new(n).unwrap();
+        let o2 = d2.multiply(&a, &b).unwrap();
+        let ii2 = *o2.report.stage_cycles.iter().max().unwrap() + 27;
+        let atp2 = o2.report.area_cells as f64 / (1.0e6 / ii2 as f64);
+
+        assert!(atp2 < atp1, "L2 ATP {atp2} must beat L1 ATP {atp1}");
+    }
+}

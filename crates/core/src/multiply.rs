@@ -1,0 +1,178 @@
+//! Stage 2 — multiplication (paper Sec. IV-D).
+//!
+//! Nine single-row multipliers (the MultPIM-derived
+//! [`cim_logic::multpim::RowMultiplier`], optimized to 12 cells/bit)
+//! run in parallel, one per row, computing the nine partial products
+//! of the unrolled Karatsuba tree. The widest operand is `a_3210`
+//! (`n/4 + 2` bits), so the stage provisions `w = n/4 + 2`-bit
+//! multipliers:
+//!
+//! * area: `9 × 12·(n/4+2)` cells,
+//! * latency: `(n/4+2)·(⌈log2(n/4+2)⌉ + 14) + 3` cc — one row's
+//!   latency, since all nine rows compute simultaneously.
+
+use crate::chunks::LEAVES;
+use cim_bigint::Uint;
+use cim_crossbar::{Crossbar, CrossbarError, EnduranceReport};
+use cim_logic::multpim::RowMultiplier;
+
+/// Output of one multiplication-stage run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiplyOutput {
+    /// The nine partial products in leaf order
+    /// (`c_ll … c_mm`, see [`crate::chunks::PRODUCT_NAMES`]).
+    pub products: [Uint; LEAVES],
+    /// Stage latency in clock cycles (all rows in parallel).
+    pub cycles: u64,
+    /// Endurance report of the stage array.
+    pub endurance: EnduranceReport,
+}
+
+/// The multiplication stage for `n`-bit multiplications.
+///
+/// ```
+/// use karatsuba_cim::multiply::MultiplyStage;
+/// let stage = MultiplyStage::new(256).expect("stage");
+/// assert_eq!(stage.latency(), 1389); // 66·(7+14)+3
+/// assert_eq!(stage.area_cells(), 7128); // 9 × 12·66
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiplyStage {
+    n: usize,
+    multiplier: RowMultiplier,
+}
+
+impl MultiplyStage {
+    /// Creates the stage for `n`-bit multiplications.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; kept fallible for interface symmetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of 4.
+    pub fn new(n: usize) -> Result<Self, CrossbarError> {
+        assert!(n > 0 && n.is_multiple_of(4), "operand width must be a multiple of 4");
+        Ok(MultiplyStage {
+            n,
+            multiplier: RowMultiplier::new(n / 4 + 2),
+        })
+    }
+
+    /// Operand width of each small multiplier: `n/4 + 2` bits.
+    pub fn width(&self) -> usize {
+        self.n / 4 + 2
+    }
+
+    /// Stage area: `9 × 12·(n/4+2)` cells.
+    pub fn area_cells(&self) -> u64 {
+        (LEAVES * self.multiplier.required_cols()) as u64
+    }
+
+    /// Stage latency: one row multiplier's latency (they all run in
+    /// parallel).
+    pub fn latency(&self) -> u64 {
+        self.multiplier.latency()
+    }
+
+    /// Runs the nine partial multiplications.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leaf operand exceeds `n/4 + 2` bits.
+    pub fn run(
+        &self,
+        a_leaves: &[Uint; LEAVES],
+        b_leaves: &[Uint; LEAVES],
+    ) -> Result<MultiplyOutput, CrossbarError> {
+        let mut array = Crossbar::new(LEAVES, self.multiplier.required_cols())?;
+        let mut products: [Uint; LEAVES] = Default::default();
+        for i in 0..LEAVES {
+            let (p, _) = self
+                .multiplier
+                .run_in(&mut array, i, 0, &a_leaves[i], &b_leaves[i])?;
+            products[i] = p;
+        }
+        Ok(MultiplyOutput {
+            products,
+            cycles: self.latency(),
+            endurance: EnduranceReport::from_array(&array),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunks::decompose_operand;
+    use cim_bigint::rng::UintRng;
+
+    #[test]
+    fn products_match_gold_model() {
+        let mut rng = UintRng::seeded(13);
+        for n in [16usize, 64, 128] {
+            let stage = MultiplyStage::new(n).unwrap();
+            let a = rng.uniform(n);
+            let b = rng.uniform(n);
+            let da = decompose_operand(&a, n);
+            let db = decompose_operand(&b, n);
+            let out = stage.run(&da.leaves, &db.leaves).unwrap();
+            for i in 0..LEAVES {
+                assert_eq!(
+                    out.products[i],
+                    &da.leaves[i] * &db.leaves[i],
+                    "n = {n}, product {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_latency_and_area() {
+        // n = 256: latency 1389 cc, area 7,128 cells.
+        let stage = MultiplyStage::new(256).unwrap();
+        assert_eq!(stage.latency(), 1389);
+        assert_eq!(stage.area_cells(), 7128);
+        // n = 64: w = 18 → 18·(5+14)+3 = 345 cc, 9·216 = 1,944 cells.
+        let stage = MultiplyStage::new(64).unwrap();
+        assert_eq!(stage.latency(), 345);
+        assert_eq!(stage.area_cells(), 1944);
+    }
+
+    #[test]
+    fn widest_leaf_fits() {
+        // a_3210 with all-ones operands is exactly n/4+2 bits.
+        let n = 64;
+        let stage = MultiplyStage::new(n).unwrap();
+        let a = Uint::pow2(n).sub(&Uint::one());
+        let da = decompose_operand(&a, n);
+        let out = stage.run(&da.leaves, &da.leaves).unwrap();
+        assert_eq!(
+            out.products[8],
+            &da.leaves[8] * &da.leaves[8],
+            "c_mm must be exact at maximal operand width"
+        );
+    }
+
+    #[test]
+    fn per_row_wear_is_bounded() {
+        let n = 64;
+        let stage = MultiplyStage::new(n).unwrap();
+        let a = Uint::pow2(n).sub(&Uint::one());
+        let da = decompose_operand(&a, n);
+        let out = stage.run(&da.leaves, &da.leaves).unwrap();
+        // Paper's write model for the stage: ≈ 2w + 2 per cell.
+        let w = stage.width() as u64;
+        assert!(
+            out.endurance.max_writes <= 4 * w,
+            "max writes {} exceeds 4w = {}",
+            out.endurance.max_writes,
+            4 * w
+        );
+    }
+}

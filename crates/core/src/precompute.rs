@@ -1,0 +1,314 @@
+//! Stage 1 — precomputation (paper Sec. IV-C).
+//!
+//! Performs the 10 chunk additions of the L = 2 unrolled Karatsuba
+//! tree on a single shared `n/4+1`-bit Kogge-Stone adder. The stage
+//! array is `(8 + 10 + 12) × (n/4 + 2)`:
+//!
+//! * rows 0–7: the eight input chunks `a_0…a_3`, `b_0…b_3`;
+//! * rows 8–17: the ten addition results;
+//! * rows 18–29: the adder's 12-row scratch region.
+//!
+//! Latency (exact, verified by tests):
+//!
+//! ```text
+//! 8 + 10·(17 + 11·⌈log2(n/4+1)⌉) + 1   clock cycles
+//! ```
+//!
+//! (8 input-row writes, 10 sequential additions, 1 reset wave.)
+
+use crate::chunks::{decompose_operand, LEAVES};
+use cim_bigint::Uint;
+use cim_crossbar::{Crossbar, CrossbarError, CycleStats, EnduranceReport, Executor, MicroOp};
+use cim_logic::kogge_stone::{AddOp, AdderLayout, KoggeStoneAdder, SCRATCH_ROWS};
+
+/// Output of one precomputation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecomputeOutput {
+    /// The nine `a`-side multiplication operands (leaf order).
+    pub a_leaves: [Uint; LEAVES],
+    /// The nine `b`-side multiplication operands (leaf order).
+    pub b_leaves: [Uint; LEAVES],
+    /// Exact cycle statistics of the stage.
+    pub stats: CycleStats,
+    /// Endurance report of the stage array after the run.
+    pub endurance: EnduranceReport,
+}
+
+/// The precomputation stage for `n`-bit multiplications.
+///
+/// ```
+/// use cim_bigint::Uint;
+/// use karatsuba_cim::precompute::PrecomputeStage;
+///
+/// # fn main() -> Result<(), cim_crossbar::CrossbarError> {
+/// let stage = PrecomputeStage::new(64)?;
+/// let out = stage.run(&Uint::from_u64(123), &Uint::from_u64(456))?;
+/// assert_eq!(out.stats.cycles, stage.latency());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrecomputeStage {
+    n: usize,
+}
+
+// Row map.
+const INPUT_BASE: usize = 0; // a0 a1 a2 a3 b0 b1 b2 b3
+const RESULT_BASE: usize = 8; // a10 a32 a20 a31 a3210 b10 b32 b20 b31 b3210
+const SCRATCH_BASE: usize = 18;
+/// Total rows: 8 inputs + 10 results + 12 scratch.
+pub const ROWS: usize = 8 + 10 + SCRATCH_ROWS;
+
+/// The ten additions: (x row, y row, result row), in execution order.
+/// Rows 10–11 (a20/a31) must precede row 12 (a3210); same for b.
+const ADDITIONS: [(usize, usize, usize); 10] = [
+    (1, 0, 8),   // a10 = a1 + a0
+    (3, 2, 9),   // a32 = a3 + a2
+    (2, 0, 10),  // a20 = a2 + a0
+    (3, 1, 11),  // a31 = a3 + a1
+    (10, 11, 12), // a3210 = a20 + a31
+    (5, 4, 13),  // b10
+    (7, 6, 14),  // b32
+    (6, 4, 15),  // b20
+    (7, 5, 16),  // b31
+    (15, 16, 17), // b3210
+];
+
+/// Leaf order → stage row holding that operand (a side; b side = +? see
+/// [`PrecomputeStage::leaf_rows`]).
+const A_LEAF_ROWS: [usize; LEAVES] = [0, 1, 8, 2, 3, 9, 10, 11, 12];
+const B_LEAF_ROWS: [usize; LEAVES] = [4, 5, 13, 6, 7, 14, 15, 16, 17];
+
+impl PrecomputeStage {
+    /// Creates the stage for `n`-bit multiplications.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; kept fallible for interface stability with
+    /// the other stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of 4.
+    pub fn new(n: usize) -> Result<Self, CrossbarError> {
+        assert!(n > 0 && n.is_multiple_of(4), "operand width must be a multiple of 4");
+        Ok(PrecomputeStage { n })
+    }
+
+    /// Adder operand width: `n/4 + 1` bits.
+    pub fn adder_width(&self) -> usize {
+        self.n / 4 + 1
+    }
+
+    /// Columns of the stage array: `n/4 + 2`.
+    pub fn cols(&self) -> usize {
+        self.n / 4 + 2
+    }
+
+    /// Stage area in cells: `30 × (n/4 + 2)` (paper: 1,980 for n=256).
+    pub fn area_cells(&self) -> u64 {
+        (ROWS * self.cols()) as u64
+    }
+
+    /// Analytic latency: `8 + 10·(17 + 11·⌈log2(n/4+1)⌉) + 1`.
+    pub fn latency(&self) -> u64 {
+        let adder = KoggeStoneAdder::new(self.adder_width());
+        8 + 10 * adder.latency() + 1
+    }
+
+    /// Rows of the stage array holding the 18 leaf operands after a
+    /// run, `(a_rows, b_rows)` in leaf order — the multiplication
+    /// stage's handoff reads these.
+    pub fn leaf_rows(&self) -> ([usize; LEAVES], [usize; LEAVES]) {
+        (A_LEAF_ROWS, B_LEAF_ROWS)
+    }
+
+    /// Latency of the squaring variant (`a = b`): only the five
+    /// `a`-side additions run — `8 + 5·(17 + 11·⌈log2(n/4+1)⌉) + 1`.
+    pub fn square_latency(&self) -> u64 {
+        let adder = KoggeStoneAdder::new(self.adder_width());
+        8 + 5 * adder.latency() + 1
+    }
+
+    /// Runs the stage for a squaring: the `b`-side sums equal the
+    /// `a`-side sums, so only five additions execute and the controller
+    /// mirrors the results — the stage runs in
+    /// [`PrecomputeStage::square_latency`] cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand does not fit in `n` bits.
+    pub fn run_square(&self, a: &Uint) -> Result<PrecomputeOutput, CrossbarError> {
+        let cols = self.cols();
+        let da = decompose_operand(a, self.n);
+        let mut array = Crossbar::new(ROWS, cols)?;
+        let mut exec = Executor::new(&mut array);
+        // Write the same four chunks into BOTH operand banks (the
+        // paper's write circuit can drive two word lines with the same
+        // word, so this still charges 8 write cycles — kept identical
+        // to the general case for a conservative count).
+        for (i, chunk) in da.chunks.iter().chain(da.chunks.iter()).enumerate() {
+            exec.step(&MicroOp::write_row(INPUT_BASE + i, &chunk.to_bits(cols)))?;
+        }
+        // Only the five a-side additions.
+        let scratch: [usize; SCRATCH_ROWS] = std::array::from_fn(|i| SCRATCH_BASE + i);
+        for (x, y, sum) in &ADDITIONS[..5] {
+            let layout = AdderLayout {
+                x_row: *x,
+                y_row: *y,
+                sum_row: *sum,
+                scratch,
+                col_base: 0,
+            };
+            let adder = KoggeStoneAdder::with_layout(self.adder_width(), layout);
+            exec.run(&adder.program(AddOp::Add))?;
+        }
+        let read_leaf = |exec: &Executor<'_>, row: usize| -> Result<Uint, CrossbarError> {
+            Ok(Uint::from_bits(&exec.array().read_row_bits(row, 0..cols)?))
+        };
+        let mut a_leaves: [Uint; LEAVES] = Default::default();
+        for i in 0..LEAVES {
+            a_leaves[i] = read_leaf(&exec, A_LEAF_ROWS[i])?;
+        }
+        exec.step(&MicroOp::reset_region(0..RESULT_BASE + 10, 0..cols))?;
+        let stats = *exec.stats();
+        let endurance = EnduranceReport::from_array(&array);
+        debug_assert_eq!(a_leaves, da.leaves);
+        Ok(PrecomputeOutput {
+            b_leaves: a_leaves.clone(),
+            a_leaves,
+            stats,
+            endurance,
+        })
+    }
+
+    /// Runs the stage on a fresh array.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in `n` bits.
+    pub fn run(&self, a: &Uint, b: &Uint) -> Result<PrecomputeOutput, CrossbarError> {
+        let n = self.n;
+        let cols = self.cols();
+        let da = decompose_operand(a, n);
+        let db = decompose_operand(b, n);
+
+        let mut array = Crossbar::new(ROWS, cols)?;
+        let mut exec = Executor::new(&mut array);
+
+        // (i) Write the 8 input chunks — 8 cc.
+        for (i, chunk) in da.chunks.iter().chain(db.chunks.iter()).enumerate() {
+            exec.step(&MicroOp::write_row(INPUT_BASE + i, &chunk.to_bits(cols)))?;
+        }
+
+        // (ii) Ten additions on the shared Kogge-Stone adder.
+        let scratch: [usize; SCRATCH_ROWS] = std::array::from_fn(|i| SCRATCH_BASE + i);
+        for (x, y, sum) in ADDITIONS {
+            let layout = AdderLayout {
+                x_row: x,
+                y_row: y,
+                sum_row: sum,
+                scratch,
+                col_base: 0,
+            };
+            let adder = KoggeStoneAdder::with_layout(self.adder_width(), layout);
+            exec.run(&adder.program(AddOp::Add))?;
+        }
+
+        // Read the 18 leaves (handoff — charged at the pipeline level).
+        let read_leaf = |exec: &Executor<'_>, row: usize| -> Result<Uint, CrossbarError> {
+            Ok(Uint::from_bits(&exec.array().read_row_bits(row, 0..cols)?))
+        };
+        let mut a_leaves: [Uint; LEAVES] = Default::default();
+        let mut b_leaves: [Uint; LEAVES] = Default::default();
+        for i in 0..LEAVES {
+            a_leaves[i] = read_leaf(&exec, A_LEAF_ROWS[i])?;
+            b_leaves[i] = read_leaf(&exec, B_LEAF_ROWS[i])?;
+        }
+
+        // (iii) Reset the input/result region for the next
+        // multiplication — 1 cc.
+        exec.step(&MicroOp::reset_region(0..RESULT_BASE + 10, 0..cols))?;
+
+        let stats = *exec.stats();
+        let endurance = EnduranceReport::from_array(&array);
+        // Sanity: the stage must agree with the software decomposition.
+        debug_assert_eq!(a_leaves, da.leaves);
+        debug_assert_eq!(b_leaves, db.leaves);
+        Ok(PrecomputeOutput {
+            a_leaves,
+            b_leaves,
+            stats,
+            endurance,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_bigint::rng::UintRng;
+
+    #[test]
+    fn leaves_match_software_decomposition() {
+        let mut rng = UintRng::seeded(9);
+        for n in [16usize, 64, 128] {
+            let stage = PrecomputeStage::new(n).unwrap();
+            let a = rng.uniform(n);
+            let b = rng.uniform(n);
+            let out = stage.run(&a, &b).unwrap();
+            let da = decompose_operand(&a, n);
+            let db = decompose_operand(&b, n);
+            assert_eq!(out.a_leaves, da.leaves, "n = {n}");
+            assert_eq!(out.b_leaves, db.leaves, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn measured_cycles_equal_paper_formula() {
+        for n in [16usize, 64, 128, 256, 384] {
+            let stage = PrecomputeStage::new(n).unwrap();
+            let a = Uint::pow2(n).sub(&Uint::one());
+            let out = stage.run(&a, &a).unwrap();
+            assert_eq!(out.stats.cycles, stage.latency(), "n = {n}");
+            // Cross-check against the closed form.
+            let q = n / 4;
+            let levels = (usize::BITS - (q + 1 - 1).leading_zeros()) as u64;
+            assert_eq!(stage.latency(), 8 + 10 * (17 + 11 * levels) + 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn area_matches_paper_example() {
+        // n = 256: 30 × 66 = 1,980 memristors (paper Sec. IV-C).
+        assert_eq!(PrecomputeStage::new(256).unwrap().area_cells(), 1980);
+    }
+
+    #[test]
+    fn array_is_clean_after_run() {
+        let stage = PrecomputeStage::new(32).unwrap();
+        // The result region reset is part of the program; verify by
+        // running twice — a dirty array would corrupt MAGIC init checks.
+        let a = Uint::from_u64(0xDEADBEEF);
+        let out1 = stage.run(&a, &a).unwrap();
+        let out2 = stage.run(&a, &a).unwrap();
+        assert_eq!(out1.a_leaves, out2.a_leaves);
+    }
+
+    #[test]
+    fn zero_operands() {
+        let stage = PrecomputeStage::new(16).unwrap();
+        let out = stage.run(&Uint::zero(), &Uint::zero()).unwrap();
+        for leaf in &out.a_leaves {
+            assert!(leaf.is_zero());
+        }
+    }
+}

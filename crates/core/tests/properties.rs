@@ -1,0 +1,76 @@
+//! Property-based tests for the three-stage Karatsuba CIM multiplier.
+
+use cim_bigint::Uint;
+use karatsuba_cim::chunks::{combine_products, decompose_operand, LEAVES};
+use karatsuba_cim::multiplier::KaratsubaCimMultiplier;
+use karatsuba_cim::pipeline::PipelineSchedule;
+use karatsuba_cim::postcompute::PostcomputeStage;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The full simulated pipeline multiplies correctly for arbitrary
+    /// operands at arbitrary supported widths.
+    #[test]
+    fn end_to_end_multiplication(words in 1usize..4, seed in any::<u64>()) {
+        let n = words * 16; // 16..48 bits, multiple of 4 and ≥ 8
+        let mut rng = cim_bigint::rng::UintRng::seeded(seed);
+        let a = rng.uniform(n);
+        let b = rng.uniform(n);
+        let mult = KaratsubaCimMultiplier::new(n).unwrap();
+        let out = mult.multiply(&a, &b).unwrap();
+        prop_assert_eq!(out.product, &a * &b);
+    }
+
+    /// Decompose → (software) multiply leaves → combine is the
+    /// identity on products.
+    #[test]
+    fn decompose_combine_identity(seed in any::<u64>(), n_sel in 0usize..4) {
+        let n = [16usize, 64, 128, 256][n_sel];
+        let mut rng = cim_bigint::rng::UintRng::seeded(seed);
+        let a = rng.uniform(n);
+        let b = rng.uniform(n);
+        let da = decompose_operand(&a, n);
+        let db = decompose_operand(&b, n);
+        let products: [Uint; LEAVES] =
+            std::array::from_fn(|i| &da.leaves[i] * &db.leaves[i]);
+        prop_assert_eq!(combine_products(&products, n / 4), &a * &b);
+    }
+
+    /// The in-memory postcomputation equals the mathematical
+    /// recombination for arbitrary (consistent) products.
+    #[test]
+    fn postcompute_equals_combine(seed in any::<u64>()) {
+        let n = 32;
+        let mut rng = cim_bigint::rng::UintRng::seeded(seed);
+        let a = rng.uniform(n);
+        let b = rng.uniform(n);
+        let da = decompose_operand(&a, n);
+        let db = decompose_operand(&b, n);
+        let products: [Uint; LEAVES] =
+            std::array::from_fn(|i| &da.leaves[i] * &db.leaves[i]);
+        let stage = PostcomputeStage::new(n).unwrap();
+        let out = stage.run(&products).unwrap();
+        prop_assert_eq!(out.product, combine_products(&products, n / 4));
+    }
+
+    /// Pipeline schedules are causally consistent for arbitrary stage
+    /// latencies.
+    #[test]
+    fn pipeline_causality(
+        lat in prop::array::uniform3(1u64..5000),
+        handoff in 0u64..100,
+        count in 3usize..12,
+    ) {
+        let s = PipelineSchedule::simulate(count, lat, handoff);
+        for t in &s.jobs {
+            prop_assert!(t.start[0] <= t.start[1]);
+            prop_assert!(t.finish[0] <= t.start[1]);
+            prop_assert!(t.finish[1] <= t.start[2]);
+        }
+        // Steady-state interval is the bottleneck stage + handoff.
+        let bottleneck = lat.iter().max().copied().expect("3 stages") + handoff;
+        prop_assert_eq!(s.initiation_interval(), bottleneck);
+    }
+}

@@ -1,0 +1,657 @@
+//! The crossbar array: state, MAGIC operations and periphery.
+//!
+//! Methods on [`Crossbar`] mutate state and update per-cell wear; clock
+//! cycles are charged by the [`crate::Executor`] that drives them.
+
+use crate::cell::{Cell, Fault};
+use crate::error::CrossbarError;
+use crate::geometry::{ColRange, Region};
+use crate::PRACTICAL_LINE_LIMIT;
+
+/// A rows × columns grid of memristors with MAGIC compute support.
+///
+/// See the [crate-level documentation](crate) for the execution model
+/// and a usage example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    cells: Vec<Cell>,
+}
+
+impl Crossbar {
+    /// Creates a crossbar of `rows × cols` cells, all logic 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::EmptyDimension`] if either dimension is
+    /// zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, CrossbarError> {
+        if rows == 0 || cols == 0 {
+            return Err(CrossbarError::EmptyDimension);
+        }
+        Ok(Crossbar {
+            rows,
+            cols,
+            cells: vec![Cell::default(); rows * cols],
+        })
+    }
+
+    /// Number of word lines (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bit lines (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of memristors — the paper's "area" metric.
+    pub fn cell_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn idx(&self, row: usize, col: usize) -> usize {
+        row * self.cols + col
+    }
+
+    fn check_row(&self, row: usize) -> Result<(), CrossbarError> {
+        if row >= self.rows {
+            Err(CrossbarError::RowOutOfRange {
+                row,
+                rows: self.rows,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_cols(&self, cols: &ColRange) -> Result<(), CrossbarError> {
+        if cols.end > self.cols {
+            Err(CrossbarError::ColOutOfRange {
+                col: cols.end.saturating_sub(1),
+                cols: self.cols,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a single cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinates are out of range.
+    pub fn read_cell(&self, row: usize, col: usize) -> Result<bool, CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&(col..col + 1))?;
+        Ok(self.cells[self.idx(row, col)].read())
+    }
+
+    /// Reads the bits of `row` over the column span (sense amplifiers).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinates are out of range.
+    pub fn read_row_bits(&self, row: usize, cols: ColRange) -> Result<Vec<bool>, CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&cols)?;
+        Ok(cols.map(|c| self.cells[self.idx(row, c)].read()).collect())
+    }
+
+    /// Writes `bits` into `row` starting at column `col_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the span exceeds the array.
+    pub fn write_row(
+        &mut self,
+        row: usize,
+        col_offset: usize,
+        bits: &[bool],
+    ) -> Result<(), CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&(col_offset..col_offset + bits.len()))?;
+        for (i, &b) in bits.iter().enumerate() {
+            let idx = self.idx(row, col_offset + i);
+            self.cells[idx].write(b);
+        }
+        Ok(())
+    }
+
+    /// Drives every cell of `region` to logic 1 (MAGIC output
+    /// initialization) — one parallel set pulse.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the region exceeds the array.
+    pub fn init_region(&mut self, region: &Region) -> Result<(), CrossbarError> {
+        self.fill_region(region, true)
+    }
+
+    /// Drives every cell of `region` to logic 0 (array reset).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the region exceeds the array.
+    pub fn reset_region(&mut self, region: &Region) -> Result<(), CrossbarError> {
+        self.fill_region(region, false)
+    }
+
+    fn fill_region(&mut self, region: &Region, value: bool) -> Result<(), CrossbarError> {
+        if region.rows.end > self.rows {
+            return Err(CrossbarError::RowOutOfRange {
+                row: region.rows.end - 1,
+                rows: self.rows,
+            });
+        }
+        self.check_cols(&region.cols)?;
+        for row in region.rows.clone() {
+            for col in region.cols.clone() {
+                let idx = self.idx(row, col);
+                self.cells[idx].write(value);
+            }
+        }
+        Ok(())
+    }
+
+    /// MAGIC NOR across rows: for every column in `cols`, drives
+    /// `out = NOR(inputs…)` — all bit lines in parallel (SIMD).
+    ///
+    /// The output cells must have been initialized to logic 1; with
+    /// `strict` the operation fails if any was not, otherwise the
+    /// physical behaviour (output can only be pulled down) is applied
+    /// silently.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on bad coordinates, if `out` is also an input,
+    /// or (strict mode) on an uninitialized output cell.
+    pub fn nor_rows(
+        &mut self,
+        inputs: &[usize],
+        out: usize,
+        cols: ColRange,
+        strict: bool,
+    ) -> Result<(), CrossbarError> {
+        for &r in inputs {
+            self.check_row(r)?;
+            if r == out {
+                return Err(CrossbarError::OutputAliasesInput { index: r });
+            }
+        }
+        self.check_row(out)?;
+        self.check_cols(&cols)?;
+        for col in cols {
+            let any = inputs
+                .iter()
+                .any(|&r| self.cells[self.idx(r, col)].read());
+            let out_idx = self.idx(out, col);
+            if strict && !self.cells[out_idx].read() {
+                return Err(CrossbarError::OutputNotInitialized { row: out, col });
+            }
+            self.cells[out_idx].magic_drive(!any);
+        }
+        Ok(())
+    }
+
+    /// MAGIC NOR along rows (column-oriented): for every row in
+    /// `rows`, drives `row[out_col] = NOR(row[in_cols]…)` — all word
+    /// lines in parallel.
+    ///
+    /// This is the orientation used by single-row multipliers such as
+    /// MultPIM, where each row hosts an independent multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Crossbar::nor_rows`].
+    pub fn nor_cols(
+        &mut self,
+        in_cols: &[usize],
+        out_col: usize,
+        rows: std::ops::Range<usize>,
+        strict: bool,
+    ) -> Result<(), CrossbarError> {
+        for &c in in_cols {
+            self.check_cols(&(c..c + 1))?;
+            if c == out_col {
+                return Err(CrossbarError::OutputAliasesInput { index: c });
+            }
+        }
+        self.check_cols(&(out_col..out_col + 1))?;
+        if rows.end > self.rows {
+            return Err(CrossbarError::RowOutOfRange {
+                row: rows.end - 1,
+                rows: self.rows,
+            });
+        }
+        for row in rows {
+            let any = in_cols
+                .iter()
+                .any(|&c| self.cells[self.idx(row, c)].read());
+            let out_idx = self.idx(row, out_col);
+            if strict && !self.cells[out_idx].read() {
+                return Err(CrossbarError::OutputNotInitialized { row, col: out_col });
+            }
+            self.cells[out_idx].magic_drive(!any);
+        }
+        Ok(())
+    }
+
+    /// Partitioned MAGIC NOR along rows: the column span `cols` is
+    /// divided into partitions of `part_width` columns; within *every*
+    /// partition (and for every row in `rows`) simultaneously,
+    /// `row[base + out_offset] = NOR(row[base + in_offsets…])` — the
+    /// partition-parallel execution MultPIM \[9\] uses to get its
+    /// `log n` factor. One clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::BadPartition`] if the span is not a
+    /// multiple of `part_width` or an offset falls outside a
+    /// partition, plus the usual geometry/aliasing/init errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn nor_cols_partitioned(
+        &mut self,
+        rows: std::ops::Range<usize>,
+        cols: ColRange,
+        part_width: usize,
+        in_offsets: &[usize],
+        out_offset: usize,
+        strict: bool,
+    ) -> Result<(), CrossbarError> {
+        if part_width == 0 || !cols.len().is_multiple_of(part_width) {
+            return Err(CrossbarError::BadPartition {
+                detail: format!(
+                    "span of {} columns is not a multiple of partition width {part_width}",
+                    cols.len()
+                ),
+            });
+        }
+        for &off in in_offsets.iter().chain(std::iter::once(&out_offset)) {
+            if off >= part_width {
+                return Err(CrossbarError::BadPartition {
+                    detail: format!("offset {off} outside partition width {part_width}"),
+                });
+            }
+        }
+        if in_offsets.contains(&out_offset) {
+            return Err(CrossbarError::OutputAliasesInput { index: out_offset });
+        }
+        self.check_cols(&cols)?;
+        if rows.end > self.rows {
+            return Err(CrossbarError::RowOutOfRange {
+                row: rows.end - 1,
+                rows: self.rows,
+            });
+        }
+        for row in rows {
+            for base in (cols.start..cols.end).step_by(part_width) {
+                let any = in_offsets
+                    .iter()
+                    .any(|&off| self.cells[self.idx(row, base + off)].read());
+                let out_idx = self.idx(row, base + out_offset);
+                if strict && !self.cells[out_idx].read() {
+                    return Err(CrossbarError::OutputNotInitialized {
+                        row,
+                        col: base + out_offset,
+                    });
+                }
+                self.cells[out_idx].magic_drive(!any);
+            }
+        }
+        Ok(())
+    }
+
+    /// Periphery shift: reads `src[cols]`, shifts by `offset` columns
+    /// (positive = towards higher column indices / more significant)
+    /// filling vacated positions with `fill`, and writes the span into
+    /// `dst` (which may equal `src`).
+    ///
+    /// MAGIC cannot move data across bit lines (paper Sec. IV-B), so
+    /// this is done by the periphery: one read cycle plus one write
+    /// cycle, charged as 2 cc by the executor. A `fill` of `true`
+    /// injects a carry-in bit (used by the subtractor).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the span exceeds the array.
+    pub fn shift_row_to(
+        &mut self,
+        src: usize,
+        dst: usize,
+        cols: ColRange,
+        offset: isize,
+        fill: bool,
+    ) -> Result<(), CrossbarError> {
+        let bits = self.read_row_bits(src, cols.clone())?;
+        let w = bits.len();
+        let mut shifted = vec![fill; w];
+        for (i, &b) in bits.iter().enumerate() {
+            let j = i as isize + offset;
+            if (0..w as isize).contains(&j) {
+                shifted[j as usize] = b;
+            }
+        }
+        self.write_row(dst, cols.start, &shifted)
+    }
+
+    /// In-place periphery shift with zero fill; see
+    /// [`Crossbar::shift_row_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the span exceeds the array.
+    pub fn shift_row(
+        &mut self,
+        row: usize,
+        cols: ColRange,
+        offset: isize,
+    ) -> Result<(), CrossbarError> {
+        self.shift_row_to(row, row, cols, offset, false)
+    }
+
+    /// Injects a stuck-at fault at a cell (or clears it with `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinates are out of range.
+    pub fn inject_fault(
+        &mut self,
+        row: usize,
+        col: usize,
+        fault: Option<Fault>,
+    ) -> Result<(), CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&(col..col + 1))?;
+        let idx = self.idx(row, col);
+        self.cells[idx].set_fault(fault);
+        Ok(())
+    }
+
+    /// Immutable access to a cell (wear inspection, tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinates are out of range.
+    pub fn cell(&self, row: usize, col: usize) -> Result<&Cell, CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&(col..col + 1))?;
+        Ok(&self.cells[self.idx(row, col)])
+    }
+
+    /// Iterates over all cells (row-major) — used by endurance reports.
+    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.iter()
+    }
+
+    /// Clears all wear counters (keeps values and faults).
+    pub fn reset_wear(&mut self) {
+        for c in &mut self.cells {
+            c.reset_wear();
+        }
+    }
+
+    /// Checks the array against practical line-length limits
+    /// ([`PRACTICAL_LINE_LIMIT`]); returns the offending dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ColOutOfRange`] (columns) or
+    /// [`CrossbarError::RowOutOfRange`] (rows) when a line exceeds the
+    /// practical limit, as used in the paper's critique of very long
+    /// single-row multipliers.
+    pub fn check_practical_dimensions(&self) -> Result<(), CrossbarError> {
+        if self.cols > PRACTICAL_LINE_LIMIT {
+            return Err(CrossbarError::ColOutOfRange {
+                col: self.cols,
+                cols: PRACTICAL_LINE_LIMIT,
+            });
+        }
+        if self.rows > PRACTICAL_LINE_LIMIT {
+            return Err(CrossbarError::RowOutOfRange {
+                row: self.rows,
+                rows: PRACTICAL_LINE_LIMIT,
+            });
+        }
+        Ok(())
+    }
+
+    /// Renders a region as an ASCII grid (`1`/`0`, `X`/`x` for stuck
+    /// cells) — used by the figure-reproduction binaries.
+    pub fn render_region(&self, region: &Region) -> String {
+        let mut out = String::new();
+        for row in region.rows.clone() {
+            for col in region.cols.clone() {
+                let cell = &self.cells[self.idx(row, col)];
+                let ch = match (cell.fault(), cell.read()) {
+                    (Some(_), true) => 'X',
+                    (Some(_), false) => 'x',
+                    (None, true) => '1',
+                    (None, false) => '0',
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bar(rows: usize, cols: usize) -> Crossbar {
+        Crossbar::new(rows, cols).expect("valid dims")
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert_eq!(Crossbar::new(0, 4), Err(CrossbarError::EmptyDimension));
+        assert_eq!(Crossbar::new(4, 0), Err(CrossbarError::EmptyDimension));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut x = bar(4, 8);
+        x.write_row(2, 1, &[true, false, true]).unwrap();
+        assert_eq!(
+            x.read_row_bits(2, 0..5).unwrap(),
+            vec![false, true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn write_out_of_range_errors() {
+        let mut x = bar(2, 4);
+        assert!(x.write_row(5, 0, &[true]).is_err());
+        assert!(x.write_row(0, 3, &[true, true]).is_err());
+    }
+
+    #[test]
+    fn nor_rows_truth_table() {
+        let mut x = bar(3, 4);
+        x.write_row(0, 0, &[false, false, true, true]).unwrap();
+        x.write_row(1, 0, &[false, true, false, true]).unwrap();
+        x.init_region(&Region::new(2..3, 0..4)).unwrap();
+        x.nor_rows(&[0, 1], 2, 0..4, true).unwrap();
+        assert_eq!(
+            x.read_row_bits(2, 0..4).unwrap(),
+            vec![true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn nor_rows_strict_catches_missing_init() {
+        let mut x = bar(3, 2);
+        x.write_row(0, 0, &[false, false]).unwrap();
+        // Output row left at 0 — strict mode must flag it.
+        let err = x.nor_rows(&[0], 2, 0..2, true).unwrap_err();
+        assert!(matches!(err, CrossbarError::OutputNotInitialized { .. }));
+        // Non-strict: physically the cell just stays 0.
+        x.nor_rows(&[0], 2, 0..2, false).unwrap();
+        assert_eq!(x.read_row_bits(2, 0..2).unwrap(), vec![false, false]);
+    }
+
+    #[test]
+    fn nor_rows_rejects_aliased_output() {
+        let mut x = bar(3, 2);
+        let err = x.nor_rows(&[0, 1], 1, 0..2, false).unwrap_err();
+        assert!(matches!(err, CrossbarError::OutputAliasesInput { index: 1 }));
+    }
+
+    #[test]
+    fn not_via_single_input_nor() {
+        let mut x = bar(2, 3);
+        x.write_row(0, 0, &[true, false, true]).unwrap();
+        x.init_region(&Region::new(1..2, 0..3)).unwrap();
+        x.nor_rows(&[0], 1, 0..3, true).unwrap();
+        assert_eq!(
+            x.read_row_bits(1, 0..3).unwrap(),
+            vec![false, true, false]
+        );
+    }
+
+    #[test]
+    fn nor_cols_runs_on_all_rows_simultaneously() {
+        let mut x = bar(2, 4);
+        // row 0: a=1, b=0 → NOR = 0 ; row 1: a=0, b=0 → NOR = 1
+        x.write_row(0, 0, &[true, false, false, false]).unwrap();
+        x.write_row(1, 0, &[false, false, false, false]).unwrap();
+        x.init_region(&Region::new(0..2, 2..3)).unwrap();
+        x.nor_cols(&[0, 1], 2, 0..2, true).unwrap();
+        assert!(!x.read_cell(0, 2).unwrap());
+        assert!(x.read_cell(1, 2).unwrap());
+    }
+
+    #[test]
+    fn shift_row_moves_bits_and_fills_zero() {
+        let mut x = bar(1, 6);
+        x.write_row(0, 0, &[true, true, false, false, false, true])
+            .unwrap();
+        x.shift_row(0, 0..6, 2).unwrap();
+        assert_eq!(
+            x.read_row_bits(0, 0..6).unwrap(),
+            vec![false, false, true, true, false, false]
+        );
+        x.shift_row(0, 0..6, -2).unwrap();
+        assert_eq!(
+            x.read_row_bits(0, 0..6).unwrap(),
+            vec![true, true, false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn shift_respects_column_window() {
+        let mut x = bar(1, 6);
+        x.write_row(0, 0, &[true, true, true, true, true, true])
+            .unwrap();
+        x.shift_row(0, 2..5, 1).unwrap();
+        // Columns outside 2..5 untouched; within, shifted with 0 fill.
+        assert_eq!(
+            x.read_row_bits(0, 0..6).unwrap(),
+            vec![true, true, false, true, true, true]
+        );
+    }
+
+    #[test]
+    fn partitioned_nor_computes_every_partition_at_once() {
+        // 2 rows × 8 cols, partitions of 4: out[3] = NOR(in[0], in[1]).
+        let mut x = bar(2, 8);
+        // row 0 partitions: (1,0,·,init) and (0,0,·,init)
+        x.write_row(0, 0, &[true, false, false, true, false, false, false, true])
+            .unwrap();
+        x.write_row(1, 0, &[false, true, false, true, true, true, false, true])
+            .unwrap();
+        // Outputs (offset 2) must be pre-initialized.
+        // Partition bases: 0 and 4 → output cols 2 and 6.
+        for row in 0..2 {
+            for col in [2usize, 6] {
+                x.init_region(&Region::new(row..row + 1, col..col + 1))
+                    .unwrap();
+            }
+        }
+        x.nor_cols_partitioned(0..2, 0..8, 4, &[0, 1], 2, true).unwrap();
+        // row 0: partition 0 inputs (1,0) → 0 ; partition 1 inputs (0,0) → 1
+        assert!(!x.read_cell(0, 2).unwrap());
+        assert!(x.read_cell(0, 6).unwrap());
+        // row 1: (0,1) → 0 ; (1,1) → 0
+        assert!(!x.read_cell(1, 2).unwrap());
+        assert!(!x.read_cell(1, 6).unwrap());
+    }
+
+    #[test]
+    fn partitioned_nor_validates_geometry() {
+        let mut x = bar(1, 8);
+        assert!(matches!(
+            x.nor_cols_partitioned(0..1, 0..8, 3, &[0], 1, false),
+            Err(CrossbarError::BadPartition { .. })
+        ));
+        assert!(matches!(
+            x.nor_cols_partitioned(0..1, 0..8, 4, &[5], 1, false),
+            Err(CrossbarError::BadPartition { .. })
+        ));
+        assert!(matches!(
+            x.nor_cols_partitioned(0..1, 0..8, 4, &[1], 1, false),
+            Err(CrossbarError::OutputAliasesInput { .. })
+        ));
+    }
+
+    #[test]
+    fn shift_to_other_row_preserves_source_and_fills_carry() {
+        let mut x = bar(2, 4);
+        x.write_row(0, 0, &[true, false, true, false]).unwrap();
+        x.shift_row_to(0, 1, 0..4, 1, true).unwrap();
+        // Source untouched.
+        assert_eq!(
+            x.read_row_bits(0, 0..4).unwrap(),
+            vec![true, false, true, false]
+        );
+        // Destination: shifted by +1, carry-in 1 at position 0.
+        assert_eq!(
+            x.read_row_bits(1, 0..4).unwrap(),
+            vec![true, true, false, true]
+        );
+    }
+
+    #[test]
+    fn faults_affect_magic_results() {
+        let mut x = bar(3, 1);
+        x.inject_fault(0, 0, Some(Fault::StuckAt1)).unwrap();
+        // inputs read 1 even after writing 0
+        x.write_row(0, 0, &[false]).unwrap();
+        x.init_region(&Region::new(2..3, 0..1)).unwrap();
+        x.nor_rows(&[0, 1], 2, 0..1, true).unwrap();
+        assert!(!x.read_cell(2, 0).unwrap(), "stuck-1 input forces NOR to 0");
+    }
+
+    #[test]
+    fn wear_counting() {
+        let mut x = bar(2, 2);
+        x.write_row(0, 0, &[true, true]).unwrap();
+        x.init_region(&Region::new(1..2, 0..2)).unwrap();
+        x.nor_rows(&[0], 1, 0..2, true).unwrap();
+        assert_eq!(x.cell(0, 0).unwrap().writes(), 1); // written once
+        assert_eq!(x.cell(1, 0).unwrap().writes(), 2); // init + magic drive
+        x.reset_wear();
+        assert_eq!(x.cell(1, 0).unwrap().writes(), 0);
+    }
+
+    #[test]
+    fn practical_dimension_check() {
+        let x = bar(4, 8);
+        assert!(x.check_practical_dimensions().is_ok());
+        let long = bar(1, crate::PRACTICAL_LINE_LIMIT + 1);
+        assert!(long.check_practical_dimensions().is_err());
+    }
+
+    #[test]
+    fn render_region_shows_bits() {
+        let mut x = bar(2, 3);
+        x.write_row(0, 0, &[true, false, true]).unwrap();
+        let s = x.render_region(&Region::new(0..2, 0..3));
+        assert_eq!(s, "101\n000\n");
+    }
+}

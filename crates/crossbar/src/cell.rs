@@ -1,0 +1,129 @@
+//! A single memristor cell: stored bit, wear counter, optional fault.
+
+/// A stuck-at fault of a memristor cell.
+///
+/// Real ReRAM cells whose oxide filament degrades end up permanently
+/// stuck in the low- or high-resistance state; the fault-injection API
+/// ([`crate::Crossbar::inject_fault`]) models this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Cell always reads logic 0 (stuck in high resistance).
+    StuckAt0,
+    /// Cell always reads logic 1 (stuck in low resistance).
+    StuckAt1,
+}
+
+/// One memristor: a bit of state plus bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cell {
+    value: bool,
+    writes: u64,
+    fault: Option<Fault>,
+}
+
+impl Cell {
+    /// The stored bit, accounting for a stuck-at fault if present.
+    pub fn read(&self) -> bool {
+        match self.fault {
+            Some(Fault::StuckAt0) => false,
+            Some(Fault::StuckAt1) => true,
+            None => self.value,
+        }
+    }
+
+    /// Applies a write pulse. Counts towards wear even if the value is
+    /// unchanged (set/reset pulses stress the filament regardless).
+    /// A faulty cell ignores the new value but still wears.
+    pub fn write(&mut self, value: bool) {
+        self.writes += 1;
+        if self.fault.is_none() {
+            self.value = value;
+        }
+    }
+
+    /// MAGIC conditional pull-down: the output memristor can only move
+    /// towards logic 0; it stays 1 only if the gate result is 1.
+    /// Counts as one write pulse (current flows through the cell).
+    pub fn magic_drive(&mut self, gate_result: bool) {
+        self.writes += 1;
+        if self.fault.is_none() {
+            self.value &= gate_result;
+        }
+    }
+
+    /// Number of write pulses this cell has received.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// The injected fault, if any.
+    pub fn fault(&self) -> Option<Fault> {
+        self.fault
+    }
+
+    /// Injects (or clears, with `None`) a stuck-at fault.
+    pub fn set_fault(&mut self, fault: Option<Fault>) {
+        self.fault = fault;
+    }
+
+    /// Clears the wear counter (used when reusing an array between
+    /// independent experiments).
+    pub fn reset_wear(&mut self) {
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cell_reads_zero() {
+        assert!(!Cell::default().read());
+        assert_eq!(Cell::default().writes(), 0);
+    }
+
+    #[test]
+    fn write_updates_value_and_wear() {
+        let mut c = Cell::default();
+        c.write(true);
+        assert!(c.read());
+        assert_eq!(c.writes(), 1);
+        c.write(true); // same value still wears
+        assert_eq!(c.writes(), 2);
+    }
+
+    #[test]
+    fn magic_drive_only_pulls_down() {
+        let mut c = Cell::default();
+        c.write(true);
+        c.magic_drive(true);
+        assert!(c.read(), "result 1 keeps the initialized 1");
+        c.magic_drive(false);
+        assert!(!c.read(), "result 0 pulls the cell down");
+        c.magic_drive(true);
+        assert!(!c.read(), "MAGIC can never pull a cell back up");
+    }
+
+    #[test]
+    fn stuck_at_faults_dominate_reads() {
+        let mut c = Cell::default();
+        c.set_fault(Some(Fault::StuckAt1));
+        assert!(c.read());
+        c.write(false);
+        assert!(c.read(), "write cannot heal a stuck cell");
+        c.set_fault(Some(Fault::StuckAt0));
+        assert!(!c.read());
+        c.set_fault(None);
+        assert!(!c.read(), "underlying value was never changed while faulty");
+    }
+
+    #[test]
+    fn reset_wear() {
+        let mut c = Cell::default();
+        c.write(true);
+        c.reset_wear();
+        assert_eq!(c.writes(), 0);
+        assert!(c.read(), "value survives wear reset");
+    }
+}

@@ -1,0 +1,137 @@
+//! Endurance analysis: per-cell write statistics and lifetime estimates.
+//!
+//! ReRAM cells endure between 10^10 and 10^11 write cycles (paper
+//! Sec. II-A, citing \[10\]–\[12\]); a CIM design must both minimize writes
+//! and spread them evenly (wear-leveling, paper Sec. IV-B).
+
+use crate::array::Crossbar;
+
+/// Conservative per-cell write endurance of a ReRAM cell (10^10).
+pub const CELL_ENDURANCE_WRITES: u64 = 10_000_000_000;
+
+/// Aggregate endurance report over a crossbar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnduranceReport {
+    /// Most writes any single cell received — the paper's
+    /// "Max. Writes" metric (Table I).
+    pub max_writes: u64,
+    /// Total writes over all cells.
+    pub total_writes: u64,
+    /// Number of cells that received at least one write.
+    pub cells_touched: usize,
+    /// Number of cells in the array.
+    pub cells_total: usize,
+}
+
+impl EnduranceReport {
+    /// Computes the report for an array.
+    pub fn from_array(array: &Crossbar) -> Self {
+        let mut max_writes = 0;
+        let mut total_writes = 0;
+        let mut cells_touched = 0;
+        for cell in array.cells() {
+            let w = cell.writes();
+            max_writes = max_writes.max(w);
+            total_writes += w;
+            if w > 0 {
+                cells_touched += 1;
+            }
+        }
+        EnduranceReport {
+            max_writes,
+            total_writes,
+            cells_touched,
+            cells_total: array.cell_count(),
+        }
+    }
+
+    /// Mean writes per touched cell.
+    pub fn mean_writes(&self) -> f64 {
+        if self.cells_touched == 0 {
+            0.0
+        } else {
+            self.total_writes as f64 / self.cells_touched as f64
+        }
+    }
+
+    /// Wear-balance factor: mean/max writes in (0, 1]; 1 = perfectly
+    /// even wear. Returns 1.0 for an untouched array.
+    pub fn balance(&self) -> f64 {
+        if self.max_writes == 0 {
+            1.0
+        } else {
+            self.mean_writes() / self.max_writes as f64
+        }
+    }
+
+    /// Fraction of the array's cells that participated at all —
+    /// the array-utilization metric behind the paper's Sec. III-C1
+    /// argument against oversized shared adders.
+    pub fn utilization(&self) -> f64 {
+        if self.cells_total == 0 {
+            0.0
+        } else {
+            self.cells_touched as f64 / self.cells_total as f64
+        }
+    }
+
+    /// How many operations of this write profile the array survives
+    /// before the most-stressed cell reaches [`CELL_ENDURANCE_WRITES`].
+    pub fn lifetime_operations(&self) -> u64 {
+        CELL_ENDURANCE_WRITES
+            .checked_div(self.max_writes)
+            .unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Region;
+
+    #[test]
+    fn report_on_fresh_array() {
+        let x = Crossbar::new(4, 4).unwrap();
+        let r = EnduranceReport::from_array(&x);
+        assert_eq!(r.max_writes, 0);
+        assert_eq!(r.total_writes, 0);
+        assert_eq!(r.cells_touched, 0);
+        assert_eq!(r.cells_total, 16);
+        assert_eq!(r.balance(), 1.0);
+        assert_eq!(r.lifetime_operations(), u64::MAX);
+    }
+
+    #[test]
+    fn report_counts_uneven_wear() {
+        let mut x = Crossbar::new(2, 2).unwrap();
+        x.write_row(0, 0, &[true, true]).unwrap();
+        x.write_row(0, 0, &[false, false]).unwrap();
+        x.init_region(&Region::new(0..1, 0..1)).unwrap(); // cell (0,0): 3 writes
+        let r = EnduranceReport::from_array(&x);
+        assert_eq!(r.max_writes, 3);
+        assert_eq!(r.total_writes, 5);
+        assert_eq!(r.cells_touched, 2);
+        assert!((r.mean_writes() - 2.5).abs() < 1e-9);
+        assert!((r.balance() - 2.5 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut x = Crossbar::new(2, 2).unwrap();
+        x.write_row(0, 0, &[true, true]).unwrap();
+        let r = EnduranceReport::from_array(&x);
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        let fresh = EnduranceReport::from_array(&Crossbar::new(1, 1).unwrap());
+        assert_eq!(fresh.utilization(), 0.0);
+    }
+
+    #[test]
+    fn lifetime_scales_inversely_with_max_writes() {
+        let mut x = Crossbar::new(1, 1).unwrap();
+        for _ in 0..100 {
+            x.write_row(0, 0, &[true]).unwrap();
+        }
+        let r = EnduranceReport::from_array(&x);
+        assert_eq!(r.lifetime_operations(), CELL_ENDURANCE_WRITES / 100);
+    }
+}

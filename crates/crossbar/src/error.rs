@@ -1,0 +1,92 @@
+//! Error type for crossbar operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by crossbar construction or micro-op execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrossbarError {
+    /// A row index was outside the array.
+    RowOutOfRange {
+        /// Offending row index.
+        row: usize,
+        /// Number of rows in the array.
+        rows: usize,
+    },
+    /// A column index or range end was outside the array.
+    ColOutOfRange {
+        /// Offending column index.
+        col: usize,
+        /// Number of columns in the array.
+        cols: usize,
+    },
+    /// An array dimension was zero.
+    EmptyDimension,
+    /// A MAGIC operation's output row coincided with one of its inputs
+    /// (physically the gate would destroy its own input).
+    OutputAliasesInput {
+        /// The conflicting row or column index.
+        index: usize,
+    },
+    /// Strict mode: a MAGIC output cell was not initialized to logic 1.
+    OutputNotInitialized {
+        /// Row of the uninitialized output cell.
+        row: usize,
+        /// Column of the uninitialized output cell.
+        col: usize,
+    },
+    /// A `WriteRow` payload did not match the addressed column span.
+    WidthMismatch {
+        /// Bits supplied.
+        got: usize,
+        /// Bits expected (span width).
+        expected: usize,
+    },
+    /// Partitioned op: the column span is not a multiple of the
+    /// partition size, or an offset is outside a partition.
+    BadPartition {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossbarError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for {rows}-row array")
+            }
+            CrossbarError::ColOutOfRange { col, cols } => {
+                write!(f, "column {col} out of range for {cols}-column array")
+            }
+            CrossbarError::EmptyDimension => write!(f, "array dimensions must be non-zero"),
+            CrossbarError::OutputAliasesInput { index } => {
+                write!(f, "MAGIC output line {index} aliases an input line")
+            }
+            CrossbarError::OutputNotInitialized { row, col } => write!(
+                f,
+                "MAGIC output cell ({row}, {col}) was not initialized to logic 1"
+            ),
+            CrossbarError::WidthMismatch { got, expected } => {
+                write!(f, "row write of {got} bits into a span of {expected} columns")
+            }
+            CrossbarError::BadPartition { detail } => write!(f, "bad partition: {detail}"),
+        }
+    }
+}
+
+impl Error for CrossbarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CrossbarError::RowOutOfRange { row: 9, rows: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        let e = CrossbarError::OutputNotInitialized { row: 1, col: 2 };
+        assert!(e.to_string().contains("initialized"));
+    }
+}

@@ -1,0 +1,359 @@
+//! The micro-op executor: runs programs, charges cycles, latches reads.
+
+use crate::array::Crossbar;
+use crate::error::CrossbarError;
+use crate::isa::MicroOp;
+use crate::stats::{CycleStats, OpClass};
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Enforce that MAGIC output cells are initialized to logic 1
+    /// before being driven. Catches microcode bugs; on by default.
+    pub strict_init: bool,
+    /// Record a per-op execution trace (cycle stamps + op summaries);
+    /// off by default — tracing long programs costs memory.
+    pub record_trace: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            strict_init: true,
+            record_trace: false,
+        }
+    }
+}
+
+/// One entry of a recorded execution trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// First cycle the op occupied (1-based).
+    pub cycle: u64,
+    /// Cycles the op took.
+    pub cycles: u64,
+    /// Human-readable op summary.
+    pub summary: String,
+}
+
+fn summarize(op: &MicroOp) -> String {
+    match op {
+        MicroOp::WriteRow { row, bits, .. } => format!("write row {row} ({} bits)", bits.len()),
+        MicroOp::ReadRow { row, .. } => format!("read row {row}"),
+        MicroOp::InitRows { rows, .. } => format!("init rows {rows:?}"),
+        MicroOp::ResetRegion(r) => format!("reset rows {:?}", r.rows),
+        MicroOp::ResetRows { rows, .. } => format!("reset rows {rows:?}"),
+        MicroOp::NorRows { inputs, out, .. } => format!("NOR {inputs:?} -> row {out}"),
+        MicroOp::NorCols { in_cols, out_col, .. } => {
+            format!("NOR cols {in_cols:?} -> col {out_col}")
+        }
+        MicroOp::NorColsPartitioned {
+            part_width,
+            in_offsets,
+            out_offset,
+            ..
+        } => format!("part-NOR w={part_width} {in_offsets:?} -> +{out_offset}"),
+        MicroOp::Shift {
+            src, dst, offset, ..
+        } => format!("shift row {src} by {offset:+} -> row {dst}"),
+    }
+}
+
+/// Executes [`MicroOp`] programs against a [`Crossbar`], accumulating
+/// [`CycleStats`] and latching `ReadRow` results.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct Executor<'a> {
+    array: &'a mut Crossbar,
+    config: ExecConfig,
+    stats: CycleStats,
+    read_buffer: Vec<bool>,
+    trace: Vec<TraceEntry>,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor with the default (strict) configuration.
+    pub fn new(array: &'a mut Crossbar) -> Self {
+        Self::with_config(array, ExecConfig::default())
+    }
+
+    /// Creates an executor with an explicit configuration.
+    pub fn with_config(array: &'a mut Crossbar, config: ExecConfig) -> Self {
+        Executor {
+            array,
+            config,
+            stats: CycleStats::default(),
+            read_buffer: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Executes one micro-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`CrossbarError`] from the array; on error the
+    /// op's cycles are *not* charged.
+    pub fn step(&mut self, op: &MicroOp) -> Result<(), CrossbarError> {
+        let class = match op {
+            MicroOp::WriteRow {
+                row,
+                col_offset,
+                bits,
+            } => {
+                self.array.write_row(*row, *col_offset, bits)?;
+                OpClass::Write
+            }
+            MicroOp::ReadRow { row, cols } => {
+                self.read_buffer = self.array.read_row_bits(*row, cols.clone())?;
+                OpClass::Read
+            }
+            MicroOp::InitRows { rows, cols } => {
+                for &r in rows {
+                    self.array
+                        .init_region(&crate::Region::new(r..r + 1, cols.clone()))?;
+                }
+                OpClass::Init
+            }
+            MicroOp::ResetRegion(region) => {
+                self.array.reset_region(region)?;
+                OpClass::Init
+            }
+            MicroOp::ResetRows { rows, cols } => {
+                for &r in rows {
+                    self.array
+                        .reset_region(&crate::Region::new(r..r + 1, cols.clone()))?;
+                }
+                OpClass::Init
+            }
+            MicroOp::NorRows { inputs, out, cols } => {
+                self.array
+                    .nor_rows(inputs, *out, cols.clone(), self.config.strict_init)?;
+                OpClass::Magic
+            }
+            MicroOp::NorCols {
+                in_cols,
+                out_col,
+                rows,
+            } => {
+                self.array
+                    .nor_cols(in_cols, *out_col, rows.clone(), self.config.strict_init)?;
+                OpClass::Magic
+            }
+            MicroOp::NorColsPartitioned {
+                rows,
+                cols,
+                part_width,
+                in_offsets,
+                out_offset,
+            } => {
+                self.array.nor_cols_partitioned(
+                    rows.clone(),
+                    cols.clone(),
+                    *part_width,
+                    in_offsets,
+                    *out_offset,
+                    self.config.strict_init,
+                )?;
+                OpClass::Magic
+            }
+            MicroOp::Shift {
+                src,
+                dst,
+                cols,
+                offset,
+                fill,
+            } => {
+                self.array
+                    .shift_row_to(*src, *dst, cols.clone(), *offset, *fill)?;
+                OpClass::Shift
+            }
+        };
+        if self.config.record_trace {
+            self.trace.push(TraceEntry {
+                cycle: self.stats.cycles + 1,
+                cycles: op.cycles(),
+                summary: summarize(op),
+            });
+        }
+        self.stats.record(class, op.cycles());
+        Ok(())
+    }
+
+    /// Executes a whole program in order.
+    ///
+    /// # Errors
+    ///
+    /// Stops and returns the first error; preceding ops stay applied.
+    pub fn run(&mut self, program: &[MicroOp]) -> Result<(), CrossbarError> {
+        for op in program {
+            self.step(op)?;
+        }
+        Ok(())
+    }
+
+    /// The most recent `ReadRow` result.
+    pub fn read_buffer(&self) -> &[bool] {
+        &self.read_buffer
+    }
+
+    /// Accumulated cycle statistics.
+    pub fn stats(&self) -> &CycleStats {
+        &self.stats
+    }
+
+    /// The underlying array (immutable).
+    pub fn array(&self) -> &Crossbar {
+        self.array
+    }
+
+    /// The underlying array (mutable — for test setup between programs).
+    pub fn array_mut(&mut self) -> &mut Crossbar {
+        self.array
+    }
+
+    /// The recorded trace (empty unless [`ExecConfig::record_trace`]).
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Renders the trace as `cc <start>–<end>  <summary>` lines.
+    pub fn render_trace(&self) -> String {
+        let mut out = String::new();
+        for e in &self.trace {
+            out.push_str(&format!(
+                "cc {:>4}-{:<4} {}\n",
+                e.cycle,
+                e.cycle + e.cycles - 1,
+                e.summary
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_accumulate_per_class() {
+        let mut x = Crossbar::new(4, 4).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.run(&[
+            MicroOp::write_row(0, &[true, true, false, false]),
+            MicroOp::write_row(1, &[true, false, true, false]),
+            MicroOp::init_rows(&[2, 3], 0..4),
+            MicroOp::nor_rows(&[0, 1], 2, 0..4),
+            MicroOp::not_row(2, 3, 0..4),
+            MicroOp::shift(3, 0..4, 1),
+            MicroOp::read_row(3, 0..4),
+        ])
+        .unwrap();
+        let s = e.stats();
+        assert_eq!(s.cycles, 1 + 1 + 1 + 1 + 1 + 2 + 1);
+        assert_eq!(s.ops, 7);
+        assert_eq!(s.write_cycles, 2);
+        assert_eq!(s.init_cycles, 1);
+        assert_eq!(s.magic_cycles, 2);
+        assert_eq!(s.shift_cycles, 2);
+        assert_eq!(s.read_cycles, 1);
+        // NOR(row0,row1) = [0,0,0,1]; NOT → [1,1,1,0]; shift +1 → [0,1,1,1]
+        assert_eq!(e.read_buffer(), &[false, true, true, true]);
+    }
+
+    #[test]
+    fn strict_mode_flags_uninitialized_magic_output() {
+        let mut x = Crossbar::new(3, 2).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.step(&MicroOp::write_row(0, &[false, false])).unwrap();
+        let err = e.step(&MicroOp::nor_rows(&[0], 1, 0..2)).unwrap_err();
+        assert!(matches!(err, CrossbarError::OutputNotInitialized { .. }));
+        // Failed op must not charge cycles.
+        assert_eq!(e.stats().cycles, 1);
+    }
+
+    #[test]
+    fn trace_records_ops_with_cycle_stamps() {
+        let mut x = Crossbar::new(3, 4).unwrap();
+        let mut e = Executor::with_config(
+            &mut x,
+            ExecConfig {
+                strict_init: true,
+                record_trace: true,
+            },
+        );
+        e.run(&[
+            MicroOp::write_row(0, &[true; 4]),
+            MicroOp::shift(0, 0..4, 1),
+            MicroOp::read_row(0, 0..4),
+        ])
+        .unwrap();
+        let t = e.trace();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].cycle, 1);
+        assert_eq!(t[1].cycle, 2);
+        assert_eq!(t[1].cycles, 2);
+        assert_eq!(t[2].cycle, 4);
+        let rendered = e.render_trace();
+        assert!(rendered.contains("write row 0"));
+        assert!(rendered.contains("shift row 0 by +1"));
+    }
+
+    #[test]
+    fn trace_is_empty_when_disabled() {
+        let mut x = Crossbar::new(2, 2).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.step(&MicroOp::write_row(0, &[true, false])).unwrap();
+        assert!(e.trace().is_empty());
+    }
+
+    #[test]
+    fn lenient_mode_applies_physical_semantics() {
+        let mut x = Crossbar::new(3, 1).unwrap();
+        let mut e = Executor::with_config(
+            &mut x,
+            ExecConfig {
+                strict_init: false,
+                record_trace: false,
+            },
+        );
+        e.run(&[
+            MicroOp::write_row(0, &[false]),
+            MicroOp::nor_rows(&[0], 1, 0..1), // output never initialized
+        ])
+        .unwrap();
+        // NOR result would be 1, but the cell cannot be pulled up.
+        assert!(!e.array().read_cell(1, 0).unwrap());
+    }
+
+    #[test]
+    fn run_stops_at_first_error() {
+        let mut x = Crossbar::new(2, 2).unwrap();
+        let mut e = Executor::new(&mut x);
+        let r = e.run(&[
+            MicroOp::write_row(0, &[true, true]),
+            MicroOp::write_row(9, &[true]),
+            MicroOp::write_row(1, &[true, true]),
+        ]);
+        assert!(r.is_err());
+        assert_eq!(e.stats().ops, 1);
+        // Third op never ran.
+        assert_eq!(
+            e.array().read_row_bits(1, 0..2).unwrap(),
+            vec![false, false]
+        );
+    }
+
+    #[test]
+    fn init_rows_initializes_each_listed_row() {
+        let mut x = Crossbar::new(4, 3).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.step(&MicroOp::init_rows(&[1, 3], 0..3)).unwrap();
+        assert_eq!(e.array().read_row_bits(1, 0..3).unwrap(), vec![true; 3]);
+        assert_eq!(e.array().read_row_bits(3, 0..3).unwrap(), vec![true; 3]);
+        assert_eq!(e.array().read_row_bits(0, 0..3).unwrap(), vec![false; 3]);
+        assert_eq!(e.stats().cycles, 1, "one parallel set wave");
+    }
+}

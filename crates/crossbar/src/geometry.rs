@@ -1,0 +1,55 @@
+//! Geometric helpers: column ranges and rectangular regions.
+
+use std::ops::Range;
+
+/// A half-open range of column indices within a crossbar row.
+pub type ColRange = Range<usize>;
+
+/// A rectangular region of a crossbar (rows × columns), used for
+/// region-wide initialization/reset and wear-leveling swaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Rows covered (half-open).
+    pub rows: Range<usize>,
+    /// Columns covered (half-open).
+    pub cols: Range<usize>,
+}
+
+impl Region {
+    /// Creates a region from row and column ranges.
+    pub fn new(rows: Range<usize>, cols: Range<usize>) -> Self {
+        Region { rows, cols }
+    }
+
+    /// Number of cells in the region.
+    pub fn cells(&self) -> usize {
+        self.rows.len() * self.cols.len()
+    }
+
+    /// Whether the region contains the given cell.
+    pub fn contains(&self, row: usize, col: usize) -> bool {
+        self.rows.contains(&row) && self.cols.contains(&col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_cells_and_contains() {
+        let r = Region::new(2..5, 0..4);
+        assert_eq!(r.cells(), 12);
+        assert!(r.contains(2, 0));
+        assert!(r.contains(4, 3));
+        assert!(!r.contains(5, 0));
+        assert!(!r.contains(2, 4));
+    }
+
+    #[test]
+    fn empty_region() {
+        let r = Region::new(3..3, 0..10);
+        assert_eq!(r.cells(), 0);
+        assert!(!r.contains(3, 0));
+    }
+}

@@ -1,0 +1,247 @@
+//! The micro-operation ISA executed by the crossbar controller.
+//!
+//! Cycle costs follow the paper's accounting (Sec. IV-B/IV-C):
+//!
+//! | Op                         | Cycles | Notes                              |
+//! |----------------------------|--------|------------------------------------|
+//! | `WriteRow`                 | 1      | write circuit drives one word line |
+//! | `ReadRow`                  | 1      | sense amplifiers                   |
+//! | `InitRows` / `ResetRegion` | 1      | parallel set/reset wave            |
+//! | `NorRows` / `NotRow`       | 1      | MAGIC, SIMD over bit lines         |
+//! | `NorCols` / `NotCol`       | 1      | MAGIC, SIMD over word lines        |
+//! | `Shift`                    | 2      | periphery read + write back        |
+
+use crate::geometry::{ColRange, Region};
+
+/// One micro-operation of a CIM program.
+///
+/// Construct via the helper constructors, which keep call sites
+/// readable; see the [crate-level example](crate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Write `bits` into `row` starting at `col_offset` (1 cc).
+    WriteRow {
+        /// Target word line.
+        row: usize,
+        /// First column written.
+        col_offset: usize,
+        /// Bit payload.
+        bits: Vec<bool>,
+    },
+    /// Read a row span; the value is latched into the executor's
+    /// read buffer (1 cc).
+    ReadRow {
+        /// Word line to sense.
+        row: usize,
+        /// Columns sensed.
+        cols: ColRange,
+    },
+    /// Drive all cells of the given rows (over `cols`) to logic 1 —
+    /// MAGIC output initialization (1 cc, parallel set wave).
+    InitRows {
+        /// Rows initialized.
+        rows: Vec<usize>,
+        /// Column span.
+        cols: ColRange,
+    },
+    /// Drive a whole region to logic 0 (1 cc, parallel reset wave).
+    ResetRegion(Region),
+    /// Drive all cells of the given (not necessarily contiguous) rows
+    /// to logic 0 over `cols` (1 cc, parallel reset wave).
+    ResetRows {
+        /// Rows reset.
+        rows: Vec<usize>,
+        /// Column span.
+        cols: ColRange,
+    },
+    /// MAGIC NOR across rows, SIMD over the column span (1 cc).
+    NorRows {
+        /// Input word lines.
+        inputs: Vec<usize>,
+        /// Output word line (must be initialized to 1).
+        out: usize,
+        /// Column span.
+        cols: ColRange,
+    },
+    /// MAGIC NOR along a row, SIMD over the row span (1 cc).
+    NorCols {
+        /// Input bit lines.
+        in_cols: Vec<usize>,
+        /// Output bit line (must be initialized to 1).
+        out_col: usize,
+        /// Rows the operation applies to in parallel.
+        rows: std::ops::Range<usize>,
+    },
+    /// Partitioned MAGIC NOR along rows (1 cc): every `part_width`
+    /// partition of the span computes
+    /// `NOR(in_offsets…) → out_offset` simultaneously, for all rows in
+    /// `rows` — MultPIM's partition parallelism.
+    NorColsPartitioned {
+        /// Rows the operation applies to in parallel.
+        rows: std::ops::Range<usize>,
+        /// Column span (must be a multiple of `part_width`).
+        cols: ColRange,
+        /// Partition width in columns.
+        part_width: usize,
+        /// Input offsets within each partition.
+        in_offsets: Vec<usize>,
+        /// Output offset within each partition.
+        out_offset: usize,
+    },
+    /// Periphery shift of a row span by `offset` columns (2 cc):
+    /// read `src`, shift, write into `dst` (may equal `src`).
+    Shift {
+        /// Word line read.
+        src: usize,
+        /// Word line written.
+        dst: usize,
+        /// Columns shifted (window).
+        cols: ColRange,
+        /// Shift distance; positive = towards higher columns.
+        offset: isize,
+        /// Bit filled into vacated positions (carry-in injection).
+        fill: bool,
+    },
+}
+
+impl MicroOp {
+    /// Writes `bits` into `row` starting at column 0.
+    pub fn write_row(row: usize, bits: &[bool]) -> Self {
+        MicroOp::WriteRow {
+            row,
+            col_offset: 0,
+            bits: bits.to_vec(),
+        }
+    }
+
+    /// Writes `bits` into `row` starting at `col_offset`.
+    pub fn write_row_at(row: usize, col_offset: usize, bits: &[bool]) -> Self {
+        MicroOp::WriteRow {
+            row,
+            col_offset,
+            bits: bits.to_vec(),
+        }
+    }
+
+    /// Reads the given span of `row` into the executor's read buffer.
+    pub fn read_row(row: usize, cols: ColRange) -> Self {
+        MicroOp::ReadRow { row, cols }
+    }
+
+    /// Initializes rows to logic 1 over the column span.
+    pub fn init_rows(rows: &[usize], cols: ColRange) -> Self {
+        MicroOp::InitRows {
+            rows: rows.to_vec(),
+            cols,
+        }
+    }
+
+    /// Resets a region to logic 0.
+    pub fn reset_region(rows: std::ops::Range<usize>, cols: ColRange) -> Self {
+        MicroOp::ResetRegion(Region::new(rows, cols))
+    }
+
+    /// Resets the listed rows to logic 0 over the column span.
+    pub fn reset_rows(rows: &[usize], cols: ColRange) -> Self {
+        MicroOp::ResetRows {
+            rows: rows.to_vec(),
+            cols,
+        }
+    }
+
+    /// MAGIC NOR across rows.
+    pub fn nor_rows(inputs: &[usize], out: usize, cols: ColRange) -> Self {
+        MicroOp::NorRows {
+            inputs: inputs.to_vec(),
+            out,
+            cols,
+        }
+    }
+
+    /// MAGIC NOT (single-input NOR) across rows.
+    pub fn not_row(input: usize, out: usize, cols: ColRange) -> Self {
+        MicroOp::NorRows {
+            inputs: vec![input],
+            out,
+            cols,
+        }
+    }
+
+    /// MAGIC NOR along rows (column-oriented).
+    pub fn nor_cols(in_cols: &[usize], out_col: usize, rows: std::ops::Range<usize>) -> Self {
+        MicroOp::NorCols {
+            in_cols: in_cols.to_vec(),
+            out_col,
+            rows,
+        }
+    }
+
+    /// Partitioned MAGIC NOR along rows.
+    pub fn nor_cols_partitioned(
+        rows: std::ops::Range<usize>,
+        cols: ColRange,
+        part_width: usize,
+        in_offsets: &[usize],
+        out_offset: usize,
+    ) -> Self {
+        MicroOp::NorColsPartitioned {
+            rows,
+            cols,
+            part_width,
+            in_offsets: in_offsets.to_vec(),
+            out_offset,
+        }
+    }
+
+    /// In-place periphery shift with zero fill.
+    pub fn shift(row: usize, cols: ColRange, offset: isize) -> Self {
+        MicroOp::Shift {
+            src: row,
+            dst: row,
+            cols,
+            offset,
+            fill: false,
+        }
+    }
+
+    /// Periphery shift from `src` into `dst` with an explicit fill bit.
+    pub fn shift_to(src: usize, dst: usize, cols: ColRange, offset: isize, fill: bool) -> Self {
+        MicroOp::Shift {
+            src,
+            dst,
+            cols,
+            offset,
+            fill,
+        }
+    }
+
+    /// Clock cycles this operation takes.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            MicroOp::Shift { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_costs() {
+        assert_eq!(MicroOp::write_row(0, &[true]).cycles(), 1);
+        assert_eq!(MicroOp::read_row(0, 0..4).cycles(), 1);
+        assert_eq!(MicroOp::init_rows(&[1, 2], 0..4).cycles(), 1);
+        assert_eq!(MicroOp::reset_region(0..2, 0..4).cycles(), 1);
+        assert_eq!(MicroOp::nor_rows(&[0, 1], 2, 0..4).cycles(), 1);
+        assert_eq!(MicroOp::nor_cols(&[0, 1], 2, 0..4).cycles(), 1);
+        assert_eq!(MicroOp::shift(0, 0..4, 1).cycles(), 2);
+    }
+
+    #[test]
+    fn not_is_single_input_nor() {
+        let op = MicroOp::not_row(3, 5, 0..2);
+        assert_eq!(op, MicroOp::nor_rows(&[3], 5, 0..2));
+    }
+}

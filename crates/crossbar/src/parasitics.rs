@@ -1,0 +1,161 @@
+//! Bit-line parasitics: why very long memory lines are impractical.
+//!
+//! The paper (Sec. II-C, citing \[7\] and the IR-drop study \[20\])
+//! rejects MultPIM's 5,369-memristor rows at n = 384 because parasitic
+//! wire resistance degrades the sensing margin as lines grow. This
+//! module provides the first-order model behind that argument:
+//!
+//! A bit line of `L` cells has wire resistance `L·r_wire` in series
+//! with the selected memristor. Reading distinguishes low resistance
+//! (`R_on`) from high (`R_off`) by the line current; the *sense
+//! margin* is the relative current separation, which shrinks as the
+//! accumulated wire resistance and the sneak-path leakage of `L − 1`
+//! half-selected cells grow.
+
+/// Electrical parameters of a crossbar line (typical ReRAM values:
+/// R_on = 10 kΩ, R_off = 1 MΩ, ~2.5 Ω wire resistance per cell pitch,
+/// sneak-path factor from half-selected cells).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineParams {
+    /// Low-resistance (logic 1) state, ohms.
+    pub r_on: f64,
+    /// High-resistance (logic 0) state, ohms.
+    pub r_off: f64,
+    /// Wire resistance per cell pitch, ohms.
+    pub r_wire_per_cell: f64,
+    /// Fraction of read current leaking per half-selected cell
+    /// (models sneak paths under a 1T1R/selector assumption — small).
+    pub leak_per_cell: f64,
+    /// Minimum relative margin the sense amplifier needs (e.g. 0.5 =
+    /// the two currents must differ by 50 % of the larger one).
+    pub min_margin: f64,
+}
+
+impl Default for LineParams {
+    fn default() -> Self {
+        LineParams {
+            r_on: 10_000.0,
+            r_off: 1_000_000.0,
+            r_wire_per_cell: 2.5,
+            leak_per_cell: 6.0e-5,
+            min_margin: 0.5,
+        }
+    }
+}
+
+/// Sense-margin analysis of a line of `cells` memristors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineAnalysis {
+    /// Number of cells on the line.
+    pub cells: usize,
+    /// Relative sensing margin in [0, 1].
+    pub margin: f64,
+    /// Whether the margin clears the sense-amplifier requirement.
+    pub reliable: bool,
+}
+
+/// Analyzes reading the *far-end* cell of a line of `cells` cells —
+/// the worst case for IR drop.
+pub fn analyze_line(cells: usize, params: &LineParams) -> LineAnalysis {
+    let r_wire = cells as f64 * params.r_wire_per_cell;
+    // Effective currents (unit read voltage): worst case reads the
+    // far-end cell through the full wire.
+    let i_on = 1.0 / (params.r_on + r_wire);
+    let i_off = 1.0 / (params.r_off + r_wire);
+    // Sneak-path leakage raises the "off" current floor.
+    let leak = params.leak_per_cell * (cells.saturating_sub(1)) as f64 / params.r_on;
+    let i_off = i_off + leak;
+    let margin = if i_on <= i_off {
+        0.0
+    } else {
+        (i_on - i_off) / i_on
+    };
+    LineAnalysis {
+        cells,
+        margin,
+        reliable: margin >= params.min_margin,
+    }
+}
+
+/// The longest line that still senses reliably under `params`
+/// (binary search; the margin is monotone decreasing in length).
+pub fn max_reliable_line(params: &LineParams) -> usize {
+    let mut lo = 1usize;
+    let mut hi = 1usize;
+    while analyze_line(hi, params).reliable {
+        lo = hi;
+        hi *= 2;
+        if hi > 1 << 24 {
+            return hi; // effectively unlimited under these params
+        }
+    }
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if analyze_line(mid, params).reliable {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margin_decreases_with_length() {
+        let p = LineParams::default();
+        let short = analyze_line(64, &p);
+        let medium = analyze_line(1024, &p);
+        let long = analyze_line(8192, &p);
+        assert!(short.margin > medium.margin);
+        assert!(medium.margin > long.margin);
+    }
+
+    #[test]
+    fn short_lines_are_reliable() {
+        let p = LineParams::default();
+        assert!(analyze_line(64, &p).reliable);
+        assert!(analyze_line(576, &p).reliable, "our 1.5n row at n=384");
+    }
+
+    #[test]
+    fn multpim_row_at_384_fails_where_ours_passes() {
+        // The paper's practicality argument, quantified: MultPIM's
+        // 5,369-cell row vs our longest row (1,176 cells at n = 384).
+        let p = LineParams::default();
+        let ours = analyze_line(1176, &p);
+        let multpim = analyze_line(5369, &p);
+        assert!(ours.margin > multpim.margin);
+        assert!(
+            ours.reliable && !multpim.reliable,
+            "ours {} vs multpim {}",
+            ours.margin,
+            multpim.margin
+        );
+    }
+
+    #[test]
+    fn max_reliable_line_is_consistent() {
+        let p = LineParams::default();
+        let max = max_reliable_line(&p);
+        assert!(analyze_line(max, &p).reliable);
+        assert!(!analyze_line(max + 1, &p).reliable);
+        // And it lands in the 1–4 K range the literature reports.
+        assert!((1_000..5_000).contains(&max), "max = {max}");
+    }
+
+    #[test]
+    fn degenerate_params() {
+        // Zero wire resistance and leakage → near-perfect margin at
+        // any length.
+        let p = LineParams {
+            r_wire_per_cell: 0.0,
+            leak_per_cell: 0.0,
+            ..LineParams::default()
+        };
+        assert!(analyze_line(1 << 20, &p).margin > 0.95);
+    }
+}

@@ -1,0 +1,93 @@
+//! Cycle accounting.
+
+/// Classification of micro-ops for the per-class cycle breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Row writes from the periphery.
+    Write,
+    /// Row reads into the periphery.
+    Read,
+    /// Init/reset waves.
+    Init,
+    /// In-array MAGIC NOR/NOT operations.
+    Magic,
+    /// Periphery shifts.
+    Shift,
+}
+
+/// Cycle statistics accumulated by an [`crate::Executor`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleStats {
+    /// Total clock cycles.
+    pub cycles: u64,
+    /// Number of micro-ops executed.
+    pub ops: u64,
+    /// Cycles spent in row writes.
+    pub write_cycles: u64,
+    /// Cycles spent in row reads.
+    pub read_cycles: u64,
+    /// Cycles spent in init/reset waves.
+    pub init_cycles: u64,
+    /// Cycles spent in MAGIC NOR/NOT.
+    pub magic_cycles: u64,
+    /// Cycles spent in periphery shifts.
+    pub shift_cycles: u64,
+}
+
+impl CycleStats {
+    /// Records an operation of the given class and cycle cost.
+    pub fn record(&mut self, class: OpClass, cycles: u64) {
+        self.cycles += cycles;
+        self.ops += 1;
+        match class {
+            OpClass::Write => self.write_cycles += cycles,
+            OpClass::Read => self.read_cycles += cycles,
+            OpClass::Init => self.init_cycles += cycles,
+            OpClass::Magic => self.magic_cycles += cycles,
+            OpClass::Shift => self.shift_cycles += cycles,
+        }
+    }
+
+    /// Merges another statistics record into this one.
+    pub fn merge(&mut self, other: &CycleStats) {
+        self.cycles += other.cycles;
+        self.ops += other.ops;
+        self.write_cycles += other.write_cycles;
+        self.read_cycles += other.read_cycles;
+        self.init_cycles += other.init_cycles;
+        self.magic_cycles += other.magic_cycles;
+        self.shift_cycles += other.shift_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_by_class() {
+        let mut s = CycleStats::default();
+        s.record(OpClass::Magic, 1);
+        s.record(OpClass::Shift, 2);
+        s.record(OpClass::Write, 1);
+        assert_eq!(s.cycles, 4);
+        assert_eq!(s.ops, 3);
+        assert_eq!(s.magic_cycles, 1);
+        assert_eq!(s.shift_cycles, 2);
+        assert_eq!(s.write_cycles, 1);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = CycleStats::default();
+        a.record(OpClass::Read, 1);
+        let mut b = CycleStats::default();
+        b.record(OpClass::Init, 1);
+        b.record(OpClass::Magic, 1);
+        a.merge(&b);
+        assert_eq!(a.cycles, 3);
+        assert_eq!(a.ops, 3);
+        assert_eq!(a.read_cycles, 1);
+        assert_eq!(a.init_cycles, 1);
+    }
+}

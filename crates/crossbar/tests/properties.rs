@@ -1,0 +1,143 @@
+//! Property-based tests for the crossbar simulator.
+
+use cim_crossbar::{Crossbar, Executor, MicroOp, Region};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Row write followed by read returns the written bits.
+    #[test]
+    fn write_read_roundtrip(bits in prop::collection::vec(any::<bool>(), 1..64)) {
+        let mut x = Crossbar::new(2, bits.len()).unwrap();
+        x.write_row(0, 0, &bits).unwrap();
+        prop_assert_eq!(x.read_row_bits(0, 0..bits.len()).unwrap(), bits);
+    }
+
+    /// MAGIC NOR across rows equals the boolean NOR per column.
+    #[test]
+    fn nor_rows_matches_boolean_nor(
+        a in prop::collection::vec(any::<bool>(), 1..64),
+        seed in any::<u64>(),
+    ) {
+        let w = a.len();
+        let b: Vec<bool> = (0..w).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let mut x = Crossbar::new(3, w).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.run(&[
+            MicroOp::write_row(0, &a),
+            MicroOp::write_row(1, &b),
+            MicroOp::init_rows(&[2], 0..w),
+            MicroOp::nor_rows(&[0, 1], 2, 0..w),
+        ]).unwrap();
+        let expect: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| !(x | y)).collect();
+        prop_assert_eq!(e.array().read_row_bits(2, 0..w).unwrap(), expect);
+    }
+
+    /// Double NOT is the identity.
+    #[test]
+    fn double_not_identity(a in prop::collection::vec(any::<bool>(), 1..64)) {
+        let w = a.len();
+        let mut x = Crossbar::new(3, w).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.run(&[
+            MicroOp::write_row(0, &a),
+            MicroOp::init_rows(&[1, 2], 0..w),
+            MicroOp::not_row(0, 1, 0..w),
+            MicroOp::not_row(1, 2, 0..w),
+        ]).unwrap();
+        prop_assert_eq!(e.array().read_row_bits(2, 0..w).unwrap(), a);
+    }
+
+    /// Shifting left then right by the same amount only loses bits that
+    /// fell off the top.
+    #[test]
+    fn shift_left_right(
+        a in prop::collection::vec(any::<bool>(), 1..64),
+        k in 0usize..16,
+    ) {
+        let w = a.len();
+        prop_assume!(k < w);
+        let mut x = Crossbar::new(1, w).unwrap();
+        x.write_row(0, 0, &a).unwrap();
+        x.shift_row(0, 0..w, k as isize).unwrap();
+        x.shift_row(0, 0..w, -(k as isize)).unwrap();
+        let got = x.read_row_bits(0, 0..w).unwrap();
+        for i in 0..w - k {
+            prop_assert_eq!(got[i], a[i], "bit {} must survive", i);
+        }
+        for (i, &g) in got.iter().enumerate().skip(w - k) {
+            prop_assert!(!g, "bit {} must be zero-filled", i);
+        }
+    }
+
+    /// Cycle count equals the sum of per-op costs and is order-independent.
+    #[test]
+    fn cycle_count_is_sum_of_costs(n_ops in 1usize..20) {
+        let mut x = Crossbar::new(4, 8).unwrap();
+        let mut e = Executor::new(&mut x);
+        let mut expect = 0u64;
+        for i in 0..n_ops {
+            let op = match i % 3 {
+                0 => MicroOp::write_row(i % 4, &[true; 8]),
+                1 => MicroOp::shift(i % 4, 0..8, 1),
+                _ => MicroOp::read_row(i % 4, 0..8),
+            };
+            expect += op.cycles();
+            e.step(&op).unwrap();
+        }
+        prop_assert_eq!(e.stats().cycles, expect);
+    }
+
+    /// Wear conservation: total writes equals the number of cell-write
+    /// events issued.
+    #[test]
+    fn wear_total_matches_events(rows in 1usize..6, writes in 1usize..20) {
+        let mut x = Crossbar::new(rows, 4).unwrap();
+        for i in 0..writes {
+            x.write_row(i % rows, 0, &[true, false, true, false]).unwrap();
+        }
+        let report = cim_crossbar::EnduranceReport::from_array(&x);
+        prop_assert_eq!(report.total_writes, writes as u64 * 4);
+    }
+
+    /// Partitioned NOR equals per-partition boolean NOR for arbitrary
+    /// partition geometry and row contents.
+    #[test]
+    fn partitioned_nor_matches_spec(
+        parts in 1usize..6,
+        part_width in 3usize..8,
+        seed in any::<u64>(),
+    ) {
+        let w = parts * part_width;
+        let bits: Vec<bool> = (0..w).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let mut x = Crossbar::new(1, w).unwrap();
+        x.write_row(0, 0, &bits).unwrap();
+        // Init every partition's output cell (offset part_width−1).
+        for p in 0..parts {
+            let col = p * part_width + part_width - 1;
+            x.init_region(&Region::new(0..1, col..col + 1)).unwrap();
+        }
+        x.nor_cols_partitioned(0..1, 0..w, part_width, &[0, 1], part_width - 1, true)
+            .unwrap();
+        for p in 0..parts {
+            let base = p * part_width;
+            let expect = !(bits[base] | bits[base + 1]);
+            prop_assert_eq!(
+                x.read_cell(0, base + part_width - 1).unwrap(),
+                expect,
+                "partition {}", p
+            );
+        }
+    }
+
+    /// Reset region forces all covered cells to zero regardless of state.
+    #[test]
+    fn reset_region_zeroes(bits in prop::collection::vec(any::<bool>(), 8..32)) {
+        let w = bits.len();
+        let mut x = Crossbar::new(2, w).unwrap();
+        x.write_row(0, 0, &bits).unwrap();
+        x.reset_region(&Region::new(0..2, 0..w)).unwrap();
+        prop_assert_eq!(x.read_row_bits(0, 0..w).unwrap(), vec![false; w]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Single-row serial multiplier, adopted from MultPIM \[9\] for the
+//! paper's multiplication stage (Sec. IV-D).
+//!
+//! Each multiplication lives entirely in **one memory row**, so `k`
+//! independent multiplications run in `k` rows simultaneously — exactly
+//! how the paper parallelizes the 9 partial products of the unrolled
+//! Karatsuba tree. The paper further optimizes the original MultPIM row
+//! from ~14·w to **12·w cells** for `w`-bit operands by sharing memory
+//! between input and output operands; we use that optimized layout.
+//!
+//! Latency of one `w`-bit multiplication (all rows in parallel):
+//!
+//! ```text
+//! w · (⌈log2 w⌉ + 14) + 3   clock cycles
+//! ```
+//!
+//! (`w` shift-add iterations, each performing a partition-parallel
+//! carry-lookahead addition in `⌈log2 w⌉ + 14` cycles, plus 3 cycles of
+//! finalization.)
+//!
+//! ### Fidelity note
+//!
+//! The original MultPIM NOR-level microcode is not published in enough
+//! detail to reconstruct cycle-exactly, and the paper itself uses it as
+//! a black box with the latency formula above. This implementation is
+//! *functionally* executed in the row — operands, per-iteration
+//! partial sums and carries are real cells with real wear — while
+//! cycles are charged by the formula (see DESIGN.md §1/§4).
+
+use cim_bigint::Uint;
+use cim_crossbar::{Crossbar, CrossbarError, EnduranceReport};
+
+/// Cells per row required for one `w`-bit in-row multiplier
+/// (paper: `12·(n/4+2)` for the stage's `w = n/4+2`-bit operands).
+pub const CELLS_PER_BIT: usize = 12;
+
+/// Row-internal layout offsets (in multiples of `w`).
+const A_OFF: usize = 0; // operand a: [0, w)
+const B_OFF: usize = 1; // operand b: [w, 2w)
+const P_OFF: usize = 2; // product accumulator: [2w, 4w) (shared with output)
+const C_OFF: usize = 4; // carry staging: [4w, 5w)
+const S_OFF: usize = 5; // partition scratch: [5w, 12w)
+
+/// Statistics of one in-row multiplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowMultStats {
+    /// Clock cycles (analytic, per the MultPIM formula).
+    pub cycles: u64,
+    /// Shift-add iterations executed (= operand width).
+    pub iterations: usize,
+}
+
+/// A `w`-bit multiplier occupying a single crossbar row of `12·w`
+/// cells.
+///
+/// ```
+/// use cim_bigint::Uint;
+/// use cim_logic::multpim::RowMultiplier;
+///
+/// # fn main() -> Result<(), cim_crossbar::CrossbarError> {
+/// let mult = RowMultiplier::new(16);
+/// let (product, stats) = mult.multiply(&Uint::from_u64(60000), &Uint::from_u64(60001))?;
+/// assert_eq!(product, Uint::from_u128(60000 * 60001));
+/// assert_eq!(stats.cycles, mult.latency());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowMultiplier {
+    width: usize,
+}
+
+impl RowMultiplier {
+    /// Creates a `width`-bit in-row multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "multiplier width must be positive");
+        RowMultiplier { width }
+    }
+
+    /// Operand width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Row length in cells: `12·w` (the paper's optimized layout;
+    /// the original MultPIM needs ~14·w, e.g. 5,369 cells for 384-bit).
+    pub fn required_cols(&self) -> usize {
+        CELLS_PER_BIT * self.width
+    }
+
+    /// Analytic latency: `w·(⌈log2 w⌉ + 14) + 3` cc.
+    pub fn latency(&self) -> u64 {
+        let w = self.width as u64;
+        w * (crate::kogge_stone::ceil_log2(self.width) as u64 + 14) + 3
+    }
+
+    /// Runs the multiplication inside row `row` of `array`, columns
+    /// `col_base..col_base + 12·w`. Operands are written into the row,
+    /// the shift-add iterations update accumulator/carry/scratch cells
+    /// in place, and the `2w`-bit product is read back from the shared
+    /// product region.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the region does not fit in the array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand exceeds `width` bits.
+    pub fn run_in(
+        &self,
+        array: &mut Crossbar,
+        row: usize,
+        col_base: usize,
+        a: &Uint,
+        b: &Uint,
+    ) -> Result<(Uint, RowMultStats), CrossbarError> {
+        let w = self.width;
+        let at = |off: usize| col_base + off * w;
+
+        // Load operands into the row.
+        array.write_row(row, at(A_OFF), &a.to_bits(w))?;
+        array.write_row(row, at(B_OFF), &b.to_bits(w))?;
+        // Clear accumulator region (product shares these cells).
+        array.reset_region(&cim_crossbar::Region::new(
+            row..row + 1,
+            at(P_OFF)..at(P_OFF) + 2 * w,
+        ))?;
+
+        // Serial shift-add: iteration i adds (a·b_i) << i into the
+        // accumulator. The adds are performed cell-by-cell so the
+        // accumulator, carry and scratch cells see realistic traffic.
+        for i in 0..w {
+            let b_i = array.read_cell(row, at(B_OFF) + i)?;
+            // Partition-parallel p/g staging writes (scratch region is
+            // reused every iteration — this is what bounds MultPIM's
+            // per-cell wear at O(w)).
+            let scratch_cols = at(S_OFF)..at(S_OFF) + w;
+            array.reset_region(&cim_crossbar::Region::new(row..row + 1, scratch_cols))?;
+            if !b_i {
+                continue;
+            }
+            let mut carry = false;
+            for j in 0..=w {
+                let p_col = at(P_OFF) + i + j;
+                let a_bit = if j < w {
+                    array.read_cell(row, at(A_OFF) + j)?
+                } else {
+                    false
+                };
+                let p_bit = array.read_cell(row, p_col)?;
+                let total = a_bit as u8 + p_bit as u8 + carry as u8;
+                // Carry staging cell then accumulator write-back.
+                array.write_row(row, at(C_OFF) + j % w, &[total >= 2])?;
+                array.write_row(row, p_col, &[total & 1 == 1])?;
+                carry = total >= 2;
+            }
+        }
+
+        // Read the product from the shared region.
+        let bits = array.read_row_bits(row, at(P_OFF)..at(P_OFF) + 2 * w)?;
+        Ok((
+            Uint::from_bits(&bits),
+            RowMultStats {
+                cycles: self.latency(),
+                iterations: w,
+            },
+        ))
+    }
+
+    /// Convenience: standalone multiplication on a fresh 1-row array.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand exceeds `width` bits.
+    pub fn multiply(&self, a: &Uint, b: &Uint) -> Result<(Uint, RowMultStats), CrossbarError> {
+        let mut array = Crossbar::new(1, self.required_cols())?;
+        self.run_in(&mut array, 0, 0, a, b)
+    }
+
+    /// Standalone multiplication that also returns the endurance
+    /// report of the row (for the write-count comparisons of Table I).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    pub fn multiply_with_endurance(
+        &self,
+        a: &Uint,
+        b: &Uint,
+    ) -> Result<(Uint, RowMultStats, EnduranceReport), CrossbarError> {
+        let mut array = Crossbar::new(1, self.required_cols())?;
+        let (product, stats) = self.run_in(&mut array, 0, 0, a, b)?;
+        Ok((product, stats, EnduranceReport::from_array(&array)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_bigint::rng::{corner_cases, UintRng};
+
+    #[test]
+    fn exhaustive_4_bit() {
+        let m = RowMultiplier::new(4);
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                let (p, _) = m.multiply(&Uint::from_u64(a), &Uint::from_u64(b)).unwrap();
+                assert_eq!(p, Uint::from_u64(a * b), "{a}·{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_wide_products() {
+        let mut rng = UintRng::seeded(77);
+        for w in [8usize, 17, 32, 66, 98] {
+            let m = RowMultiplier::new(w);
+            let a = rng.uniform(w);
+            let b = rng.uniform(w);
+            let (p, stats) = m.multiply(&a, &b).unwrap();
+            assert_eq!(p, cim_bigint::mul::schoolbook::mul(&a, &b), "w = {w}");
+            assert_eq!(stats.cycles, m.latency());
+        }
+    }
+
+    #[test]
+    fn corner_operands() {
+        let m = RowMultiplier::new(16);
+        for a in corner_cases(16) {
+            for b in corner_cases(16) {
+                let (p, _) = m.multiply(&a, &b).unwrap();
+                assert_eq!(p, cim_bigint::mul::schoolbook::mul(&a, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn latency_formula_examples() {
+        // Paper stage 2 for n=256: w = 66 → 66·(7+14)+3 = 1389 cc.
+        assert_eq!(RowMultiplier::new(66).latency(), 1389);
+        // n=64: w = 18 → 18·(5+14)+3 = 345 cc.
+        assert_eq!(RowMultiplier::new(18).latency(), 345);
+    }
+
+    #[test]
+    fn area_is_12_cells_per_bit() {
+        assert_eq!(RowMultiplier::new(66).required_cols(), 792);
+        // vs the original MultPIM's ~14·n: 5,369 cells for n=384.
+        assert!(RowMultiplier::new(384).required_cols() < 5369);
+    }
+
+    #[test]
+    fn per_cell_writes_scale_linearly_with_width() {
+        let m = RowMultiplier::new(16);
+        let ones = Uint::from_u64(0xFFFF);
+        let (_, _, report) = m.multiply_with_endurance(&ones, &ones).unwrap();
+        // Worst case: every iteration active; accumulator cells sit in
+        // up to w sliding windows and the carry cells are reused every
+        // iteration → O(w) per-cell writes, matching MultPIM's 4n scaling.
+        assert!(report.max_writes <= 4 * 16 + 8, "max {}", report.max_writes);
+        assert!(report.max_writes >= 16, "max {}", report.max_writes);
+    }
+
+    #[test]
+    fn multiple_rows_host_independent_multiplications() {
+        // Two multipliers in two rows of one array (how the paper's
+        // stage 2 runs 9 in parallel).
+        let m = RowMultiplier::new(8);
+        let mut array = Crossbar::new(2, m.required_cols()).unwrap();
+        let (p0, _) = m
+            .run_in(&mut array, 0, 0, &Uint::from_u64(200), &Uint::from_u64(100))
+            .unwrap();
+        let (p1, _) = m
+            .run_in(&mut array, 1, 0, &Uint::from_u64(255), &Uint::from_u64(255))
+            .unwrap();
+        assert_eq!(p0, Uint::from_u64(20000));
+        assert_eq!(p1, Uint::from_u64(255 * 255));
+    }
+}

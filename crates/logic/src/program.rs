@@ -1,0 +1,467 @@
+//! Microcode program builder: compose MAGIC logic against *virtual*
+//! rows and let the compiler assign physical scratch rows.
+//!
+//! Hand-writing micro-ops against absolute row indices (as the fixed
+//! blocks in [`crate::gates`] do) is fine for small units, but larger
+//! dataflows want named values and automatic scratch reuse — the same
+//! pressure that produced the Kogge-Stone adder's 12-row ping-pong
+//! layout by hand. [`ProgramBuilder`] records operations against
+//! virtual rows; [`ProgramBuilder::compile`] binds inputs/outputs to
+//! fixed rows and maps temporaries onto a scratch pool, reusing rows
+//! whose values have been explicitly freed (and inserting the required
+//! re-initialization wave on reuse).
+//!
+//! ```
+//! use cim_logic::program::ProgramBuilder;
+//! use std::collections::HashMap;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // out = NOR(a, ¬a) — written against virtual rows.
+//! let mut p = ProgramBuilder::new(0..8);
+//! let a = p.input("a");
+//! let out = p.output("out");
+//! let na = p.alloc();
+//! p.not(a, na);
+//! p.nor(&[a, na], out);
+//! let bindings: HashMap<String, usize> =
+//!     [("a".to_string(), 0), ("out".to_string(), 1)].into();
+//! let micro_ops = p.compile(&bindings, &[2, 3])?;
+//! assert!(!micro_ops.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use cim_crossbar::{ColRange, MicroOp};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A virtual row handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VRow(usize);
+
+#[derive(Debug, Clone)]
+enum VOp {
+    Nor { inputs: Vec<VRow>, out: VRow },
+    Shift { src: VRow, dst: VRow, offset: isize, fill: bool },
+    Free(VRow),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VKind {
+    Input,
+    Output,
+    Temp,
+}
+
+/// Compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// More live temporaries than scratch rows at some point.
+    OutOfScratchRows {
+        /// Live temporaries at the failure point.
+        live: usize,
+        /// Scratch rows available.
+        available: usize,
+    },
+    /// An input/output name was not bound at compile time.
+    UnboundName {
+        /// The missing binding.
+        name: String,
+    },
+    /// A freed (or never-written) virtual row was used as an input.
+    UseAfterFree {
+        /// The offending virtual row index.
+        vrow: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::OutOfScratchRows { live, available } => write!(
+                f,
+                "{live} live temporaries exceed the {available} scratch rows"
+            ),
+            CompileError::UnboundName { name } => write!(f, "unbound row name {name:?}"),
+            CompileError::UseAfterFree { vrow } => {
+                write!(f, "virtual row v{vrow} used after free")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+/// Builder for MAGIC microcode over virtual rows.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    cols: ColRange,
+    kinds: Vec<VKind>,
+    names: Vec<Option<String>>,
+    ops: Vec<VOp>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder operating on the given column span.
+    pub fn new(cols: ColRange) -> Self {
+        ProgramBuilder {
+            cols,
+            kinds: Vec::new(),
+            names: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    fn push_row(&mut self, kind: VKind, name: Option<String>) -> VRow {
+        self.kinds.push(kind);
+        self.names.push(name);
+        VRow(self.kinds.len() - 1)
+    }
+
+    /// Declares an externally-bound input row.
+    pub fn input(&mut self, name: &str) -> VRow {
+        self.push_row(VKind::Input, Some(name.to_string()))
+    }
+
+    /// Declares an externally-bound output row.
+    pub fn output(&mut self, name: &str) -> VRow {
+        self.push_row(VKind::Output, Some(name.to_string()))
+    }
+
+    /// Allocates a fresh temporary.
+    pub fn alloc(&mut self) -> VRow {
+        self.push_row(VKind::Temp, None)
+    }
+
+    /// Frees `rows` and allocates a fresh temporary that may reuse one
+    /// of their physical rows *after* they are no longer read.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; fallible for future liveness checking.
+    pub fn alloc_reusing(&mut self, rows: &[VRow]) -> Result<VRow, CompileError> {
+        for &r in rows {
+            self.free(r);
+        }
+        Ok(self.alloc())
+    }
+
+    /// Marks a temporary as dead; its physical row becomes reusable.
+    pub fn free(&mut self, row: VRow) {
+        self.ops.push(VOp::Free(row));
+    }
+
+    /// `out = NOR(inputs…)`.
+    pub fn nor(&mut self, inputs: &[VRow], out: VRow) {
+        self.ops.push(VOp::Nor {
+            inputs: inputs.to_vec(),
+            out,
+        });
+    }
+
+    /// `out = NOT(input)`.
+    pub fn not(&mut self, input: VRow, out: VRow) {
+        self.nor(&[input], out);
+    }
+
+    /// Periphery shift from `src` into `dst`.
+    pub fn shift(&mut self, src: VRow, dst: VRow, offset: isize, fill: bool) {
+        self.ops.push(VOp::Shift {
+            src,
+            dst,
+            offset,
+            fill,
+        });
+    }
+
+    /// Peak number of simultaneously-live temporaries — the scratch
+    /// pressure of the program.
+    pub fn scratch_pressure(&self) -> usize {
+        let mut live = 0usize;
+        let mut peak = 0usize;
+        let mut seen = vec![false; self.kinds.len()];
+        for op in &self.ops {
+            match op {
+                VOp::Nor { out, .. } | VOp::Shift { dst: out, .. } => {
+                    if self.kinds[out.0] == VKind::Temp && !seen[out.0] {
+                        seen[out.0] = true;
+                        live += 1;
+                        peak = peak.max(live);
+                    }
+                }
+                VOp::Free(r) => {
+                    if self.kinds[r.0] == VKind::Temp && seen[r.0] {
+                        seen[r.0] = false;
+                        live -= 1;
+                    }
+                }
+            }
+        }
+        peak
+    }
+
+    /// Compiles to micro-ops: named rows come from `bindings`,
+    /// temporaries are assigned from `scratch` with reuse after
+    /// [`ProgramBuilder::free`]. MAGIC output rows are initialized
+    /// lazily (one init wave per batch of fresh assignments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] on scratch exhaustion, unbound names
+    /// or use-after-free.
+    pub fn compile(
+        &self,
+        bindings: &HashMap<String, usize>,
+        scratch: &[usize],
+    ) -> Result<Vec<MicroOp>, CompileError> {
+        let mut assignment: Vec<Option<usize>> = vec![None; self.kinds.len()];
+        let mut pool: Vec<usize> = scratch.to_vec();
+        let mut freed: Vec<bool> = vec![false; self.kinds.len()];
+        let mut primed: Vec<bool> = vec![false; self.kinds.len()];
+
+        // Bind named rows.
+        for (i, kind) in self.kinds.iter().enumerate() {
+            if matches!(kind, VKind::Input | VKind::Output) {
+                let name = self.names[i].as_ref().expect("named");
+                let row = bindings.get(name).ok_or_else(|| CompileError::UnboundName {
+                    name: name.clone(),
+                })?;
+                assignment[i] = Some(*row);
+            }
+        }
+
+        let mut out_ops: Vec<MicroOp> = Vec::new();
+        let resolve = |assignment: &mut Vec<Option<usize>>,
+                           pool: &mut Vec<usize>,
+                           v: VRow,
+                           as_output: bool,
+                           ops: &mut Vec<MicroOp>,
+                           cols: &ColRange|
+         -> Result<usize, CompileError> {
+            if let Some(row) = assignment[v.0] {
+                return Ok(row);
+            }
+            if !as_output {
+                return Err(CompileError::UseAfterFree { vrow: v.0 });
+            }
+            let live = assignment.iter().flatten().count();
+            let row = pool.pop().ok_or(CompileError::OutOfScratchRows {
+                live,
+                available: 0,
+            })?;
+            assignment[v.0] = Some(row);
+            let _ = ops;
+            let _ = cols;
+            Ok(row)
+        };
+
+        for op in &self.ops {
+            match op {
+                VOp::Nor { inputs, out } => {
+                    for v in inputs {
+                        if freed[v.0] {
+                            return Err(CompileError::UseAfterFree { vrow: v.0 });
+                        }
+                    }
+                    let in_rows: Vec<usize> = inputs
+                        .iter()
+                        .map(|&v| {
+                            resolve(&mut assignment, &mut pool, v, false, &mut out_ops, &self.cols)
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let out_row = resolve(
+                        &mut assignment,
+                        &mut pool,
+                        *out,
+                        true,
+                        &mut out_ops,
+                        &self.cols,
+                    )?;
+                    // Every MAGIC drive needs its target initialized
+                    // to logic 1 first (first drive of this value).
+                    if !primed[out.0] {
+                        out_ops.push(MicroOp::init_rows(&[out_row], self.cols.clone()));
+                        primed[out.0] = true;
+                    }
+                    out_ops.push(MicroOp::nor_rows(&in_rows, out_row, self.cols.clone()));
+                }
+                VOp::Shift {
+                    src,
+                    dst,
+                    offset,
+                    fill,
+                } => {
+                    if freed[src.0] {
+                        return Err(CompileError::UseAfterFree { vrow: src.0 });
+                    }
+                    let src_row = resolve(
+                        &mut assignment,
+                        &mut pool,
+                        *src,
+                        false,
+                        &mut out_ops,
+                        &self.cols,
+                    )?;
+                    let dst_row = resolve(
+                        &mut assignment,
+                        &mut pool,
+                        *dst,
+                        true,
+                        &mut out_ops,
+                        &self.cols,
+                    )?;
+                    primed[dst.0] = true; // full row write defines it
+                    out_ops.push(MicroOp::shift_to(
+                        src_row,
+                        dst_row,
+                        self.cols.clone(),
+                        *offset,
+                        *fill,
+                    ));
+                }
+                VOp::Free(v) => {
+                    if self.kinds[v.0] == VKind::Temp && !freed[v.0] {
+                        freed[v.0] = true;
+                        if let Some(row) = assignment[v.0].take() {
+                            pool.push(row);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out_ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_crossbar::{Crossbar, Executor};
+    use std::collections::HashMap;
+
+    fn bindings(pairs: &[(&str, usize)]) -> HashMap<String, usize> {
+        pairs.iter().map(|(n, r)| (n.to_string(), *r)).collect()
+    }
+
+    /// Builds XOR through the builder and checks it against direct
+    /// evaluation on all four input combinations per column.
+    #[test]
+    fn builder_xor_matches_gates_xor() {
+        let mut p = ProgramBuilder::new(0..4);
+        let a = p.input("a");
+        let b = p.input("b");
+        let out = p.output("out");
+        let nab = p.alloc();
+        let na = p.alloc();
+        let nb = p.alloc();
+        let and = p.alloc();
+        p.nor(&[a, b], nab);
+        p.not(a, na);
+        p.not(b, nb);
+        p.nor(&[na, nb], and);
+        p.free(na);
+        p.free(nb);
+        p.nor(&[nab, and], out);
+
+        let ops = p
+            .compile(&bindings(&[("a", 0), ("b", 1), ("out", 2)]), &[3, 4, 5, 6])
+            .unwrap();
+
+        let mut x = Crossbar::new(7, 4).unwrap();
+        x.write_row(0, 0, &[false, false, true, true]).unwrap();
+        x.write_row(1, 0, &[false, true, false, true]).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.run(&ops).unwrap();
+        assert_eq!(
+            e.array().read_row_bits(2, 0..4).unwrap(),
+            vec![false, true, true, false]
+        );
+    }
+
+    /// Freed rows are genuinely reused: a 4-temp program compiles into
+    /// 3 physical scratch rows.
+    #[test]
+    fn scratch_reuse_after_free() {
+        let mut p = ProgramBuilder::new(0..2);
+        let a = p.input("a");
+        let out = p.output("out");
+        let t1 = p.alloc();
+        let t2 = p.alloc();
+        p.not(a, t1);
+        p.not(t1, t2);
+        p.free(t1);
+        let t3 = p.alloc(); // should reuse t1's row
+        p.not(t2, t3);
+        p.nor(&[t2, t3], out);
+        assert_eq!(p.scratch_pressure(), 2);
+        let ops = p
+            .compile(&bindings(&[("a", 0), ("out", 1)]), &[2, 3])
+            .unwrap();
+        // Execute: out = NOR(¬¬a, ¬¬¬a) = NOR(a, ¬a) = 0 for all bits.
+        let mut x = Crossbar::new(4, 2).unwrap();
+        x.write_row(0, 0, &[true, false]).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.run(&ops).unwrap();
+        assert_eq!(
+            e.array().read_row_bits(1, 0..2).unwrap(),
+            vec![false, false]
+        );
+    }
+
+    #[test]
+    fn out_of_scratch_is_reported() {
+        let mut p = ProgramBuilder::new(0..1);
+        let a = p.input("a");
+        let t1 = p.alloc();
+        let t2 = p.alloc();
+        p.not(a, t1);
+        p.not(t1, t2);
+        let err = p
+            .compile(&bindings(&[("a", 0)]), &[1]) // only one scratch row
+            .unwrap_err();
+        assert!(matches!(err, CompileError::OutOfScratchRows { .. }));
+    }
+
+    #[test]
+    fn unbound_name_is_reported() {
+        let mut p = ProgramBuilder::new(0..1);
+        let a = p.input("a");
+        let t = p.alloc();
+        p.not(a, t);
+        let err = p.compile(&HashMap::new(), &[1]).unwrap_err();
+        assert!(matches!(err, CompileError::UnboundName { .. }));
+    }
+
+    #[test]
+    fn use_after_free_is_reported() {
+        let mut p = ProgramBuilder::new(0..1);
+        let a = p.input("a");
+        let t = p.alloc();
+        p.not(a, t);
+        p.free(t);
+        let t2 = p.alloc();
+        p.not(t, t2); // reads freed t
+        let err = p.compile(&bindings(&[("a", 0)]), &[1, 2]).unwrap_err();
+        assert!(matches!(err, CompileError::UseAfterFree { .. }));
+    }
+
+    #[test]
+    fn shift_through_builder() {
+        let mut p = ProgramBuilder::new(0..4);
+        let a = p.input("a");
+        let out = p.output("out");
+        p.shift(a, out, 1, true);
+        let ops = p
+            .compile(&bindings(&[("a", 0), ("out", 1)]), &[])
+            .unwrap();
+        let mut x = Crossbar::new(2, 4).unwrap();
+        x.write_row(0, 0, &[true, false, true, false]).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.run(&ops).unwrap();
+        assert_eq!(
+            e.array().read_row_bits(1, 0..4).unwrap(),
+            vec![true, true, false, true]
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Ripple-carry NOR adder — the ablation baseline for the paper's
+//! Kogge-Stone choice.
+//!
+//! A ripple-carry adder chains [`crate::gates::full_adder`] cells
+//! bit-serially: O(n) latency (13 cc per bit) versus the Kogge-Stone's
+//! O(log n). The crossover (`adders` bench) shows why the paper spends
+//! 12 scratch rows on the prefix graph: at n = 64 the ripple adder
+//! needs ~832 cc against Kogge-Stone's 83 cc.
+//!
+//! Because the carry chain is sequential *per bit position*, the
+//! bit-sliced SIMD trick does not help; each bit is processed in its
+//! own single-column step.
+
+use crate::gates;
+use cim_bigint::Uint;
+use cim_crossbar::{Crossbar, CrossbarError, CycleStats, Executor, MicroOp};
+
+/// Cycle cost of one full-adder cell (see [`crate::gates::full_adder`]).
+pub const CELL_CYCLES: u64 = 13;
+
+/// A bit-serial in-memory ripple-carry adder.
+///
+/// ```
+/// use cim_bigint::Uint;
+/// use cim_logic::ripple::RippleCarryAdder;
+///
+/// # fn main() -> Result<(), cim_crossbar::CrossbarError> {
+/// let adder = RippleCarryAdder::new(8);
+/// let (sum, stats) = adder.add(&Uint::from_u64(200), &Uint::from_u64(100))?;
+/// assert_eq!(sum, Uint::from_u64(300));
+/// assert_eq!(stats.cycles, adder.latency());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RippleCarryAdder {
+    width: usize,
+}
+
+// Row layout: 0 = x, 1 = y, 2 = sum, 3 = carry-in chain, 4 = carry-out
+// staging, 5.. = 10 scratch rows for the full-adder cell.
+const X: usize = 0;
+const Y: usize = 1;
+const SUM: usize = 2;
+const CARRY: usize = 3;
+const COUT: usize = 4;
+const SCRATCH: [usize; 10] = [5, 6, 7, 8, 9, 10, 11, 12, 13, 14];
+
+impl RippleCarryAdder {
+    /// Creates a `width`-bit ripple-carry adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "adder width must be positive");
+        RippleCarryAdder { width }
+    }
+
+    /// Operand width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Analytic latency: `(13 + 2)·n + 2` cc — n full-adder cells, each
+    /// followed by a 2-cc periphery move of the carry to the next
+    /// column, plus a final 2-cc copy of the carry-out into the top
+    /// sum bit.
+    pub fn latency(&self) -> u64 {
+        (CELL_CYCLES + 2) * self.width as u64 + 2
+    }
+
+    /// Rows needed: 2 operands + sum + 2 carry rows + 10 scratch.
+    pub fn required_rows(&self) -> usize {
+        15
+    }
+
+    /// Emits the program; operands must be preloaded in rows 0 and 1.
+    pub fn program(&self) -> Vec<MicroOp> {
+        let mut prog = Vec::new();
+        for i in 0..self.width {
+            prog.extend(full_adder_at(i));
+        }
+        // Carry out of the last position becomes the top sum bit.
+        prog.push(MicroOp::shift_to(
+            CARRY,
+            SUM,
+            self.width..self.width + 1,
+            0,
+            false,
+        ));
+        prog
+    }
+
+    /// Convenience: run on a fresh crossbar.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in `width` bits.
+    pub fn add(&self, x: &Uint, y: &Uint) -> Result<(Uint, CycleStats), CrossbarError> {
+        let mut array = Crossbar::new(self.required_rows(), self.width + 1)?;
+        array.write_row(X, 0, &x.to_bits(self.width + 1))?;
+        array.write_row(Y, 0, &y.to_bits(self.width + 1))?;
+        let mut exec = Executor::new(&mut array);
+        exec.run(&self.program())?;
+        let bits = exec.array().read_row_bits(SUM, 0..self.width + 1)?;
+        Ok((Uint::from_bits(&bits), *exec.stats()))
+    }
+}
+
+/// Single-column full-adder at bit `i`: reads x_i, y_i, c_i (column i)
+/// and writes sum_i (column i) and c_{i+1} (column i+1).
+fn full_adder_at(i: usize) -> Vec<MicroOp> {
+    let col = i..i + 1;
+    let mut ops = gates::full_adder(X, Y, CARRY, SUM, COUT, SCRATCH, col);
+    // The carry must move one column up for the next cell — a job for
+    // the periphery (2 cc), since MAGIC cannot cross bit lines.
+    ops.push(MicroOp::shift_to(COUT, CARRY, i..i + 2, 1, false));
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_bigint::rng::UintRng;
+
+    #[test]
+    fn exhaustive_3_bit() {
+        let adder = RippleCarryAdder::new(3);
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                let (sum, _) = adder.add(&Uint::from_u64(a), &Uint::from_u64(b)).unwrap();
+                assert_eq!(sum, Uint::from_u64(a + b), "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_16_bit() {
+        let adder = RippleCarryAdder::new(16);
+        let mut rng = UintRng::seeded(55);
+        for _ in 0..10 {
+            let a = rng.uniform(16);
+            let b = rng.uniform(16);
+            let (sum, _) = adder.add(&a, &b).unwrap();
+            assert_eq!(sum, a.add(&b));
+        }
+    }
+
+    #[test]
+    fn latency_is_linear_and_dwarfs_kogge_stone() {
+        use crate::kogge_stone::KoggeStoneAdder;
+        let ks = KoggeStoneAdder::new(64);
+        let rc = RippleCarryAdder::new(64);
+        let (_, rc_stats) = rc.add(&Uint::from_u64(1), &Uint::from_u64(2)).unwrap();
+        assert!(
+            rc_stats.cycles > 8 * ks.latency(),
+            "ripple {} should be ≫ Kogge-Stone {}",
+            rc_stats.cycles,
+            ks.latency()
+        );
+    }
+
+    #[test]
+    fn carry_ripples_to_the_top() {
+        let adder = RippleCarryAdder::new(8);
+        let a = Uint::from_u64(255);
+        let (sum, _) = adder.add(&a, &Uint::one()).unwrap();
+        assert_eq!(sum, Uint::from_u64(256));
+    }
+}

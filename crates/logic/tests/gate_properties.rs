@@ -1,0 +1,123 @@
+//! Property tests for the NOR gate library: every emitted gate block
+//! must equal its boolean specification on arbitrary row contents, at
+//! arbitrary widths, and compose cleanly (functional completeness of
+//! MAGIC NOR, paper Sec. II-B).
+
+use cim_crossbar::{Crossbar, Executor, MicroOp};
+use cim_logic::gates;
+use cim_logic::tmr::majority;
+use proptest::prelude::*;
+
+/// Loads rows 0..k with the given bit vectors and runs `program`;
+/// returns the bits of `out_row`.
+fn run_gate(inputs: &[&[bool]], program: Vec<MicroOp>, out_row: usize) -> Vec<bool> {
+    let w = inputs[0].len();
+    let mut x = Crossbar::new(20, w).unwrap();
+    for (i, bits) in inputs.iter().enumerate() {
+        x.write_row(i, 0, bits).unwrap();
+    }
+    let mut e = Executor::new(&mut x);
+    e.run(&program).unwrap();
+    e.array().read_row_bits(out_row, 0..w).unwrap()
+}
+
+fn bits(len: usize, seed: u64) -> Vec<bool> {
+    (0..len).map(|i| (seed >> (i % 64)) & 1 == 1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn or_gate_spec(w in 1usize..40, sa in any::<u64>(), sb in any::<u64>()) {
+        let a = bits(w, sa);
+        let b = bits(w, sb);
+        let got = run_gate(&[&a, &b], gates::or(0, 1, 2, 3, 0..w), 2);
+        let expect: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x | y).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn and_gate_spec(w in 1usize..40, sa in any::<u64>(), sb in any::<u64>()) {
+        let a = bits(w, sa);
+        let b = bits(w, sb);
+        let got = run_gate(&[&a, &b], gates::and(0, 1, 2, [3, 4], 0..w), 2);
+        let expect: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x & y).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn xor_gate_spec(w in 1usize..40, sa in any::<u64>(), sb in any::<u64>()) {
+        let a = bits(w, sa);
+        let b = bits(w, sb);
+        let got = run_gate(&[&a, &b], gates::xor(0, 1, 2, [3, 4, 5, 6], 0..w), 2);
+        let expect: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn xnor_is_not_xor(w in 1usize..40, sa in any::<u64>(), sb in any::<u64>()) {
+        let a = bits(w, sa);
+        let b = bits(w, sb);
+        let x = run_gate(&[&a, &b], gates::xor(0, 1, 2, [3, 4, 5, 6], 0..w), 2);
+        let xn = run_gate(&[&a, &b], gates::xnor(0, 1, 2, [3, 4, 5, 6], 0..w), 2);
+        for i in 0..w {
+            prop_assert_eq!(x[i], !xn[i], "bit {}", i);
+        }
+    }
+
+    #[test]
+    fn full_adder_spec(w in 1usize..24, sa in any::<u64>(), sb in any::<u64>(), sc in any::<u64>()) {
+        let a = bits(w, sa);
+        let b = bits(w, sb);
+        let cin = bits(w, sc);
+        let mut x = Crossbar::new(20, w).unwrap();
+        x.write_row(0, 0, &a).unwrap();
+        x.write_row(1, 0, &b).unwrap();
+        x.write_row(2, 0, &cin).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.run(&gates::full_adder(
+            0, 1, 2, 3, 4,
+            [5, 6, 7, 8, 9, 10, 11, 12, 13, 14],
+            0..w,
+        ))
+        .unwrap();
+        let sum = e.array().read_row_bits(3, 0..w).unwrap();
+        let cout = e.array().read_row_bits(4, 0..w).unwrap();
+        for i in 0..w {
+            let t = a[i] as u8 + b[i] as u8 + cin[i] as u8;
+            prop_assert_eq!(sum[i], t & 1 == 1, "sum bit {}", i);
+            prop_assert_eq!(cout[i], t >= 2, "cout bit {}", i);
+        }
+    }
+
+    #[test]
+    fn majority_spec(w in 1usize..40, sa in any::<u64>(), sb in any::<u64>(), sc in any::<u64>()) {
+        let a = bits(w, sa);
+        let b = bits(w, sb);
+        let c = bits(w, sc);
+        let got = run_gate(&[&a, &b, &c], majority(0, 1, 2, 3, [4, 5, 6], 0..w), 3);
+        for i in 0..w {
+            let expect = (a[i] as u8 + b[i] as u8 + c[i] as u8) >= 2;
+            prop_assert_eq!(got[i], expect, "bit {}", i);
+        }
+    }
+
+    /// De Morgan composed through real gate blocks:
+    /// NOT(AND(a,b)) == OR(NOT a, NOT b).
+    #[test]
+    fn de_morgan_composition(w in 1usize..24, sa in any::<u64>(), sb in any::<u64>()) {
+        let a = bits(w, sa);
+        let b = bits(w, sb);
+        // Left side: t = AND(a,b) in row 2; out = NOT(t) in row 10.
+        let mut prog = gates::and(0, 1, 2, [3, 4], 0..w);
+        prog.extend(gates::not(2, 10, 0..w));
+        let left = run_gate(&[&a, &b], prog, 10);
+        // Right side: na = NOT a (2), nb = NOT b (3), out = OR (11).
+        let mut prog = gates::not(0, 2, 0..w);
+        prog.extend(gates::not(1, 3, 0..w));
+        prog.extend(gates::or(2, 3, 11, 12, 0..w));
+        let right = run_gate(&[&a, &b], prog, 11);
+        prop_assert_eq!(left, right);
+    }
+}

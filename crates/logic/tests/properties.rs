@@ -1,0 +1,104 @@
+//! Property-based tests: in-memory arithmetic must agree with the
+//! software gold model for arbitrary operands, and cycle counts must
+//! match the paper's closed-form latencies.
+
+use cim_bigint::Uint;
+use cim_logic::kogge_stone::{AdderUnit, KoggeStoneAdder};
+use cim_logic::multpim::RowMultiplier;
+use cim_logic::ripple::RippleCarryAdder;
+use proptest::prelude::*;
+
+fn uint_of_bits(bits: usize) -> impl Strategy<Value = Uint> {
+    prop::collection::vec(any::<bool>(), bits).prop_map(|v| Uint::from_bits(&v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kogge-Stone addition equals gold-model addition, and the
+    /// executed cycle count equals 8 + 11·⌈log2 n⌉ + 9.
+    #[test]
+    fn kogge_stone_add_matches_gold(width in 1usize..100, seed in any::<u64>()) {
+        let mut rng = cim_bigint::rng::UintRng::seeded(seed);
+        let a = rng.uniform(width);
+        let b = rng.uniform(width);
+        let adder = KoggeStoneAdder::new(width);
+        let (sum, stats) = adder.add(&a, &b).unwrap();
+        prop_assert_eq!(sum, a.add(&b));
+        prop_assert_eq!(stats.cycles, adder.latency());
+    }
+
+    /// Kogge-Stone subtraction is exact for a ≥ b and modular otherwise.
+    #[test]
+    fn kogge_stone_sub_is_modular(width in 1usize..80, seed in any::<u64>()) {
+        let mut rng = cim_bigint::rng::UintRng::seeded(seed);
+        let a = rng.uniform(width);
+        let b = rng.uniform(width);
+        let adder = KoggeStoneAdder::new(width);
+        let (diff, _) = adder.sub(&a, &b).unwrap();
+        let modulus = Uint::pow2(width);
+        let expect = if a >= b {
+            a.sub(&b)
+        } else {
+            a.add(&modulus).sub(&b)
+        };
+        prop_assert_eq!(diff, expect);
+    }
+
+    /// Adding then subtracting returns the original value.
+    #[test]
+    fn add_then_sub_roundtrip(width in 2usize..64, seed in any::<u64>()) {
+        let mut rng = cim_bigint::rng::UintRng::seeded(seed);
+        let a = rng.uniform(width - 1);
+        let b = rng.uniform(width - 1);
+        let adder = KoggeStoneAdder::new(width);
+        let (sum, _) = adder.add(&a, &b).unwrap();
+        let (back, _) = adder.sub(&sum, &b).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    /// Ripple-carry and Kogge-Stone agree bit-for-bit.
+    #[test]
+    fn ripple_agrees_with_kogge_stone(width in 1usize..24, seed in any::<u64>()) {
+        let mut rng = cim_bigint::rng::UintRng::seeded(seed);
+        let a = rng.uniform(width);
+        let b = rng.uniform(width);
+        let (rc, rc_stats) = RippleCarryAdder::new(width).add(&a, &b).unwrap();
+        let (ks, _) = KoggeStoneAdder::new(width).add(&a, &b).unwrap();
+        prop_assert_eq!(rc, ks);
+        prop_assert_eq!(rc_stats.cycles, RippleCarryAdder::new(width).latency());
+    }
+
+    /// The in-row multiplier agrees with schoolbook for arbitrary widths.
+    #[test]
+    fn row_multiplier_matches_gold(width in 1usize..48, seed in any::<u64>()) {
+        let mut rng = cim_bigint::rng::UintRng::seeded(seed);
+        let a = rng.uniform(width);
+        let b = rng.uniform(width);
+        let m = RowMultiplier::new(width);
+        let (p, stats) = m.multiply(&a, &b).unwrap();
+        prop_assert_eq!(p, cim_bigint::mul::schoolbook::mul(&a, &b));
+        prop_assert_eq!(stats.cycles, m.latency());
+    }
+
+    /// A wear-leveled unit computes the same sums as a plain one.
+    #[test]
+    fn wear_leveling_preserves_results(
+        ops in prop::collection::vec((any::<u32>(), any::<u32>()), 1..20)
+    ) {
+        let mut plain = AdderUnit::new(33, false).unwrap();
+        let mut leveled = AdderUnit::new(33, true).unwrap();
+        for (a, b) in ops {
+            let (a, b) = (Uint::from_u64(a as u64), Uint::from_u64(b as u64));
+            prop_assert_eq!(plain.add(&a, &b).unwrap(), leveled.add(&a, &b).unwrap());
+        }
+    }
+
+    /// Operands given as exact bit patterns exercise all-ones/sparse cases.
+    #[test]
+    fn kogge_stone_bit_pattern_operands(a in uint_of_bits(65), b in uint_of_bits(65)) {
+        let adder = KoggeStoneAdder::new(65);
+        let (sum, _) = adder.add(&a, &b).unwrap();
+        prop_assert_eq!(sum, a.add(&b));
+    }
+}

@@ -1,0 +1,182 @@
+//! Barrett reduction \[30\] (paper Sec. IV-F).
+//!
+//! Precomputes `µ = ⌊4^k / m⌋` with `k = bits(m)`; a reduction of
+//! `x < m²` is then two multiplications (by µ and by m) plus at most
+//! two conditional subtractions — exactly the operation mix the
+//! paper's multiplier and adder provide.
+
+use crate::{CimCost, ModularReducer};
+use cim_bigint::Uint;
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing a Barrett context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BarrettError {
+    /// The modulus must be at least 2.
+    ModulusTooSmall,
+}
+
+impl fmt::Display for BarrettError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BarrettError::ModulusTooSmall => write!(f, "barrett modulus must be ≥ 2"),
+        }
+    }
+}
+
+impl Error for BarrettError {}
+
+/// Precomputed Barrett context for a fixed modulus (odd or even).
+///
+/// ```
+/// use cim_bigint::Uint;
+/// use cim_modmul::{barrett::BarrettContext, ModularReducer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ctx = BarrettContext::new(Uint::from_u64(97))?;
+/// assert_eq!(ctx.mul_mod(&Uint::from_u64(50), &Uint::from_u64(60)),
+///            Uint::from_u64(3000 % 97));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrettContext {
+    m: Uint,
+    k: usize,
+    mu: Uint,
+}
+
+impl BarrettContext {
+    /// Builds the context, computing `µ = ⌊2^(2k) / m⌋` by long
+    /// division (host-side precomputation, done once per modulus).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BarrettError::ModulusTooSmall`] for `m < 2`.
+    pub fn new(m: Uint) -> Result<Self, BarrettError> {
+        if m < Uint::from_u64(2) {
+            return Err(BarrettError::ModulusTooSmall);
+        }
+        let k = m.bit_len();
+        let mu = Uint::pow2(2 * k).div_floor(&m);
+        Ok(BarrettContext { m, k, mu })
+    }
+
+    /// The precomputed µ.
+    pub fn mu(&self) -> &Uint {
+        &self.mu
+    }
+}
+
+impl ModularReducer for BarrettContext {
+    fn modulus(&self) -> &Uint {
+        &self.m
+    }
+
+    fn mul_mod(&self, a: &Uint, b: &Uint) -> Uint {
+        self.reduce(&(a * b))
+    }
+
+    /// Barrett reduction of `x < m·2^k` (covers `x < m²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ 2^(2k)` (larger than Barrett's input range).
+    fn reduce(&self, x: &Uint) -> Uint {
+        assert!(
+            x.bit_len() <= 2 * self.k,
+            "barrett input exceeds 2^(2k) range"
+        );
+        // q = ⌊(⌊x / 2^(k−1)⌋ · µ) / 2^(k+1)⌋
+        let q = (&x.shr(self.k - 1) * &self.mu).shr(self.k + 1);
+        let mut r = x.sub(&(&q * &self.m));
+        // At most two correction subtractions.
+        while r >= self.m {
+            r = r.sub(&self.m);
+        }
+        r
+    }
+
+    /// One Barrett modular multiplication: the full product plus two
+    /// reduction products and up to two subtractions.
+    fn cim_cost(&self) -> CimCost {
+        CimCost::compose(self.m.bit_len(), 3, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_bigint::rng::UintRng;
+
+    #[test]
+    fn rejects_tiny_modulus() {
+        assert!(BarrettContext::new(Uint::one()).is_err());
+        assert!(BarrettContext::new(Uint::zero()).is_err());
+    }
+
+    #[test]
+    fn exhaustive_small_modulus() {
+        let m = 97u64;
+        let ctx = BarrettContext::new(Uint::from_u64(m)).unwrap();
+        for a in (0..m).step_by(7) {
+            for b in (0..m).step_by(11) {
+                assert_eq!(
+                    ctx.mul_mod(&Uint::from_u64(a), &Uint::from_u64(b)),
+                    Uint::from_u64(a * b % m),
+                    "{a}·{b} mod {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_even_modulus() {
+        // Barrett (unlike Montgomery) handles even moduli.
+        let m = Uint::from_u64(1 << 20);
+        let ctx = BarrettContext::new(m.clone()).unwrap();
+        let a = Uint::from_u64(123_456_789);
+        assert_eq!(ctx.reduce(&a), a.rem(&m));
+    }
+
+    #[test]
+    fn large_field_multiplications() {
+        for p in [
+            crate::fields::bls12_381_base(),
+            crate::fields::bn254_base(),
+            crate::fields::goldilocks(),
+        ] {
+            let ctx = BarrettContext::new(p.clone()).unwrap();
+            let mut rng = UintRng::seeded(77);
+            for _ in 0..10 {
+                let a = rng.below(&p);
+                let b = rng.below(&p);
+                assert_eq!(ctx.mul_mod(&a, &b), (&a * &b).rem(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_boundary_values() {
+        let p = crate::fields::curve25519();
+        let ctx = BarrettContext::new(p.clone()).unwrap();
+        let max_in = (&p * &p).sub(&Uint::one());
+        assert_eq!(ctx.reduce(&max_in), max_in.rem(&p));
+        assert_eq!(ctx.reduce(&Uint::zero()), Uint::zero());
+        assert_eq!(ctx.reduce(&p), Uint::zero());
+    }
+
+    #[test]
+    fn agrees_with_montgomery() {
+        let p = crate::fields::bls12_381_base();
+        let barrett = BarrettContext::new(p.clone()).unwrap();
+        let mont = crate::montgomery::MontgomeryContext::new(p.clone()).unwrap();
+        let mut rng = UintRng::seeded(88);
+        for _ in 0..5 {
+            let a = rng.below(&p);
+            let b = rng.below(&p);
+            assert_eq!(barrett.mul_mod(&a, &b), mont.mul_mod(&a, &b));
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Fully in-memory modular multiplication: every large-integer product
+//! runs on the simulated Karatsuba CIM pipeline and the final
+//! correction runs on the in-memory conditional subtractor — nothing
+//! but controller addressing happens on the host.
+//!
+//! This realizes the claim of the paper's Sec. IV-F end-to-end:
+//! Montgomery multiplication ([`InMemoryMontgomery`]) is three pipeline
+//! products (`t = a·b`, `u = t·m′ mod R`, `u·m`) plus one conditional
+//! subtraction; Barrett ([`InMemoryBarrett`]) is three products plus a
+//! wide subtraction and two correction passes.
+
+use crate::montgomery::{MontgomeryContext, MontgomeryError};
+use cim_bigint::Uint;
+use cim_logic::condsub::ConditionalSubtractor;
+use karatsuba_cim::multiplier::{KaratsubaCimMultiplier, MultiplyError};
+use std::error::Error;
+use std::fmt;
+
+/// Error from the in-memory modular multiplier.
+#[derive(Debug)]
+pub enum InMemoryError {
+    /// Context construction failed.
+    Montgomery(MontgomeryError),
+    /// A simulated product failed.
+    Multiply(MultiplyError),
+    /// The conditional subtractor failed.
+    Crossbar(cim_crossbar::CrossbarError),
+}
+
+impl fmt::Display for InMemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InMemoryError::Montgomery(e) => write!(f, "montgomery setup: {e}"),
+            InMemoryError::Multiply(e) => write!(f, "simulated product: {e}"),
+            InMemoryError::Crossbar(e) => write!(f, "conditional subtract: {e}"),
+        }
+    }
+}
+
+impl Error for InMemoryError {}
+
+impl From<MontgomeryError> for InMemoryError {
+    fn from(e: MontgomeryError) -> Self {
+        InMemoryError::Montgomery(e)
+    }
+}
+
+impl From<MultiplyError> for InMemoryError {
+    fn from(e: MultiplyError) -> Self {
+        InMemoryError::Multiply(e)
+    }
+}
+
+impl From<cim_crossbar::CrossbarError> for InMemoryError {
+    fn from(e: cim_crossbar::CrossbarError) -> Self {
+        InMemoryError::Crossbar(e)
+    }
+}
+
+/// Outcome of one fully in-memory Montgomery multiplication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InMemoryOutcome {
+    /// The product in Montgomery form, `a·b·R⁻¹ mod m`.
+    pub result: Uint,
+    /// Simulated cycles of the three pipeline products.
+    pub product_cycles: u64,
+    /// Simulated cycles of the final conditional subtraction.
+    pub condsub_cycles: u64,
+}
+
+impl InMemoryOutcome {
+    /// Total simulated cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.product_cycles + self.condsub_cycles
+    }
+}
+
+/// A Montgomery multiplier whose every arithmetic step executes on
+/// simulated CIM hardware.
+///
+/// ```
+/// use cim_bigint::Uint;
+/// use cim_modmul::inmemory::InMemoryMontgomery;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let m = Uint::from_u64(0xFFFF_FFFF_0000_0001); // Goldilocks
+/// let unit = InMemoryMontgomery::new(m.clone())?;
+/// let a = Uint::from_u64(123_456_789);
+/// let b = Uint::from_u64(987_654_321);
+/// assert_eq!(unit.mul_mod(&a, &b)?, (&a * &b).rem(&m));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct InMemoryMontgomery {
+    ctx: MontgomeryContext,
+    /// Pipeline sized for the REDC products (R-bit × R-bit).
+    multiplier: KaratsubaCimMultiplier,
+    condsub: ConditionalSubtractor,
+}
+
+impl InMemoryMontgomery {
+    /// Builds the unit: Montgomery context plus hardware sized to the
+    /// Montgomery radix (bit length of `m` rounded up to a 64-bit
+    /// limb boundary, which is always a multiple of 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid moduli or unconstructible arrays.
+    pub fn new(m: Uint) -> Result<Self, InMemoryError> {
+        let ctx = MontgomeryContext::new(m)?;
+        let n = ctx.radix_bits();
+        Ok(InMemoryMontgomery {
+            multiplier: KaratsubaCimMultiplier::new(n)?,
+            condsub: ConditionalSubtractor::new(n + 1),
+            ctx,
+        })
+    }
+
+    /// The Montgomery context (for converting to/from Montgomery form).
+    pub fn context(&self) -> &MontgomeryContext {
+        &self.ctx
+    }
+
+    /// One Montgomery multiplication of values **in Montgomery form**,
+    /// entirely on simulated hardware.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn mont_mul(&self, am: &Uint, bm: &Uint) -> Result<InMemoryOutcome, InMemoryError> {
+        let k = self.ctx.radix_bits();
+        let m = self.ctx.modulus();
+
+        // Product 1: t = am·bm  (2k bits).
+        let p1 = self.multiplier.multiply(am, bm)?;
+        // Product 2: u = (t mod R)·m′ mod R — low-half addressing is
+        // free (the controller reads the low k columns).
+        let t_lo = p1.product.low_bits(k);
+        let p2 = self.multiplier.multiply(&t_lo, self.ctx.m_prime())?;
+        let u = p2.product.low_bits(k);
+        // Product 3: u·m, then s = (t + u·m) / R — the division by R
+        // is again addressing (read the high columns).
+        let p3 = self.multiplier.multiply(&u, m)?;
+        let s = p1.product.add(&p3.product).shr(k);
+
+        // Final correction in memory: s < 2m.
+        let cs = self.condsub.reduce(&s, m)?;
+
+        Ok(InMemoryOutcome {
+            result: cs.result,
+            product_cycles: p1.report.total_latency
+                + p2.report.total_latency
+                + p3.report.total_latency,
+            condsub_cycles: cs.stats.cycles,
+        })
+    }
+
+    /// Plain-value modular multiplication: converts in and out of
+    /// Montgomery form on the host (precomputation-style), running the
+    /// core multiplication in memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn mul_mod(&self, a: &Uint, b: &Uint) -> Result<Uint, InMemoryError> {
+        let am = self.ctx.to_mont(a);
+        let bm = self.ctx.to_mont(b);
+        let out = self.mont_mul(&am, &bm)?;
+        Ok(self.ctx.from_mont(&out.result))
+    }
+}
+
+/// A Barrett modular multiplier whose products and corrections execute
+/// on simulated CIM hardware (works for **even** moduli too, unlike
+/// Montgomery).
+///
+/// One multiplication is three pipeline products (`t = a·b`,
+/// `q ≈ t·µ ≫ …`, `q·m`) plus an in-memory wide subtraction and up to
+/// two conditional-subtraction passes (Barrett guarantees `r < 3m`).
+#[derive(Debug)]
+pub struct InMemoryBarrett {
+    ctx: crate::barrett::BarrettContext,
+    m: Uint,
+    k: usize,
+    multiplier: KaratsubaCimMultiplier,
+    wide_sub: cim_logic::kogge_stone::KoggeStoneAdder,
+    condsub: ConditionalSubtractor,
+}
+
+impl InMemoryBarrett {
+    /// Builds the unit for modulus `m` (hardware sized to `k+4` bits,
+    /// rounded to a multiple of 4, so `µ` and `q` fit).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid moduli or unconstructible arrays.
+    pub fn new(m: Uint) -> Result<Self, InMemoryError> {
+        let ctx = crate::barrett::BarrettContext::new(m.clone())
+            .map_err(|_| InMemoryError::Montgomery(MontgomeryError::ModulusTooSmall))?;
+        let k = m.bit_len();
+        let n = (k + 4).div_ceil(4) * 4;
+        Ok(InMemoryBarrett {
+            ctx,
+            m,
+            k,
+            multiplier: KaratsubaCimMultiplier::new(n.max(8))?,
+            wide_sub: cim_logic::kogge_stone::KoggeStoneAdder::new(2 * k + 2),
+            condsub: ConditionalSubtractor::new(k + 2),
+        })
+    }
+
+    /// `(a·b) mod m` with every product and correction in memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input is not below `m`.
+    pub fn mul_mod(&self, a: &Uint, b: &Uint) -> Result<(Uint, u64), InMemoryError> {
+        assert!(a < &self.m && b < &self.m, "inputs must be below m");
+        let k = self.k;
+        let mut cycles = 0u64;
+
+        // Product 1: t = a·b (2k bits).
+        let p1 = self.multiplier.multiply(a, b)?;
+        cycles += p1.report.total_latency;
+        let t = p1.product;
+
+        // Product 2: q = ⌊(⌊t/2^(k−1)⌋·µ)/2^(k+1)⌋ — the shifts are
+        // controller addressing.
+        let t_hi = t.shr(k - 1);
+        let p2 = self.multiplier.multiply(&t_hi, self.ctx.mu())?;
+        cycles += p2.report.total_latency;
+        let q = p2.product.shr(k + 1);
+
+        // Product 3: q·m.
+        let p3 = self.multiplier.multiply(&q, &self.m)?;
+        cycles += p3.report.total_latency;
+
+        // r = t − q·m, in memory on the wide Kogge-Stone subtractor.
+        let (r, sub_stats) = self.wide_sub.sub(&t, &p3.product)?;
+        cycles += sub_stats.cycles;
+
+        // Barrett guarantees r < 3m → at most two correction passes.
+        let c1 = self.condsub.sub_if_geq(&r, &self.m)?;
+        cycles += c1.stats.cycles;
+        let c2 = self.condsub.sub_if_geq(&c1.result, &self.m)?;
+        cycles += c2.stats.cycles;
+        Ok((c2.result, cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_bigint::rng::UintRng;
+
+    #[test]
+    fn barrett_in_memory_odd_and_even_moduli() {
+        for m in [
+            Uint::from_u64(0xFFFF_FFFF_0000_0001), // Goldilocks (odd)
+            Uint::from_u64(1 << 48),               // even power of two
+            Uint::from_u64(0xFFFF_FFF0),           // even composite
+        ] {
+            let unit = InMemoryBarrett::new(m.clone()).unwrap();
+            let mut rng = UintRng::seeded(73);
+            for _ in 0..3 {
+                let a = rng.below(&m);
+                let b = rng.below(&m);
+                let (r, cycles) = unit.mul_mod(&a, &b).unwrap();
+                assert_eq!(r, (&a * &b).rem(&m), "m = {m}");
+                assert!(cycles > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_and_montgomery_agree_in_memory() {
+        let m = crate::fields::goldilocks();
+        let barrett = InMemoryBarrett::new(m.clone()).unwrap();
+        let montgomery = InMemoryMontgomery::new(m.clone()).unwrap();
+        let mut rng = UintRng::seeded(74);
+        let a = rng.below(&m);
+        let b = rng.below(&m);
+        let (rb, _) = barrett.mul_mod(&a, &b).unwrap();
+        assert_eq!(rb, montgomery.mul_mod(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn goldilocks_in_memory() {
+        let m = crate::fields::goldilocks();
+        let unit = InMemoryMontgomery::new(m.clone()).unwrap();
+        let mut rng = UintRng::seeded(71);
+        for _ in 0..3 {
+            let a = rng.below(&m);
+            let b = rng.below(&m);
+            assert_eq!(unit.mul_mod(&a, &b).unwrap(), (&a * &b).rem(&m));
+        }
+    }
+
+    #[test]
+    fn bn254_in_memory() {
+        let m = crate::fields::bn254_base();
+        let unit = InMemoryMontgomery::new(m.clone()).unwrap();
+        let mut rng = UintRng::seeded(72);
+        let a = rng.below(&m);
+        let b = rng.below(&m);
+        assert_eq!(unit.mul_mod(&a, &b).unwrap(), (&a * &b).rem(&m));
+    }
+
+    #[test]
+    fn cycle_breakdown_reported() {
+        let m = crate::fields::goldilocks();
+        let unit = InMemoryMontgomery::new(m.clone()).unwrap();
+        let am = unit.context().to_mont(&Uint::from_u64(5));
+        let bm = unit.context().to_mont(&Uint::from_u64(7));
+        let out = unit.mont_mul(&am, &bm).unwrap();
+        assert!(out.product_cycles > 3 * 2000, "three 64-bit pipeline runs");
+        assert!(out.condsub_cycles > 0);
+        assert_eq!(out.total_cycles(), out.product_cycles + out.condsub_cycles);
+        assert_eq!(
+            unit.context().from_mont(&out.result),
+            Uint::from_u64(35).rem(&m)
+        );
+    }
+
+    #[test]
+    fn identity_elements() {
+        let m = crate::fields::goldilocks();
+        let unit = InMemoryMontgomery::new(m.clone()).unwrap();
+        let a = Uint::from_u64(0xABCD_EF01_2345_6789).rem(&m);
+        assert_eq!(unit.mul_mod(&a, &Uint::one()).unwrap(), a);
+        assert_eq!(unit.mul_mod(&a, &Uint::zero()).unwrap(), Uint::zero());
+    }
+}

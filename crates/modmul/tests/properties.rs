@@ -1,0 +1,83 @@
+//! Property tests: all three reduction methods agree with naive
+//! division-based reduction and with each other.
+
+use cim_bigint::rng::UintRng;
+use cim_bigint::Uint;
+use cim_modmul::barrett::BarrettContext;
+use cim_modmul::montgomery::MontgomeryContext;
+use cim_modmul::sparse::SparseModulus;
+use cim_modmul::ModularReducer;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Barrett agrees with naive reduction for arbitrary odd/even
+    /// moduli of arbitrary width.
+    #[test]
+    fn barrett_matches_naive(m_bits in 2usize..200, seed in any::<u64>()) {
+        let mut rng = UintRng::seeded(seed);
+        let m = rng.exact_bits(m_bits);
+        prop_assume!(m >= Uint::from_u64(2));
+        let ctx = BarrettContext::new(m.clone()).unwrap();
+        let a = rng.below(&m);
+        let b = rng.below(&m);
+        prop_assert_eq!(ctx.mul_mod(&a, &b), (&a * &b).rem(&m));
+    }
+
+    /// Montgomery agrees with naive reduction for arbitrary odd moduli.
+    #[test]
+    fn montgomery_matches_naive(m_bits in 2usize..200, seed in any::<u64>()) {
+        let mut rng = UintRng::seeded(seed);
+        let m = rng.exact_bits(m_bits).add(&Uint::one()).low_bits(m_bits);
+        let m = if m.bit(0) { m } else { m.add(&Uint::one()) };
+        prop_assume!(m >= Uint::from_u64(3) && m.bit(0));
+        let ctx = MontgomeryContext::new(m.clone()).unwrap();
+        let a = rng.below(&m);
+        let b = rng.below(&m);
+        prop_assert_eq!(ctx.mul_mod(&a, &b), (&a * &b).rem(&m));
+    }
+
+    /// Sparse folding agrees with naive reduction for random valid
+    /// (k, t) pairs.
+    #[test]
+    fn sparse_matches_naive(k in 8usize..200, t_bits in 1usize..6, seed in any::<u64>()) {
+        let mut rng = UintRng::seeded(seed);
+        let t = rng.exact_bits(t_bits);
+        prop_assume!(t.bit_len() < k && !t.is_zero());
+        let ctx = SparseModulus::new(k, t).unwrap();
+        let m = ctx.modulus().clone();
+        let a = rng.below(&m);
+        let b = rng.below(&m);
+        prop_assert_eq!(ctx.mul_mod(&a, &b), (&a * &b).rem(&m));
+    }
+
+    /// pow_mod is consistent across methods (Montgomery vs Barrett).
+    #[test]
+    fn pow_mod_consistency(seed in any::<u64>(), exp in 0u64..1000) {
+        let p = cim_modmul::fields::goldilocks();
+        let barrett = BarrettContext::new(p.clone()).unwrap();
+        let mont = MontgomeryContext::new(p.clone()).unwrap();
+        let sparse = SparseModulus::goldilocks();
+        let mut rng = UintRng::seeded(seed);
+        let base = rng.below(&p);
+        let e = Uint::from_u64(exp);
+        let r = barrett.pow_mod(&base, &e);
+        prop_assert_eq!(&r, &mont.pow_mod(&base, &e));
+        prop_assert_eq!(&r, &sparse.pow_mod(&base, &e));
+    }
+
+    /// Multiplicative homomorphism: reduce(a·b) = mul_mod(a mod m, b mod m).
+    #[test]
+    fn reduction_is_homomorphic(seed in any::<u64>()) {
+        let p = cim_modmul::fields::bn254_base();
+        let ctx = BarrettContext::new(p.clone()).unwrap();
+        let mut rng = UintRng::seeded(seed);
+        let a = rng.uniform(253);
+        let b = rng.uniform(253);
+        prop_assert_eq!(
+            ctx.mul_mod(&a.rem(&p), &b.rem(&p)),
+            (&a * &b).rem(&p)
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! CIM cost projection for NTT-based FHE polynomial arithmetic.
+//!
+//! An `N`-point NTT performs `(N/2)·log2 N` butterflies; each
+//! butterfly is one modular multiplication (by a twiddle factor) plus
+//! one modular addition and one subtraction. On the paper's hardware a
+//! 64-bit modular multiplication is a Montgomery triple-product on the
+//! Karatsuba pipeline (or, for sparse primes such as Goldilocks, a
+//! single product plus adder folds), and the add/sub pair runs on the
+//! Kogge-Stone adder — exactly the Sec. IV-F building blocks.
+
+use cim_modmul::sparse::SparseModulus;
+use cim_modmul::{CimCost, ModularReducer};
+use karatsuba_cim::cost::DesignPoint;
+
+/// Cost projection of one `N`-point negacyclic polynomial
+/// multiplication on the CIM hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolyMulCost {
+    /// Ring dimension.
+    pub n: usize,
+    /// Limb width in bits (the CIM multiplier's operand size).
+    pub width: usize,
+    /// Butterflies across the 3 NTTs (2 forward + 1 inverse).
+    pub butterflies: u64,
+    /// Pointwise modular multiplications.
+    pub pointwise: u64,
+    /// Total modular multiplications.
+    pub modmuls: u64,
+    /// Cycles per modular multiplication (pipelined initiation
+    /// interval × passes per modmul).
+    pub cycles_per_modmul: f64,
+    /// Total projected cycles.
+    pub total_cycles: f64,
+}
+
+/// Projects the cost of an `N`-point negacyclic multiplication over a
+/// `width`-bit sparse prime (Goldilocks-style: 1 multiplier pass per
+/// modmul).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two ≥ 2.
+pub fn poly_mul_cost_sparse(n: usize, width: usize) -> PolyMulCost {
+    assert!(n.is_power_of_two() && n >= 2, "dimension must be a power of two");
+    let log2n = n.trailing_zeros() as u64;
+    // 3 transforms + twisting (2N extra muls) + N pointwise.
+    let butterflies = 3 * (n as u64 / 2) * log2n;
+    let pointwise = n as u64;
+    let twists = 3 * n as u64;
+    let modmuls = butterflies + pointwise + twists;
+    // Sparse modulus: each modmul ≈ one pipelined multiplier pass.
+    let d = DesignPoint::new(width);
+    let cycles_per_modmul = d.initiation_interval() as f64;
+    PolyMulCost {
+        n,
+        width,
+        butterflies,
+        pointwise,
+        modmuls,
+        cycles_per_modmul,
+        total_cycles: modmuls as f64 * cycles_per_modmul,
+    }
+}
+
+/// Cost of the naive `O(N²)` negacyclic schoolbook on the same
+/// hardware, for the crossover comparison.
+pub fn poly_mul_cost_schoolbook(n: usize, width: usize) -> PolyMulCost {
+    let modmuls = (n as u64) * (n as u64);
+    let d = DesignPoint::new(width);
+    let cycles_per_modmul = d.initiation_interval() as f64;
+    PolyMulCost {
+        n,
+        width,
+        butterflies: 0,
+        pointwise: modmuls,
+        modmuls,
+        cycles_per_modmul,
+        total_cycles: modmuls as f64 * cycles_per_modmul,
+    }
+}
+
+/// The per-modmul CIM cost of the Goldilocks sparse reducer (for the
+/// reports; see [`cim_modmul::sparse`]).
+pub fn goldilocks_modmul_cost() -> CimCost {
+    SparseModulus::goldilocks().cim_cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ntt_beats_schoolbook_from_small_dimensions() {
+        for n in [16usize, 256, 4096] {
+            let ntt = poly_mul_cost_sparse(n, 64);
+            let school = poly_mul_cost_schoolbook(n, 64);
+            assert!(
+                ntt.total_cycles < school.total_cycles,
+                "N = {n}: {} vs {}",
+                ntt.total_cycles,
+                school.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn modmul_counts() {
+        let c = poly_mul_cost_sparse(1024, 64);
+        // 3 NTTs × 512·10 butterflies + 1024 pointwise + 3·1024 twists.
+        assert_eq!(c.butterflies, 3 * 512 * 10);
+        assert_eq!(c.modmuls, 3 * 512 * 10 + 1024 + 3 * 1024);
+    }
+
+    #[test]
+    fn speedup_grows_with_dimension() {
+        let s1 = poly_mul_cost_schoolbook(256, 64).total_cycles
+            / poly_mul_cost_sparse(256, 64).total_cycles;
+        let s2 = poly_mul_cost_schoolbook(4096, 64).total_cycles
+            / poly_mul_cost_sparse(4096, 64).total_cycles;
+        assert!(s2 > 4.0 * s1, "speedup must grow ~N/log N: {s1} → {s2}");
+    }
+
+    #[test]
+    fn goldilocks_sparse_needs_single_multiplier_pass() {
+        assert_eq!(goldilocks_modmul_cost().multiplications, 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Fixed-prime field contexts for NTT arithmetic.
+
+use cim_bigint::Uint;
+use cim_modmul::barrett::{BarrettContext, BarrettError};
+use cim_modmul::ModularReducer;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// Error constructing a field or finding a root of unity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldError {
+    /// Underlying Barrett context failed.
+    Barrett(BarrettError),
+    /// `2^k` does not divide `p − 1`, so no order-`2^k` root exists.
+    NoRootOfUnity {
+        /// Requested transform size.
+        size: usize,
+    },
+    /// The provided generator does not have full order.
+    BadGenerator,
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::Barrett(e) => write!(f, "field setup: {e}"),
+            FieldError::NoRootOfUnity { size } => {
+                write!(f, "no {size}-th root of unity: 2-adicity of p−1 too small")
+            }
+            FieldError::BadGenerator => write!(f, "generator does not have full 2-adic order"),
+        }
+    }
+}
+
+impl Error for FieldError {}
+
+impl From<BarrettError> for FieldError {
+    fn from(e: BarrettError) -> Self {
+        FieldError::Barrett(e)
+    }
+}
+
+/// A prime field `Z_p` with fast (Barrett) reduction, shared by
+/// polynomials and transforms via `Rc`.
+#[derive(Debug, Clone)]
+pub struct PrimeField {
+    inner: Rc<FieldInner>,
+}
+
+#[derive(Debug)]
+struct FieldInner {
+    p: Uint,
+    barrett: BarrettContext,
+    /// Largest k with 2^k | p − 1 (the field's 2-adicity).
+    two_adicity: u32,
+    /// Element of order 2^two_adicity.
+    two_adic_root: Uint,
+}
+
+impl PartialEq for PrimeField {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.p == other.inner.p
+    }
+}
+
+impl Eq for PrimeField {}
+
+impl PrimeField {
+    /// Builds a field from an odd prime `p` and a multiplicative
+    /// generator `g` (used only to derive the maximal 2-adic root; `g`
+    /// need not be a full generator as long as `g^((p−1)/2^k)` has
+    /// order `2^k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError`] if `p < 2` or the derived root does not
+    /// have the expected order.
+    pub fn new(p: Uint, generator: u64) -> Result<Self, FieldError> {
+        let barrett = BarrettContext::new(p.clone())?;
+        let p_minus_1 = p.sub(&Uint::one());
+        let mut two_adicity = 0u32;
+        let mut odd = p_minus_1.clone();
+        while !odd.is_zero() && !odd.bit(0) {
+            odd = odd.shr(1);
+            two_adicity += 1;
+        }
+        let root = barrett.pow_mod(&Uint::from_u64(generator), &odd);
+        // Verify the root's order is exactly 2^two_adicity.
+        let half_order = barrett.pow_mod(&root, &Uint::pow2(two_adicity as usize - 1));
+        if half_order == Uint::one() || barrett.pow_mod(&root, &Uint::pow2(two_adicity as usize)) != Uint::one() {
+            return Err(FieldError::BadGenerator);
+        }
+        Ok(PrimeField {
+            inner: Rc::new(FieldInner {
+                p,
+                barrett,
+                two_adicity,
+                two_adic_root: root,
+            }),
+        })
+    }
+
+    /// The Goldilocks field `p = 2^64 − 2^32 + 1` (2-adicity 32,
+    /// generator 7) — the classic FHE/zk NTT prime.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the fixed parameters; kept fallible for
+    /// interface uniformity.
+    pub fn goldilocks() -> Result<Self, FieldError> {
+        PrimeField::new(cim_modmul::fields::goldilocks(), 7)
+    }
+
+    /// The modulus `p`.
+    pub fn modulus(&self) -> &Uint {
+        &self.inner.p
+    }
+
+    /// The 2-adicity of `p − 1` (maximal power-of-two NTT size is
+    /// `2^two_adicity`).
+    pub fn two_adicity(&self) -> u32 {
+        self.inner.two_adicity
+    }
+
+    /// `(a + b) mod p`.
+    pub fn add(&self, a: &Uint, b: &Uint) -> Uint {
+        let s = a.add(b);
+        if s >= self.inner.p {
+            s.sub(&self.inner.p)
+        } else {
+            s
+        }
+    }
+
+    /// `(a − b) mod p`.
+    pub fn sub(&self, a: &Uint, b: &Uint) -> Uint {
+        if a >= b {
+            a.sub(b)
+        } else {
+            a.add(&self.inner.p).sub(b)
+        }
+    }
+
+    /// `(a · b) mod p` via Barrett reduction.
+    pub fn mul(&self, a: &Uint, b: &Uint) -> Uint {
+        self.inner.barrett.mul_mod(a, b)
+    }
+
+    /// `a^e mod p`.
+    pub fn pow(&self, a: &Uint, e: &Uint) -> Uint {
+        self.inner.barrett.pow_mod(a, e)
+    }
+
+    /// `a⁻¹ mod p` (via Fermat: `a^(p−2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is zero.
+    pub fn inv(&self, a: &Uint) -> Uint {
+        assert!(!a.is_zero(), "zero has no inverse");
+        self.pow(a, &self.inner.p.sub(&Uint::from_u64(2)))
+    }
+
+    /// A primitive `size`-th root of unity (`size` a power of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::NoRootOfUnity`] if `size` exceeds the
+    /// field's 2-adic capacity or is not a power of two.
+    pub fn root_of_unity(&self, size: usize) -> Result<Uint, FieldError> {
+        if !size.is_power_of_two() || size.trailing_zeros() > self.inner.two_adicity {
+            return Err(FieldError::NoRootOfUnity { size });
+        }
+        // root has order 2^two_adicity; raise to 2^(adicity − log2 size).
+        let drop = self.inner.two_adicity - size.trailing_zeros();
+        Ok(self.pow(&self.inner.two_adic_root, &Uint::pow2(drop as usize)))
+    }
+
+    /// Canonical representative of `x` (reduces once).
+    pub fn reduce(&self, x: &Uint) -> Uint {
+        x.rem(&self.inner.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goldilocks_has_2_adicity_32() {
+        let f = PrimeField::goldilocks().unwrap();
+        assert_eq!(f.two_adicity(), 32);
+    }
+
+    #[test]
+    fn roots_have_exact_order() {
+        let f = PrimeField::goldilocks().unwrap();
+        for size in [2usize, 4, 8, 256, 1024] {
+            let w = f.root_of_unity(size).unwrap();
+            assert_eq!(f.pow(&w, &Uint::from_u64(size as u64)), Uint::one());
+            // ω^(size/2) = −1 (primitive, not just any root).
+            assert_eq!(
+                f.pow(&w, &Uint::from_u64(size as u64 / 2)),
+                f.modulus().sub(&Uint::one()),
+                "size {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_root_beyond_adicity() {
+        let f = PrimeField::goldilocks().unwrap();
+        assert!(f.root_of_unity(1 << 33).is_err());
+        assert!(f.root_of_unity(3).is_err(), "non-power-of-two rejected");
+    }
+
+    #[test]
+    fn field_ops() {
+        let f = PrimeField::goldilocks().unwrap();
+        let p = f.modulus().clone();
+        let a = p.sub(&Uint::from_u64(1));
+        assert_eq!(f.add(&a, &Uint::one()), Uint::zero());
+        assert_eq!(f.sub(&Uint::zero(), &Uint::one()), a);
+        let x = Uint::from_u64(123_456_789);
+        assert_eq!(f.mul(&x, &f.inv(&x)), Uint::one());
+    }
+
+    #[test]
+    fn small_field_works_too() {
+        // p = 97 = 2^5·3 + 1: 2-adicity 5, generator 5.
+        let f = PrimeField::new(Uint::from_u64(97), 5).unwrap();
+        assert_eq!(f.two_adicity(), 5);
+        let w = f.root_of_unity(8).unwrap();
+        assert_eq!(f.pow(&w, &Uint::from_u64(8)), Uint::one());
+    }
+}

@@ -1,0 +1,47 @@
+//! # cim-ntt — number-theoretic transforms for the FHE workload layer
+//!
+//! FHE schemes (the paper's headline motivation alongside ZKP) spend
+//! most of their time in **negacyclic polynomial multiplication** over
+//! rings `Z_q[X]/(X^N + 1)`, computed with the number-theoretic
+//! transform (NTT). Each NTT butterfly is one modular multiplication
+//! plus a modular add/sub pair — i.e. exactly the operations the
+//! paper's CIM multiplier and Kogge-Stone adder provide (Sec. IV-F).
+//!
+//! This crate implements:
+//!
+//! * [`field`] — fixed-prime modular arithmetic contexts with root-of-
+//!   unity discovery (Goldilocks `2^64 − 2^32 + 1` supports NTTs up to
+//!   `2^32` points);
+//! * [`ntt`] — iterative forward/inverse NTT and the negacyclic
+//!   (ψ-twisted) variant;
+//! * [`poly`] — polynomials over the field, negacyclic multiplication
+//!   via NTT and a schoolbook reference;
+//! * [`cost`] — CIM cycle projection: what an `N`-point NTT and a full
+//!   polynomial multiplication cost on the paper's hardware.
+//!
+//! ## Example
+//!
+//! ```
+//! use cim_ntt::field::PrimeField;
+//! use cim_ntt::poly::Polynomial;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let field = PrimeField::goldilocks()?;
+//! let a = Polynomial::from_u64(&field, &[1, 2, 3, 4]);
+//! let b = Polynomial::from_u64(&field, &[5, 6, 7, 8]);
+//! let via_ntt = a.mul_negacyclic(&b)?;
+//! let reference = a.mul_negacyclic_schoolbook(&b);
+//! assert_eq!(via_ntt, reference);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod field;
+pub mod ntt;
+pub mod poly;
+pub mod rns;
+pub mod rns_poly;

@@ -1,0 +1,219 @@
+//! Iterative radix-2 NTT (Cooley-Tukey) and the negacyclic
+//! ψ-twisted variant used by ring-LWE/FHE.
+
+use crate::field::{FieldError, PrimeField};
+use cim_bigint::Uint;
+
+/// A transform plan: precomputed twiddle factors for size `n` over a
+/// fixed field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NttPlan {
+    field: PrimeField,
+    n: usize,
+    /// ω powers in bit-reversed butterfly order (forward).
+    omega: Uint,
+    omega_inv: Uint,
+    /// ψ (2n-th root) powers for negacyclic twisting.
+    psi: Uint,
+    psi_inv: Uint,
+    n_inv: Uint,
+}
+
+/// Reverses the lowest `bits` bits of `i`.
+fn bit_reverse(i: usize, bits: u32) -> usize {
+    i.reverse_bits() >> (usize::BITS - bits)
+}
+
+impl NttPlan {
+    /// Builds a plan for `n`-point transforms (n a power of two ≥ 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::NoRootOfUnity`] if the field cannot
+    /// support a `2n`-point (negacyclic) transform.
+    pub fn new(field: &PrimeField, n: usize) -> Result<Self, FieldError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(FieldError::NoRootOfUnity { size: n });
+        }
+        let omega = field.root_of_unity(n)?;
+        let psi = field.root_of_unity(2 * n)?; // ψ² = ω
+        debug_assert_eq!(field.mul(&psi, &psi), omega);
+        Ok(NttPlan {
+            field: field.clone(),
+            n,
+            omega_inv: field.inv(&omega),
+            omega,
+            psi_inv: field.inv(&psi),
+            psi,
+            n_inv: field.inv(&Uint::from_u64(n as u64)),
+        })
+    }
+
+    /// Transform size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The field this plan operates over.
+    pub fn field(&self) -> &PrimeField {
+        &self.field
+    }
+
+    /// In-place iterative NTT with the given root.
+    fn transform(&self, values: &mut [Uint], root: &Uint) {
+        let n = self.n;
+        assert_eq!(values.len(), n, "length must equal plan size");
+        let bits = n.trailing_zeros();
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = bit_reverse(i, bits);
+            if i < j {
+                values.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let f = &self.field;
+        let mut len = 2;
+        while len <= n {
+            let w_len = f.pow(root, &Uint::from_u64((n / len) as u64));
+            for start in (0..n).step_by(len) {
+                let mut w = Uint::one();
+                for k in 0..len / 2 {
+                    let u = values[start + k].clone();
+                    let t = f.mul(&values[start + k + len / 2], &w);
+                    values[start + k] = f.add(&u, &t);
+                    values[start + k + len / 2] = f.sub(&u, &t);
+                    w = f.mul(&w, &w_len);
+                }
+            }
+            len *= 2;
+        }
+    }
+
+    /// Forward cyclic NTT (evaluations at powers of ω).
+    pub fn forward(&self, values: &mut [Uint]) {
+        self.transform(values, &self.omega.clone());
+    }
+
+    /// Inverse cyclic NTT (includes the 1/n scaling).
+    pub fn inverse(&self, values: &mut [Uint]) {
+        self.transform(values, &self.omega_inv.clone());
+        for v in values.iter_mut() {
+            *v = self.field.mul(v, &self.n_inv);
+        }
+    }
+
+    /// Forward **negacyclic** NTT: pre-twist by ψ^i, then cyclic NTT.
+    /// Point-wise products then correspond to multiplication modulo
+    /// `X^n + 1`.
+    pub fn forward_negacyclic(&self, values: &mut [Uint]) {
+        let f = &self.field;
+        let mut psi_pow = Uint::one();
+        for v in values.iter_mut() {
+            *v = f.mul(v, &psi_pow);
+            psi_pow = f.mul(&psi_pow, &self.psi);
+        }
+        self.forward(values);
+    }
+
+    /// Inverse negacyclic NTT: cyclic inverse, then post-twist by ψ^-i.
+    pub fn inverse_negacyclic(&self, values: &mut [Uint]) {
+        self.inverse(values);
+        let f = &self.field;
+        let mut psi_pow = Uint::one();
+        for v in values.iter_mut() {
+            *v = f.mul(v, &psi_pow);
+            psi_pow = f.mul(&psi_pow, &self.psi_inv);
+        }
+    }
+
+    /// Number of butterflies in one transform: `(n/2)·log2 n` — the
+    /// unit the CIM cost model charges.
+    pub fn butterflies(&self) -> u64 {
+        (self.n as u64 / 2) * self.n.trailing_zeros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_bigint::rng::UintRng;
+
+    fn random_values(field: &PrimeField, n: usize, seed: u64) -> Vec<Uint> {
+        let mut rng = UintRng::seeded(seed);
+        (0..n).map(|_| rng.below(field.modulus())).collect()
+    }
+
+    #[test]
+    fn bit_reverse_examples() {
+        assert_eq!(bit_reverse(0b001, 3), 0b100);
+        assert_eq!(bit_reverse(0b110, 3), 0b011);
+        assert_eq!(bit_reverse(5, 4), 10);
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let f = PrimeField::goldilocks().unwrap();
+        for n in [2usize, 8, 64, 256] {
+            let plan = NttPlan::new(&f, n).unwrap();
+            let original = random_values(&f, n, n as u64);
+            let mut v = original.clone();
+            plan.forward(&mut v);
+            plan.inverse(&mut v);
+            assert_eq!(v, original, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn negacyclic_roundtrip() {
+        let f = PrimeField::goldilocks().unwrap();
+        let plan = NttPlan::new(&f, 128).unwrap();
+        let original = random_values(&f, 128, 9);
+        let mut v = original.clone();
+        plan.forward_negacyclic(&mut v);
+        plan.inverse_negacyclic(&mut v);
+        assert_eq!(v, original);
+    }
+
+    #[test]
+    fn ntt_of_delta_is_all_ones() {
+        // NTT(δ₀) = (1, 1, …, 1).
+        let f = PrimeField::goldilocks().unwrap();
+        let plan = NttPlan::new(&f, 16).unwrap();
+        let mut v = vec![Uint::zero(); 16];
+        v[0] = Uint::one();
+        plan.forward(&mut v);
+        assert!(v.iter().all(|x| x.is_one()));
+    }
+
+    #[test]
+    fn ntt_is_linear() {
+        let f = PrimeField::goldilocks().unwrap();
+        let plan = NttPlan::new(&f, 32).unwrap();
+        let a = random_values(&f, 32, 1);
+        let b = random_values(&f, 32, 2);
+        let sum: Vec<Uint> = a.iter().zip(&b).map(|(x, y)| f.add(x, y)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fsum = sum;
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        plan.forward(&mut fsum);
+        for i in 0..32 {
+            assert_eq!(fsum[i], f.add(&fa[i], &fb[i]), "bin {i}");
+        }
+    }
+
+    #[test]
+    fn butterfly_count() {
+        let f = PrimeField::goldilocks().unwrap();
+        assert_eq!(NttPlan::new(&f, 1024).unwrap().butterflies(), 512 * 10);
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        let f = PrimeField::goldilocks().unwrap();
+        assert!(NttPlan::new(&f, 3).is_err());
+        assert!(NttPlan::new(&f, 1).is_err());
+    }
+}

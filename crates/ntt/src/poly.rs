@@ -1,0 +1,205 @@
+//! Polynomials over a prime field and negacyclic multiplication —
+//! the FHE ciphertext-arithmetic kernel.
+
+use crate::field::{FieldError, PrimeField};
+use crate::ntt::NttPlan;
+use cim_bigint::Uint;
+
+/// A polynomial in `Z_p[X]/(X^N + 1)` (fixed length = ring dimension).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Polynomial {
+    field: PrimeField,
+    coeffs: Vec<Uint>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients (reduced mod p). The
+    /// length must be a power of two (the ring dimension `N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two ≥ 2.
+    pub fn new(field: &PrimeField, coeffs: Vec<Uint>) -> Self {
+        assert!(
+            coeffs.len().is_power_of_two() && coeffs.len() >= 2,
+            "ring dimension must be a power of two ≥ 2"
+        );
+        let coeffs = coeffs.iter().map(|c| field.reduce(c)).collect();
+        Polynomial {
+            field: field.clone(),
+            coeffs,
+        }
+    }
+
+    /// Convenience constructor from `u64` coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two ≥ 2.
+    pub fn from_u64(field: &PrimeField, coeffs: &[u64]) -> Self {
+        Polynomial::new(
+            field,
+            coeffs.iter().map(|&c| Uint::from_u64(c)).collect(),
+        )
+    }
+
+    /// Ring dimension `N`.
+    pub fn dimension(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Coefficient access.
+    pub fn coeffs(&self) -> &[Uint] {
+        &self.coeffs
+    }
+
+    /// Negacyclic product via NTT: `O(N log N)` field multiplications.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError`] if the field lacks a `2N`-th root of
+    /// unity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn mul_negacyclic(&self, other: &Polynomial) -> Result<Polynomial, FieldError> {
+        assert_eq!(self.dimension(), other.dimension(), "dimension mismatch");
+        let n = self.dimension();
+        let plan = NttPlan::new(&self.field, n)?;
+        let mut a = self.coeffs.clone();
+        let mut b = other.coeffs.clone();
+        plan.forward_negacyclic(&mut a);
+        plan.forward_negacyclic(&mut b);
+        let f = &self.field;
+        for (x, y) in a.iter_mut().zip(&b) {
+            *x = f.mul(x, y);
+        }
+        plan.inverse_negacyclic(&mut a);
+        Ok(Polynomial {
+            field: self.field.clone(),
+            coeffs: a,
+        })
+    }
+
+    /// Negacyclic product by schoolbook convolution with sign folding
+    /// (`X^N = −1`): the `O(N²)` reference the NTT path is verified
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn mul_negacyclic_schoolbook(&self, other: &Polynomial) -> Polynomial {
+        assert_eq!(self.dimension(), other.dimension(), "dimension mismatch");
+        let n = self.dimension();
+        let f = &self.field;
+        let mut out = vec![Uint::zero(); n];
+        for i in 0..n {
+            for j in 0..n {
+                let prod = f.mul(&self.coeffs[i], &other.coeffs[j]);
+                let k = i + j;
+                if k < n {
+                    out[k] = f.add(&out[k], &prod);
+                } else {
+                    out[k - n] = f.sub(&out[k - n], &prod); // X^N = −1
+                }
+            }
+        }
+        Polynomial {
+            field: self.field.clone(),
+            coeffs: out,
+        }
+    }
+
+    /// Pointwise (coefficient-wise) addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        assert_eq!(self.dimension(), other.dimension(), "dimension mismatch");
+        let f = &self.field;
+        Polynomial {
+            field: self.field.clone(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| f.add(a, b))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_bigint::rng::UintRng;
+
+    fn random_poly(field: &PrimeField, n: usize, seed: u64) -> Polynomial {
+        let mut rng = UintRng::seeded(seed);
+        Polynomial::new(
+            field,
+            (0..n).map(|_| rng.below(field.modulus())).collect(),
+        )
+    }
+
+    #[test]
+    fn ntt_matches_schoolbook() {
+        let f = PrimeField::goldilocks().unwrap();
+        for n in [2usize, 4, 16, 64, 256] {
+            let a = random_poly(&f, n, 1);
+            let b = random_poly(&f, n, 2);
+            assert_eq!(
+                a.mul_negacyclic(&b).unwrap(),
+                a.mul_negacyclic_schoolbook(&b),
+                "N = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn x_to_the_n_wraps_negatively() {
+        // (X^(N−1)) · X = X^N = −1 in the ring.
+        let f = PrimeField::goldilocks().unwrap();
+        let n = 8;
+        let mut a_coeffs = vec![0u64; n];
+        a_coeffs[n - 1] = 1; // X^(N−1)
+        let mut b_coeffs = vec![0u64; n];
+        b_coeffs[1] = 1; // X
+        let a = Polynomial::from_u64(&f, &a_coeffs);
+        let b = Polynomial::from_u64(&f, &b_coeffs);
+        let c = a.mul_negacyclic(&b).unwrap();
+        let minus_one = f.modulus().sub(&Uint::one());
+        assert_eq!(c.coeffs()[0], minus_one);
+        assert!(c.coeffs()[1..].iter().all(Uint::is_zero));
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_distributive() {
+        let f = PrimeField::goldilocks().unwrap();
+        let a = random_poly(&f, 32, 3);
+        let b = random_poly(&f, 32, 4);
+        let c = random_poly(&f, 32, 5);
+        assert_eq!(
+            a.mul_negacyclic(&b).unwrap(),
+            b.mul_negacyclic(&a).unwrap()
+        );
+        let left = a.mul_negacyclic(&b.add(&c)).unwrap();
+        let right = a
+            .mul_negacyclic(&b)
+            .unwrap()
+            .add(&a.mul_negacyclic(&c).unwrap());
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn identity_polynomial() {
+        let f = PrimeField::goldilocks().unwrap();
+        let a = random_poly(&f, 16, 6);
+        let mut one = vec![0u64; 16];
+        one[0] = 1;
+        let e = Polynomial::from_u64(&f, &one);
+        assert_eq!(a.mul_negacyclic(&e).unwrap(), a);
+    }
+}

@@ -1,0 +1,252 @@
+//! RNS polynomial arithmetic — the full FHE ciphertext-multiplication
+//! data path: big-modulus polynomials decomposed into word-size RNS
+//! limbs, each limb multiplied negacyclically via its own NTT, and the
+//! result reassembled by CRT.
+//!
+//! On the paper's hardware every limb gets its own CIM multiplier
+//! array, so the limb dimension is pure spatial parallelism: the
+//! makespan of a `k`-limb multiplication equals a single limb's.
+
+use crate::field::PrimeField;
+use crate::ntt::NttPlan;
+use crate::poly::Polynomial;
+use crate::rns::{RnsBasis, RnsError};
+use cim_bigint::Uint;
+
+/// Context for RNS polynomial arithmetic in
+/// `Z_Q[X]/(X^N + 1)`, `Q = Π q_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RnsPolyContext {
+    basis: RnsBasis,
+    fields: Vec<PrimeField>,
+    dimension: usize,
+}
+
+/// A polynomial held limb-wise: `limbs[i]` is the image in
+/// `Z_{q_i}[X]/(X^N + 1)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RnsPoly {
+    limbs: Vec<Polynomial>,
+}
+
+impl RnsPoly {
+    /// The per-limb polynomials.
+    pub fn limbs(&self) -> &[Polynomial] {
+        &self.limbs
+    }
+}
+
+impl RnsPolyContext {
+    /// Builds the context; every limb prime must support a
+    /// `2N`-point negacyclic NTT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError`] if a limb field cannot be constructed or
+    /// lacks the 2-adicity for dimension `dimension`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimension` is not a power of two ≥ 2.
+    pub fn new(basis: RnsBasis, dimension: usize) -> Result<Self, RnsError> {
+        assert!(
+            dimension.is_power_of_two() && dimension >= 2,
+            "ring dimension must be a power of two ≥ 2"
+        );
+        let fields = basis.fields(3)?;
+        for f in &fields {
+            // Validate 2N-point support up front (fail fast).
+            NttPlan::new(f, dimension).map_err(RnsError::Field)?;
+        }
+        Ok(RnsPolyContext {
+            basis,
+            fields,
+            dimension,
+        })
+    }
+
+    /// The composite modulus `Q`.
+    pub fn modulus(&self) -> &Uint {
+        self.basis.product()
+    }
+
+    /// Ring dimension `N`.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Number of RNS limbs.
+    pub fn limb_count(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Encodes big-integer coefficients (`< Q`) into RNS limb form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient count differs from the dimension.
+    pub fn encode(&self, coeffs: &[Uint]) -> RnsPoly {
+        assert_eq!(coeffs.len(), self.dimension, "coefficient count mismatch");
+        let limbs = self
+            .fields
+            .iter()
+            .zip(self.basis.primes())
+            .map(|(f, q)| {
+                Polynomial::new(
+                    f,
+                    coeffs.iter().map(|c| c.rem(q)).collect::<Vec<Uint>>(),
+                )
+            })
+            .collect();
+        RnsPoly { limbs }
+    }
+
+    /// Decodes RNS limb form back to big-integer coefficients (`< Q`)
+    /// via per-coefficient CRT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::LimbCountMismatch`] for malformed inputs.
+    pub fn decode(&self, poly: &RnsPoly) -> Result<Vec<Uint>, RnsError> {
+        if poly.limbs.len() != self.limb_count() {
+            return Err(RnsError::LimbCountMismatch {
+                got: poly.limbs.len(),
+                expected: self.limb_count(),
+            });
+        }
+        (0..self.dimension)
+            .map(|j| {
+                let residues: Vec<Uint> = poly
+                    .limbs
+                    .iter()
+                    .map(|l| l.coeffs()[j].clone())
+                    .collect();
+                self.basis.reconstruct(&residues)
+            })
+            .collect()
+    }
+
+    /// Negacyclic product in `Z_Q[X]/(X^N+1)`: independent per-limb
+    /// NTT multiplications (spatially parallel on CIM hardware).
+    ///
+    /// # Errors
+    ///
+    /// Propagates limb NTT errors (cannot occur for validated
+    /// contexts).
+    pub fn mul(&self, a: &RnsPoly, b: &RnsPoly) -> Result<RnsPoly, RnsError> {
+        let limbs = a
+            .limbs
+            .iter()
+            .zip(&b.limbs)
+            .map(|(x, y)| x.mul_negacyclic(y).map_err(RnsError::Field))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RnsPoly { limbs })
+    }
+
+    /// CIM cost of one RNS polynomial multiplication: the limbs run on
+    /// *parallel* per-limb CIM arrays, so the makespan equals a single
+    /// limb's NTT-multiplication cost; total hardware scales with the
+    /// limb count.
+    pub fn cim_cost(&self) -> crate::cost::PolyMulCost {
+        // Limb width rounded to the hardware grid.
+        let width = self
+            .basis
+            .primes()
+            .iter()
+            .map(Uint::bit_len)
+            .max()
+            .unwrap_or(64)
+            .div_ceil(4)
+            * 4;
+        crate::cost::poly_mul_cost_sparse(self.dimension, width.max(8))
+    }
+
+    /// Reference: direct negacyclic product over `Z_Q` with big-int
+    /// coefficients (O(N²·k²) — test oracle only).
+    pub fn mul_reference(&self, a: &[Uint], b: &[Uint]) -> Vec<Uint> {
+        let n = self.dimension;
+        let q = self.modulus();
+        let mut out = vec![Uint::zero(); n];
+        for (i, ai) in a.iter().enumerate() {
+            for (j, bj) in b.iter().enumerate() {
+                let prod = (ai * bj).rem(q);
+                let k = i + j;
+                if k < n {
+                    out[k] = (&out[k] + &prod).rem(q);
+                } else {
+                    // X^N = −1
+                    let idx = k - n;
+                    out[idx] = (&out[idx] + q - &prod).rem(q);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_bigint::rng::UintRng;
+
+    fn context() -> RnsPolyContext {
+        let basis = RnsBasis::generate(3, 30, 10).unwrap();
+        RnsPolyContext::new(basis, 16).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ctx = context();
+        let mut rng = UintRng::seeded(61);
+        let coeffs: Vec<Uint> = (0..16).map(|_| rng.below(ctx.modulus())).collect();
+        let encoded = ctx.encode(&coeffs);
+        assert_eq!(encoded.limbs().len(), 3);
+        assert_eq!(ctx.decode(&encoded).unwrap(), coeffs);
+    }
+
+    #[test]
+    fn rns_ntt_product_matches_reference() {
+        let ctx = context();
+        let mut rng = UintRng::seeded(62);
+        let a: Vec<Uint> = (0..16).map(|_| rng.below(ctx.modulus())).collect();
+        let b: Vec<Uint> = (0..16).map(|_| rng.below(ctx.modulus())).collect();
+        let pa = ctx.encode(&a);
+        let pb = ctx.encode(&b);
+        let pc = ctx.mul(&pa, &pb).unwrap();
+        assert_eq!(ctx.decode(&pc).unwrap(), ctx.mul_reference(&a, &b));
+    }
+
+    #[test]
+    fn modulus_is_composite_of_limbs() {
+        let ctx = context();
+        assert!(ctx.modulus().bit_len() >= 85, "3 × ~30-bit limbs");
+        assert_eq!(ctx.limb_count(), 3);
+    }
+
+    #[test]
+    fn cim_cost_scales_with_dimension_not_limbs() {
+        let basis2 = RnsBasis::generate(2, 30, 10).unwrap();
+        let basis3 = RnsBasis::generate(3, 30, 10).unwrap();
+        let c2 = RnsPolyContext::new(basis2, 16).unwrap().cim_cost();
+        let c3 = RnsPolyContext::new(basis3, 16).unwrap().cim_cost();
+        // Spatial limb parallelism: same makespan regardless of limbs.
+        assert_eq!(c2.total_cycles, c3.total_cycles);
+        assert!(c2.total_cycles > 0.0);
+    }
+
+    #[test]
+    fn rejects_insufficient_two_adicity() {
+        // 2-adicity 3 primes cannot host a 2·16-point transform.
+        let basis = RnsBasis::generate(1, 20, 3).unwrap();
+        assert!(RnsPolyContext::new(basis, 16).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let ctx = context();
+        let coeffs: Vec<Uint> = (0..16).map(|i| Uint::from_u64(i)).collect();
+        let mut poly = ctx.encode(&coeffs);
+        poly.limbs.pop();
+        assert!(ctx.decode(&poly).is_err());
+    }
+}

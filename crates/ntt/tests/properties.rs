@@ -1,0 +1,97 @@
+//! Property tests: the NTT is a ring isomorphism.
+
+use cim_bigint::rng::UintRng;
+use cim_bigint::Uint;
+use cim_ntt::field::PrimeField;
+use cim_ntt::ntt::NttPlan;
+use cim_ntt::poly::Polynomial;
+use proptest::prelude::*;
+
+fn random_poly(field: &PrimeField, n: usize, seed: u64) -> Polynomial {
+    let mut rng = UintRng::seeded(seed);
+    Polynomial::new(
+        field,
+        (0..n).map(|_| rng.below(field.modulus())).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// forward∘inverse = id for arbitrary data and sizes.
+    #[test]
+    fn roundtrip(log_n in 1u32..9, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let f = PrimeField::goldilocks().unwrap();
+        let plan = NttPlan::new(&f, n).unwrap();
+        let mut rng = UintRng::seeded(seed);
+        let original: Vec<Uint> = (0..n).map(|_| rng.below(f.modulus())).collect();
+        let mut v = original.clone();
+        plan.forward(&mut v);
+        plan.inverse(&mut v);
+        prop_assert_eq!(v, original);
+    }
+
+    /// Negacyclic NTT multiplication equals schoolbook for arbitrary
+    /// polynomials.
+    #[test]
+    fn ntt_mul_equals_schoolbook(log_n in 1u32..7, sa in any::<u64>(), sb in any::<u64>()) {
+        let n = 1usize << log_n;
+        let f = PrimeField::goldilocks().unwrap();
+        let a = random_poly(&f, n, sa);
+        let b = random_poly(&f, n, sb);
+        prop_assert_eq!(
+            a.mul_negacyclic(&b).unwrap(),
+            a.mul_negacyclic_schoolbook(&b)
+        );
+    }
+
+    /// Convolution theorem: NTT(a ⊛ b) = NTT(a) ⊙ NTT(b) (cyclic).
+    #[test]
+    fn convolution_theorem(seed in any::<u64>()) {
+        let n = 32;
+        let f = PrimeField::goldilocks().unwrap();
+        let plan = NttPlan::new(&f, n).unwrap();
+        let mut rng = UintRng::seeded(seed);
+        let a: Vec<Uint> = (0..n).map(|_| rng.below(f.modulus())).collect();
+        let b: Vec<Uint> = (0..n).map(|_| rng.below(f.modulus())).collect();
+
+        // Cyclic convolution in the time domain.
+        let mut conv = vec![Uint::zero(); n];
+        for i in 0..n {
+            for j in 0..n {
+                let k = (i + j) % n;
+                conv[k] = f.add(&conv[k], &f.mul(&a[i], &b[j]));
+            }
+        }
+        // Pointwise product in the frequency domain.
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        let mut prod: Vec<Uint> =
+            fa.iter().zip(&fb).map(|(x, y)| f.mul(x, y)).collect();
+        plan.inverse(&mut prod);
+        prop_assert_eq!(prod, conv);
+    }
+
+    /// Parseval-flavored check: scaling a polynomial scales its
+    /// transform.
+    #[test]
+    fn scaling_commutes(seed in any::<u64>(), scale in 1u64..1000) {
+        let n = 16;
+        let f = PrimeField::goldilocks().unwrap();
+        let plan = NttPlan::new(&f, n).unwrap();
+        let mut rng = UintRng::seeded(seed);
+        let a: Vec<Uint> = (0..n).map(|_| rng.below(f.modulus())).collect();
+        let s = Uint::from_u64(scale);
+        let scaled: Vec<Uint> = a.iter().map(|x| f.mul(x, &s)).collect();
+        let mut fa = a;
+        let mut fscaled = scaled;
+        plan.forward(&mut fa);
+        plan.forward(&mut fscaled);
+        for i in 0..n {
+            prop_assert_eq!(&fscaled[i], &f.mul(&fa[i], &s));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Reproducibility guarantees: every experiment in this repository is
+//! deterministic — same seeds, same cycle counts, same wear, same
+//! results, run to run.
+
+use cim_bigint::rng::UintRng;
+use cim_bigint::Uint;
+use karatsuba_cim::batch::run_batch;
+use karatsuba_cim::multiplier::KaratsubaCimMultiplier;
+
+#[test]
+fn seeded_rng_is_stable_across_calls() {
+    let take = || {
+        let mut rng = UintRng::seeded(0xFEED);
+        (0..5).map(|_| rng.uniform(256)).collect::<Vec<Uint>>()
+    };
+    assert_eq!(take(), take());
+}
+
+#[test]
+fn simulation_reports_are_bit_identical() {
+    let run = || {
+        let mult = KaratsubaCimMultiplier::new(64).unwrap();
+        let mut rng = UintRng::seeded(7);
+        let a = rng.exact_bits(64);
+        let b = rng.exact_bits(64);
+        mult.multiply(&a, &b).unwrap()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.product, second.product);
+    assert_eq!(first.report.stage_cycles, second.report.stage_cycles);
+    assert_eq!(first.report.total_latency, second.report.total_latency);
+    for (e1, e2) in first.report.endurance.iter().zip(&second.report.endurance) {
+        assert_eq!(e1, e2, "endurance must be deterministic");
+    }
+}
+
+#[test]
+fn batch_throughput_is_deterministic() {
+    let run = || {
+        let mult = KaratsubaCimMultiplier::new(32).unwrap();
+        let mut rng = UintRng::seeded(19);
+        let pairs: Vec<(Uint, Uint)> =
+            (0..4).map(|_| (rng.uniform(32), rng.uniform(32))).collect();
+        run_batch(&mult, &pairs).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan_cycles, b.makespan_cycles);
+    assert_eq!(a.max_writes(), b.max_writes());
+    assert!((a.throughput_per_mcc - b.throughput_per_mcc).abs() < 1e-12);
+}
+
+#[test]
+fn miller_rabin_verdicts_are_stable_for_large_candidates() {
+    // The >2^64 path uses seeded random bases — must be reproducible.
+    let candidate = Uint::pow2(127).sub(&Uint::one()); // Mersenne prime
+    assert!(candidate.is_probable_prime(8));
+    assert!(candidate.is_probable_prime(8));
+    let composite = Uint::pow2(128).sub(&Uint::one());
+    assert!(!composite.is_probable_prime(8));
+    assert!(!composite.is_probable_prime(8));
+}
+
+#[test]
+fn rns_basis_generation_is_deterministic() {
+    let a = cim_ntt::rns::RnsBasis::generate(3, 28, 8).unwrap();
+    let b = cim_ntt::rns::RnsBasis::generate(3, 28, 8).unwrap();
+    assert_eq!(a.primes(), b.primes());
+}
