@@ -114,18 +114,17 @@ fn bench_lsb_optimization(c: &mut Criterion) {
     let mut group = c.benchmark_group("postcompute_adder_width");
     group.sample_size(10);
     let mut rng = UintRng::seeded(8);
-    for n in [64usize] {
-        let a = rng.uniform(3 * n / 2);
-        let b = rng.uniform(3 * n / 2);
-        let opt = KoggeStoneAdder::new(3 * n / 2);
-        group.bench_with_input(BenchmarkId::new("width_1.5n", n), &n, |bench, _| {
-            bench.iter(|| opt.add(&a, &b).expect("add"))
-        });
-        let naive = KoggeStoneAdder::new(2 * n);
-        group.bench_with_input(BenchmarkId::new("width_2n", n), &n, |bench, _| {
-            bench.iter(|| naive.add(&a, &b).expect("add"))
-        });
-    }
+    let n = 64usize;
+    let a = rng.uniform(3 * n / 2);
+    let b = rng.uniform(3 * n / 2);
+    let opt = KoggeStoneAdder::new(3 * n / 2);
+    group.bench_with_input(BenchmarkId::new("width_1.5n", n), &n, |bench, _| {
+        bench.iter(|| opt.add(&a, &b).expect("add"))
+    });
+    let naive = KoggeStoneAdder::new(2 * n);
+    group.bench_with_input(BenchmarkId::new("width_2n", n), &n, |bench, _| {
+        bench.iter(|| naive.add(&a, &b).expect("add"))
+    });
     group.finish();
 }
 

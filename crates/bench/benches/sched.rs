@@ -1,0 +1,35 @@
+//! Host-side cost of the farm scheduler itself: dispatching 2,000
+//! mixed-width jobs under each policy at 4, 16, and 64 tiles. The
+//! policies differ in per-job tile-selection work (FIFO and
+//! wear-leveling scan the availability frontier, least-loaded scans
+//! load counters), so this bounds the simulator's own overhead per
+//! scheduled multiplication.
+
+use cim_sched::{FarmConfig, JobMix, Policy, Scheduler};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("farm_scheduler");
+    group.sample_size(10);
+    let jobs = JobMix::crypto_default(400).generate(2000, 7);
+    for tiles in [4usize, 16, 64] {
+        for policy in Policy::all() {
+            group.bench_with_input(
+                BenchmarkId::new(policy.label(), tiles),
+                &tiles,
+                |bench, &tiles| {
+                    bench.iter(|| {
+                        let report = Scheduler::new(FarmConfig::new(tiles, policy))
+                            .run(black_box(&jobs))
+                            .expect("analytic profiles cannot fail");
+                        black_box(report.makespan_cycles)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -158,10 +158,8 @@ mod tests {
             let b = rng.uniform(n);
             let da = decompose_operand(&a, n);
             let db = decompose_operand(&b, n);
-            let mut products: [Uint; LEAVES] = Default::default();
-            for i in 0..LEAVES {
-                products[i] = &da.leaves[i] * &db.leaves[i];
-            }
+            let products: [Uint; LEAVES] =
+                std::array::from_fn(|i| &da.leaves[i] * &db.leaves[i]);
             assert_eq!(combine_products(&products, n / 4), &a * &b, "n = {n}");
         }
     }

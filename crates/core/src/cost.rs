@@ -425,7 +425,7 @@ mod tests {
         // vs MultPIM's 5,369-cell row at n = 384.
         let ours = DesignPoint::new(384).max_row_length();
         assert!(ours * 4 <= 5369 + ours, "row length {ours} too long");
-        assert_eq!(ours, 1176.max(576));
+        assert_eq!(ours, 1176); // 12·(n/4+2) = 1176 dominates 1.5n = 576
     }
 
     #[test]

@@ -250,13 +250,7 @@ impl KaratsubaCimMultiplier {
     /// Propagates simulation errors.
     pub fn measured_max_writes(&self, a: &Uint, b: &Uint) -> Result<u64, MultiplyError> {
         let outcome = self.multiply(a, b)?;
-        Ok(outcome
-            .report
-            .endurance
-            .iter()
-            .map(|e| e.max_writes)
-            .max()
-            .unwrap_or(0))
+        Ok(EnduranceReport::max_over(&outcome.report.endurance))
     }
 }
 

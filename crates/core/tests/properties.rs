@@ -73,4 +73,53 @@ proptest! {
         let bottleneck = lat.iter().max().copied().expect("3 stages") + handoff;
         prop_assert_eq!(s.initiation_interval(), bottleneck);
     }
+
+    /// Completion cycles are strictly monotone in job index: the
+    /// pipeline never reorders or ties jobs (every stage occupies its
+    /// subarray for at least one cycle).
+    #[test]
+    fn pipeline_completion_monotone(
+        lat in prop::array::uniform3(1u64..5000),
+        handoff in 0u64..100,
+        count in 2usize..16,
+    ) {
+        let s = PipelineSchedule::simulate(count, lat, handoff);
+        for w in s.jobs.windows(2) {
+            prop_assert!(w[1].completed_at() > w[0].completed_at());
+        }
+    }
+
+    /// Once the pipeline is full, jobs complete at exactly the
+    /// initiation interval: all consecutive completion gaps from job 2
+    /// onward equal `initiation_interval()`, which itself equals the
+    /// bottleneck stage plus handoff.
+    #[test]
+    fn pipeline_steady_state_spacing(
+        lat in prop::array::uniform3(1u64..5000),
+        handoff in 0u64..100,
+        count in 4usize..16,
+    ) {
+        let s = PipelineSchedule::simulate(count, lat, handoff);
+        let ii = s.initiation_interval();
+        for w in s.jobs[2..].windows(2) {
+            prop_assert_eq!(w[1].completed_at() - w[0].completed_at(), ii);
+        }
+    }
+
+    /// `single_latency()` is job 0's completion cycle and equals the
+    /// sum of stage latencies plus the three handoffs, independent of
+    /// how many jobs follow it.
+    #[test]
+    fn pipeline_single_latency_is_job_zero(
+        lat in prop::array::uniform3(1u64..5000),
+        handoff in 0u64..100,
+        count in 1usize..16,
+    ) {
+        let s = PipelineSchedule::simulate(count, lat, handoff);
+        prop_assert_eq!(s.single_latency(), s.jobs[0].completed_at());
+        prop_assert_eq!(
+            s.single_latency(),
+            lat.iter().sum::<u64>() + 3 * handoff
+        );
+    }
 }

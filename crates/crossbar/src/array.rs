@@ -386,6 +386,13 @@ impl Crossbar {
         self.cells.iter()
     }
 
+    /// `(max, mean)` per-cell write counts — the one-call wear summary
+    /// schedulers and reports consume instead of walking raw cells.
+    /// The mean is over touched cells (0.0 for an unworn array).
+    pub fn wear_summary(&self) -> (u64, f64) {
+        crate::endurance::EnduranceReport::from_array(self).max_and_mean()
+    }
+
     /// Clears all wear counters (keeps values and faults).
     pub fn reset_wear(&mut self) {
         for c in &mut self.cells {

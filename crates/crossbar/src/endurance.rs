@@ -45,6 +45,23 @@ impl EnduranceReport {
         }
     }
 
+    /// `(max, mean)` per-cell write counts in one call — the summary
+    /// the wear-leveling scheduler and `FarmReport` consume, so they
+    /// never have to walk raw cells themselves.
+    pub fn max_and_mean(&self) -> (u64, f64) {
+        (self.max_writes, self.mean_writes())
+    }
+
+    /// Worst per-cell writes across several reports (e.g. the three
+    /// stage arrays of a multiplier) — replaces the hand-rolled
+    /// max-loops previously duplicated in `karatsuba-cim`.
+    pub fn max_over<'a, I>(reports: I) -> u64
+    where
+        I: IntoIterator<Item = &'a EnduranceReport>,
+    {
+        reports.into_iter().map(|r| r.max_writes).max().unwrap_or(0)
+    }
+
     /// Mean writes per touched cell.
     pub fn mean_writes(&self) -> f64 {
         if self.cells_touched == 0 {
@@ -123,6 +140,33 @@ mod tests {
         assert!((r.utilization() - 0.5).abs() < 1e-12);
         let fresh = EnduranceReport::from_array(&Crossbar::new(1, 1).unwrap());
         assert_eq!(fresh.utilization(), 0.0);
+    }
+
+    #[test]
+    fn wear_summary_matches_report() {
+        let mut x = Crossbar::new(2, 2).unwrap();
+        x.write_row(0, 0, &[true, true]).unwrap();
+        x.write_row(0, 0, &[false, false]).unwrap();
+        x.init_region(&Region::new(0..1, 0..1)).unwrap();
+        let r = EnduranceReport::from_array(&x);
+        assert_eq!(x.wear_summary(), r.max_and_mean());
+        assert_eq!(x.wear_summary(), (3, 2.5));
+        assert_eq!(Crossbar::new(3, 3).unwrap().wear_summary(), (0, 0.0));
+    }
+
+    #[test]
+    fn max_over_reports() {
+        let reports: Vec<EnduranceReport> = [2u64, 7, 5]
+            .iter()
+            .map(|&m| EnduranceReport {
+                max_writes: m,
+                total_writes: m,
+                cells_touched: 1,
+                cells_total: 1,
+            })
+            .collect();
+        assert_eq!(EnduranceReport::max_over(&reports), 7);
+        assert_eq!(EnduranceReport::max_over(&[]), 0);
     }
 
     #[test]

@@ -735,8 +735,8 @@ mod tests {
         let width = 64;
         let adder = KoggeStoneAdder::new(width);
         let mut array = Crossbar::new(adder.required_rows(), adder.required_cols()).unwrap();
-        array.write_row(0, 0, &vec![true; 65]).unwrap();
-        array.write_row(1, 0, &vec![true; 65]).unwrap();
+        array.write_row(0, 0, &[true; 65]).unwrap();
+        array.write_row(1, 0, &[true; 65]).unwrap();
         array.reset_wear();
         let mut exec = Executor::new(&mut array);
         exec.run(&adder.program(AddOp::Add)).unwrap();

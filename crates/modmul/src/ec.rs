@@ -533,9 +533,9 @@ mod tests {
         assert!(c.msm(&[], &[], 4).is_infinity());
         let p = c.find_point();
         assert!(c
-            .msm(&[Uint::zero()], &[p.clone()], 4)
+            .msm(&[Uint::zero()], std::slice::from_ref(&p), 4)
             .is_infinity());
-        let one = c.msm(&[Uint::one()], &[p.clone()], 4);
+        let one = c.msm(&[Uint::one()], std::slice::from_ref(&p), 4);
         assert!(c.points_equal(&one, &p));
     }
 

@@ -244,7 +244,7 @@ mod tests {
     #[test]
     fn decode_rejects_malformed() {
         let ctx = context();
-        let coeffs: Vec<Uint> = (0..16).map(|i| Uint::from_u64(i)).collect();
+        let coeffs: Vec<Uint> = (0..16).map(Uint::from_u64).collect();
         let mut poly = ctx.encode(&coeffs);
         poly.limbs.pop();
         assert!(ctx.decode(&poly).is_err());

@@ -58,10 +58,10 @@ proptest! {
 
         // Cyclic convolution in the time domain.
         let mut conv = vec![Uint::zero(); n];
-        for i in 0..n {
-            for j in 0..n {
+        for (i, ai) in a.iter().enumerate() {
+            for (j, bj) in b.iter().enumerate() {
                 let k = (i + j) % n;
-                conv[k] = f.add(&conv[k], &f.mul(&a[i], &b[j]));
+                conv[k] = f.add(&conv[k], &f.mul(ai, bj));
             }
         }
         // Pointwise product in the frequency domain.

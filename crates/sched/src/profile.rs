@@ -1,0 +1,369 @@
+//! Per-class execution profiles: what one job of a given
+//! `(width, algo)` costs a tile in cycles and wear.
+//!
+//! Profiles come from two sources:
+//!
+//! * **analytic** — the paper's closed-form cost model
+//!   ([`karatsuba_cim::cost::DesignPoint`] for Karatsuba, the MultPIM
+//!   row formula for schoolbook). Instant, exact for latency (the
+//!   model reproduces Table I), first-order for per-stage wear.
+//! * **measured** — one calibration run of the real simulated
+//!   multiplier ([`KaratsubaCimMultiplier`]), capturing exact cycle
+//!   statistics and per-stage endurance. Used where simulation cost
+//!   permits (small widths, tests, calibration of the sweep binary).
+//!
+//! The farm scheduler treats both identically; a [`ProfileTable`]
+//! caches one profile per class.
+
+use crate::job::{Algo, Job};
+use cim_bigint::rng::UintRng;
+use cim_crossbar::{CycleStats, EnduranceReport, OpClass};
+use cim_logic::multpim::CELLS_PER_BIT;
+use karatsuba_cim::cost::{DesignPoint, HANDOFF_CYCLES};
+use karatsuba_cim::multiplier::{KaratsubaCimMultiplier, MultiplyError};
+use std::collections::HashMap;
+
+fn ceil_log2(n: usize) -> u64 {
+    assert!(n > 0);
+    (usize::BITS - (n - 1).leading_zeros()) as u64
+}
+
+/// Wear one job inflicts on one stage array of a tile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageWear {
+    /// Writes to the stage's hottest cell.
+    pub max_writes: u64,
+    /// Total writes across the stage array.
+    pub total_writes: u64,
+    /// Cells in the stage array (for wear-density metrics).
+    pub cells: u64,
+}
+
+impl StageWear {
+    fn from_endurance(e: &EnduranceReport) -> Self {
+        StageWear {
+            max_writes: e.max_writes,
+            total_writes: e.total_writes,
+            cells: e.cells_total as u64,
+        }
+    }
+}
+
+/// The cost of one job of a given class, as seen by a tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobProfile {
+    /// Operand width in bits.
+    pub width: usize,
+    /// Serving algorithm.
+    pub algo: Algo,
+    /// Stage latencies `[pre, mult, post]` in cycles (schoolbook jobs
+    /// occupy only the mult stage; its pre/post latencies are 0).
+    pub stage_latency: [u64; 3],
+    /// Controller handoff charged after each stage.
+    pub handoff: u64,
+    /// Wear per stage array.
+    pub wear: [StageWear; 3],
+    /// Whole-job cycle statistics (all three stages plus handoffs).
+    pub stats: CycleStats,
+    /// Cells of the stage arrays a tile must provision for this class.
+    pub area_cells: u64,
+}
+
+impl JobProfile {
+    /// Closed-form profile for a Karatsuba job (paper Table I model).
+    ///
+    /// Per-stage wear, first-order (see `karatsuba_cim::cost`): the
+    /// multiplication row takes `2·(n/4+2) + 2` writes per cell, the
+    /// postcompute adder `11·⌈log2 1.5n⌉ + 4`; the precompute adder
+    /// runs 10 of the 11 analogous Kogge-Stone passes at its own
+    /// width, `10·⌈log2(n/4+1)⌉ + 4`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of 4.
+    pub fn karatsuba_analytic(n: usize) -> Self {
+        let d = DesignPoint::new(n);
+        let w = n / 4 + 2;
+        let stage_latency = [
+            d.precompute_latency,
+            d.multiply_latency,
+            d.postcompute_latency,
+        ];
+        let pre_max = 10 * ceil_log2(n / 4 + 1) + 4;
+        let mult_max = 2 * w as u64 + 2;
+        let post_max = 11 * ceil_log2(3 * n / 2) + 4;
+        let wear = [
+            StageWear {
+                max_writes: pre_max,
+                // First-order: half the array at hot-cell rate.
+                total_writes: pre_max * d.precompute_area / 2,
+                cells: d.precompute_area,
+            },
+            StageWear {
+                max_writes: mult_max,
+                total_writes: mult_max * d.multiply_area / 2,
+                cells: d.multiply_area,
+            },
+            StageWear {
+                max_writes: post_max,
+                total_writes: post_max * d.postcompute_area / 2,
+                cells: d.postcompute_area,
+            },
+        ];
+        JobProfile {
+            width: n,
+            algo: Algo::Karatsuba,
+            stage_latency,
+            handoff: HANDOFF_CYCLES,
+            wear,
+            stats: synth_stats(stage_latency, HANDOFF_CYCLES),
+            area_cells: d.area_cells(),
+        }
+    }
+
+    /// Closed-form profile for a schoolbook job: one MultPIM-style
+    /// single-row multiplier at full width `n` — latency
+    /// `n·(⌈log2 n⌉ + 14) + 3`, row wear `2n + 2`, area `12·n` cells.
+    /// The job passes through the pipeline but only the mult stage
+    /// does work; the handoff models operand load / product drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of 4.
+    pub fn schoolbook_analytic(n: usize) -> Self {
+        assert!(n > 0 && n.is_multiple_of(4), "operand width must be a multiple of 4");
+        let lat = n as u64 * (ceil_log2(n) + 14) + 3;
+        let area = (CELLS_PER_BIT * n) as u64;
+        let stage_latency = [0, lat, 0];
+        // Operands in (2 row writes) + product out (1 row read).
+        let handoff = 3;
+        let wear = [
+            StageWear::default(),
+            StageWear {
+                max_writes: 2 * n as u64 + 2,
+                total_writes: (2 * n as u64 + 2) * area / 2,
+                cells: area,
+            },
+            StageWear::default(),
+        ];
+        JobProfile {
+            width: n,
+            algo: Algo::Schoolbook,
+            stage_latency,
+            handoff,
+            wear,
+            stats: synth_stats(stage_latency, handoff),
+            area_cells: area,
+        }
+    }
+
+    /// Measured profile: runs one real simulated multiplication and
+    /// captures exact stats and per-stage endurance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation/verification errors.
+    pub fn karatsuba_measured(n: usize, seed: u64) -> Result<Self, MultiplyError> {
+        let mult = KaratsubaCimMultiplier::new(n)?;
+        let mut rng = UintRng::seeded(seed);
+        let a = rng.uniform(n);
+        let b = rng.uniform(n);
+        let out = mult.multiply(&a, &b)?;
+        let r = &out.report;
+        let mut stats = CycleStats::default();
+        stats.merge(&r.precompute_stats);
+        // The mult stage is latency-modeled (see cim-logic::multpim);
+        // charge its cycles as one op so totals stay exact.
+        stats.record(OpClass::Magic, r.stage_cycles[1]);
+        stats.merge(&r.postcompute_stats);
+        stats.record(OpClass::Write, 3 * HANDOFF_CYCLES);
+        Ok(JobProfile {
+            width: n,
+            algo: Algo::Karatsuba,
+            stage_latency: r.stage_cycles,
+            handoff: HANDOFF_CYCLES,
+            wear: [
+                StageWear::from_endurance(&r.endurance[0]),
+                StageWear::from_endurance(&r.endurance[1]),
+                StageWear::from_endurance(&r.endurance[2]),
+            ],
+            stats,
+            area_cells: r.area_cells,
+        })
+    }
+
+    /// Sum of stage latencies plus handoffs: unloaded job latency.
+    pub fn service_latency(&self) -> u64 {
+        self.stage_latency.iter().sum::<u64>() + 3 * self.handoff
+    }
+
+    /// Cycles the job occupies each stage `[pre, mult, post]`
+    /// (latency + drain handoff), as charged by the tile.
+    pub fn stage_occupancy(&self) -> [u64; 3] {
+        std::array::from_fn(|s| self.stage_latency[s] + self.handoff)
+    }
+
+    /// Worst per-cell writes this job inflicts anywhere on a tile.
+    pub fn max_writes(&self) -> u64 {
+        self.wear.iter().map(|w| w.max_writes).max().unwrap_or(0)
+    }
+}
+
+/// Synthesizes whole-job [`CycleStats`] from stage latencies when no
+/// measured breakdown exists: stage cycles are charged as one op per
+/// active stage, handoffs as writes (operand/product movement).
+fn synth_stats(stage_latency: [u64; 3], handoff: u64) -> CycleStats {
+    let mut stats = CycleStats::default();
+    for lat in stage_latency.into_iter().filter(|&l| l > 0) {
+        stats.record(OpClass::Magic, lat);
+    }
+    stats.record(OpClass::Write, 3 * handoff);
+    stats
+}
+
+/// How a [`ProfileTable`] obtains profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileSource {
+    /// Closed-form model only (instant; any width).
+    Analytic,
+    /// Calibrate Karatsuba classes by running the real simulator once
+    /// per class (schoolbook remains analytic).
+    Measured {
+        /// Seed for the calibration operands.
+        seed: u64,
+    },
+}
+
+/// Cache of one [`JobProfile`] per `(width, algo)` class.
+#[derive(Debug, Clone)]
+pub struct ProfileTable {
+    source: ProfileSource,
+    profiles: HashMap<(usize, Algo), JobProfile>,
+}
+
+impl ProfileTable {
+    /// An empty table that resolves classes on demand from `source`.
+    pub fn new(source: ProfileSource) -> Self {
+        ProfileTable {
+            source,
+            profiles: HashMap::new(),
+        }
+    }
+
+    /// Analytic-only table (the common case for sweeps).
+    pub fn analytic() -> Self {
+        Self::new(ProfileSource::Analytic)
+    }
+
+    /// The profile for `job`'s class, computing and caching it on
+    /// first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors in measured mode.
+    pub fn profile(&mut self, job: &Job) -> Result<&JobProfile, MultiplyError> {
+        let key = (job.width, job.algo);
+        if !self.profiles.contains_key(&key) {
+            let p = match (job.algo, self.source) {
+                (Algo::Karatsuba, ProfileSource::Analytic) => {
+                    JobProfile::karatsuba_analytic(job.width)
+                }
+                (Algo::Karatsuba, ProfileSource::Measured { seed }) => {
+                    JobProfile::karatsuba_measured(job.width, seed ^ job.width as u64)?
+                }
+                (Algo::Schoolbook, _) => JobProfile::schoolbook_analytic(job.width),
+            };
+            self.profiles.insert(key, p);
+        }
+        Ok(&self.profiles[&key])
+    }
+
+    /// Inserts a pre-built profile (used by the batch bridge, which
+    /// derives the profile from the multiplications it just ran).
+    pub fn insert(&mut self, profile: JobProfile) {
+        self.profiles.insert((profile.width, profile.algo), profile);
+    }
+
+    /// Largest stage-array area any cached class needs (tile sizing).
+    pub fn max_area_cells(&self) -> u64 {
+        self.profiles.values().map(|p| p.area_cells).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_matches_design_point_latency() {
+        for n in [64usize, 256, 1024, 2048] {
+            let p = JobProfile::karatsuba_analytic(n);
+            let d = DesignPoint::new(n);
+            assert_eq!(p.service_latency(), d.latency(), "n={n}");
+            assert_eq!(
+                p.stage_occupancy().into_iter().max().unwrap(),
+                d.initiation_interval(),
+                "n={n}"
+            );
+            assert_eq!(p.area_cells, d.area_cells(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn analytic_wear_bounded_by_model() {
+        // The model's wear-leveled max is the max of the mult/post
+        // stage wear; the per-stage split must reproduce it.
+        for n in [64usize, 256, 2048] {
+            let p = JobProfile::karatsuba_analytic(n);
+            let d = DesignPoint::new(n);
+            assert_eq!(
+                p.wear[1].max_writes.max(p.wear[2].max_writes),
+                d.max_writes,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn schoolbook_profile_single_stage() {
+        let p = JobProfile::schoolbook_analytic(256);
+        assert_eq!(p.stage_latency[0], 0);
+        assert_eq!(p.stage_latency[2], 0);
+        // 256·(8+14)+3
+        assert_eq!(p.stage_latency[1], 256 * 22 + 3);
+        assert_eq!(p.area_cells, 12 * 256);
+        assert_eq!(p.max_writes(), 2 * 256 + 2);
+    }
+
+    #[test]
+    fn measured_profile_agrees_with_model_envelope() {
+        let p = JobProfile::karatsuba_measured(64, 5).unwrap();
+        let d = DesignPoint::new(64);
+        assert_eq!(p.stage_latency[0], d.precompute_latency);
+        assert_eq!(p.stage_latency[1], d.multiply_latency);
+        let rel = (p.stage_latency[2] as f64 - d.postcompute_latency as f64).abs()
+            / d.postcompute_latency as f64;
+        assert!(rel < 0.05, "stage 3 off by {rel}");
+        // Stats cycles equal stage cycles + handoffs exactly.
+        assert_eq!(p.stats.cycles, p.service_latency());
+        // Measured wear is the real thing; model within 4x (same
+        // envelope the simulator tests use).
+        assert!(p.max_writes() <= 4 * d.max_writes);
+        assert!(p.max_writes() >= d.max_writes / 4);
+    }
+
+    #[test]
+    fn table_caches_per_class() {
+        let mut t = ProfileTable::analytic();
+        let job = Job {
+            id: 0,
+            width: 256,
+            algo: Algo::Karatsuba,
+            arrival: 0,
+        };
+        let a = t.profile(&job).unwrap().clone();
+        let b = t.profile(&job).unwrap().clone();
+        assert_eq!(a, b);
+        assert_eq!(t.max_area_cells(), a.area_cells);
+    }
+}

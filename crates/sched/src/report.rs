@@ -1,0 +1,216 @@
+//! Farm-level telemetry: per-job records, per-tile summaries, and the
+//! aggregate [`FarmReport`] the sweep binary prints.
+
+use crate::job::Job;
+use crate::policy::Policy;
+use cim_crossbar::{CycleStats, CELL_ENDURANCE_WRITES};
+
+/// Telemetry for one accepted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRecord {
+    /// The job as admitted.
+    pub job: Job,
+    /// Tile that served it.
+    pub tile: usize,
+    /// Cycle at which it entered the tile's first stage.
+    pub start: u64,
+    /// Cycle at which its product was back in main memory.
+    pub finish: u64,
+}
+
+impl JobRecord {
+    /// Cycles spent waiting between arrival and dispatch.
+    pub fn queue_cycles(&self) -> u64 {
+        self.start - self.job.arrival
+    }
+
+    /// End-to-end latency from arrival to completion.
+    pub fn latency(&self) -> u64 {
+        self.finish - self.job.arrival
+    }
+}
+
+/// Summary of one tile after a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileReport {
+    /// Tile index.
+    pub tile: usize,
+    /// Jobs served.
+    pub jobs_done: u64,
+    /// Stage-occupancy cycles accumulated.
+    pub busy_cycles: u64,
+    /// Worst accumulated per-cell writes on the tile.
+    pub max_cell_writes: u64,
+    /// Fraction of stage-cycles in use over the makespan.
+    pub utilization: f64,
+    /// Cumulative cycle statistics.
+    pub stats: CycleStats,
+}
+
+/// Aggregate result of one farm run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmReport {
+    /// Policy that produced this run.
+    pub policy: Policy,
+    /// Number of tiles in the farm.
+    pub tiles: usize,
+    /// Jobs submitted (accepted + rejected).
+    pub jobs_submitted: usize,
+    /// Jobs rejected by the bounded admission queue.
+    pub jobs_rejected: usize,
+    /// Cycle at which the last accepted job completed.
+    pub makespan_cycles: u64,
+    /// Per-job telemetry in admission order.
+    pub records: Vec<JobRecord>,
+    /// Per-tile summaries.
+    pub tile_reports: Vec<TileReport>,
+    /// Farm-wide cycle statistics (sum of the per-tile statistics).
+    pub total_stats: CycleStats,
+}
+
+impl FarmReport {
+    /// Jobs actually served.
+    pub fn jobs_done(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Latency percentile over accepted jobs (`p` in `0..=100`,
+    /// nearest-rank on the sorted latencies); 0 with no jobs.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        if self.records.is_empty() {
+            return 0;
+        }
+        let mut lat: Vec<u64> = self.records.iter().map(JobRecord::latency).collect();
+        lat.sort_unstable();
+        let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
+        lat[idx.min(lat.len() - 1)]
+    }
+
+    /// Median end-to-end job latency.
+    pub fn p50_latency(&self) -> u64 {
+        self.latency_percentile(50.0)
+    }
+
+    /// 99th-percentile end-to-end job latency.
+    pub fn p99_latency(&self) -> u64 {
+        self.latency_percentile(99.0)
+    }
+
+    /// Mean cycles jobs spent queued before dispatch.
+    pub fn mean_queue_cycles(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.queue_cycles() as f64).sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// Mean per-tile utilization over the makespan.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.tile_reports.is_empty() {
+            return 0.0;
+        }
+        self.tile_reports.iter().map(|t| t.utilization).sum::<f64>()
+            / self.tile_reports.len() as f64
+    }
+
+    /// Worst accumulated per-cell writes anywhere in the farm.
+    pub fn max_cell_writes(&self) -> u64 {
+        self.tile_reports
+            .iter()
+            .map(|t| t.max_cell_writes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Writes to the farm's hottest cell per multiplication served.
+    pub fn writes_per_multiplication(&self) -> f64 {
+        self.max_cell_writes() as f64 / self.jobs_done().max(1) as f64
+    }
+
+    /// Multiplications until the farm's hottest cell reaches the ReRAM
+    /// endurance limit, extrapolated from this run's wear rate.
+    pub fn projected_lifetime_multiplications(&self) -> u64 {
+        let per_mult = self.writes_per_multiplication();
+        if per_mult <= 0.0 {
+            u64::MAX
+        } else {
+            (CELL_ENDURANCE_WRITES as f64 / per_mult) as u64
+        }
+    }
+
+    /// Farm throughput over the whole run, in multiplications per
+    /// 10^6 cycles (includes pipeline fill; 0 for an empty run).
+    pub fn throughput_per_mcc(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        self.jobs_done() as f64 * 1.0e6 / self.makespan_cycles as f64
+    }
+
+    /// Steady-state initiation interval: completion spacing of the
+    /// last two jobs (farm-wide), or the single job's latency.
+    pub fn initiation_interval(&self) -> u64 {
+        let mut finishes: Vec<u64> = self.records.iter().map(|r| r.finish).collect();
+        finishes.sort_unstable();
+        match finishes.len() {
+            0 => 0,
+            1 => self.records[0].latency(),
+            k => finishes[k - 1] - finishes[k - 2],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Algo;
+
+    fn record(id: u64, arrival: u64, start: u64, finish: u64) -> JobRecord {
+        JobRecord {
+            job: Job { id, width: 256, algo: Algo::Karatsuba, arrival },
+            tile: 0,
+            start,
+            finish,
+        }
+    }
+
+    fn report(records: Vec<JobRecord>) -> FarmReport {
+        let makespan = records.iter().map(|r| r.finish).max().unwrap_or(0);
+        FarmReport {
+            policy: Policy::Fifo,
+            tiles: 1,
+            jobs_submitted: records.len(),
+            jobs_rejected: 0,
+            makespan_cycles: makespan,
+            records,
+            tile_reports: vec![],
+            total_stats: CycleStats::default(),
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let r = report((0..100).map(|i| record(i, 0, 0, (i + 1) * 10)).collect());
+        // Nearest rank on 100 samples: round(0.5·99) = 50 → 51st value.
+        assert_eq!(r.p50_latency(), 510);
+        assert_eq!(r.p99_latency(), 990);
+        assert_eq!(r.latency_percentile(100.0), 1000);
+    }
+
+    #[test]
+    fn queue_and_latency_split() {
+        let r = record(0, 100, 150, 400);
+        assert_eq!(r.queue_cycles(), 50);
+        assert_eq!(r.latency(), 300);
+    }
+
+    #[test]
+    fn empty_report_is_benign() {
+        let r = report(vec![]);
+        assert_eq!(r.p50_latency(), 0);
+        assert_eq!(r.throughput_per_mcc(), 0.0);
+        assert_eq!(r.max_cell_writes(), 0);
+        assert_eq!(r.projected_lifetime_multiplications(), u64::MAX);
+    }
+}

@@ -1,0 +1,291 @@
+//! The farm scheduler: admission, tile selection, dispatch.
+//!
+//! [`Scheduler::run`] serves an arrival-ordered job stream on a fresh
+//! farm of [`Tile`]s. Admission is FIFO with an optional bounded
+//! queue: a job is rejected when the number of admitted-but-not-yet-
+//! dispatched jobs at its arrival cycle has reached the queue depth.
+//! Accepted jobs are placed by the configured [`Policy`] and executed
+//! to completion on their tile (jobs never migrate between tiles;
+//! operands would have to be rewritten, costing the very writes the
+//! farm is trying to save).
+
+use crate::job::Job;
+use crate::policy::Policy;
+use crate::profile::{ProfileSource, ProfileTable};
+use crate::report::{FarmReport, JobRecord, TileReport};
+use crate::tile::{Tile, DEFAULT_ROTATION_SLOTS};
+use cim_crossbar::CycleStats;
+use karatsuba_cim::multiplier::MultiplyError;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of one farm run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FarmConfig {
+    /// Number of tiles.
+    pub tiles: usize,
+    /// Tile-selection policy.
+    pub policy: Policy,
+    /// Bounded admission-queue depth (`None` = unbounded).
+    pub queue_depth: Option<usize>,
+    /// Row-offset rotation slots per tile stage subarray.
+    pub rotation_slots: usize,
+}
+
+impl FarmConfig {
+    /// A farm of `tiles` tiles under `policy`, unbounded queue,
+    /// default rotation slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles == 0`.
+    pub fn new(tiles: usize, policy: Policy) -> Self {
+        assert!(tiles > 0, "farm needs at least one tile");
+        FarmConfig {
+            tiles,
+            policy,
+            queue_depth: None,
+            rotation_slots: DEFAULT_ROTATION_SLOTS,
+        }
+    }
+
+    /// Bounds the admission queue to `depth` waiting jobs.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = Some(depth);
+        self
+    }
+
+    /// Overrides the per-tile rotation-slot count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn with_rotation_slots(mut self, slots: usize) -> Self {
+        assert!(slots > 0, "a tile needs at least one rotation slot");
+        self.rotation_slots = slots;
+        self
+    }
+}
+
+/// A reusable farm scheduler; each [`run`](Scheduler::run) starts from
+/// a fresh (unworn, idle) farm.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    config: FarmConfig,
+    profiles: ProfileTable,
+}
+
+impl Scheduler {
+    /// A scheduler with analytic job profiles (the common case).
+    pub fn new(config: FarmConfig) -> Self {
+        Scheduler {
+            config,
+            profiles: ProfileTable::new(ProfileSource::Analytic),
+        }
+    }
+
+    /// A scheduler with a caller-provided profile table (measured
+    /// profiles, or pre-seeded by the batch bridge).
+    pub fn with_profiles(config: FarmConfig, profiles: ProfileTable) -> Self {
+        Scheduler { config, profiles }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FarmConfig {
+        &self.config
+    }
+
+    /// Serves `jobs` on a fresh farm and reports the run.
+    ///
+    /// Jobs are admitted in `(arrival, id)` order regardless of input
+    /// order. The result is fully deterministic for a given job
+    /// stream and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors from measured-profile resolution.
+    pub fn run(&mut self, jobs: &[Job]) -> Result<FarmReport, MultiplyError> {
+        let mut order: Vec<&Job> = jobs.iter().collect();
+        order.sort_by_key(|j| (j.arrival, j.id));
+
+        let mut tiles: Vec<Tile> = (0..self.config.tiles)
+            .map(|i| Tile::new(i, self.config.rotation_slots))
+            .collect();
+        let mut records = Vec::with_capacity(order.len());
+        let mut rejected = 0usize;
+        // Dispatch cycles of admitted jobs still waiting (start >
+        // current arrival): the backlog the bounded queue counts.
+        let mut waiting: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+        let rotate = self.config.policy.rotates();
+
+        for job in order {
+            while waiting.peek().is_some_and(|Reverse(s)| *s <= job.arrival) {
+                waiting.pop();
+            }
+            if self
+                .config
+                .queue_depth
+                .is_some_and(|depth| waiting.len() >= depth)
+            {
+                rejected += 1;
+                continue;
+            }
+            let profile = self.profiles.profile(job)?.clone();
+            let pick = self.config.policy.pick(&tiles, job.arrival);
+            let timing = tiles[pick].execute(job, &profile, rotate);
+            waiting.push(Reverse(timing.start[0]));
+            records.push(JobRecord {
+                job: *job,
+                tile: pick,
+                start: timing.start[0],
+                finish: timing.completed_at(),
+            });
+        }
+
+        let makespan = records.iter().map(|r| r.finish).max().unwrap_or(0);
+        let mut total_stats = CycleStats::default();
+        let tile_reports = tiles
+            .iter()
+            .map(|t| {
+                total_stats.merge(t.stats());
+                TileReport {
+                    tile: t.id(),
+                    jobs_done: t.jobs_done(),
+                    busy_cycles: t.busy_cycles(),
+                    max_cell_writes: t.max_cell_writes(),
+                    utilization: t.utilization(makespan),
+                    stats: *t.stats(),
+                }
+            })
+            .collect();
+
+        Ok(FarmReport {
+            policy: self.config.policy,
+            tiles: self.config.tiles,
+            jobs_submitted: jobs.len(),
+            jobs_rejected: rejected,
+            makespan_cycles: makespan,
+            records,
+            tile_reports,
+            total_stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Algo, JobMix};
+    use karatsuba_cim::pipeline::PipelineSchedule;
+
+    fn closed_batch(count: usize) -> Vec<Job> {
+        JobMix::uniform(256, Algo::Karatsuba, 0).generate(count, 1)
+    }
+
+    #[test]
+    fn one_tile_fifo_matches_pipeline_schedule() {
+        let jobs = closed_batch(10);
+        let report = Scheduler::new(FarmConfig::new(1, Policy::Fifo))
+            .run(&jobs)
+            .unwrap();
+        let reference = PipelineSchedule::for_design(256, 10);
+        assert_eq!(
+            report.makespan_cycles,
+            reference.jobs.last().unwrap().completed_at()
+        );
+        assert_eq!(report.initiation_interval(), reference.initiation_interval());
+        for (rec, expect) in report.records.iter().zip(&reference.jobs) {
+            assert_eq!(rec.start, expect.start[0]);
+            assert_eq!(rec.finish, expect.completed_at());
+        }
+    }
+
+    #[test]
+    fn farm_cycle_totals_equal_sum_of_tile_stats() {
+        for policy in Policy::all() {
+            let jobs = JobMix::crypto_default(200).generate(120, 5);
+            let report = Scheduler::new(FarmConfig::new(4, policy)).run(&jobs).unwrap();
+            let sum: u64 = report.tile_reports.iter().map(|t| t.stats.cycles).sum();
+            assert_eq!(report.total_stats.cycles, sum, "{policy:?}");
+            let ops: u64 = report.tile_reports.iter().map(|t| t.stats.ops).sum();
+            assert_eq!(report.total_stats.ops, ops, "{policy:?}");
+            let jobs_sum: u64 = report.tile_reports.iter().map(|t| t.jobs_done).sum();
+            assert_eq!(jobs_sum as usize, report.jobs_done(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn more_tiles_never_hurt_makespan() {
+        let jobs = closed_batch(32);
+        let mut last = u64::MAX;
+        for tiles in [1usize, 2, 4, 8] {
+            let report = Scheduler::new(FarmConfig::new(tiles, Policy::Fifo))
+                .run(&jobs)
+                .unwrap();
+            assert!(report.makespan_cycles <= last, "{tiles} tiles");
+            last = report.makespan_cycles;
+        }
+    }
+
+    #[test]
+    fn wear_leveling_extends_lifetime_at_equal_makespan() {
+        let jobs = closed_batch(256);
+        let fifo = Scheduler::new(FarmConfig::new(16, Policy::Fifo))
+            .run(&jobs)
+            .unwrap();
+        let wl = Scheduler::new(FarmConfig::new(16, Policy::WearLeveling))
+            .run(&jobs)
+            .unwrap();
+        let spread = (wl.makespan_cycles as f64 - fifo.makespan_cycles as f64).abs()
+            / fifo.makespan_cycles as f64;
+        assert!(spread <= 0.05, "makespan spread {spread}");
+        assert!(
+            wl.projected_lifetime_multiplications() > fifo.projected_lifetime_multiplications(),
+            "wear-leveling must outlive FIFO: {} vs {}",
+            wl.projected_lifetime_multiplications(),
+            fifo.projected_lifetime_multiplications()
+        );
+    }
+
+    #[test]
+    fn bounded_queue_rejects_under_overload() {
+        // Mean gap far below the service interval: the queue grows
+        // without bound unless admission is limited.
+        let jobs = JobMix::uniform(2048, Algo::Karatsuba, 10).generate(100, 9);
+        let bounded = Scheduler::new(FarmConfig::new(1, Policy::Fifo).with_queue_depth(4))
+            .run(&jobs)
+            .unwrap();
+        assert!(bounded.jobs_rejected > 0);
+        assert_eq!(bounded.jobs_done() + bounded.jobs_rejected, jobs.len());
+        let unbounded = Scheduler::new(FarmConfig::new(1, Policy::Fifo))
+            .run(&jobs)
+            .unwrap();
+        assert_eq!(unbounded.jobs_rejected, 0);
+        assert_eq!(unbounded.jobs_done(), jobs.len());
+        // Rejection keeps the accepted jobs' tail latency in check.
+        assert!(bounded.p99_latency() < unbounded.p99_latency());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let jobs = JobMix::crypto_default(300).generate(80, 21);
+        let a = Scheduler::new(FarmConfig::new(8, Policy::WearLeveling))
+            .run(&jobs)
+            .unwrap();
+        let b = Scheduler::new(FarmConfig::new(8, Policy::WearLeveling))
+            .run(&jobs)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixed_widths_all_complete() {
+        let jobs = JobMix::crypto_default(0).generate(60, 2);
+        let report = Scheduler::new(FarmConfig::new(4, Policy::LeastLoaded))
+            .run(&jobs)
+            .unwrap();
+        assert_eq!(report.jobs_done(), 60);
+        assert!(report.mean_utilization() > 0.0);
+        assert!(report.p99_latency() >= report.p50_latency());
+    }
+}

@@ -8,7 +8,6 @@
 //! ```
 
 use cim_bigint::rng::UintRng;
-use cim_bigint::Uint;
 use cim_modmul::montgomery::MontgomeryContext;
 use cim_modmul::{fields, ModularReducer};
 

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adders-1d16c34778a37817.d: crates/bench/benches/adders.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadders-1d16c34778a37817.rmeta: crates/bench/benches/adders.rs Cargo.toml
+
+crates/bench/benches/adders.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algo_exploration-217cd6aeaf656535.d: crates/bench/src/bin/algo_exploration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgo_exploration-217cd6aeaf656535.rmeta: crates/bench/src/bin/algo_exploration.rs Cargo.toml
+
+crates/bench/src/bin/algo_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algo_exploration-8582f74206fd5689.d: crates/bench/src/bin/algo_exploration.rs
+
+/root/repo/target/debug/deps/algo_exploration-8582f74206fd5689: crates/bench/src/bin/algo_exploration.rs
+
+crates/bench/src/bin/algo_exploration.rs:

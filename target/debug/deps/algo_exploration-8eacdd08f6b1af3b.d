@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algo_exploration-8eacdd08f6b1af3b.d: crates/bench/src/bin/algo_exploration.rs
+
+/root/repo/target/debug/deps/algo_exploration-8eacdd08f6b1af3b: crates/bench/src/bin/algo_exploration.rs
+
+crates/bench/src/bin/algo_exploration.rs:

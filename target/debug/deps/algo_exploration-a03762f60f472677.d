@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algo_exploration-a03762f60f472677.d: crates/bench/src/bin/algo_exploration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgo_exploration-a03762f60f472677.rmeta: crates/bench/src/bin/algo_exploration.rs Cargo.toml
+
+crates/bench/src/bin/algo_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

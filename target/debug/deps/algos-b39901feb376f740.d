@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algos-b39901feb376f740.d: crates/bench/benches/algos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgos-b39901feb376f740.rmeta: crates/bench/benches/algos.rs Cargo.toml
+
+crates/bench/benches/algos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

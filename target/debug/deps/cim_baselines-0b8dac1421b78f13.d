@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cim_baselines-0b8dac1421b78f13.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_baselines-0b8dac1421b78f13.rmeta: crates/baselines/src/lib.rs crates/baselines/src/interp.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cim_baselines-2f4e65ea7789a973.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/debug/deps/cim_baselines-2f4e65ea7789a973: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:

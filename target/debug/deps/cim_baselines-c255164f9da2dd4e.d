@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cim_baselines-c255164f9da2dd4e.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/debug/deps/libcim_baselines-c255164f9da2dd4e.rlib: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/debug/deps/libcim_baselines-c255164f9da2dd4e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cim_baselines-c4329a9791eadd8d.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_baselines-c4329a9791eadd8d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/interp.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cim_bench-3280ad52dcdd47ef.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_bench-3280ad52dcdd47ef.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

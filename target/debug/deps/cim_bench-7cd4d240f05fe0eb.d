@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cim_bench-7cd4d240f05fe0eb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcim_bench-7cd4d240f05fe0eb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcim_bench-7cd4d240f05fe0eb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cim_bench-9c06963881ff11b1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cim_bench-9c06963881ff11b1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

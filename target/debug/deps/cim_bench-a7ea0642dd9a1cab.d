@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cim_bench-a7ea0642dd9a1cab.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_bench-a7ea0642dd9a1cab.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

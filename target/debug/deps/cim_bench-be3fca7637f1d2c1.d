@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cim_bench-be3fca7637f1d2c1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cim_bench-be3fca7637f1d2c1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cim_bench-ecc6aceb04e19cc1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcim_bench-ecc6aceb04e19cc1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcim_bench-ecc6aceb04e19cc1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/cim_bigint-320b17021ac457fa.d: crates/bigint/src/lib.rs crates/bigint/src/add.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/error.rs crates/bigint/src/gcd.rs crates/bigint/src/int.rs crates/bigint/src/prime.rs crates/bigint/src/mul/mod.rs crates/bigint/src/mul/karatsuba.rs crates/bigint/src/mul/karatsuba_unrolled.rs crates/bigint/src/mul/schoolbook.rs crates/bigint/src/mul/toom.rs crates/bigint/src/opcount.rs crates/bigint/src/ops.rs crates/bigint/src/rng.rs crates/bigint/src/shift.rs crates/bigint/src/uint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_bigint-320b17021ac457fa.rmeta: crates/bigint/src/lib.rs crates/bigint/src/add.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/error.rs crates/bigint/src/gcd.rs crates/bigint/src/int.rs crates/bigint/src/prime.rs crates/bigint/src/mul/mod.rs crates/bigint/src/mul/karatsuba.rs crates/bigint/src/mul/karatsuba_unrolled.rs crates/bigint/src/mul/schoolbook.rs crates/bigint/src/mul/toom.rs crates/bigint/src/opcount.rs crates/bigint/src/ops.rs crates/bigint/src/rng.rs crates/bigint/src/shift.rs crates/bigint/src/uint.rs Cargo.toml
+
+crates/bigint/src/lib.rs:
+crates/bigint/src/add.rs:
+crates/bigint/src/convert.rs:
+crates/bigint/src/div.rs:
+crates/bigint/src/error.rs:
+crates/bigint/src/gcd.rs:
+crates/bigint/src/int.rs:
+crates/bigint/src/prime.rs:
+crates/bigint/src/mul/mod.rs:
+crates/bigint/src/mul/karatsuba.rs:
+crates/bigint/src/mul/karatsuba_unrolled.rs:
+crates/bigint/src/mul/schoolbook.rs:
+crates/bigint/src/mul/toom.rs:
+crates/bigint/src/opcount.rs:
+crates/bigint/src/ops.rs:
+crates/bigint/src/rng.rs:
+crates/bigint/src/shift.rs:
+crates/bigint/src/uint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/cim_crossbar-ed5cadc467f176be.d: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_crossbar-ed5cadc467f176be.rmeta: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs Cargo.toml
+
+crates/crossbar/src/lib.rs:
+crates/crossbar/src/array.rs:
+crates/crossbar/src/cell.rs:
+crates/crossbar/src/endurance.rs:
+crates/crossbar/src/energy.rs:
+crates/crossbar/src/error.rs:
+crates/crossbar/src/exec.rs:
+crates/crossbar/src/geometry.rs:
+crates/crossbar/src/isa.rs:
+crates/crossbar/src/parasitics.rs:
+crates/crossbar/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

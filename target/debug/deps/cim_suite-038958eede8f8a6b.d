@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cim_suite-038958eede8f8a6b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcim_suite-038958eede8f8a6b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcim_suite-038958eede8f8a6b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cim_suite-438c7f9216c60d4d.d: src/lib.rs
+
+/root/repo/target/debug/deps/cim_suite-438c7f9216c60d4d: src/lib.rs
+
+src/lib.rs:

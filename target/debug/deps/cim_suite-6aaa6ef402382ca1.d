@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cim_suite-6aaa6ef402382ca1.d: src/lib.rs
+
+/root/repo/target/debug/deps/cim_suite-6aaa6ef402382ca1: src/lib.rs
+
+src/lib.rs:

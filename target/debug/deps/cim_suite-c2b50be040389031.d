@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cim_suite-c2b50be040389031.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_suite-c2b50be040389031.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cim_suite-cb4f42705ad40110.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_suite-cb4f42705ad40110.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cim_suite-d7658cb3e570fec0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcim_suite-d7658cb3e570fec0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcim_suite-d7658cb3e570fec0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-6bd9960a44487ac4.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-6bd9960a44487ac4: tests/determinism.rs
+
+tests/determinism.rs:

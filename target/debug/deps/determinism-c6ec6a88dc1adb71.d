@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-c6ec6a88dc1adb71.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-c6ec6a88dc1adb71.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

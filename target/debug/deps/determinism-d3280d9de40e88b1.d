@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-d3280d9de40e88b1.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-d3280d9de40e88b1: tests/determinism.rs
+
+tests/determinism.rs:

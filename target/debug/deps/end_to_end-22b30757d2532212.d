@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-22b30757d2532212.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-22b30757d2532212: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d4b9cfe816f64969.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d4b9cfe816f64969: tests/end_to_end.rs
+
+tests/end_to_end.rs:

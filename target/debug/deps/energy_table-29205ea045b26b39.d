@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy_table-29205ea045b26b39.d: crates/bench/src/bin/energy_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy_table-29205ea045b26b39.rmeta: crates/bench/src/bin/energy_table.rs Cargo.toml
+
+crates/bench/src/bin/energy_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

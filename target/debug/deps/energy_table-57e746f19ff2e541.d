@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_table-57e746f19ff2e541.d: crates/bench/src/bin/energy_table.rs
+
+/root/repo/target/debug/deps/energy_table-57e746f19ff2e541: crates/bench/src/bin/energy_table.rs
+
+crates/bench/src/bin/energy_table.rs:

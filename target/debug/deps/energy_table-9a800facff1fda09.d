@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_table-9a800facff1fda09.d: crates/bench/src/bin/energy_table.rs
+
+/root/repo/target/debug/deps/energy_table-9a800facff1fda09: crates/bench/src/bin/energy_table.rs
+
+crates/bench/src/bin/energy_table.rs:

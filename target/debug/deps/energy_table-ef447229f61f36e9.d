@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy_table-ef447229f61f36e9.d: crates/bench/src/bin/energy_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy_table-ef447229f61f36e9.rmeta: crates/bench/src/bin/energy_table.rs Cargo.toml
+
+crates/bench/src/bin/energy_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

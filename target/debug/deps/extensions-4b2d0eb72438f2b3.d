@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-4b2d0eb72438f2b3.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-4b2d0eb72438f2b3: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-5e70d247a3d82d9d.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-5e70d247a3d82d9d.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

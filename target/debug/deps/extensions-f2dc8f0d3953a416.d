@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-f2dc8f0d3953a416.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-f2dc8f0d3953a416: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/farm_sweep-4997009d43132f63.d: crates/bench/src/bin/farm_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfarm_sweep-4997009d43132f63.rmeta: crates/bench/src/bin/farm_sweep.rs Cargo.toml
+
+crates/bench/src/bin/farm_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

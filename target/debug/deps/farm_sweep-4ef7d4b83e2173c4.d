@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/farm_sweep-4ef7d4b83e2173c4.d: crates/bench/src/bin/farm_sweep.rs
+
+/root/repo/target/debug/deps/farm_sweep-4ef7d4b83e2173c4: crates/bench/src/bin/farm_sweep.rs
+
+crates/bench/src/bin/farm_sweep.rs:

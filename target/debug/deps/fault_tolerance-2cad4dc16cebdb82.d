@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-2cad4dc16cebdb82.d: tests/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-2cad4dc16cebdb82.rmeta: tests/fault_tolerance.rs Cargo.toml
+
+tests/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-3882f0a430211eda.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-3882f0a430211eda: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-ef8b1d11de3c1702.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-ef8b1d11de3c1702: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

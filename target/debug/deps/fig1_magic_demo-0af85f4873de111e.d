@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_magic_demo-0af85f4873de111e.d: crates/bench/src/bin/fig1_magic_demo.rs
+
+/root/repo/target/debug/deps/fig1_magic_demo-0af85f4873de111e: crates/bench/src/bin/fig1_magic_demo.rs
+
+crates/bench/src/bin/fig1_magic_demo.rs:

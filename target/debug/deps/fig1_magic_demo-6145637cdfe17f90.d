@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_magic_demo-6145637cdfe17f90.d: crates/bench/src/bin/fig1_magic_demo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_magic_demo-6145637cdfe17f90.rmeta: crates/bench/src/bin/fig1_magic_demo.rs Cargo.toml
+
+crates/bench/src/bin/fig1_magic_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

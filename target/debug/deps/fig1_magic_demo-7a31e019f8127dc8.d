@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_magic_demo-7a31e019f8127dc8.d: crates/bench/src/bin/fig1_magic_demo.rs
+
+/root/repo/target/debug/deps/fig1_magic_demo-7a31e019f8127dc8: crates/bench/src/bin/fig1_magic_demo.rs
+
+crates/bench/src/bin/fig1_magic_demo.rs:

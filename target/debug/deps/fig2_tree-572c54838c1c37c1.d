@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_tree-572c54838c1c37c1.d: crates/bench/src/bin/fig2_tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_tree-572c54838c1c37c1.rmeta: crates/bench/src/bin/fig2_tree.rs Cargo.toml
+
+crates/bench/src/bin/fig2_tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_tree-7e7c27f2b9f5ee7d.d: crates/bench/src/bin/fig2_tree.rs
+
+/root/repo/target/debug/deps/fig2_tree-7e7c27f2b9f5ee7d: crates/bench/src/bin/fig2_tree.rs
+
+crates/bench/src/bin/fig2_tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_tree-c87aed891da064e0.d: crates/bench/src/bin/fig2_tree.rs
+
+/root/repo/target/debug/deps/fig2_tree-c87aed891da064e0: crates/bench/src/bin/fig2_tree.rs
+
+crates/bench/src/bin/fig2_tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_unrolled-8a3a4aca68dbf162.d: crates/bench/src/bin/fig3_unrolled.rs
+
+/root/repo/target/debug/deps/fig3_unrolled-8a3a4aca68dbf162: crates/bench/src/bin/fig3_unrolled.rs
+
+crates/bench/src/bin/fig3_unrolled.rs:

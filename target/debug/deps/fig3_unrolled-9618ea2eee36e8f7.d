@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_unrolled-9618ea2eee36e8f7.d: crates/bench/src/bin/fig3_unrolled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_unrolled-9618ea2eee36e8f7.rmeta: crates/bench/src/bin/fig3_unrolled.rs Cargo.toml
+
+crates/bench/src/bin/fig3_unrolled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

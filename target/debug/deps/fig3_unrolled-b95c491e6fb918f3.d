@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_unrolled-b95c491e6fb918f3.d: crates/bench/src/bin/fig3_unrolled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_unrolled-b95c491e6fb918f3.rmeta: crates/bench/src/bin/fig3_unrolled.rs Cargo.toml
+
+crates/bench/src/bin/fig3_unrolled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_unrolled-e3d1eac8e259e31d.d: crates/bench/src/bin/fig3_unrolled.rs
+
+/root/repo/target/debug/deps/fig3_unrolled-e3d1eac8e259e31d: crates/bench/src/bin/fig3_unrolled.rs
+
+crates/bench/src/bin/fig3_unrolled.rs:

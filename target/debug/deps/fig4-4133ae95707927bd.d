@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-4133ae95707927bd.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-4133ae95707927bd: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

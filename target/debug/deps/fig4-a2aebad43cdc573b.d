@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-a2aebad43cdc573b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-a2aebad43cdc573b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pipeline-041cdbfa3e4f22fd.d: crates/bench/src/bin/fig5_pipeline.rs
+
+/root/repo/target/debug/deps/fig5_pipeline-041cdbfa3e4f22fd: crates/bench/src/bin/fig5_pipeline.rs
+
+crates/bench/src/bin/fig5_pipeline.rs:

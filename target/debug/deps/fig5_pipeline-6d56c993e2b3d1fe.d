@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pipeline-6d56c993e2b3d1fe.d: crates/bench/src/bin/fig5_pipeline.rs
+
+/root/repo/target/debug/deps/fig5_pipeline-6d56c993e2b3d1fe: crates/bench/src/bin/fig5_pipeline.rs
+
+crates/bench/src/bin/fig5_pipeline.rs:

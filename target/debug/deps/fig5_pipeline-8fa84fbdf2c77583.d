@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_pipeline-8fa84fbdf2c77583.d: crates/bench/src/bin/fig5_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_pipeline-8fa84fbdf2c77583.rmeta: crates/bench/src/bin/fig5_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/fig5_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

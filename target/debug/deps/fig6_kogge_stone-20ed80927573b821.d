@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_kogge_stone-20ed80927573b821.d: crates/bench/src/bin/fig6_kogge_stone.rs
+
+/root/repo/target/debug/deps/fig6_kogge_stone-20ed80927573b821: crates/bench/src/bin/fig6_kogge_stone.rs
+
+crates/bench/src/bin/fig6_kogge_stone.rs:

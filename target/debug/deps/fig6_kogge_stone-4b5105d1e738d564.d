@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_kogge_stone-4b5105d1e738d564.d: crates/bench/src/bin/fig6_kogge_stone.rs
+
+/root/repo/target/debug/deps/fig6_kogge_stone-4b5105d1e738d564: crates/bench/src/bin/fig6_kogge_stone.rs
+
+crates/bench/src/bin/fig6_kogge_stone.rs:

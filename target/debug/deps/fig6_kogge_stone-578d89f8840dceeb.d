@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_kogge_stone-578d89f8840dceeb.d: crates/bench/src/bin/fig6_kogge_stone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_kogge_stone-578d89f8840dceeb.rmeta: crates/bench/src/bin/fig6_kogge_stone.rs Cargo.toml
+
+crates/bench/src/bin/fig6_kogge_stone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_kogge_stone-f96dbddfb3e48610.d: crates/bench/src/bin/fig6_kogge_stone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_kogge_stone-f96dbddfb3e48610.rmeta: crates/bench/src/bin/fig6_kogge_stone.rs Cargo.toml
+
+crates/bench/src/bin/fig6_kogge_stone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_postcompute-3c8cf8e0a10ee96d.d: crates/bench/src/bin/fig7_postcompute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_postcompute-3c8cf8e0a10ee96d.rmeta: crates/bench/src/bin/fig7_postcompute.rs Cargo.toml
+
+crates/bench/src/bin/fig7_postcompute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_postcompute-476d0a4f999d6758.d: crates/bench/src/bin/fig7_postcompute.rs
+
+/root/repo/target/debug/deps/fig7_postcompute-476d0a4f999d6758: crates/bench/src/bin/fig7_postcompute.rs
+
+crates/bench/src/bin/fig7_postcompute.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_postcompute-be733ac1fe0620a7.d: crates/bench/src/bin/fig7_postcompute.rs
+
+/root/repo/target/debug/deps/fig7_postcompute-be733ac1fe0620a7: crates/bench/src/bin/fig7_postcompute.rs
+
+crates/bench/src/bin/fig7_postcompute.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_postcompute-ed33cc7ca78c7e82.d: crates/bench/src/bin/fig7_postcompute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_postcompute-ed33cc7ca78c7e82.rmeta: crates/bench/src/bin/fig7_postcompute.rs Cargo.toml
+
+crates/bench/src/bin/fig7_postcompute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gate_properties-1367ec143d9a4471.d: crates/logic/tests/gate_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgate_properties-1367ec143d9a4471.rmeta: crates/logic/tests/gate_properties.rs Cargo.toml
+
+crates/logic/tests/gate_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gate_properties-860a9f9ead6bb91a.d: crates/logic/tests/gate_properties.rs
+
+/root/repo/target/debug/deps/gate_properties-860a9f9ead6bb91a: crates/logic/tests/gate_properties.rs
+
+crates/logic/tests/gate_properties.rs:

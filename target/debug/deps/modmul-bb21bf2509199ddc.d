@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modmul-bb21bf2509199ddc.d: crates/bench/benches/modmul.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodmul-bb21bf2509199ddc.rmeta: crates/bench/benches/modmul.rs Cargo.toml
+
+crates/bench/benches/modmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

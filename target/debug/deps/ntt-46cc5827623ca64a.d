@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntt-46cc5827623ca64a.d: crates/bench/benches/ntt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntt-46cc5827623ca64a.rmeta: crates/bench/benches/ntt.rs Cargo.toml
+
+crates/bench/benches/ntt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

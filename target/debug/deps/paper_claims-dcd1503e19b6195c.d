@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-dcd1503e19b6195c.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-dcd1503e19b6195c: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-f346ff57cd97b72e.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-f346ff57cd97b72e: tests/paper_claims.rs
+
+tests/paper_claims.rs:

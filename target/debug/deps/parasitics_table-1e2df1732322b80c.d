@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parasitics_table-1e2df1732322b80c.d: crates/bench/src/bin/parasitics_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparasitics_table-1e2df1732322b80c.rmeta: crates/bench/src/bin/parasitics_table.rs Cargo.toml
+
+crates/bench/src/bin/parasitics_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parasitics_table-31037a9c3868f18d.d: crates/bench/src/bin/parasitics_table.rs
+
+/root/repo/target/debug/deps/parasitics_table-31037a9c3868f18d: crates/bench/src/bin/parasitics_table.rs
+
+crates/bench/src/bin/parasitics_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parasitics_table-9d351a0d66ada857.d: crates/bench/src/bin/parasitics_table.rs
+
+/root/repo/target/debug/deps/parasitics_table-9d351a0d66ada857: crates/bench/src/bin/parasitics_table.rs
+
+crates/bench/src/bin/parasitics_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parasitics_table-edb7e1692892d37f.d: crates/bench/src/bin/parasitics_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparasitics_table-edb7e1692892d37f.rmeta: crates/bench/src/bin/parasitics_table.rs Cargo.toml
+
+crates/bench/src/bin/parasitics_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-04b414cfcc1cfbf4.d: crates/ntt/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-04b414cfcc1cfbf4.rmeta: crates/ntt/tests/properties.rs Cargo.toml
+
+crates/ntt/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

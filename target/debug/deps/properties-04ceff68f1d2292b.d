@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-04ceff68f1d2292b.d: crates/crossbar/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-04ceff68f1d2292b.rmeta: crates/crossbar/tests/properties.rs Cargo.toml
+
+crates/crossbar/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

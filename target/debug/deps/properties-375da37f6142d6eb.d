@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-375da37f6142d6eb.d: crates/core/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-375da37f6142d6eb.rmeta: crates/core/tests/properties.rs Cargo.toml
+
+crates/core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

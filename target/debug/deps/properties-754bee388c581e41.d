@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-754bee388c581e41.d: crates/baselines/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-754bee388c581e41: crates/baselines/tests/properties.rs
+
+crates/baselines/tests/properties.rs:

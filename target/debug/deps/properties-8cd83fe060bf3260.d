@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8cd83fe060bf3260.d: crates/ntt/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8cd83fe060bf3260: crates/ntt/tests/properties.rs
+
+crates/ntt/tests/properties.rs:

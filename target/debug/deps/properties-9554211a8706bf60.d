@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-9554211a8706bf60.d: crates/logic/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-9554211a8706bf60.rmeta: crates/logic/tests/properties.rs Cargo.toml
+
+crates/logic/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-975a47ebea68c21a.d: crates/crossbar/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-975a47ebea68c21a: crates/crossbar/tests/properties.rs
+
+crates/crossbar/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9775eaa7baf16b42.d: crates/bigint/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9775eaa7baf16b42: crates/bigint/tests/properties.rs
+
+crates/bigint/tests/properties.rs:

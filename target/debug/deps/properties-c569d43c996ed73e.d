@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c569d43c996ed73e.d: crates/modmul/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c569d43c996ed73e: crates/modmul/tests/properties.rs
+
+crates/modmul/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c90e9aa88b6e3d15.d: crates/bigint/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c90e9aa88b6e3d15.rmeta: crates/bigint/tests/properties.rs Cargo.toml
+
+crates/bigint/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

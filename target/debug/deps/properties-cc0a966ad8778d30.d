@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-cc0a966ad8778d30.d: crates/modmul/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-cc0a966ad8778d30.rmeta: crates/modmul/tests/properties.rs Cargo.toml
+
+crates/modmul/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-df6b54738408fb75.d: crates/baselines/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-df6b54738408fb75.rmeta: crates/baselines/tests/properties.rs Cargo.toml
+
+crates/baselines/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

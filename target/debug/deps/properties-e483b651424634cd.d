@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e483b651424634cd.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e483b651424634cd: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ff1728a2cb84573a.d: crates/logic/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ff1728a2cb84573a: crates/logic/tests/properties.rs
+
+crates/logic/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched-39d60ff41aa4c534.d: crates/bench/benches/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched-39d60ff41aa4c534.rmeta: crates/bench/benches/sched.rs Cargo.toml
+
+crates/bench/benches/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

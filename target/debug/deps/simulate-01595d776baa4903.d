@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulate-01595d776baa4903.d: crates/bench/src/bin/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulate-01595d776baa4903.rmeta: crates/bench/src/bin/simulate.rs Cargo.toml
+
+crates/bench/src/bin/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

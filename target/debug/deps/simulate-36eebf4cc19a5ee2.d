@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-36eebf4cc19a5ee2.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-36eebf4cc19a5ee2: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulate-473240c97f16aa6f.d: crates/bench/src/bin/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulate-473240c97f16aa6f.rmeta: crates/bench/src/bin/simulate.rs Cargo.toml
+
+crates/bench/src/bin/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-aff70b84166d339b.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-aff70b84166d339b: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stages-432d6a0f9a3d6c07.d: crates/bench/benches/stages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstages-432d6a0f9a3d6c07.rmeta: crates/bench/benches/stages.rs Cargo.toml
+
+crates/bench/benches/stages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

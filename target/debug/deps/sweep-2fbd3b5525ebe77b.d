@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep-2fbd3b5525ebe77b.d: crates/bench/src/bin/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep-2fbd3b5525ebe77b.rmeta: crates/bench/src/bin/sweep.rs Cargo.toml
+
+crates/bench/src/bin/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-3e69fd1ab563d8ff.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-3e69fd1ab563d8ff: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

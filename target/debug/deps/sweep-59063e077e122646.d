@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-59063e077e122646.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-59063e077e122646: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

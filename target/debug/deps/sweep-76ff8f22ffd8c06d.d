@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep-76ff8f22ffd8c06d.d: crates/bench/src/bin/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep-76ff8f22ffd8c06d.rmeta: crates/bench/src/bin/sweep.rs Cargo.toml
+
+crates/bench/src/bin/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

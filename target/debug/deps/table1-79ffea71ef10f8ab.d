@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-79ffea71ef10f8ab.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-79ffea71ef10f8ab: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e4db21c2be764e72.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e4db21c2be764e72: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_throughput-52ddf5deca22bb68.d: examples/batch_throughput.rs
+
+/root/repo/target/debug/examples/batch_throughput-52ddf5deca22bb68: examples/batch_throughput.rs
+
+examples/batch_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batch_throughput-8ee668823b1825bf.d: examples/batch_throughput.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatch_throughput-8ee668823b1825bf.rmeta: examples/batch_throughput.rs Cargo.toml
+
+examples/batch_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

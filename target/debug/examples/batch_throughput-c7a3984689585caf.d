@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_throughput-c7a3984689585caf.d: examples/batch_throughput.rs
+
+/root/repo/target/debug/examples/batch_throughput-c7a3984689585caf: examples/batch_throughput.rs
+
+examples/batch_throughput.rs:

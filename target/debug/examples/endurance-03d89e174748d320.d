@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/endurance-03d89e174748d320.d: examples/endurance.rs
+
+/root/repo/target/debug/examples/endurance-03d89e174748d320: examples/endurance.rs
+
+examples/endurance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/endurance-53d2be4e060586ee.d: examples/endurance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libendurance-53d2be4e060586ee.rmeta: examples/endurance.rs Cargo.toml
+
+examples/endurance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/endurance-797226e21944b6ef.d: examples/endurance.rs
+
+/root/repo/target/debug/examples/endurance-797226e21944b6ef: examples/endurance.rs
+
+examples/endurance.rs:

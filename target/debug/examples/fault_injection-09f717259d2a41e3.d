@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_injection-09f717259d2a41e3.d: examples/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_injection-09f717259d2a41e3.rmeta: examples/fault_injection.rs Cargo.toml
+
+examples/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-4be4e2ca238c7713.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-4be4e2ca238c7713: examples/fault_injection.rs
+
+examples/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-59bb1611e5f1b522.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-59bb1611e5f1b522: examples/fault_injection.rs
+
+examples/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fhe_modmul-365e4885acafbbe6.d: examples/fhe_modmul.rs
+
+/root/repo/target/debug/examples/fhe_modmul-365e4885acafbbe6: examples/fhe_modmul.rs
+
+examples/fhe_modmul.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fhe_modmul-43889dd518ba31fc.d: examples/fhe_modmul.rs
+
+/root/repo/target/debug/examples/fhe_modmul-43889dd518ba31fc: examples/fhe_modmul.rs
+
+examples/fhe_modmul.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fhe_modmul-7dd8c9c1b8df1ee3.d: examples/fhe_modmul.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfhe_modmul-7dd8c9c1b8df1ee3.rmeta: examples/fhe_modmul.rs Cargo.toml
+
+examples/fhe_modmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

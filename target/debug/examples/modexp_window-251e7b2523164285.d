@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/modexp_window-251e7b2523164285.d: examples/modexp_window.rs
+
+/root/repo/target/debug/examples/modexp_window-251e7b2523164285: examples/modexp_window.rs
+
+examples/modexp_window.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/modexp_window-b9d631a35568af24.d: examples/modexp_window.rs
+
+/root/repo/target/debug/examples/modexp_window-b9d631a35568af24: examples/modexp_window.rs
+
+examples/modexp_window.rs:

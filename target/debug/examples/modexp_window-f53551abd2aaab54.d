@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/modexp_window-f53551abd2aaab54.d: examples/modexp_window.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodexp_window-f53551abd2aaab54.rmeta: examples/modexp_window.rs Cargo.toml
+
+examples/modexp_window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ntt_poly_mul-3d22808712c68c17.d: examples/ntt_poly_mul.rs
+
+/root/repo/target/debug/examples/ntt_poly_mul-3d22808712c68c17: examples/ntt_poly_mul.rs
+
+examples/ntt_poly_mul.rs:

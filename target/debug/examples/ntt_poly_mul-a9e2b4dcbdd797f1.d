@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ntt_poly_mul-a9e2b4dcbdd797f1.d: examples/ntt_poly_mul.rs Cargo.toml
+
+/root/repo/target/debug/examples/libntt_poly_mul-a9e2b4dcbdd797f1.rmeta: examples/ntt_poly_mul.rs Cargo.toml
+
+examples/ntt_poly_mul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

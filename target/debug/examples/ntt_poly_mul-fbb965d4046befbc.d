@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ntt_poly_mul-fbb965d4046befbc.d: examples/ntt_poly_mul.rs
+
+/root/repo/target/debug/examples/ntt_poly_mul-fbb965d4046befbc: examples/ntt_poly_mul.rs
+
+examples/ntt_poly_mul.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-4f3e6a520c8cf876.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-4f3e6a520c8cf876.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

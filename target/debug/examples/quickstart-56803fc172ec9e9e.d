@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-56803fc172ec9e9e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-56803fc172ec9e9e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-de0c76dc255f1774.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-de0c76dc255f1774: examples/quickstart.rs
+
+examples/quickstart.rs:

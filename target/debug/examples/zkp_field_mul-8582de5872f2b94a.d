@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zkp_field_mul-8582de5872f2b94a.d: examples/zkp_field_mul.rs
+
+/root/repo/target/debug/examples/zkp_field_mul-8582de5872f2b94a: examples/zkp_field_mul.rs
+
+examples/zkp_field_mul.rs:

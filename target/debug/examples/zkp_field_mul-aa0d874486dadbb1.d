@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zkp_field_mul-aa0d874486dadbb1.d: examples/zkp_field_mul.rs
+
+/root/repo/target/debug/examples/zkp_field_mul-aa0d874486dadbb1: examples/zkp_field_mul.rs
+
+examples/zkp_field_mul.rs:

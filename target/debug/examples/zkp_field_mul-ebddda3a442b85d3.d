@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/zkp_field_mul-ebddda3a442b85d3.d: examples/zkp_field_mul.rs Cargo.toml
+
+/root/repo/target/debug/examples/libzkp_field_mul-ebddda3a442b85d3.rmeta: examples/zkp_field_mul.rs Cargo.toml
+
+examples/zkp_field_mul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

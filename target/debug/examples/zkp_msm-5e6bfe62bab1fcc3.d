@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zkp_msm-5e6bfe62bab1fcc3.d: examples/zkp_msm.rs
+
+/root/repo/target/debug/examples/zkp_msm-5e6bfe62bab1fcc3: examples/zkp_msm.rs
+
+examples/zkp_msm.rs:

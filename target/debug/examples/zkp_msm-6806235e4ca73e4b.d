@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/zkp_msm-6806235e4ca73e4b.d: examples/zkp_msm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libzkp_msm-6806235e4ca73e4b.rmeta: examples/zkp_msm.rs Cargo.toml
+
+examples/zkp_msm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zkp_msm-85589ca759beab4f.d: examples/zkp_msm.rs
+
+/root/repo/target/debug/examples/zkp_msm-85589ca759beab4f: examples/zkp_msm.rs
+
+examples/zkp_msm.rs:

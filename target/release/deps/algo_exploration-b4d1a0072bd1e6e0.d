@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/algo_exploration-b4d1a0072bd1e6e0.d: crates/bench/src/bin/algo_exploration.rs
+
+/root/repo/target/release/deps/algo_exploration-b4d1a0072bd1e6e0: crates/bench/src/bin/algo_exploration.rs
+
+crates/bench/src/bin/algo_exploration.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cim_baselines-246413aaa32fd4d6.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/release/deps/libcim_baselines-246413aaa32fd4d6.rlib: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/release/deps/libcim_baselines-246413aaa32fd4d6.rmeta: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cim_bench-d05caec82c984362.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcim_bench-d05caec82c984362.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcim_bench-d05caec82c984362.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cim_logic-7c70b6a3445f3496.d: crates/logic/src/lib.rs crates/logic/src/condsub.rs crates/logic/src/gates.rs crates/logic/src/kogge_stone.rs crates/logic/src/magic_schoolbook.rs crates/logic/src/multpim.rs crates/logic/src/program.rs crates/logic/src/ripple.rs crates/logic/src/tmr.rs
+
+/root/repo/target/release/deps/libcim_logic-7c70b6a3445f3496.rlib: crates/logic/src/lib.rs crates/logic/src/condsub.rs crates/logic/src/gates.rs crates/logic/src/kogge_stone.rs crates/logic/src/magic_schoolbook.rs crates/logic/src/multpim.rs crates/logic/src/program.rs crates/logic/src/ripple.rs crates/logic/src/tmr.rs
+
+/root/repo/target/release/deps/libcim_logic-7c70b6a3445f3496.rmeta: crates/logic/src/lib.rs crates/logic/src/condsub.rs crates/logic/src/gates.rs crates/logic/src/kogge_stone.rs crates/logic/src/magic_schoolbook.rs crates/logic/src/multpim.rs crates/logic/src/program.rs crates/logic/src/ripple.rs crates/logic/src/tmr.rs
+
+crates/logic/src/lib.rs:
+crates/logic/src/condsub.rs:
+crates/logic/src/gates.rs:
+crates/logic/src/kogge_stone.rs:
+crates/logic/src/magic_schoolbook.rs:
+crates/logic/src/multpim.rs:
+crates/logic/src/program.rs:
+crates/logic/src/ripple.rs:
+crates/logic/src/tmr.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cim_suite-516ad0b2007f4129.d: src/lib.rs
+
+/root/repo/target/release/deps/libcim_suite-516ad0b2007f4129.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcim_suite-516ad0b2007f4129.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cim_suite-5c041fa48f81e445.d: src/lib.rs
+
+/root/repo/target/release/deps/cim_suite-5c041fa48f81e445: src/lib.rs
+
+src/lib.rs:

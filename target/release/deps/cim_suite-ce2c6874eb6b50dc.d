@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cim_suite-ce2c6874eb6b50dc.d: src/lib.rs
+
+/root/repo/target/release/deps/libcim_suite-ce2c6874eb6b50dc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcim_suite-ce2c6874eb6b50dc.rmeta: src/lib.rs
+
+src/lib.rs:

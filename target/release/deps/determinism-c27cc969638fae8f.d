@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-c27cc969638fae8f.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-c27cc969638fae8f: tests/determinism.rs
+
+tests/determinism.rs:

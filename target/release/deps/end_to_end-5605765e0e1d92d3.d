@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-5605765e0e1d92d3.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-5605765e0e1d92d3: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/energy_table-fb858885bb605422.d: crates/bench/src/bin/energy_table.rs
+
+/root/repo/target/release/deps/energy_table-fb858885bb605422: crates/bench/src/bin/energy_table.rs
+
+crates/bench/src/bin/energy_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-cdaf882dee7dae05.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-cdaf882dee7dae05: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/farm_sweep-828750775e862315.d: crates/bench/src/bin/farm_sweep.rs
+
+/root/repo/target/release/deps/farm_sweep-828750775e862315: crates/bench/src/bin/farm_sweep.rs
+
+crates/bench/src/bin/farm_sweep.rs:

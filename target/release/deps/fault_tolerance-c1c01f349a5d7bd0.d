@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-c1c01f349a5d7bd0.d: tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-c1c01f349a5d7bd0: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

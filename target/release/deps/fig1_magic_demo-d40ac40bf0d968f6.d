@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_magic_demo-d40ac40bf0d968f6.d: crates/bench/src/bin/fig1_magic_demo.rs
+
+/root/repo/target/release/deps/fig1_magic_demo-d40ac40bf0d968f6: crates/bench/src/bin/fig1_magic_demo.rs
+
+crates/bench/src/bin/fig1_magic_demo.rs:

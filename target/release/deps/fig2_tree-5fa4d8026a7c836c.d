@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_tree-5fa4d8026a7c836c.d: crates/bench/src/bin/fig2_tree.rs
+
+/root/repo/target/release/deps/fig2_tree-5fa4d8026a7c836c: crates/bench/src/bin/fig2_tree.rs
+
+crates/bench/src/bin/fig2_tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_unrolled-ec19770e30207851.d: crates/bench/src/bin/fig3_unrolled.rs
+
+/root/repo/target/release/deps/fig3_unrolled-ec19770e30207851: crates/bench/src/bin/fig3_unrolled.rs
+
+crates/bench/src/bin/fig3_unrolled.rs:

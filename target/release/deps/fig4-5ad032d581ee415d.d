@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-5ad032d581ee415d.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-5ad032d581ee415d: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_pipeline-69e0c9f8efdbaf12.d: crates/bench/src/bin/fig5_pipeline.rs
+
+/root/repo/target/release/deps/fig5_pipeline-69e0c9f8efdbaf12: crates/bench/src/bin/fig5_pipeline.rs
+
+crates/bench/src/bin/fig5_pipeline.rs:

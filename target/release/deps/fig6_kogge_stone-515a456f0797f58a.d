@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_kogge_stone-515a456f0797f58a.d: crates/bench/src/bin/fig6_kogge_stone.rs
+
+/root/repo/target/release/deps/fig6_kogge_stone-515a456f0797f58a: crates/bench/src/bin/fig6_kogge_stone.rs
+
+crates/bench/src/bin/fig6_kogge_stone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_postcompute-48a5fed351fda0d7.d: crates/bench/src/bin/fig7_postcompute.rs
+
+/root/repo/target/release/deps/fig7_postcompute-48a5fed351fda0d7: crates/bench/src/bin/fig7_postcompute.rs
+
+crates/bench/src/bin/fig7_postcompute.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-d80e1154f6e92399.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-d80e1154f6e92399: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parasitics_table-c8848a9f02eea521.d: crates/bench/src/bin/parasitics_table.rs
+
+/root/repo/target/release/deps/parasitics_table-c8848a9f02eea521: crates/bench/src/bin/parasitics_table.rs
+
+crates/bench/src/bin/parasitics_table.rs:

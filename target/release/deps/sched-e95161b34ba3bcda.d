@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched-e95161b34ba3bcda.d: crates/bench/benches/sched.rs
+
+/root/repo/target/release/deps/sched-e95161b34ba3bcda: crates/bench/benches/sched.rs
+
+crates/bench/benches/sched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulate-bb434e4aa647eccd.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/release/deps/simulate-bb434e4aa647eccd: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

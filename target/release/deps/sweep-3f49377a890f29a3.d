@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-3f49377a890f29a3.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-3f49377a890f29a3: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-b1dee0f319756025.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-b1dee0f319756025: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

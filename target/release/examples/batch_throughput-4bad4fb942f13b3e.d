@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/batch_throughput-4bad4fb942f13b3e.d: examples/batch_throughput.rs
+
+/root/repo/target/release/examples/batch_throughput-4bad4fb942f13b3e: examples/batch_throughput.rs
+
+examples/batch_throughput.rs:

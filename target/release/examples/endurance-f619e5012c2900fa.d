@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/endurance-f619e5012c2900fa.d: examples/endurance.rs
+
+/root/repo/target/release/examples/endurance-f619e5012c2900fa: examples/endurance.rs
+
+examples/endurance.rs:

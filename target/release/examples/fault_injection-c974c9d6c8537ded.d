@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_injection-c974c9d6c8537ded.d: examples/fault_injection.rs
+
+/root/repo/target/release/examples/fault_injection-c974c9d6c8537ded: examples/fault_injection.rs
+
+examples/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fhe_modmul-22d2e8fbd3f1bbb9.d: examples/fhe_modmul.rs
+
+/root/repo/target/release/examples/fhe_modmul-22d2e8fbd3f1bbb9: examples/fhe_modmul.rs
+
+examples/fhe_modmul.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/modexp_window-ba84df0fe9d426c9.d: examples/modexp_window.rs
+
+/root/repo/target/release/examples/modexp_window-ba84df0fe9d426c9: examples/modexp_window.rs
+
+examples/modexp_window.rs:

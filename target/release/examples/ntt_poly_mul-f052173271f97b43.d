@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ntt_poly_mul-f052173271f97b43.d: examples/ntt_poly_mul.rs
+
+/root/repo/target/release/examples/ntt_poly_mul-f052173271f97b43: examples/ntt_poly_mul.rs
+
+examples/ntt_poly_mul.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6112f939c468d048.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6112f939c468d048: examples/quickstart.rs
+
+examples/quickstart.rs:

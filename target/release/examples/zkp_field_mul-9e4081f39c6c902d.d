@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/zkp_field_mul-9e4081f39c6c902d.d: examples/zkp_field_mul.rs
+
+/root/repo/target/release/examples/zkp_field_mul-9e4081f39c6c902d: examples/zkp_field_mul.rs
+
+examples/zkp_field_mul.rs:

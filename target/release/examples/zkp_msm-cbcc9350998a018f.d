@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/zkp_msm-cbcc9350998a018f.d: examples/zkp_msm.rs
+
+/root/repo/target/release/examples/zkp_msm-cbcc9350998a018f: examples/zkp_msm.rs
+
+examples/zkp_msm.rs:

@@ -4,7 +4,7 @@
 
 use cim_bigint::rng::UintRng;
 use cim_bigint::Uint;
-use karatsuba_cim::batch::run_batch;
+use cim_sched::batch::run_batch;
 use karatsuba_cim::multiplier::KaratsubaCimMultiplier;
 
 #[test]

@@ -1,0 +1,623 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds hermetically (no crates.io), so this crate
+//! provides the subset of proptest used by the repository's property
+//! suites: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! `any::<T>()`, range strategies, `prop::collection::vec`,
+//! [`ProptestConfig`], and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic**: each test's RNG is seeded from the test name,
+//!   so CI runs are reproducible without regression files
+//!   (`*.proptest-regressions` files are ignored).
+//! * **No shrinking**: a failing case reports the sampled inputs but
+//!   is not minimized. The values are printed, which is usually
+//!   enough to build a targeted unit test.
+//!
+//! Swapping the real crate back in is a one-line `Cargo.toml` change;
+//! the test sources need no edits.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (mirror of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject(String),
+}
+
+/// Result of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic splitmix64 stream used to drive strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the stream from an arbitrary string (e.g. the test name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, span)`.
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128) * span) >> 64
+    }
+}
+
+/// A generator of test inputs (mirror of `proptest::strategy::Strategy`,
+/// without shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns true (retrying; mirrors
+    /// `prop_filter` with the same rejection semantics as
+    /// `prop_assume!`).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive samples: {}", self.whence);
+    }
+}
+
+/// A strategy producing a single fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "arbitrary value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The `any::<T>()` strategy (all values of `T`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Builds the strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias towards edge values the way proptest's integer
+                // strategies do: ~1/16 of draws are 0 / MAX / 1.
+                match rng.below(16) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => 1,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                match rng.below(16) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only; property suites here never need NaN/inf.
+        let mantissa = rng.next_f64() * 2.0 - 1.0;
+        let exp = (rng.below(61) as i32 - 30) as f64;
+        mantissa * exp.exp2()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128 + rng.below(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                (lo as u128 + rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Collection strategies (mirror of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u128;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Fixed-size array strategies (mirror of `proptest::array`).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    macro_rules! uniform_array {
+        ($name:ident, $out:ident, $n:expr) => {
+            /// Strategy for `[S::Value; N]` with every element drawn
+            /// from the same strategy.
+            pub fn $name<S: Strategy>(element: S) -> $out<S> {
+                $out(element)
+            }
+
+            /// Output of the matching `uniformN` constructor.
+            #[derive(Debug, Clone)]
+            pub struct $out<S>(S);
+
+            impl<S: Strategy> Strategy for $out<S> {
+                type Value = [S::Value; $n];
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    std::array::from_fn(|_| self.0.sample(rng))
+                }
+            }
+        };
+    }
+
+    uniform_array!(uniform2, UniformArray2, 2);
+    uniform_array!(uniform3, UniformArray3, 3);
+    uniform_array!(uniform4, UniformArray4, 4);
+}
+
+/// `prop::` namespace as re-exported by the real prelude.
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property body; on failure the case
+/// (and test) fails with the sampled inputs printed by the runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Defines property tests (mirror of `proptest::proptest!`).
+///
+/// Supports the forms used in this repository:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0usize..100, v in prop::collection::vec(any::<u64>(), 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(16).saturating_add(64);
+            while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest: gave up after {} attempts ({} of {} cases passed; too many prop_assume! rejections)",
+                    attempts, passed, config.cases
+                );
+                let __vals = ($($crate::Strategy::sample(&($strat), &mut rng),)*);
+                // Described before the body runs: the body may move
+                // the bindings.
+                let __inputs = format!("{:?}", __vals);
+                let ($($pat,)*) = __vals;
+                let case = (|| -> $crate::TestCaseResult {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match case {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed after {} passing case(s): {}\ninputs ({}): {}",
+                            stringify!($name),
+                            passed,
+                            msg,
+                            stringify!($($pat),*),
+                            __inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u32..=4, f in -1.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_sizes(v in prop::collection::vec(any::<u64>(), 2..=5)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+        }
+
+        #[test]
+        fn map_applies(v in prop::collection::vec(any::<bool>(), 4).prop_map(|v| v.len())) {
+            prop_assert_eq!(v, 4);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::from_name("same");
+        let mut b = crate::TestRng::from_name("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            fn always_fails(x in 0usize..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
