@@ -1,0 +1,678 @@
+//! The static rule checker: walks a micro-op program over an abstract
+//! per-cell state lattice and collects every rule violation.
+//!
+//! The abstraction has three states per cell:
+//!
+//! * **Uninit** — nothing in the program (or the declared preloads)
+//!   has given the cell a value; sensing it is a latent bug even
+//!   though the simulator would read a physical 0;
+//! * **One** — the cell is known to hold logic 1 (set wave, or a
+//!   constant `true` row-write): the only legal MAGIC output state;
+//! * **Defined** — the cell holds a data-dependent value.
+//!
+//! Every [`MicroOp`] has an exact transfer function on this lattice
+//! because the ISA's control parameters (rows, spans, write payloads)
+//! are compile-time constants of the program — only cell *values* are
+//! data-dependent, and the lattice never needs them.
+
+use crate::pressure::WritePressure;
+use cim_crossbar::{Axis, MicroOp, Region};
+use std::error::Error;
+use std::fmt;
+
+/// Violations collected before verification gives up on a program.
+/// Keeps pathological inputs (e.g. fuzzer-mutated programs that are
+/// wrong in every op) from producing unbounded reports.
+pub const MAX_VIOLATIONS: usize = 64;
+
+/// Array geometry and entry assumptions for a verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyConfig {
+    rows: usize,
+    cols: usize,
+    preloaded: Vec<Region>,
+}
+
+impl VerifyConfig {
+    /// A config for a `rows × cols` array with nothing preloaded.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        VerifyConfig {
+            rows,
+            cols,
+            preloaded: Vec::new(),
+        }
+    }
+
+    /// Declares a region as holding defined data when the program
+    /// starts (operands loaded by a surrounding stage).
+    pub fn with_preloaded(mut self, region: Region) -> Self {
+        self.preloaded.push(region);
+        self
+    }
+
+    /// Convenience: declares each listed row as preloaded over `cols`.
+    pub fn with_preloaded_rows(mut self, rows: &[usize], cols: std::ops::Range<usize>) -> Self {
+        for &r in rows {
+            self.preloaded.push(Region::new(r..r + 1, cols.clone()));
+        }
+        self
+    }
+
+    /// Word lines of the verified array.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bit lines of the verified array.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// One statically-detected program bug. `op` is the index of the
+/// offending [`MicroOp`] within the program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// An op addresses a row outside the array.
+    RowOutOfRange {
+        /// Program index of the op.
+        op: usize,
+        /// Highest row the op touches.
+        row: usize,
+        /// Rows available.
+        rows: usize,
+    },
+    /// An op addresses a column outside the array.
+    ColOutOfRange {
+        /// Program index of the op.
+        op: usize,
+        /// Highest column the op touches.
+        col: usize,
+        /// Columns available.
+        cols: usize,
+    },
+    /// A cell is sensed before anything defined its value.
+    ReadBeforeInit {
+        /// Program index of the op.
+        op: usize,
+        /// Row of the uninitialized cell.
+        row: usize,
+        /// Column of the uninitialized cell.
+        col: usize,
+    },
+    /// A MAGIC output cell is not known to be logic 1 when driven.
+    OutputNotInitialized {
+        /// Program index of the op.
+        op: usize,
+        /// Row of the output cell.
+        row: usize,
+        /// Column of the output cell.
+        col: usize,
+    },
+    /// A MAGIC op lists the same line as both input and output.
+    InOutOverlap {
+        /// Program index of the op.
+        op: usize,
+        /// Orientation of the conflicting line.
+        axis: Axis,
+        /// Conflicting index (partition offset for partitioned ops).
+        index: usize,
+    },
+    /// Partitioned-NOR geometry is inconsistent (zero / non-dividing
+    /// partition width, or an offset outside the partition).
+    PartitionConflict {
+        /// Program index of the op.
+        op: usize,
+        /// Human-readable description of the conflict.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::RowOutOfRange { op, row, rows } => {
+                write!(f, "op {op}: row {row} out of range for {rows}-row array")
+            }
+            Violation::ColOutOfRange { op, col, cols } => {
+                write!(f, "op {op}: column {col} out of range for {cols}-column array")
+            }
+            Violation::ReadBeforeInit { op, row, col } => {
+                write!(f, "op {op}: cell ({row}, {col}) is read before initialization")
+            }
+            Violation::OutputNotInitialized { op, row, col } => write!(
+                f,
+                "op {op}: MAGIC output cell ({row}, {col}) is not initialized to logic 1"
+            ),
+            Violation::InOutOverlap { op, axis, index } => {
+                write!(f, "op {op}: MAGIC {axis} {index} is both input and output")
+            }
+            Violation::PartitionConflict { op, detail } => {
+                write!(f, "op {op}: partition conflict: {detail}")
+            }
+        }
+    }
+}
+
+/// The verdict of a failed verification: every violation found (up to
+/// [`MAX_VIOLATIONS`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Violations in program order.
+    pub violations: Vec<Violation>,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} static violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Result of a successful verification.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Ops in the verified program.
+    pub ops: usize,
+    /// Total clock cycles the program will charge.
+    pub cycles: u64,
+    /// Per-cell write pressure accumulated by the program.
+    pub pressure: WritePressure,
+}
+
+/// Abstract state of one cell during verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellState {
+    Uninit,
+    One,
+    Defined,
+}
+
+/// The per-cell lattice the verifier (and the well-formed-program
+/// generator) steps over a program.
+#[derive(Debug, Clone)]
+pub(crate) struct AbstractState {
+    rows: usize,
+    cols: usize,
+    cells: Vec<CellState>,
+}
+
+impl AbstractState {
+    pub(crate) fn from_config(config: &VerifyConfig) -> Self {
+        let mut state = AbstractState {
+            rows: config.rows,
+            cols: config.cols,
+            cells: vec![CellState::Uninit; config.rows * config.cols],
+        };
+        for region in &config.preloaded {
+            for r in region.rows.clone() {
+                for c in region.cols.clone() {
+                    if r < state.rows && c < state.cols {
+                        state.cells[r * state.cols + c] = CellState::Defined;
+                    }
+                }
+            }
+        }
+        state
+    }
+
+    fn get(&self, row: usize, col: usize) -> CellState {
+        self.cells[row * self.cols + col]
+    }
+
+    fn set(&mut self, row: usize, col: usize, s: CellState) {
+        self.cells[row * self.cols + col] = s;
+    }
+
+    /// Drives a cell and records wear.
+    fn write(
+        &mut self,
+        row: usize,
+        col: usize,
+        s: CellState,
+        pressure: &mut Option<&mut WritePressure>,
+    ) {
+        self.set(row, col, s);
+        if let Some(p) = pressure {
+            p.record(row, col);
+        }
+    }
+
+    /// Applies `op` (program index `index`), appending any violations.
+    /// An op that is out of bounds or geometrically broken is skipped
+    /// entirely (the executor rejects it before touching a cell); all
+    /// other ops apply their full transfer function even when they
+    /// violate init rules, mirroring lenient execution.
+    pub(crate) fn apply(
+        &mut self,
+        index: usize,
+        op: &MicroOp,
+        violations: &mut Vec<Violation>,
+        mut pressure: Option<&mut WritePressure>,
+    ) {
+        // Partition geometry first: the footprint of a broken
+        // partitioned op is only conservative.
+        if let MicroOp::NorColsPartitioned {
+            cols,
+            part_width,
+            in_offsets,
+            out_offset,
+            ..
+        } = op
+        {
+            let pw = *part_width;
+            if pw == 0 || cols.len() % pw != 0 {
+                violations.push(Violation::PartitionConflict {
+                    op: index,
+                    detail: format!(
+                        "span of {} columns is not a multiple of partition width {pw}",
+                        cols.len()
+                    ),
+                });
+                return;
+            }
+            if let Some(&off) = in_offsets
+                .iter()
+                .chain(std::iter::once(out_offset))
+                .find(|&&off| off >= pw)
+            {
+                violations.push(Violation::PartitionConflict {
+                    op: index,
+                    detail: format!("offset {off} outside partition width {pw}"),
+                });
+                return;
+            }
+        }
+
+        // Bounds, from the op's metadata footprint.
+        let fp = op.footprint();
+        if fp.row_bound() > self.rows {
+            violations.push(Violation::RowOutOfRange {
+                op: index,
+                row: fp.row_bound() - 1,
+                rows: self.rows,
+            });
+            return;
+        }
+        if fp.col_bound() > self.cols {
+            violations.push(Violation::ColOutOfRange {
+                op: index,
+                col: fp.col_bound() - 1,
+                cols: self.cols,
+            });
+            return;
+        }
+
+        // MAGIC in/out overlap: the gate would destroy its own input.
+        let overlap = match op {
+            MicroOp::NorRows { inputs, out, .. } if inputs.contains(out) => Some((Axis::Row, *out)),
+            MicroOp::NorCols {
+                in_cols, out_col, ..
+            } if in_cols.contains(out_col) => Some((Axis::Col, *out_col)),
+            MicroOp::NorColsPartitioned {
+                in_offsets,
+                out_offset,
+                ..
+            } if in_offsets.contains(out_offset) => Some((Axis::Col, *out_offset)),
+            _ => None,
+        };
+        if let Some((axis, idx)) = overlap {
+            violations.push(Violation::InOutOverlap {
+                op: index,
+                axis,
+                index: idx,
+            });
+            return;
+        }
+
+        // Read-before-init over every sensed cell (one report per op).
+        let mut read_reported = false;
+        for region in &fp.reads {
+            for r in region.rows.clone() {
+                for c in region.cols.clone() {
+                    if !read_reported && self.get(r, c) == CellState::Uninit {
+                        violations.push(Violation::ReadBeforeInit {
+                            op: index,
+                            row: r,
+                            col: c,
+                        });
+                        read_reported = true;
+                    }
+                }
+            }
+        }
+
+        // MAGIC output-init rule plus the transfer function.
+        let mut init_reported = false;
+        let mut magic_out =
+            |state: &mut Self, r: usize, c: usize, pressure: &mut Option<&mut WritePressure>| {
+                if !init_reported && state.get(r, c) != CellState::One {
+                    violations.push(Violation::OutputNotInitialized {
+                        op: index,
+                        row: r,
+                        col: c,
+                    });
+                    init_reported = true;
+                }
+                state.write(r, c, CellState::Defined, pressure);
+            };
+        match op {
+            MicroOp::WriteRow {
+                row,
+                col_offset,
+                bits,
+            } => {
+                // Payload bits are program constants, so the lattice
+                // stays exact: a written 1 is a legal MAGIC output.
+                for (i, &b) in bits.iter().enumerate() {
+                    let s = if b { CellState::One } else { CellState::Defined };
+                    self.write(*row, col_offset + i, s, &mut pressure);
+                }
+            }
+            MicroOp::ReadRow { .. } => {} // read-only; handled above
+            MicroOp::InitRows { rows, cols } => {
+                for &r in rows {
+                    for c in cols.clone() {
+                        self.write(r, c, CellState::One, &mut pressure);
+                    }
+                }
+            }
+            MicroOp::ResetRegion(region) => {
+                for r in region.rows.clone() {
+                    for c in region.cols.clone() {
+                        self.write(r, c, CellState::Defined, &mut pressure);
+                    }
+                }
+            }
+            MicroOp::ResetRows { rows, cols } => {
+                for &r in rows {
+                    for c in cols.clone() {
+                        self.write(r, c, CellState::Defined, &mut pressure);
+                    }
+                }
+            }
+            MicroOp::NorRows { out, cols, .. } => {
+                for c in cols.clone() {
+                    magic_out(self, *out, c, &mut pressure);
+                }
+            }
+            MicroOp::NorCols { out_col, rows, .. } => {
+                for r in rows.clone() {
+                    magic_out(self, r, *out_col, &mut pressure);
+                }
+            }
+            MicroOp::NorColsPartitioned {
+                rows,
+                cols,
+                part_width,
+                out_offset,
+                ..
+            } => {
+                for r in rows.clone() {
+                    for base in (cols.start..cols.end).step_by(*part_width) {
+                        magic_out(self, r, base + out_offset, &mut pressure);
+                    }
+                }
+            }
+            MicroOp::Shift { dst, cols, .. } => {
+                // The source window was checked as a read; every cell
+                // of the destination window becomes data (vacated
+                // positions take the constant fill, still Defined).
+                for c in cols.clone() {
+                    self.write(*dst, c, CellState::Defined, &mut pressure);
+                }
+            }
+        }
+    }
+}
+
+/// Statically verifies `program` against `config` without executing
+/// it.
+///
+/// The rules checked, in order per op:
+///
+/// 1. partitioned-NOR geometry is consistent (partition conflicts);
+/// 2. every touched row/column is inside the array;
+/// 3. no MAGIC op lists a line as both input and output;
+/// 4. no cell is sensed while still uninitialized;
+/// 5. every MAGIC output cell is known to hold logic 1 when driven.
+///
+/// On success the report carries the program's exact cycle count and
+/// the per-cell write pressure (for endurance-hotspot analysis).
+///
+/// # Errors
+///
+/// Returns every violation found (capped at [`MAX_VIOLATIONS`]), in
+/// program order.
+pub fn verify(program: &[MicroOp], config: &VerifyConfig) -> Result<VerifyReport, VerifyError> {
+    let mut state = AbstractState::from_config(config);
+    let mut pressure = WritePressure::new(config.rows, config.cols);
+    let mut violations = Vec::new();
+    let mut cycles = 0u64;
+    for (index, op) in program.iter().enumerate() {
+        if violations.len() >= MAX_VIOLATIONS {
+            break;
+        }
+        state.apply(index, op, &mut violations, Some(&mut pressure));
+        cycles += op.cycles();
+    }
+    if violations.is_empty() {
+        Ok(VerifyReport {
+            ops: program.len(),
+            cycles,
+            pressure,
+        })
+    } else {
+        Err(VerifyError { violations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rows: usize, cols: usize) -> VerifyConfig {
+        VerifyConfig::new(rows, cols)
+    }
+
+    #[test]
+    fn minimal_legal_nor_program_passes() {
+        let program = vec![
+            MicroOp::write_row(0, &[true, false, true]),
+            MicroOp::write_row(1, &[false, false, true]),
+            MicroOp::init_rows(&[2], 0..3),
+            MicroOp::nor_rows(&[0, 1], 2, 0..3),
+            MicroOp::read_row(2, 0..3),
+        ];
+        let report = verify(&program, &cfg(3, 3)).expect("legal program");
+        assert_eq!(report.ops, 5);
+        assert_eq!(report.cycles, 5);
+        assert_eq!(report.pressure.writes_at(2, 0), 2); // init + drive
+    }
+
+    #[test]
+    fn detects_read_before_init() {
+        let program = vec![MicroOp::read_row(1, 0..2)];
+        let err = verify(&program, &cfg(2, 2)).unwrap_err();
+        assert_eq!(
+            err.violations,
+            vec![Violation::ReadBeforeInit { op: 0, row: 1, col: 0 }]
+        );
+    }
+
+    #[test]
+    fn detects_uninitialized_nor_input() {
+        let program = vec![
+            MicroOp::init_rows(&[2], 0..2),
+            MicroOp::nor_rows(&[0], 2, 0..2), // row 0 never written
+        ];
+        let err = verify(&program, &cfg(3, 2)).unwrap_err();
+        assert!(matches!(
+            err.violations[0],
+            Violation::ReadBeforeInit { op: 1, row: 0, col: 0 }
+        ));
+    }
+
+    #[test]
+    fn detects_uninitialized_shift_source() {
+        let program = vec![MicroOp::shift(0, 0..4, 1)];
+        let err = verify(&program, &cfg(1, 4)).unwrap_err();
+        assert!(matches!(err.violations[0], Violation::ReadBeforeInit { op: 0, .. }));
+    }
+
+    #[test]
+    fn detects_missing_output_init() {
+        let program = vec![
+            MicroOp::write_row(0, &[true, true]),
+            MicroOp::nor_rows(&[0], 1, 0..2), // out row never set to 1
+        ];
+        let err = verify(&program, &cfg(2, 2)).unwrap_err();
+        assert_eq!(
+            err.violations,
+            vec![Violation::OutputNotInitialized { op: 1, row: 1, col: 0 }]
+        );
+    }
+
+    #[test]
+    fn reset_cell_is_not_a_legal_magic_output() {
+        let program = vec![
+            MicroOp::write_row(0, &[true, true]),
+            MicroOp::init_rows(&[1], 0..2),
+            MicroOp::reset_rows(&[1], 0..2), // knocks the init back down
+            MicroOp::nor_rows(&[0], 1, 0..2),
+        ];
+        let err = verify(&program, &cfg(2, 2)).unwrap_err();
+        assert!(matches!(
+            err.violations[0],
+            Violation::OutputNotInitialized { op: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn a_driven_output_cannot_be_reused_without_reinit() {
+        let program = vec![
+            MicroOp::write_row(0, &[false; 2]),
+            MicroOp::init_rows(&[1], 0..2),
+            MicroOp::nor_rows(&[0], 1, 0..2),
+            MicroOp::nor_rows(&[0], 1, 0..2), // second drive: out is stale
+        ];
+        let err = verify(&program, &cfg(2, 2)).unwrap_err();
+        assert!(matches!(
+            err.violations[0],
+            Violation::OutputNotInitialized { op: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn detects_in_out_overlap_on_both_axes() {
+        let program = vec![
+            MicroOp::init_rows(&[0, 1], 0..4),
+            MicroOp::nor_rows(&[0, 1], 1, 0..4),
+        ];
+        let err = verify(&program, &cfg(2, 4)).unwrap_err();
+        assert_eq!(
+            err.violations,
+            vec![Violation::InOutOverlap { op: 1, axis: Axis::Row, index: 1 }]
+        );
+
+        let program = vec![
+            MicroOp::init_rows(&[0], 0..4),
+            MicroOp::nor_cols(&[0, 2], 2, 0..1),
+        ];
+        let err = verify(&program, &cfg(1, 4)).unwrap_err();
+        assert_eq!(
+            err.violations,
+            vec![Violation::InOutOverlap { op: 1, axis: Axis::Col, index: 2 }]
+        );
+    }
+
+    #[test]
+    fn detects_out_of_range_rows_and_cols() {
+        let err = verify(&[MicroOp::write_row(9, &[true])], &cfg(2, 2)).unwrap_err();
+        assert_eq!(
+            err.violations,
+            vec![Violation::RowOutOfRange { op: 0, row: 9, rows: 2 }]
+        );
+        let err = verify(&[MicroOp::write_row(0, &[true; 5])], &cfg(2, 2)).unwrap_err();
+        assert_eq!(
+            err.violations,
+            vec![Violation::ColOutOfRange { op: 0, col: 4, cols: 2 }]
+        );
+    }
+
+    #[test]
+    fn detects_partition_conflicts() {
+        // Span not a multiple of the partition width.
+        let program = vec![MicroOp::nor_cols_partitioned(0..1, 0..8, 3, &[0], 1)];
+        let err = verify(&program, &cfg(1, 8)).unwrap_err();
+        assert!(matches!(err.violations[0], Violation::PartitionConflict { op: 0, .. }));
+        // Offset outside the partition.
+        let program = vec![MicroOp::nor_cols_partitioned(0..1, 0..8, 4, &[5], 1)];
+        let err = verify(&program, &cfg(1, 8)).unwrap_err();
+        assert!(matches!(err.violations[0], Violation::PartitionConflict { .. }));
+        // In/out overlap inside the partition is the overlap rule.
+        let program = vec![MicroOp::nor_cols_partitioned(0..1, 0..8, 4, &[1], 1)];
+        let err = verify(&program, &cfg(1, 8)).unwrap_err();
+        assert_eq!(
+            err.violations,
+            vec![Violation::InOutOverlap { op: 0, axis: Axis::Col, index: 1 }]
+        );
+    }
+
+    #[test]
+    fn legal_partitioned_nor_passes() {
+        let program = vec![
+            MicroOp::write_row(0, &[true; 8]),
+            MicroOp::reset_rows(&[0], 2..3),
+            MicroOp::reset_rows(&[0], 6..7),
+            MicroOp::init_rows(&[0], 2..3),
+            MicroOp::init_rows(&[0], 6..7),
+            MicroOp::nor_cols_partitioned(0..1, 0..8, 4, &[0, 1], 2),
+        ];
+        verify(&program, &cfg(1, 8)).expect("legal partitioned program");
+    }
+
+    #[test]
+    fn preloaded_regions_count_as_defined() {
+        let program = vec![
+            MicroOp::init_rows(&[2], 0..4),
+            MicroOp::nor_rows(&[0, 1], 2, 0..4),
+        ];
+        // Without preloads: rows 0 and 1 are uninitialized inputs.
+        assert!(verify(&program, &cfg(3, 4)).is_err());
+        // With the operand rows declared preloaded it passes.
+        let config = cfg(3, 4).with_preloaded_rows(&[0, 1], 0..4);
+        verify(&program, &config).expect("preloaded operands");
+    }
+
+    #[test]
+    fn violations_are_capped() {
+        let program: Vec<MicroOp> =
+            (0..200).map(|_| MicroOp::read_row(0, 0..1)).collect();
+        let err = verify(&program, &cfg(1, 1)).unwrap_err();
+        assert_eq!(err.violations.len(), MAX_VIOLATIONS);
+    }
+
+    #[test]
+    fn report_cycles_count_shifts_twice() {
+        let program = vec![
+            MicroOp::write_row(0, &[true, false]),
+            MicroOp::shift(0, 0..2, 1),
+        ];
+        let report = verify(&program, &cfg(1, 2)).unwrap();
+        assert_eq!(report.cycles, 3);
+    }
+
+    #[test]
+    fn error_display_lists_violations() {
+        let err = verify(&[MicroOp::read_row(0, 0..1)], &cfg(1, 1)).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("1 static violation"));
+        assert!(text.contains("read before initialization"));
+    }
+}

@@ -1,0 +1,158 @@
+//! The static verifier over every built-in program builder: all
+//! programs the workspace generates — adders, voting, multiplier
+//! prologues, whole pipeline stages — must pass with zero violations,
+//! and the verifier's cycle/pressure predictions must match the
+//! builders' analytic claims.
+
+use cim_bigint::Uint;
+use cim_check::{verify, VerifyConfig};
+use cim_logic::kogge_stone::{AddOp, AdderLayout, KoggeStoneAdder};
+use cim_logic::multpim::RowMultiplier;
+use cim_logic::tmr::majority;
+use karatsuba_cim::postcompute::{pass_program, PostcomputeStage};
+use karatsuba_cim::precompute::PrecomputeStage;
+
+fn ks_config(adder: &KoggeStoneAdder) -> VerifyConfig {
+    let layout = adder.layout();
+    let cols = layout.col_base..layout.col_base + adder.width() + 1;
+    VerifyConfig::new(adder.required_rows(), adder.required_cols())
+        .with_preloaded_rows(&[layout.x_row, layout.y_row], cols)
+}
+
+/// Every Kogge–Stone width 1..=64, both operations, verifies clean
+/// and the verifier's cycle count equals the analytic latency.
+#[test]
+fn kogge_stone_all_widths_verify() {
+    for width in 1..=64 {
+        let adder = KoggeStoneAdder::new(width);
+        for op in [AddOp::Add, AddOp::Sub] {
+            let program = adder.program(op);
+            let report = verify(&program, &ks_config(&adder))
+                .unwrap_or_else(|e| panic!("width {width} {op:?}:\n{e}"));
+            assert_eq!(report.cycles, adder.latency(), "width {width} {op:?}");
+        }
+    }
+}
+
+/// Wear-leveling rotations place the same program at every offset of
+/// the 15-row unit; all rotations must verify.
+#[test]
+fn rotated_adder_layouts_verify() {
+    let width = 16;
+    for rot in 0..15 {
+        let layout = AdderLayout::standalone().map_rows(|r| (r + rot) % 15);
+        let adder = KoggeStoneAdder::with_layout(width, layout);
+        let program = adder.program(AddOp::Add);
+        verify(&program, &ks_config(&adder)).unwrap_or_else(|e| panic!("rotation {rot}:\n{e}"));
+    }
+}
+
+/// The verifier's static write pressure on the Kogge–Stone scratch
+/// region matches the paper's ~2 writes/cell/level wear claim.
+#[test]
+fn kogge_stone_pressure_is_o_levels() {
+    let adder = KoggeStoneAdder::new(64);
+    let report = verify(&adder.program(AddOp::Add), &ks_config(&adder)).unwrap();
+    let levels = adder.levels() as u64;
+    assert!(
+        report.pressure.max_writes() <= 3 * levels,
+        "peak pressure {} should stay O(levels)",
+        report.pressure.max_writes()
+    );
+    assert!(report.pressure.max_writes() >= 2 * levels - 2);
+    // The hottest cells are scratch cells, not operand cells.
+    let layout = adder.layout();
+    for spot in report.pressure.hottest(4) {
+        assert!(
+            spot.row != layout.x_row && spot.row != layout.y_row,
+            "operand row {} must not be a hotspot",
+            spot.row
+        );
+    }
+}
+
+/// The TMR majority vote verifies at its standalone geometry.
+#[test]
+fn majority_vote_verifies() {
+    let program = majority(0, 1, 2, 3, [4, 5, 6], 0..9);
+    let config = VerifyConfig::new(7, 9).with_preloaded_rows(&[0, 1, 2], 0..9);
+    let report = verify(&program, &config).expect("majority program");
+    assert_eq!(report.cycles, 5, "init + 4 NORs");
+}
+
+/// The MultPIM operand-loading prologue verifies, including at a
+/// non-zero row/column placement.
+#[test]
+fn multpim_load_program_verifies() {
+    for (row, col_base) in [(0usize, 0usize), (3, 24)] {
+        let mult = RowMultiplier::new(8);
+        let program = mult.load_program(row, col_base, &Uint::from_u64(200), &Uint::from_u64(55));
+        let config = VerifyConfig::new(row + 1, col_base + mult.required_cols());
+        verify(&program, &config).unwrap_or_else(|e| panic!("row {row} col {col_base}:\n{e}"));
+    }
+}
+
+/// Whole precompute-stage programs (8 writes + 10 tree additions)
+/// verify with no preload declarations, at several operand widths.
+#[test]
+fn precompute_stage_programs_verify() {
+    for n in [16usize, 64, 256] {
+        let stage = PrecomputeStage::new(n).unwrap();
+        let a = Uint::pow2(n).sub(&Uint::one());
+        let b = Uint::from_u64(0x1234_5678).low_bits(n);
+        let program = stage.program(&a, &b);
+        let config = VerifyConfig::new(karatsuba_cim::precompute::ROWS, stage.cols());
+        let report = verify(&program, &config).unwrap_or_else(|e| panic!("n = {n}:\n{e}"));
+        // Stage latency = program + the 1-cc reset issued after the
+        // leaf handoff reads.
+        assert_eq!(report.cycles + 1, stage.latency(), "n = {n}");
+
+        let square = stage.square_program(&a);
+        let report = verify(&square, &config).unwrap_or_else(|e| panic!("square n = {n}:\n{e}"));
+        assert_eq!(report.cycles + 1, stage.square_latency(), "square n = {n}");
+    }
+}
+
+/// Postcompute adder passes (reset + writes + add/sub) verify as
+/// self-contained programs at the stage's 1.5n width.
+#[test]
+fn postcompute_pass_programs_verify() {
+    for n in [8usize, 64, 256] {
+        let stage = PostcomputeStage::new(n).unwrap();
+        let w = stage.adder_width();
+        let adder = KoggeStoneAdder::with_layout(
+            w,
+            AdderLayout {
+                x_row: 0,
+                y_row: 1,
+                sum_row: 2,
+                scratch: std::array::from_fn(|i| 8 + i),
+                col_base: 0,
+            },
+        );
+        let x = Uint::pow2(w).sub(&Uint::one());
+        let y = Uint::from_u64(1);
+        for op in [AddOp::Add, AddOp::Sub] {
+            let program = pass_program(&adder, op, &x, &y);
+            let config = VerifyConfig::new(adder.required_rows(), adder.required_cols());
+            verify(&program, &config).unwrap_or_else(|e| panic!("n = {n} {op:?}:\n{e}"));
+        }
+    }
+}
+
+/// End-to-end: the full pipelines run with their internal debug
+/// verification active (these would panic on any unverifiable
+/// generated program).
+#[test]
+fn pipelines_run_with_verification_active() {
+    let stage = PrecomputeStage::new(32).unwrap();
+    let a = Uint::from_u64(0xDEAD_BEEF);
+    let out = stage.run(&a, &a).unwrap();
+    assert_eq!(out.stats.cycles, stage.latency());
+
+    let d1 = karatsuba_cim::depth1::KaratsubaDepth1Multiplier::new(16).unwrap();
+    let out = d1
+        .multiply(&Uint::from_u64(60000), &Uint::from_u64(60001))
+        .unwrap();
+    assert_eq!(out.product, Uint::from_u128(60000 * 60001));
+}

@@ -1,0 +1,109 @@
+//! Differential fuzzing: random verified programs executed on both
+//! the cycle-accurate [`Executor`] and the ideal [`GoldMatrix`] must
+//! agree on every trace-visible effect — sensed reads, final cell
+//! state, cycle counts — and the executor's measured wear must equal
+//! the verifier's statically-predicted write pressure.
+
+use cim_check::{verify, GoldMatrix, ProgramGen, VerifyConfig};
+use cim_crossbar::{Crossbar, ExecConfig, Executor, MicroOp};
+use proptest::prelude::*;
+
+/// Runs one seeded differential case; panics (via assert) on any
+/// divergence. Returns (ops, cycles) for meta-assertions.
+fn run_case(rows: usize, cols: usize, min_len: usize, seed: u64) -> (usize, u64) {
+    let mut gen = ProgramGen::new(rows, cols, seed);
+    let program = gen.generate(min_len);
+
+    // The generator's programs must pass the static verifier.
+    let config = VerifyConfig::new(rows, cols);
+    let report = verify(&program, &config)
+        .unwrap_or_else(|err| panic!("seed {seed}: generated program failed verify:\n{err}"));
+
+    // Side A: cycle-accurate executor, strict init, with trace.
+    let mut array = Crossbar::new(rows, cols).unwrap();
+    let mut exec = Executor::with_config(
+        &mut array,
+        ExecConfig {
+            strict_init: true,
+            record_trace: true,
+        },
+    );
+    let mut exec_reads: Vec<Vec<bool>> = Vec::new();
+    for op in &program {
+        exec.step(op)
+            .unwrap_or_else(|e| panic!("seed {seed}: executor rejected verified op {op:?}: {e}"));
+        if matches!(op, MicroOp::ReadRow { .. }) {
+            exec_reads.push(exec.read_buffer().to_vec());
+        }
+    }
+    let exec_cycles = exec.stats().cycles;
+    assert_eq!(
+        exec.trace().len(),
+        program.len(),
+        "seed {seed}: trace must record every op"
+    );
+
+    // Side B: ideal gold interpreter.
+    let mut gold = GoldMatrix::new(rows, cols);
+    let gold_reads = gold.run(&program);
+
+    // Trace-visible effects agree.
+    assert_eq!(exec_reads, gold_reads, "seed {seed}: sensed reads diverged");
+    // Final state agrees cell-for-cell.
+    for r in 0..rows {
+        let exec_row = array.read_row_bits(r, 0..cols).unwrap();
+        let gold_row = gold.row_bits(r, 0..cols);
+        assert_eq!(exec_row, gold_row, "seed {seed}: final state of row {r} diverged");
+    }
+    // Cycle accounting agrees across all three implementations.
+    assert_eq!(exec_cycles, gold.cycles(), "seed {seed}: cycle counts diverged");
+    assert_eq!(exec_cycles, report.cycles, "seed {seed}: verifier cycle estimate diverged");
+    // Statically-predicted wear equals measured wear, cell for cell.
+    for r in 0..rows {
+        for c in 0..cols {
+            assert_eq!(
+                array.cell(r, c).unwrap().writes(),
+                report.pressure.writes_at(r, c),
+                "seed {seed}: wear prediction diverged at ({r}, {c})"
+            );
+        }
+    }
+    (program.len(), exec_cycles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// ≥256 random programs (geometry and seed both fuzzed) agree
+    /// between executor and gold model.
+    #[test]
+    fn executor_matches_gold_model(
+        rows in 2usize..=8,
+        cols in 2usize..=12,
+        min_len in 4usize..=48,
+        seed in any::<u64>(),
+    ) {
+        let (ops, cycles) = run_case(rows, cols, min_len, seed);
+        prop_assert!(ops >= min_len);
+        prop_assert!(cycles >= ops as u64, "every op costs at least one cycle");
+    }
+}
+
+/// A pinned regression case so failures in the proptest harness can
+/// be bisected against a stable program.
+#[test]
+fn pinned_seed_is_stable() {
+    let (ops, cycles) = run_case(4, 8, 32, 0xdead_beef);
+    assert!(ops >= 32);
+    assert!(cycles >= ops as u64);
+}
+
+/// Degenerate geometries (single row / single column) still agree.
+#[test]
+fn degenerate_geometries_agree() {
+    for seed in 0..16 {
+        run_case(1, 4, 12, seed);
+        run_case(4, 1, 12, seed);
+        run_case(2, 2, 8, seed);
+    }
+}

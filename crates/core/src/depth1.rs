@@ -102,8 +102,10 @@ impl KaratsubaDepth1Multiplier {
         let b_l = b.low_bits(h);
         let b_h = b.shr(h);
         let mut exec = Executor::new(&mut pre);
+        // Operand writes + both additions as one verified program.
+        let mut stage1 = Vec::new();
         for (i, v) in [&a_l, &a_h, &b_l, &b_h].iter().enumerate() {
-            exec.step(&MicroOp::write_row(i, &v.to_bits(pre_cols)))?;
+            stage1.push(MicroOp::write_row(i, &v.to_bits(pre_cols)));
         }
         let scratch: [usize; SCRATCH_ROWS] = std::array::from_fn(|i| 6 + i);
         for (x, y, sum) in [(1usize, 0usize, 4usize), (3, 2, 5)] {
@@ -117,8 +119,14 @@ impl KaratsubaDepth1Multiplier {
                     col_base: 0,
                 },
             );
-            exec.run(&adder.program(AddOp::Add))?;
+            stage1.extend(adder.program(AddOp::Add));
         }
+        cim_check::debug_assert_verified(
+            &stage1,
+            &cim_check::VerifyConfig::new(4 + 2 + SCRATCH_ROWS, pre_cols),
+            "KaratsubaDepth1Multiplier stage 1",
+        );
+        exec.run(&stage1)?;
         let a_m = Uint::from_bits(&exec.array().read_row_bits(4, 0..pre_cols)?);
         let b_m = Uint::from_bits(&exec.array().read_row_bits(5, 0..pre_cols)?);
         exec.step(&MicroOp::reset_region(0..6, 0..pre_cols))?;
@@ -150,10 +158,7 @@ impl KaratsubaDepth1Multiplier {
                         x: &Uint,
                         y: &Uint|
          -> Result<Uint, CrossbarError> {
-            exec.step(&MicroOp::reset_rows(&[0, 1, 2], 0..w + 1))?;
-            exec.step(&MicroOp::write_row(0, &x.to_bits(w + 1)))?;
-            exec.step(&MicroOp::write_row(1, &y.to_bits(w + 1)))?;
-            exec.run(&adder.program(op))?;
+            exec.run(&crate::postcompute::pass_program(&adder, op, x, y))?;
             let bits = exec.array().read_row_bits(2, 0..w + 1)?;
             let full = Uint::from_bits(&bits);
             Ok(match op {

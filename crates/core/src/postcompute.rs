@@ -44,6 +44,37 @@ use cim_logic::kogge_stone::{AddOp, AdderLayout, KoggeStoneAdder, SCRATCH_ROWS};
 /// Rows of the stage array: 8 data rows + 12 adder scratch rows.
 pub const ROWS: usize = 8 + SCRATCH_ROWS;
 
+/// One shared-adder pass as a verified micro-op program: reset the
+/// adder's I/O rows, write the packed operands, run the addition.
+/// Used by the stage-3 recombination here and by the depth-1 ablation
+/// pipeline.
+///
+/// The program is self-contained (the resets and writes define every
+/// cell the adder senses), so it is statically verified (`cim-check`,
+/// debug/test builds) with no preload declarations.
+///
+/// # Panics
+///
+/// Panics if an operand does not fit in `adder.width() + 1` bits, or
+/// (debug/test builds) if the composed program fails verification.
+pub fn pass_program(adder: &KoggeStoneAdder, op: AddOp, x: &Uint, y: &Uint) -> Vec<MicroOp> {
+    let w = adder.width();
+    let layout = adder.layout();
+    let cols = layout.col_base..layout.col_base + w + 1;
+    let mut prog = vec![
+        MicroOp::reset_rows(&[layout.x_row, layout.y_row, layout.sum_row], cols.clone()),
+        MicroOp::write_row_at(layout.x_row, layout.col_base, &x.to_bits(w + 1)),
+        MicroOp::write_row_at(layout.y_row, layout.col_base, &y.to_bits(w + 1)),
+    ];
+    prog.extend(adder.program(op));
+    cim_check::debug_assert_verified(
+        &prog,
+        &cim_check::VerifyConfig::new(adder.required_rows(), adder.required_cols()),
+        "postcompute::pass_program",
+    );
+    prog
+}
+
 /// Output of one postcomputation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PostcomputeOutput {
@@ -144,16 +175,14 @@ impl PostcomputeStage {
             },
         );
 
-        // One adder pass: reset I/O rows, write packed operands, run.
+        // One adder pass: reset I/O rows, write packed operands, run —
+        // a single verified program per pass.
         let pass = |exec: &mut Executor<'_>,
                         op: AddOp,
                         x: &Uint,
                         y: &Uint|
          -> Result<Uint, CrossbarError> {
-            exec.step(&MicroOp::reset_rows(&[0, 1, 2], 0..w + 1))?;
-            exec.step(&MicroOp::write_row(0, &x.to_bits(w + 1)))?;
-            exec.step(&MicroOp::write_row(1, &y.to_bits(w + 1)))?;
-            exec.run(&adder.program(op))?;
+            exec.run(&pass_program(&adder, op, x, y))?;
             let bits = exec.array().read_row_bits(2, 0..w + 1)?;
             let full = Uint::from_bits(&bits);
             Ok(match op {

@@ -130,6 +130,71 @@ impl PrecomputeStage {
         8 + 5 * adder.latency() + 1
     }
 
+    /// The layout of the addition with result row `sum` on the stage's
+    /// shared adder.
+    fn adder_for(&self, x: usize, y: usize, sum: usize) -> KoggeStoneAdder {
+        let scratch: [usize; SCRATCH_ROWS] = std::array::from_fn(|i| SCRATCH_BASE + i);
+        KoggeStoneAdder::with_layout(
+            self.adder_width(),
+            AdderLayout {
+                x_row: x,
+                y_row: y,
+                sum_row: sum,
+                scratch,
+                col_base: 0,
+            },
+        )
+    }
+
+    /// Composes the chunk writes and the given additions into one
+    /// program and statically verifies it (debug/test builds). The
+    /// composed program needs no preload declarations: the chunk
+    /// writes define every operand the additions consume.
+    fn compose_program(&self, chunks: &[&Uint], additions: &[(usize, usize, usize)]) -> Vec<MicroOp> {
+        let cols = self.cols();
+        let mut prog = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            prog.push(MicroOp::write_row(INPUT_BASE + i, &chunk.to_bits(cols)));
+        }
+        for &(x, y, sum) in additions {
+            prog.extend(self.adder_for(x, y, sum).program(AddOp::Add));
+        }
+        cim_check::debug_assert_verified(
+            &prog,
+            &cim_check::VerifyConfig::new(ROWS, cols),
+            "PrecomputeStage::program",
+        );
+        prog
+    }
+
+    /// The full stage as one verified micro-op program: 8 chunk writes
+    /// followed by the 10 tree additions. The closing reset wave is a
+    /// separate step because the leaf handoff reads precede it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in `n` bits, or (debug/test
+    /// builds) if the composed program fails static verification.
+    pub fn program(&self, a: &Uint, b: &Uint) -> Vec<MicroOp> {
+        let da = decompose_operand(a, self.n);
+        let db = decompose_operand(b, self.n);
+        let chunks: Vec<&Uint> = da.chunks.iter().chain(db.chunks.iter()).collect();
+        self.compose_program(&chunks, &ADDITIONS)
+    }
+
+    /// The squaring variant of [`PrecomputeStage::program`]: both
+    /// operand banks hold `a`'s chunks and only the five `a`-side
+    /// additions run.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`PrecomputeStage::program`] does.
+    pub fn square_program(&self, a: &Uint) -> Vec<MicroOp> {
+        let da = decompose_operand(a, self.n);
+        let chunks: Vec<&Uint> = da.chunks.iter().chain(da.chunks.iter()).collect();
+        self.compose_program(&chunks, &ADDITIONS[..5])
+    }
+
     /// Runs the stage for a squaring: the `b`-side sums equal the
     /// `a`-side sums, so only five additions execute and the controller
     /// mirrors the results — the stage runs in
@@ -147,26 +212,12 @@ impl PrecomputeStage {
         let da = decompose_operand(a, self.n);
         let mut array = Crossbar::new(ROWS, cols)?;
         let mut exec = Executor::new(&mut array);
-        // Write the same four chunks into BOTH operand banks (the
-        // paper's write circuit can drive two word lines with the same
-        // word, so this still charges 8 write cycles — kept identical
-        // to the general case for a conservative count).
-        for (i, chunk) in da.chunks.iter().chain(da.chunks.iter()).enumerate() {
-            exec.step(&MicroOp::write_row(INPUT_BASE + i, &chunk.to_bits(cols)))?;
-        }
-        // Only the five a-side additions.
-        let scratch: [usize; SCRATCH_ROWS] = std::array::from_fn(|i| SCRATCH_BASE + i);
-        for (x, y, sum) in &ADDITIONS[..5] {
-            let layout = AdderLayout {
-                x_row: *x,
-                y_row: *y,
-                sum_row: *sum,
-                scratch,
-                col_base: 0,
-            };
-            let adder = KoggeStoneAdder::with_layout(self.adder_width(), layout);
-            exec.run(&adder.program(AddOp::Add))?;
-        }
+        // The same four chunks go into BOTH operand banks (the paper's
+        // write circuit can drive two word lines with the same word,
+        // so this still charges 8 write cycles — kept identical to the
+        // general case for a conservative count), then the five a-side
+        // additions — all one verified program.
+        exec.run(&self.square_program(a))?;
         let read_leaf = |exec: &Executor<'_>, row: usize| -> Result<Uint, CrossbarError> {
             Ok(Uint::from_bits(&exec.array().read_row_bits(row, 0..cols)?))
         };
@@ -204,24 +255,9 @@ impl PrecomputeStage {
         let mut array = Crossbar::new(ROWS, cols)?;
         let mut exec = Executor::new(&mut array);
 
-        // (i) Write the 8 input chunks — 8 cc.
-        for (i, chunk) in da.chunks.iter().chain(db.chunks.iter()).enumerate() {
-            exec.step(&MicroOp::write_row(INPUT_BASE + i, &chunk.to_bits(cols)))?;
-        }
-
-        // (ii) Ten additions on the shared Kogge-Stone adder.
-        let scratch: [usize; SCRATCH_ROWS] = std::array::from_fn(|i| SCRATCH_BASE + i);
-        for (x, y, sum) in ADDITIONS {
-            let layout = AdderLayout {
-                x_row: x,
-                y_row: y,
-                sum_row: sum,
-                scratch,
-                col_base: 0,
-            };
-            let adder = KoggeStoneAdder::with_layout(self.adder_width(), layout);
-            exec.run(&adder.program(AddOp::Add))?;
-        }
+        // (i)+(ii) The 8 chunk writes and the ten tree additions as
+        // one statically-verified program — 8 + 10·adder cc.
+        exec.run(&self.program(a, b))?;
 
         // Read the 18 leaves (handoff — charged at the pipeline level).
         let read_leaf = |exec: &Executor<'_>, row: usize| -> Result<Uint, CrossbarError> {

@@ -4,7 +4,7 @@
 //! cycles are charged by the [`crate::Executor`] that drives them.
 
 use crate::cell::{Cell, Fault};
-use crate::error::CrossbarError;
+use crate::error::{Axis, CrossbarError};
 use crate::geometry::{ColRange, Region};
 use crate::PRACTICAL_LINE_LIMIT;
 
@@ -178,7 +178,10 @@ impl Crossbar {
         for &r in inputs {
             self.check_row(r)?;
             if r == out {
-                return Err(CrossbarError::OutputAliasesInput { index: r });
+                return Err(CrossbarError::MagicInOutOverlap {
+                    axis: Axis::Row,
+                    index: r,
+                });
             }
         }
         self.check_row(out)?;
@@ -216,7 +219,10 @@ impl Crossbar {
         for &c in in_cols {
             self.check_cols(&(c..c + 1))?;
             if c == out_col {
-                return Err(CrossbarError::OutputAliasesInput { index: c });
+                return Err(CrossbarError::MagicInOutOverlap {
+                    axis: Axis::Col,
+                    index: c,
+                });
             }
         }
         self.check_cols(&(out_col..out_col + 1))?;
@@ -277,7 +283,10 @@ impl Crossbar {
             }
         }
         if in_offsets.contains(&out_offset) {
-            return Err(CrossbarError::OutputAliasesInput { index: out_offset });
+            return Err(CrossbarError::MagicInOutOverlap {
+                axis: Axis::Col,
+                index: out_offset,
+            });
         }
         self.check_cols(&cols)?;
         if rows.end > self.rows {
@@ -506,7 +515,13 @@ mod tests {
     fn nor_rows_rejects_aliased_output() {
         let mut x = bar(3, 2);
         let err = x.nor_rows(&[0, 1], 1, 0..2, false).unwrap_err();
-        assert!(matches!(err, CrossbarError::OutputAliasesInput { index: 1 }));
+        assert!(matches!(
+            err,
+            CrossbarError::MagicInOutOverlap {
+                axis: Axis::Row,
+                index: 1
+            }
+        ));
     }
 
     #[test]
@@ -602,7 +617,10 @@ mod tests {
         ));
         assert!(matches!(
             x.nor_cols_partitioned(0..1, 0..8, 4, &[1], 1, false),
-            Err(CrossbarError::OutputAliasesInput { .. })
+            Err(CrossbarError::MagicInOutOverlap {
+                axis: Axis::Col,
+                index: 1
+            })
         ));
     }
 

@@ -3,6 +3,25 @@
 use std::error::Error;
 use std::fmt;
 
+/// Which physical line orientation an error refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// A word line (row index).
+    Row,
+    /// A bit line (column index; for partitioned ops, the offset
+    /// within a partition).
+    Col,
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Row => write!(f, "row"),
+            Axis::Col => write!(f, "column"),
+        }
+    }
+}
+
 /// Error raised by crossbar construction or micro-op execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CrossbarError {
@@ -22,10 +41,13 @@ pub enum CrossbarError {
     },
     /// An array dimension was zero.
     EmptyDimension,
-    /// A MAGIC operation's output row coincided with one of its inputs
+    /// A MAGIC operation listed the same cell as both input and output
     /// (physically the gate would destroy its own input).
-    OutputAliasesInput {
-        /// The conflicting row or column index.
+    MagicInOutOverlap {
+        /// Orientation of the conflicting line.
+        axis: Axis,
+        /// The conflicting row/column index (partition offset for
+        /// partitioned ops).
         index: usize,
     },
     /// Strict mode: a MAGIC output cell was not initialized to logic 1.
@@ -60,8 +82,8 @@ impl fmt::Display for CrossbarError {
                 write!(f, "column {col} out of range for {cols}-column array")
             }
             CrossbarError::EmptyDimension => write!(f, "array dimensions must be non-zero"),
-            CrossbarError::OutputAliasesInput { index } => {
-                write!(f, "MAGIC output line {index} aliases an input line")
+            CrossbarError::MagicInOutOverlap { axis, index } => {
+                write!(f, "MAGIC {axis} {index} is listed as both input and output")
             }
             CrossbarError::OutputNotInitialized { row, col } => write!(
                 f,
@@ -88,5 +110,19 @@ mod tests {
         assert!(e.to_string().contains('4'));
         let e = CrossbarError::OutputNotInitialized { row: 1, col: 2 };
         assert!(e.to_string().contains("initialized"));
+    }
+
+    #[test]
+    fn overlap_display_names_the_axis() {
+        let e = CrossbarError::MagicInOutOverlap {
+            axis: Axis::Row,
+            index: 7,
+        };
+        assert!(e.to_string().contains("row 7"));
+        let e = CrossbarError::MagicInOutOverlap {
+            axis: Axis::Col,
+            index: 3,
+        };
+        assert!(e.to_string().contains("column 3"));
     }
 }

@@ -275,6 +275,44 @@ mod tests {
     }
 
     #[test]
+    fn step_reports_magic_in_out_overlap_with_axis() {
+        use crate::error::Axis;
+        let mut x = Crossbar::new(4, 8).unwrap();
+        let mut e = Executor::new(&mut x);
+        // Row-oriented NOR naming its own output as an input.
+        let err = e.step(&MicroOp::nor_rows(&[0, 2], 2, 0..4)).unwrap_err();
+        assert_eq!(
+            err,
+            CrossbarError::MagicInOutOverlap {
+                axis: Axis::Row,
+                index: 2
+            }
+        );
+        // Column-oriented NOR, same mistake on the other axis.
+        let err = e.step(&MicroOp::nor_cols(&[1, 3], 3, 0..4)).unwrap_err();
+        assert_eq!(
+            err,
+            CrossbarError::MagicInOutOverlap {
+                axis: Axis::Col,
+                index: 3
+            }
+        );
+        // Partitioned NOR: the offending index is the partition offset.
+        let err = e
+            .step(&MicroOp::nor_cols_partitioned(0..1, 0..8, 4, &[0, 1], 1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CrossbarError::MagicInOutOverlap {
+                axis: Axis::Col,
+                index: 1
+            }
+        );
+        // Failed ops charge no cycles.
+        assert_eq!(e.stats().cycles, 0);
+    }
+
+    #[test]
     fn trace_records_ops_with_cycle_stamps() {
         let mut x = Crossbar::new(3, 4).unwrap();
         let mut e = Executor::with_config(

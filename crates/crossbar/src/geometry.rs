@@ -30,6 +30,16 @@ impl Region {
     pub fn contains(&self, row: usize, col: usize) -> bool {
         self.rows.contains(&row) && self.cols.contains(&col)
     }
+
+    /// Whether this region shares at least one cell with `other`.
+    pub fn intersects(&self, other: &Region) -> bool {
+        self.cells() > 0
+            && other.cells() > 0
+            && self.rows.start < other.rows.end
+            && other.rows.start < self.rows.end
+            && self.cols.start < other.cols.end
+            && other.cols.start < self.cols.end
+    }
 }
 
 #[cfg(test)]
@@ -51,5 +61,19 @@ mod tests {
         let r = Region::new(3..3, 0..10);
         assert_eq!(r.cells(), 0);
         assert!(!r.contains(3, 0));
+    }
+
+    #[test]
+    fn intersection_is_symmetric_and_exact() {
+        let a = Region::new(0..2, 0..4);
+        assert!(a.intersects(&Region::new(1..3, 3..5)));
+        assert!(Region::new(1..3, 3..5).intersects(&a));
+        // Touching edges do not overlap (half-open ranges).
+        assert!(!a.intersects(&Region::new(2..4, 0..4)));
+        assert!(!a.intersects(&Region::new(0..2, 4..8)));
+        // Empty regions overlap nothing, not even themselves.
+        let empty = Region::new(1..1, 0..4);
+        assert!(!empty.intersects(&a));
+        assert!(!empty.intersects(&empty));
     }
 }

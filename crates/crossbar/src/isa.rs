@@ -222,6 +222,153 @@ impl MicroOp {
             _ => 1,
         }
     }
+
+    /// Whether this op is an in-array MAGIC gate (NOR family) — the
+    /// ops whose output cells must be pre-initialized and must not
+    /// alias an input.
+    pub fn is_magic(&self) -> bool {
+        matches!(
+            self,
+            MicroOp::NorRows { .. } | MicroOp::NorCols { .. } | MicroOp::NorColsPartitioned { .. }
+        )
+    }
+
+    /// The cells this op senses (reads) and drives (writes), as
+    /// rectangular regions — the metadata static analyzers build on.
+    ///
+    /// Regions are exact except for a [`MicroOp::NorColsPartitioned`]
+    /// with inconsistent geometry (zero or non-dividing partition
+    /// width, or an offset outside the partition), where the whole
+    /// span is conservatively reported as both read and written; the
+    /// executor rejects such an op before touching any cell anyway.
+    pub fn footprint(&self) -> OpFootprint {
+        let row_span = |row: usize, cols: &ColRange| Region::new(row..row + 1, cols.clone());
+        match self {
+            MicroOp::WriteRow {
+                row,
+                col_offset,
+                bits,
+            } => OpFootprint {
+                reads: Vec::new(),
+                writes: vec![row_span(*row, &(*col_offset..col_offset + bits.len()))],
+            },
+            MicroOp::ReadRow { row, cols } => OpFootprint {
+                reads: vec![row_span(*row, cols)],
+                writes: Vec::new(),
+            },
+            MicroOp::InitRows { rows, cols } | MicroOp::ResetRows { rows, cols } => OpFootprint {
+                reads: Vec::new(),
+                writes: rows.iter().map(|&r| row_span(r, cols)).collect(),
+            },
+            MicroOp::ResetRegion(region) => OpFootprint {
+                reads: Vec::new(),
+                writes: vec![region.clone()],
+            },
+            MicroOp::NorRows { inputs, out, cols } => OpFootprint {
+                reads: inputs.iter().map(|&r| row_span(r, cols)).collect(),
+                writes: vec![row_span(*out, cols)],
+            },
+            MicroOp::NorCols {
+                in_cols,
+                out_col,
+                rows,
+            } => OpFootprint {
+                reads: in_cols
+                    .iter()
+                    .map(|&c| Region::new(rows.clone(), c..c + 1))
+                    .collect(),
+                writes: vec![Region::new(rows.clone(), *out_col..out_col + 1)],
+            },
+            MicroOp::NorColsPartitioned {
+                rows,
+                cols,
+                part_width,
+                in_offsets,
+                out_offset,
+            } => {
+                let geometry_ok = *part_width > 0
+                    && cols.len() % part_width == 0
+                    && in_offsets
+                        .iter()
+                        .chain(std::iter::once(out_offset))
+                        .all(|&off| off < *part_width);
+                if !geometry_ok {
+                    let whole = Region::new(rows.clone(), cols.clone());
+                    return OpFootprint {
+                        reads: vec![whole.clone()],
+                        writes: vec![whole],
+                    };
+                }
+                let bases = (cols.start..cols.end).step_by(*part_width);
+                OpFootprint {
+                    reads: bases
+                        .clone()
+                        .flat_map(|base| {
+                            in_offsets.iter().map(move |&off| {
+                                Region::new(rows.clone(), base + off..base + off + 1)
+                            })
+                        })
+                        .collect(),
+                    writes: bases
+                        .map(|base| {
+                            Region::new(rows.clone(), base + out_offset..base + out_offset + 1)
+                        })
+                        .collect(),
+                }
+            }
+            MicroOp::Shift {
+                src, dst, cols, ..
+            } => OpFootprint {
+                reads: vec![row_span(*src, cols)],
+                writes: vec![row_span(*dst, cols)],
+            },
+        }
+    }
+}
+
+/// The cells a [`MicroOp`] reads and writes, as rectangular regions.
+///
+/// Produced by [`MicroOp::footprint`]; consumed by static analyzers
+/// (bounds checking, wear accounting, MAGIC legality) that must reason
+/// about programs without executing them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpFootprint {
+    /// Regions the op senses. Empty regions may appear (zero-width
+    /// spans); they touch no cells.
+    pub reads: Vec<Region>,
+    /// Regions the op drives.
+    pub writes: Vec<Region>,
+}
+
+impl OpFootprint {
+    /// One past the highest row touched (0 if the op touches nothing).
+    pub fn row_bound(&self) -> usize {
+        self.regions().map(|r| r.rows.end).max().unwrap_or(0)
+    }
+
+    /// One past the highest column touched (0 if the op touches
+    /// nothing).
+    pub fn col_bound(&self) -> usize {
+        self.regions().map(|r| r.cols.end).max().unwrap_or(0)
+    }
+
+    /// Whether any written region shares a cell with any read region —
+    /// for MAGIC ops, the statically-checkable in/out overlap
+    /// condition.
+    pub fn writes_overlap_reads(&self) -> bool {
+        self.writes
+            .iter()
+            .any(|w| self.reads.iter().any(|r| w.intersects(r)))
+    }
+
+    /// Whether the op touches the given cell at all.
+    pub fn touches(&self, row: usize, col: usize) -> bool {
+        self.regions().any(|r| r.contains(row, col))
+    }
+
+    fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.reads.iter().chain(self.writes.iter())
+    }
 }
 
 #[cfg(test)]
@@ -243,5 +390,56 @@ mod tests {
     fn not_is_single_input_nor() {
         let op = MicroOp::not_row(3, 5, 0..2);
         assert_eq!(op, MicroOp::nor_rows(&[3], 5, 0..2));
+    }
+
+    #[test]
+    fn footprint_of_row_nor() {
+        let fp = MicroOp::nor_rows(&[0, 1], 2, 4..8).footprint();
+        assert_eq!(fp.reads.len(), 2);
+        assert_eq!(fp.writes, vec![Region::new(2..3, 4..8)]);
+        assert_eq!(fp.row_bound(), 3);
+        assert_eq!(fp.col_bound(), 8);
+        assert!(!fp.writes_overlap_reads());
+        assert!(fp.touches(0, 5));
+        assert!(!fp.touches(0, 3));
+    }
+
+    #[test]
+    fn footprint_flags_aliased_nor() {
+        let fp = MicroOp::nor_rows(&[0, 2], 2, 0..4).footprint();
+        assert!(fp.writes_overlap_reads());
+        let fp = MicroOp::nor_cols(&[1, 3], 3, 0..2).footprint();
+        assert!(fp.writes_overlap_reads());
+    }
+
+    #[test]
+    fn footprint_of_partitioned_nor_is_per_partition() {
+        let fp = MicroOp::nor_cols_partitioned(0..2, 0..8, 4, &[0, 1], 2).footprint();
+        // 2 partitions × 2 inputs read, 2 outputs written.
+        assert_eq!(fp.reads.len(), 4);
+        assert_eq!(fp.writes.len(), 2);
+        assert!(fp.touches(1, 6), "second partition's output");
+        assert!(!fp.touches(0, 3), "offset 3 unused");
+        assert!(!fp.writes_overlap_reads());
+    }
+
+    #[test]
+    fn footprint_of_bad_partition_is_conservative() {
+        let fp = MicroOp::nor_cols_partitioned(0..1, 0..8, 3, &[0], 1).footprint();
+        assert_eq!(fp.reads, vec![Region::new(0..1, 0..8)]);
+        assert_eq!(fp.writes, vec![Region::new(0..1, 0..8)]);
+        assert!(fp.writes_overlap_reads());
+    }
+
+    #[test]
+    fn shift_reads_src_writes_dst() {
+        let fp = MicroOp::shift_to(1, 4, 2..6, 1, false).footprint();
+        assert_eq!(fp.reads, vec![Region::new(1..2, 2..6)]);
+        assert_eq!(fp.writes, vec![Region::new(4..5, 2..6)]);
+        // In-place shift overlaps by design; it is not a MAGIC op.
+        let inplace = MicroOp::shift(1, 2..6, 1);
+        assert!(inplace.footprint().writes_overlap_reads());
+        assert!(!inplace.is_magic());
+        assert!(MicroOp::nor_rows(&[0], 1, 0..2).is_magic());
     }
 }

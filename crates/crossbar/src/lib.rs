@@ -64,10 +64,10 @@ pub use array::Crossbar;
 pub use cell::{Cell, Fault};
 pub use endurance::{EnduranceReport, CELL_ENDURANCE_WRITES};
 pub use energy::{EnergyParams, EnergyReport};
-pub use error::CrossbarError;
-pub use exec::{ExecConfig, Executor};
+pub use error::{Axis, CrossbarError};
+pub use exec::{ExecConfig, Executor, TraceEntry};
 pub use geometry::{ColRange, Region};
-pub use isa::MicroOp;
+pub use isa::{MicroOp, OpFootprint};
 pub use stats::{CycleStats, OpClass};
 
 /// Practical upper bound on bit-line length (cells per line) before

@@ -213,7 +213,22 @@ impl KoggeStoneAdder {
     /// are already stored in `x_row`/`y_row` (width+1 columns, top bit
     /// zero). The program leaves the result in `sum_row` and the
     /// scratch region reset to zero.
+    ///
+    /// In debug and test builds the emitted program is statically
+    /// verified (`cim-check`) against the adder's declared geometry,
+    /// with the operand rows treated as preloaded.
     pub fn program(&self, op: AddOp) -> Vec<MicroOp> {
+        let prog = self.build_program(op);
+        cim_check::debug_assert_verified(
+            &prog,
+            &cim_check::VerifyConfig::new(self.required_rows(), self.required_cols())
+                .with_preloaded_rows(&[self.layout.x_row, self.layout.y_row], self.cols()),
+            "KoggeStoneAdder::program",
+        );
+        prog
+    }
+
+    fn build_program(&self, op: AddOp) -> Vec<MicroOp> {
         let cols = self.cols();
         let x = self.layout.x_row;
         let y = self.layout.y_row;

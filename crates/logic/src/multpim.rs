@@ -28,7 +28,7 @@
 //! cycles are charged by the formula (see DESIGN.md §1/§4).
 
 use cim_bigint::Uint;
-use cim_crossbar::{Crossbar, CrossbarError, EnduranceReport};
+use cim_crossbar::{Crossbar, CrossbarError, EnduranceReport, Executor, MicroOp};
 
 /// Cells per row required for one `w`-bit in-row multiplier
 /// (paper: `12·(n/4+2)` for the stage's `w = n/4+2`-bit operands).
@@ -98,11 +98,35 @@ impl RowMultiplier {
         w * (crate::kogge_stone::ceil_log2(self.width) as u64 + 14) + 3
     }
 
+    /// The operand-loading prologue as a verified micro-op program:
+    /// both operands written into the row plus a reset wave over the
+    /// shared product region. Statically checked (`cim-check`) in
+    /// debug and test builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand exceeds `width` bits.
+    pub fn load_program(&self, row: usize, col_base: usize, a: &Uint, b: &Uint) -> Vec<MicroOp> {
+        let w = self.width;
+        let at = |off: usize| col_base + off * w;
+        let prog = vec![
+            MicroOp::write_row_at(row, at(A_OFF), &a.to_bits(w)),
+            MicroOp::write_row_at(row, at(B_OFF), &b.to_bits(w)),
+            MicroOp::reset_region(row..row + 1, at(P_OFF)..at(P_OFF) + 2 * w),
+        ];
+        cim_check::debug_assert_verified(
+            &prog,
+            &cim_check::VerifyConfig::new(row + 1, col_base + self.required_cols()),
+            "RowMultiplier::load_program",
+        );
+        prog
+    }
+
     /// Runs the multiplication inside row `row` of `array`, columns
-    /// `col_base..col_base + 12·w`. Operands are written into the row,
-    /// the shift-add iterations update accumulator/carry/scratch cells
-    /// in place, and the `2w`-bit product is read back from the shared
-    /// product region.
+    /// `col_base..col_base + 12·w`. Operands are loaded via
+    /// [`RowMultiplier::load_program`], the shift-add iterations update
+    /// accumulator/carry/scratch cells in place, and the `2w`-bit
+    /// product is read back from the shared product region.
     ///
     /// # Errors
     ///
@@ -122,14 +146,11 @@ impl RowMultiplier {
         let w = self.width;
         let at = |off: usize| col_base + off * w;
 
-        // Load operands into the row.
-        array.write_row(row, at(A_OFF), &a.to_bits(w))?;
-        array.write_row(row, at(B_OFF), &b.to_bits(w))?;
-        // Clear accumulator region (product shares these cells).
-        array.reset_region(&cim_crossbar::Region::new(
-            row..row + 1,
-            at(P_OFF)..at(P_OFF) + 2 * w,
-        ))?;
+        // Load operands and clear the accumulator via the verified
+        // prologue program (cycles are charged by the formula, so the
+        // temporary executor's stats are discarded).
+        let mut loader = Executor::new(&mut *array);
+        loader.run(&self.load_program(row, col_base, a, b))?;
 
         // Serial shift-add: iteration i adds (a·b_i) << i into the
         // accumulator. The adds are performed cell-by-cell so the

@@ -27,13 +27,20 @@ pub fn majority(
     cols: std::ops::Range<usize>,
 ) -> Vec<MicroOp> {
     let [s0, s1, s2] = scratch;
-    vec![
+    let prog = vec![
         MicroOp::init_rows(&[out, s0, s1, s2], cols.clone()),
         MicroOp::nor_rows(&[a, b], s0, cols.clone()),
         MicroOp::nor_rows(&[a, c], s1, cols.clone()),
         MicroOp::nor_rows(&[b, c], s2, cols.clone()),
-        MicroOp::nor_rows(&[s0, s1, s2], out, cols),
-    ]
+        MicroOp::nor_rows(&[s0, s1, s2], out, cols.clone()),
+    ];
+    let rows = [a, b, c, out, s0, s1, s2].into_iter().max().unwrap_or(0) + 1;
+    cim_check::debug_assert_verified(
+        &prog,
+        &cim_check::VerifyConfig::new(rows, cols.end).with_preloaded_rows(&[a, b, c], cols),
+        "tmr::majority",
+    );
+    prog
 }
 
 /// A TMR-protected Kogge-Stone adder: three independent adder lanes

@@ -101,4 +101,43 @@ proptest! {
         let (sum, _) = adder.add(&a, &b).unwrap();
         prop_assert_eq!(sum, a.add(&b));
     }
+
+    /// EVERY width 1..=64 (not sampled — the prefix-graph level count
+    /// changes at each power of two) with per-case random operands:
+    /// add and sub both match the software gold model.
+    #[test]
+    fn kogge_stone_every_width_matches_gold(seed in any::<u64>()) {
+        for width in 1usize..=64 {
+            let mut rng = cim_bigint::rng::UintRng::seeded(seed ^ width as u64);
+            let a = rng.uniform(width);
+            let b = rng.uniform(width);
+            let adder = KoggeStoneAdder::new(width);
+            let (sum, add_stats) = adder.add(&a, &b).unwrap();
+            prop_assert_eq!(sum, a.add(&b), "add width {}", width);
+            prop_assert_eq!(add_stats.cycles, adder.latency());
+            let (diff, sub_stats) = adder.sub(&a, &b).unwrap();
+            let expect = if a >= b {
+                a.sub(&b)
+            } else {
+                a.add(&Uint::pow2(width)).sub(&b)
+            };
+            prop_assert_eq!(diff, expect, "sub width {}", width);
+            prop_assert_eq!(sub_stats.cycles, adder.latency());
+        }
+    }
+}
+
+/// The all-carry edge case at every width: (2^w − 1) + 1 ripples a
+/// carry through every prefix-graph position, and 0 − 1 borrows
+/// through every position of the subtractor.
+#[test]
+fn kogge_stone_all_carry_chain_every_width() {
+    for width in 1usize..=64 {
+        let adder = KoggeStoneAdder::new(width);
+        let ones = Uint::pow2(width).sub(&Uint::one());
+        let (sum, _) = adder.add(&ones, &Uint::one()).unwrap();
+        assert_eq!(sum, Uint::pow2(width), "carry chain width {width}");
+        let (diff, _) = adder.sub(&Uint::zero(), &Uint::one()).unwrap();
+        assert_eq!(diff, ones, "borrow chain width {width}");
+    }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algo_exploration-836f5076c27343c1.d: crates/bench/src/bin/algo_exploration.rs
+
+/root/repo/target/debug/deps/algo_exploration-836f5076c27343c1: crates/bench/src/bin/algo_exploration.rs
+
+crates/bench/src/bin/algo_exploration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algos-e45c68686e3322eb.d: crates/bench/benches/algos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgos-e45c68686e3322eb.rmeta: crates/bench/benches/algos.rs Cargo.toml
+
+crates/bench/benches/algos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/builtin_programs-ff493d0bd6a2674c.d: crates/check/tests/builtin_programs.rs
+
+/root/repo/target/debug/deps/builtin_programs-ff493d0bd6a2674c: crates/check/tests/builtin_programs.rs
+
+crates/check/tests/builtin_programs.rs:

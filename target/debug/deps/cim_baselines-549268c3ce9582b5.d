@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cim_baselines-549268c3ce9582b5.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/debug/deps/cim_baselines-549268c3ce9582b5: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:

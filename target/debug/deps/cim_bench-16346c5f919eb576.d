@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cim_bench-16346c5f919eb576.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cim_bench-16346c5f919eb576: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cim_bench-3e515cedf4700e71.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcim_bench-3e515cedf4700e71.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcim_bench-3e515cedf4700e71.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

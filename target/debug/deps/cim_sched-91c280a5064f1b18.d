@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cim_sched-91c280a5064f1b18.d: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+/root/repo/target/debug/deps/libcim_sched-91c280a5064f1b18.rlib: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+/root/repo/target/debug/deps/libcim_sched-91c280a5064f1b18.rmeta: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/batch.rs:
+crates/sched/src/job.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/profile.rs:
+crates/sched/src/report.rs:
+crates/sched/src/scheduler.rs:
+crates/sched/src/tile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cim_suite-0e2234833184c1b6.d: src/lib.rs
+
+/root/repo/target/debug/deps/cim_suite-0e2234833184c1b6: src/lib.rs
+
+src/lib.rs:

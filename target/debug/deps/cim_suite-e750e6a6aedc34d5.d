@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cim_suite-e750e6a6aedc34d5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcim_suite-e750e6a6aedc34d5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcim_suite-e750e6a6aedc34d5.rmeta: src/lib.rs
+
+src/lib.rs:

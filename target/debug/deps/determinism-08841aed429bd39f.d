@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-08841aed429bd39f.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-08841aed429bd39f: tests/determinism.rs
+
+tests/determinism.rs:

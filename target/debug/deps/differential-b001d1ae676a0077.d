@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-b001d1ae676a0077.d: crates/check/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-b001d1ae676a0077: crates/check/tests/differential.rs
+
+crates/check/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-d18e9be11571a413.d: crates/check/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-d18e9be11571a413: crates/check/tests/differential.rs
+
+crates/check/tests/differential.rs:

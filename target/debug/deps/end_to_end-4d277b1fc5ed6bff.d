@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4d277b1fc5ed6bff.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-4d277b1fc5ed6bff: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_table-2814b73338f4a87c.d: crates/bench/src/bin/energy_table.rs
+
+/root/repo/target/debug/deps/energy_table-2814b73338f4a87c: crates/bench/src/bin/energy_table.rs
+
+crates/bench/src/bin/energy_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-3c917ddd663efd72.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-3c917ddd663efd72: tests/extensions.rs
+
+tests/extensions.rs:

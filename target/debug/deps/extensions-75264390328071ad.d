@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-75264390328071ad.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-75264390328071ad.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

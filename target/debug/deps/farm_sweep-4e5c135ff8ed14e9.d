@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/farm_sweep-4e5c135ff8ed14e9.d: crates/bench/src/bin/farm_sweep.rs
+
+/root/repo/target/debug/deps/farm_sweep-4e5c135ff8ed14e9: crates/bench/src/bin/farm_sweep.rs
+
+crates/bench/src/bin/farm_sweep.rs:

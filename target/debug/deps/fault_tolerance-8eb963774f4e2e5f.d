@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-8eb963774f4e2e5f.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-8eb963774f4e2e5f: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_magic_demo-c2d68e2ec237ccfe.d: crates/bench/src/bin/fig1_magic_demo.rs
+
+/root/repo/target/debug/deps/fig1_magic_demo-c2d68e2ec237ccfe: crates/bench/src/bin/fig1_magic_demo.rs
+
+crates/bench/src/bin/fig1_magic_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_tree-bfb49c804285447f.d: crates/bench/src/bin/fig2_tree.rs
+
+/root/repo/target/debug/deps/fig2_tree-bfb49c804285447f: crates/bench/src/bin/fig2_tree.rs
+
+crates/bench/src/bin/fig2_tree.rs:

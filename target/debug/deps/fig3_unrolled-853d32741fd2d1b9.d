@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_unrolled-853d32741fd2d1b9.d: crates/bench/src/bin/fig3_unrolled.rs
+
+/root/repo/target/debug/deps/fig3_unrolled-853d32741fd2d1b9: crates/bench/src/bin/fig3_unrolled.rs
+
+crates/bench/src/bin/fig3_unrolled.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-fd53596c4e47e3f4.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-fd53596c4e47e3f4: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

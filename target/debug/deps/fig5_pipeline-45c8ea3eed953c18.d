@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pipeline-45c8ea3eed953c18.d: crates/bench/src/bin/fig5_pipeline.rs
+
+/root/repo/target/debug/deps/fig5_pipeline-45c8ea3eed953c18: crates/bench/src/bin/fig5_pipeline.rs
+
+crates/bench/src/bin/fig5_pipeline.rs:

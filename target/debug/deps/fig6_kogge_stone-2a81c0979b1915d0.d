@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_kogge_stone-2a81c0979b1915d0.d: crates/bench/src/bin/fig6_kogge_stone.rs
+
+/root/repo/target/debug/deps/fig6_kogge_stone-2a81c0979b1915d0: crates/bench/src/bin/fig6_kogge_stone.rs
+
+crates/bench/src/bin/fig6_kogge_stone.rs:

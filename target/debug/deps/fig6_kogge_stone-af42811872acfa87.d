@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_kogge_stone-af42811872acfa87.d: crates/bench/src/bin/fig6_kogge_stone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_kogge_stone-af42811872acfa87.rmeta: crates/bench/src/bin/fig6_kogge_stone.rs Cargo.toml
+
+crates/bench/src/bin/fig6_kogge_stone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

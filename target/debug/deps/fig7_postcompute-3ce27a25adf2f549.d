@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_postcompute-3ce27a25adf2f549.d: crates/bench/src/bin/fig7_postcompute.rs
+
+/root/repo/target/debug/deps/fig7_postcompute-3ce27a25adf2f549: crates/bench/src/bin/fig7_postcompute.rs
+
+crates/bench/src/bin/fig7_postcompute.rs:

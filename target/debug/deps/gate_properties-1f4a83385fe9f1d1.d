@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gate_properties-1f4a83385fe9f1d1.d: crates/logic/tests/gate_properties.rs
+
+/root/repo/target/debug/deps/gate_properties-1f4a83385fe9f1d1: crates/logic/tests/gate_properties.rs
+
+crates/logic/tests/gate_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modmul-7e81b2ac7ea2efd4.d: crates/bench/benches/modmul.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodmul-7e81b2ac7ea2efd4.rmeta: crates/bench/benches/modmul.rs Cargo.toml
+
+crates/bench/benches/modmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

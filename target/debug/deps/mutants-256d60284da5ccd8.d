@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutants-256d60284da5ccd8.d: crates/check/tests/mutants.rs
+
+/root/repo/target/debug/deps/mutants-256d60284da5ccd8: crates/check/tests/mutants.rs
+
+crates/check/tests/mutants.rs:

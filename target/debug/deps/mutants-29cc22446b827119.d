@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutants-29cc22446b827119.d: crates/check/tests/mutants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutants-29cc22446b827119.rmeta: crates/check/tests/mutants.rs Cargo.toml
+
+crates/check/tests/mutants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

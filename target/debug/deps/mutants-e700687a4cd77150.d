@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutants-e700687a4cd77150.d: crates/check/tests/mutants.rs
+
+/root/repo/target/debug/deps/mutants-e700687a4cd77150: crates/check/tests/mutants.rs
+
+crates/check/tests/mutants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-58b2c0b004fdcdce.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-58b2c0b004fdcdce: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parasitics_table-6bb7b274900a5156.d: crates/bench/src/bin/parasitics_table.rs
+
+/root/repo/target/debug/deps/parasitics_table-6bb7b274900a5156: crates/bench/src/bin/parasitics_table.rs
+
+crates/bench/src/bin/parasitics_table.rs:

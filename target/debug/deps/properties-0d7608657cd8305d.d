@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0d7608657cd8305d.d: crates/logic/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0d7608657cd8305d: crates/logic/tests/properties.rs
+
+crates/logic/tests/properties.rs:

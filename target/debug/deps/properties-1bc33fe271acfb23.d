@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-1bc33fe271acfb23.d: crates/baselines/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-1bc33fe271acfb23.rmeta: crates/baselines/tests/properties.rs Cargo.toml
+
+crates/baselines/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

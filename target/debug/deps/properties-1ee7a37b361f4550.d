@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1ee7a37b361f4550.d: crates/ntt/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1ee7a37b361f4550: crates/ntt/tests/properties.rs
+
+crates/ntt/tests/properties.rs:

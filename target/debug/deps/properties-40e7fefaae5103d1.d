@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-40e7fefaae5103d1.d: crates/modmul/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-40e7fefaae5103d1.rmeta: crates/modmul/tests/properties.rs Cargo.toml
+
+crates/modmul/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

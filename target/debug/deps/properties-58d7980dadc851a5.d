@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-58d7980dadc851a5.d: crates/modmul/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-58d7980dadc851a5: crates/modmul/tests/properties.rs
+
+crates/modmul/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c113ccda6e7e7567.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c113ccda6e7e7567: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

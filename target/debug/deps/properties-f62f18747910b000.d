@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f62f18747910b000.d: crates/baselines/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f62f18747910b000: crates/baselines/tests/properties.rs
+
+crates/baselines/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-c3e77d49331bc0fc.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-c3e77d49331bc0fc: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

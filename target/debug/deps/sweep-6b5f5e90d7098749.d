@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-6b5f5e90d7098749.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-6b5f5e90d7098749: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c6380ba3d09bebd8.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c6380ba3d09bebd8: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

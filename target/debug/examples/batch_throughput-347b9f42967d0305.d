@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_throughput-347b9f42967d0305.d: examples/batch_throughput.rs
+
+/root/repo/target/debug/examples/batch_throughput-347b9f42967d0305: examples/batch_throughput.rs
+
+examples/batch_throughput.rs:

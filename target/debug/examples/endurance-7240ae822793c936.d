@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/endurance-7240ae822793c936.d: examples/endurance.rs
+
+/root/repo/target/debug/examples/endurance-7240ae822793c936: examples/endurance.rs
+
+examples/endurance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-b1e87ffcad49e0e4.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-b1e87ffcad49e0e4: examples/fault_injection.rs
+
+examples/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fhe_modmul-029aaa3e031c993f.d: examples/fhe_modmul.rs
+
+/root/repo/target/debug/examples/fhe_modmul-029aaa3e031c993f: examples/fhe_modmul.rs
+
+examples/fhe_modmul.rs:

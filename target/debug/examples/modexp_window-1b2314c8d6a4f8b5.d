@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/modexp_window-1b2314c8d6a4f8b5.d: examples/modexp_window.rs
+
+/root/repo/target/debug/examples/modexp_window-1b2314c8d6a4f8b5: examples/modexp_window.rs
+
+examples/modexp_window.rs:

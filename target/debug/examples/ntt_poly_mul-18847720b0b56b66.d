@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ntt_poly_mul-18847720b0b56b66.d: examples/ntt_poly_mul.rs
+
+/root/repo/target/debug/examples/ntt_poly_mul-18847720b0b56b66: examples/ntt_poly_mul.rs
+
+examples/ntt_poly_mul.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-70ca529572709b8f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-70ca529572709b8f: examples/quickstart.rs
+
+examples/quickstart.rs:

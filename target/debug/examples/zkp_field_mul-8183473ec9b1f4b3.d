@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zkp_field_mul-8183473ec9b1f4b3.d: examples/zkp_field_mul.rs
+
+/root/repo/target/debug/examples/zkp_field_mul-8183473ec9b1f4b3: examples/zkp_field_mul.rs
+
+examples/zkp_field_mul.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zkp_msm-b5f8d0c45e7c2a06.d: examples/zkp_msm.rs
+
+/root/repo/target/debug/examples/zkp_msm-b5f8d0c45e7c2a06: examples/zkp_msm.rs
+
+examples/zkp_msm.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cim_baselines-d414a30c984ae8e3.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/release/deps/libcim_baselines-d414a30c984ae8e3.rlib: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/release/deps/libcim_baselines-d414a30c984ae8e3.rmeta: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:

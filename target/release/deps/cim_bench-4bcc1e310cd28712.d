@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cim_bench-4bcc1e310cd28712.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcim_bench-4bcc1e310cd28712.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcim_bench-4bcc1e310cd28712.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

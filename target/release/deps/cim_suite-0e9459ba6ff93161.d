@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cim_suite-0e9459ba6ff93161.d: src/lib.rs
+
+/root/repo/target/release/deps/libcim_suite-0e9459ba6ff93161.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcim_suite-0e9459ba6ff93161.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulate-9a01f343e86655f9.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/release/deps/simulate-9a01f343e86655f9: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

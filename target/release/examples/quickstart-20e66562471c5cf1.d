@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-20e66562471c5cf1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-20e66562471c5cf1: examples/quickstart.rs
+
+examples/quickstart.rs:

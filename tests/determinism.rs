@@ -52,6 +52,39 @@ fn batch_throughput_is_deterministic() {
 }
 
 #[test]
+fn farm_scheduler_reports_are_byte_identical() {
+    use cim_sched::{FarmConfig, JobMix, Policy, Scheduler};
+
+    // Same seed, same job mix, same policy → the full FarmReport —
+    // every per-job record, tile timing and wear counter — must be
+    // byte-identical across two independent runs, not merely equal on
+    // headline numbers.
+    let run = |policy: Policy| {
+        let jobs = JobMix::crypto_default(300).generate(60, 21);
+        let mut sched = Scheduler::new(FarmConfig::new(8, policy));
+        sched.run(&jobs).unwrap()
+    };
+    for policy in [Policy::Fifo, Policy::LeastLoaded, Policy::WearLeveling] {
+        let first = run(policy);
+        let second = run(policy);
+        assert_eq!(
+            format!("{first:?}").into_bytes(),
+            format!("{second:?}").into_bytes(),
+            "{policy:?} report must be byte-identical run to run"
+        );
+    }
+}
+
+#[test]
+fn fuzzer_program_generation_is_deterministic() {
+    // The differential-fuzzing generator is part of the repeatability
+    // story: a failure seed must replay to the same program.
+    let a = cim_check::ProgramGen::new(6, 10, 0xC0FFEE).generate(64);
+    let b = cim_check::ProgramGen::new(6, 10, 0xC0FFEE).generate(64);
+    assert_eq!(a, b);
+}
+
+#[test]
 fn miller_rabin_verdicts_are_stable_for_large_candidates() {
     // The >2^64 path uses seeded random bases — must be reproducible.
     let candidate = Uint::pow2(127).sub(&Uint::one()); // Mersenne prime

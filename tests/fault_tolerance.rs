@@ -58,7 +58,13 @@ fn geometry_errors_propagate() {
     let err = exec
         .step(&cim_crossbar::MicroOp::nor_rows(&[0], 0, 0..1))
         .unwrap_err();
-    assert!(matches!(err, CrossbarError::OutputAliasesInput { .. }));
+    assert!(matches!(
+        err,
+        CrossbarError::MagicInOutOverlap {
+            axis: cim_crossbar::Axis::Row,
+            index: 0
+        }
+    ));
 }
 
 /// A fault-free run after clearing an injected fault is clean again
@@ -77,6 +83,40 @@ fn clearing_faults_restores_correctness() {
     exec.run(&adder.program(AddOp::Add)).unwrap();
     let bits = exec.array().read_row_bits(2, 0..7).unwrap();
     assert_eq!(Uint::from_bits(&bits), Uint::from_u64(63));
+}
+
+/// Exhaustive single-fault matrix over one full TMR lane: a stuck-at
+/// fault of either polarity at EVERY cell of lane 0 (operands, sum
+/// and all 12 scratch rows, every column) must be outvoted by the two
+/// clean lanes. The carry-heavy operands 255 + 1 make every carry
+/// position observable, so this sweeps the whole single-fault space
+/// of a lane rather than sampling it.
+#[test]
+fn every_single_lane_fault_is_outvoted() {
+    use cim_logic::tmr::TmrAdder;
+
+    let width = 8;
+    let adder = TmrAdder::new(width);
+    let a = Uint::from_u64(255);
+    let b = Uint::from_u64(1);
+    let lane_rows = 15; // 3 operand/result + 12 scratch rows per lane
+    let mut cases = 0;
+    for row in 0..lane_rows {
+        for col in 0..width + 1 {
+            for fault in [Fault::StuckAt0, Fault::StuckAt1] {
+                let (sum, _) = adder
+                    .add(&a, &b, &[(row, col, fault)])
+                    .unwrap_or_else(|e| panic!("({row}, {col}, {fault:?}): {e}"));
+                assert_eq!(
+                    sum,
+                    Uint::from_u64(256),
+                    "single fault ({row}, {col}, {fault:?}) must be outvoted"
+                );
+                cases += 1;
+            }
+        }
+    }
+    assert_eq!(cases, lane_rows * (width + 1) * 2, "full matrix covered");
 }
 
 /// Endurance accounting survives fault injection: faulty cells still
