@@ -7,8 +7,12 @@
 //! farm lifetime by up to the per-tile rotation-slot count.
 //!
 //! ```text
-//! cargo run --release -p cim-bench --bin farm_sweep [jobs] [seed]
+//! cargo run --release -p cim-bench --bin farm_sweep [jobs] [seed] [--json]
 //! ```
+//!
+//! With `--json` the sweep emits one machine-readable JSON document
+//! (an array of [`FarmReport::to_json`] objects per job mix, with
+//! p50–p99 latency percentiles) instead of the text tables.
 
 use cim_bench::{group_digits, table_number, TextTable};
 use cim_sched::{Algo, FarmConfig, FarmReport, JobMix, Policy, Scheduler};
@@ -77,8 +81,36 @@ fn sweep(mix_name: &str, mix: &JobMix, count: usize, seed: u64) {
     println!("{}", table.render());
 }
 
+/// One mix's sweep as a JSON object embedding the per-configuration
+/// [`FarmReport::to_json`] documents.
+fn sweep_json(mix_name: &str, mix: &JobMix, count: usize, seed: u64) -> String {
+    let jobs = mix.generate(count, seed);
+    let reports: Vec<String> = TILE_COUNTS
+        .iter()
+        .flat_map(|&tiles| {
+            Policy::all().map(|policy| run(tiles, policy, &jobs).to_json())
+        })
+        .collect();
+    format!(
+        "{{\"mix\":{},\"jobs\":{},\"seed\":{},\"reports\":[{}]}}",
+        cim_trace::json::escape(mix_name),
+        count,
+        seed,
+        reports.join(",")
+    )
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut positional: Vec<String> = Vec::new();
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut args = positional.into_iter();
     let count: usize = args
         .next()
         .map(|a| a.parse().expect("jobs must be a number"))
@@ -88,28 +120,42 @@ fn main() {
         .map(|a| a.parse().expect("seed must be a number"))
         .unwrap_or(42);
 
+    let mixes: [(&str, JobMix, usize); 3] = [
+        (
+            "crypto-mix (open arrivals)",
+            JobMix::crypto_default(400),
+            count,
+        ),
+        (
+            "uniform 256-bit karatsuba (closed batch)",
+            JobMix::uniform(256, Algo::Karatsuba, 0),
+            count,
+        ),
+        (
+            "uniform 2048-bit karatsuba (closed batch)",
+            JobMix::uniform(2048, Algo::Karatsuba, 0),
+            count / 4,
+        ),
+    ];
+
+    if json {
+        let sweeps: Vec<String> = mixes
+            .iter()
+            .map(|(name, mix, n)| sweep_json(name, mix, *n, seed))
+            .collect();
+        let doc = format!("{{\"sweeps\":[{}]}}", sweeps.join(","));
+        cim_trace::json::check(&doc).expect("emitted JSON must be well-formed");
+        println!("{doc}");
+        return;
+    }
+
     println!("FARM SWEEP — tile count x policy x job mix");
     println!("(lifetime = multiplications until the farm's hottest cell hits");
     println!(" the 1e10-write ReRAM endurance limit, at this run's wear rate)\n");
 
-    sweep(
-        "crypto-mix (open arrivals)",
-        &JobMix::crypto_default(400),
-        count,
-        seed,
-    );
-    sweep(
-        "uniform 256-bit karatsuba (closed batch)",
-        &JobMix::uniform(256, Algo::Karatsuba, 0),
-        count,
-        seed,
-    );
-    sweep(
-        "uniform 2048-bit karatsuba (closed batch)",
-        &JobMix::uniform(2048, Algo::Karatsuba, 0),
-        count / 4,
-        seed,
-    );
+    for (name, mix, n) in &mixes {
+        sweep(name, mix, *n, seed);
+    }
 
     println!("reading: at >=16 tiles, wear-level matches FIFO makespan (±5%)");
     println!("while multiplying projected lifetime by the rotation factor;");

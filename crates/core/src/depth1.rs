@@ -16,6 +16,7 @@ use cim_bigint::Uint;
 use cim_crossbar::{Crossbar, CrossbarError, Executor, MicroOp};
 use cim_logic::kogge_stone::{AddOp, AdderLayout, KoggeStoneAdder, SCRATCH_ROWS};
 use cim_logic::multpim::RowMultiplier;
+use cim_trace::{Args, ProcessId, Tracer};
 
 /// Report of one depth-1 multiplication.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,8 +91,36 @@ impl KaratsubaDepth1Multiplier {
     ///
     /// Panics if an operand does not fit in `n` bits.
     pub fn multiply(&self, a: &Uint, b: &Uint) -> Result<Depth1Outcome, CrossbarError> {
+        self.multiply_traced(a, b, &Tracer::disabled())
+    }
+
+    /// [`KaratsubaDepth1Multiplier::multiply`] with tracing: the run is
+    /// one trace process (`depth1 n=<width>`) with a track per stage
+    /// (three tracks for the parallel stage-2 rows), stages laid out
+    /// back-to-back. The micro-op sequence is identical to the
+    /// untraced path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in `n` bits.
+    pub fn multiply_traced(
+        &self,
+        a: &Uint,
+        b: &Uint,
+        tracer: &Tracer,
+    ) -> Result<Depth1Outcome, CrossbarError> {
         let n = self.n;
         let h = n / 2;
+        let enabled = tracer.is_enabled();
+        let pid = if enabled {
+            tracer.process(&format!("depth1 n={n}"))
+        } else {
+            ProcessId(0)
+        };
 
         // ---- Stage 1: a_m, b_m on a shared (n/2)-bit adder ----
         // Rows: a_l a_h b_l b_h (0–3), a_m b_m (4–5), scratch 6–17.
@@ -102,6 +131,9 @@ impl KaratsubaDepth1Multiplier {
         let b_l = b.low_bits(h);
         let b_h = b.shr(h);
         let mut exec = Executor::new(&mut pre);
+        let pre_track = tracer.track(pid, "stage 1 (precompute)");
+        exec.attach_tracer_at(tracer, pre_track, 0);
+        let pre_span = tracer.span_at(pre_track, "precompute", 0);
         // Operand writes + both additions as one verified program.
         let mut stage1 = Vec::new();
         for (i, v) in [&a_l, &a_h, &b_l, &b_h].iter().enumerate() {
@@ -131,6 +163,7 @@ impl KaratsubaDepth1Multiplier {
         let b_m = Uint::from_bits(&exec.array().read_row_bits(5, 0..pre_cols)?);
         exec.step(&MicroOp::reset_region(0..6, 0..pre_cols))?;
         let pre_cycles = exec.stats().cycles;
+        pre_span.end(pre_cycles);
 
         // ---- Stage 2: three parallel in-row multiplications ----
         let mut mult_array = Crossbar::new(3, self.mult_row_length())?;
@@ -138,6 +171,18 @@ impl KaratsubaDepth1Multiplier {
         let (c_h, _) = self.multiplier.run_in(&mut mult_array, 1, 0, &a_h, &b_h)?;
         let (c_m, _) = self.multiplier.run_in(&mut mult_array, 2, 0, &a_m, &b_m)?;
         let mult_cycles = self.multiplier.latency();
+        if enabled {
+            for (i, name) in ["c_l", "c_h", "c_m"].iter().enumerate() {
+                let track = tracer.track(pid, &format!("mult row {i}"));
+                tracer.complete(
+                    track,
+                    *name,
+                    pre_cycles,
+                    mult_cycles,
+                    Args::new().with("row", i as i64),
+                );
+            }
+        }
 
         // ---- Stage 3: three passes on a 1.5n-bit adder ----
         let w = 3 * n / 2;
@@ -153,12 +198,19 @@ impl KaratsubaDepth1Multiplier {
             },
         );
         let mut exec = Executor::new(&mut post);
+        let post_track = tracer.track(pid, "stage 3 (postcompute)");
+        let post_start = pre_cycles + mult_cycles;
+        exec.attach_tracer_at(tracer, post_track, post_start);
+        let post_span = tracer.span_at(post_track, "postcompute", post_start);
         let pass = |exec: &mut Executor<'_>,
+                        name: &'static str,
                         op: AddOp,
                         x: &Uint,
                         y: &Uint|
          -> Result<Uint, CrossbarError> {
+            let span = tracer.span_at(post_track, name, post_start + exec.stats().cycles);
             exec.run(&crate::postcompute::pass_program(&adder, op, x, y))?;
+            span.end(post_start + exec.stats().cycles);
             let bits = exec.array().read_row_bits(2, 0..w + 1)?;
             let full = Uint::from_bits(&bits);
             Ok(match op {
@@ -166,13 +218,14 @@ impl KaratsubaDepth1Multiplier {
                 AddOp::Sub => full.low_bits(w),
             })
         };
-        let v = pass(&mut exec, AddOp::Add, &c_h, &c_l)?;
-        let ct_m = pass(&mut exec, AddOp::Sub, &c_m, &v)?;
+        let v = pass(&mut exec, "pass 1: v", AddOp::Add, &c_h, &c_l)?;
+        let ct_m = pass(&mut exec, "pass 2: c~_m", AddOp::Sub, &c_m, &v)?;
         let base_top = c_l.add(&c_h.shl(n)).shr(h);
-        let c_top = pass(&mut exec, AddOp::Add, &base_top, &ct_m)?;
+        let c_top = pass(&mut exec, "pass 3: c_top", AddOp::Add, &base_top, &ct_m)?;
         let product = c_top.shl(h).add(&c_l.low_bits(h));
         exec.step(&MicroOp::reset_region(0..8 + SCRATCH_ROWS, 0..w + 1))?;
         let post_cycles = exec.stats().cycles;
+        post_span.end(post_start + post_cycles);
 
         debug_assert_eq!(product, a * b);
         Ok(Depth1Outcome {

@@ -8,6 +8,7 @@ use crate::postcompute::PostcomputeStage;
 use crate::precompute::PrecomputeStage;
 use cim_bigint::Uint;
 use cim_crossbar::{CrossbarError, CycleStats, EnduranceReport};
+use cim_trace::{Args, ProcessId, Tracer};
 use std::error::Error;
 use std::fmt;
 
@@ -171,9 +172,65 @@ impl KaratsubaCimMultiplier {
     ///
     /// Panics if an operand does not fit in `n` bits.
     pub fn multiply(&self, a: &Uint, b: &Uint) -> Result<MultiplyOutcome, MultiplyError> {
-        let pre = self.precompute.run(a, b)?;
-        let mult = self.multiply.run(&pre.a_leaves, &pre.b_leaves)?;
-        let post = self.postcompute.run(&mult.products)?;
+        self.multiply_traced(a, b, &Tracer::disabled())
+    }
+
+    /// [`KaratsubaCimMultiplier::multiply`] with tracing: the run is
+    /// registered as one trace process (`karatsuba n=<width>`) with a
+    /// track per pipeline stage (nine tracks for the parallel stage-2
+    /// rows). Stage spans sit at their pipeline-global offsets — stage
+    /// 2 starts after precompute plus one handoff, stage 3 after both —
+    /// so the exported trace lays the stages out exactly as the Fig. 5
+    /// pipeline would execute one job.
+    ///
+    /// Tracing never changes results or statistics: the untraced
+    /// [`multiply`](Self::multiply) is this method with a disabled
+    /// tracer, and a regression test asserts equality of the reports.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KaratsubaCimMultiplier::multiply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in `n` bits.
+    pub fn multiply_traced(
+        &self,
+        a: &Uint,
+        b: &Uint,
+        tracer: &Tracer,
+    ) -> Result<MultiplyOutcome, MultiplyError> {
+        let enabled = tracer.is_enabled();
+        let pid = if enabled {
+            tracer.process(&format!("karatsuba n={}", self.n))
+        } else {
+            ProcessId(0)
+        };
+        let pre_track = tracer.track(pid, "stage 1 (precompute)");
+        let pre = self.precompute.run_traced(a, b, tracer, pre_track, 0)?;
+        if enabled {
+            tracer.instant(
+                pre_track,
+                "handoff: 18 leaves to stage 2",
+                pre.stats.cycles,
+                Args::new().with("cycles", HANDOFF_CYCLES as i64),
+            );
+        }
+        let mult_start = pre.stats.cycles + HANDOFF_CYCLES;
+        let mult = self
+            .multiply
+            .run_traced(&pre.a_leaves, &pre.b_leaves, tracer, pid, mult_start)?;
+        let post_track = tracer.track(pid, "stage 3 (postcompute)");
+        let post_start = mult_start + mult.cycles + HANDOFF_CYCLES;
+        if enabled {
+            tracer.instant(
+                post_track,
+                "handoff: 9 products to stage 3",
+                mult_start + mult.cycles,
+                Args::new().with("cycles", HANDOFF_CYCLES as i64),
+            );
+        }
+        let post = self.postcompute.run_traced(&mult.products, tracer, post_track, post_start)?;
 
         let expected = a * b;
         if post.product != expected {

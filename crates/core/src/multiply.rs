@@ -11,10 +11,11 @@
 //! * latency: `(n/4+2)·(⌈log2(n/4+2)⌉ + 14) + 3` cc — one row's
 //!   latency, since all nine rows compute simultaneously.
 
-use crate::chunks::LEAVES;
+use crate::chunks::{LEAVES, PRODUCT_NAMES};
 use cim_bigint::Uint;
 use cim_crossbar::{Crossbar, CrossbarError, EnduranceReport};
 use cim_logic::multpim::RowMultiplier;
+use cim_trace::{Args, ProcessId, Tracer};
 
 /// Output of one multiplication-stage run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +91,31 @@ impl MultiplyStage {
         a_leaves: &[Uint; LEAVES],
         b_leaves: &[Uint; LEAVES],
     ) -> Result<MultiplyOutput, CrossbarError> {
+        self.run_traced(a_leaves, b_leaves, &Tracer::disabled(), ProcessId(0), 0)
+    }
+
+    /// [`MultiplyStage::run`] with tracing: each of the nine row
+    /// multipliers gets its own track under `process`, carrying one
+    /// span per partial product covering `[start_cycle, start_cycle +
+    /// latency)` — the nine spans overlap because the rows compute in
+    /// parallel in hardware (the simulator runs them sequentially but
+    /// charges only one row's latency).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leaf operand exceeds `n/4 + 2` bits.
+    pub fn run_traced(
+        &self,
+        a_leaves: &[Uint; LEAVES],
+        b_leaves: &[Uint; LEAVES],
+        tracer: &Tracer,
+        process: ProcessId,
+        start_cycle: u64,
+    ) -> Result<MultiplyOutput, CrossbarError> {
         let mut array = Crossbar::new(LEAVES, self.multiplier.required_cols())?;
         let mut products: [Uint; LEAVES] = Default::default();
         for i in 0..LEAVES {
@@ -97,6 +123,18 @@ impl MultiplyStage {
                 .multiplier
                 .run_in(&mut array, i, 0, &a_leaves[i], &b_leaves[i])?;
             products[i] = p;
+            if tracer.is_enabled() {
+                let track = tracer.track(process, &format!("mult row {i}"));
+                tracer.complete(
+                    track,
+                    PRODUCT_NAMES[i],
+                    start_cycle,
+                    self.latency(),
+                    Args::new()
+                        .with("row", i as i64)
+                        .with("width", self.width() as i64),
+                );
+            }
         }
         Ok(MultiplyOutput {
             products,

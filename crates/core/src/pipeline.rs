@@ -8,6 +8,7 @@
 //! performs between subarrays).
 
 use crate::cost::{DesignPoint, HANDOFF_CYCLES};
+use cim_trace::{Args, Tracer};
 
 /// Timing of one multiplication job through the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +106,58 @@ impl PipelineSchedule {
     /// cycles (excluding the pipeline fill of the first two jobs).
     pub fn throughput_per_mcc(&self) -> f64 {
         1.0e6 / self.initiation_interval() as f64
+    }
+
+    /// Exports the schedule into `tracer` as one process named
+    /// `process_name` with a track per pipeline stage: job `j`'s
+    /// occupation of stage `s` becomes a complete span covering
+    /// `[start[s], finish[s])` (latency plus the draining handoff), and
+    /// an `occupancy` track carries a `jobs_in_flight` counter sampled
+    /// at every job entry/exit — the Fig. 5 chart as a Perfetto trace.
+    ///
+    /// No-op when the tracer is disabled.
+    pub fn trace_into(&self, tracer: &Tracer, process_name: &str) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        let pid = tracer.process(process_name);
+        let tracks = [
+            tracer.track(pid, "stage 1 (precompute)"),
+            tracer.track(pid, "stage 2 (multiply)"),
+            tracer.track(pid, "stage 3 (postcompute)"),
+        ];
+        for t in &self.jobs {
+            for (s, &track) in tracks.iter().enumerate() {
+                tracer.complete(
+                    track,
+                    format!("job {}", t.job),
+                    t.start[s],
+                    t.finish[s] - t.start[s],
+                    Args::new()
+                        .with("job", t.job as i64)
+                        .with("handoff", self.handoff as i64),
+                );
+            }
+        }
+        // Jobs-in-flight gauge: +1 when a job enters stage 1, −1 when
+        // it leaves stage 3.
+        let occupancy = tracer.track(pid, "occupancy");
+        let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(2 * self.jobs.len());
+        for t in &self.jobs {
+            deltas.push((t.start[0], 1));
+            deltas.push((t.finish[2], -1));
+        }
+        deltas.sort_unstable();
+        let mut in_flight = 0i64;
+        let mut i = 0;
+        while i < deltas.len() {
+            let cycle = deltas[i].0;
+            while i < deltas.len() && deltas[i].0 == cycle {
+                in_flight += deltas[i].1;
+                i += 1;
+            }
+            tracer.counter(occupancy, "jobs_in_flight", cycle, in_flight as f64);
+        }
     }
 
     /// Renders a textual occupancy chart (one line per job) — used by

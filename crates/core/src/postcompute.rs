@@ -40,6 +40,7 @@ use crate::chunks::LEAVES;
 use cim_bigint::Uint;
 use cim_crossbar::{Crossbar, CrossbarError, CycleStats, EnduranceReport, Executor, MicroOp};
 use cim_logic::kogge_stone::{AddOp, AdderLayout, KoggeStoneAdder, SCRATCH_ROWS};
+use cim_trace::{TrackId, Tracer};
 
 /// Rows of the stage array: 8 data rows + 12 adder scratch rows.
 pub const ROWS: usize = 8 + SCRATCH_ROWS;
@@ -154,6 +155,29 @@ impl PostcomputeStage {
     ///
     /// Panics if a product exceeds its maximal width (`n/2 + 4` bits).
     pub fn run(&self, products: &[Uint; LEAVES]) -> Result<PostcomputeOutput, CrossbarError> {
+        self.run_traced(products, &Tracer::disabled(), TrackId(0), 0)
+    }
+
+    /// [`PostcomputeStage::run`] with tracing: the stage is wrapped in
+    /// a `postcompute` span on `track` starting at `start_cycle`, with
+    /// each of the 11 shared-adder passes as a named child span; the
+    /// executor's per-op events nest under them. The micro-op sequence
+    /// is identical to the untraced path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a product exceeds its maximal width (`n/2 + 4` bits).
+    pub fn run_traced(
+        &self,
+        products: &[Uint; LEAVES],
+        tracer: &Tracer,
+        track: TrackId,
+        start_cycle: u64,
+    ) -> Result<PostcomputeOutput, CrossbarError> {
         let n = self.n;
         let q = n / 4;
         let w = self.adder_width(); // 6q
@@ -164,6 +188,8 @@ impl PostcomputeStage {
 
         let mut array = Crossbar::new(ROWS, w + 1)?;
         let mut exec = Executor::new(&mut array);
+        exec.attach_tracer_at(tracer, track, start_cycle);
+        let stage = tracer.span_at(track, "postcompute", start_cycle);
         let adder = KoggeStoneAdder::with_layout(
             w,
             AdderLayout {
@@ -176,13 +202,16 @@ impl PostcomputeStage {
         );
 
         // One adder pass: reset I/O rows, write packed operands, run —
-        // a single verified program per pass.
+        // a single verified program per pass, wrapped in a named span.
         let pass = |exec: &mut Executor<'_>,
+                        name: &'static str,
                         op: AddOp,
                         x: &Uint,
                         y: &Uint|
          -> Result<Uint, CrossbarError> {
+            let span = tracer.span_at(track, name, start_cycle + exec.stats().cycles);
             exec.run(&pass_program(&adder, op, x, y))?;
+            span.end(start_cycle + exec.stats().cycles);
             let bits = exec.array().read_row_bits(2, 0..w + 1)?;
             let full = Uint::from_bits(&bits);
             Ok(match op {
@@ -196,7 +225,7 @@ impl PostcomputeStage {
         let gap_ones = |from: usize, to: usize| Uint::pow2(to).sub(&Uint::pow2(from));
 
         // Pass 1: t_l ‖ t_h (batched add).
-        let s1 = pass(&mut exec, AddOp::Add, &c_ll.add(&c_hl.shl(seg)), &c_lh.add(&c_hh.shl(seg)))?;
+        let s1 = pass(&mut exec, "pass 1: t_l || t_h", AddOp::Add, &c_ll.add(&c_hl.shl(seg)), &c_lh.add(&c_hh.shl(seg)))?;
         let t_l = s1.low_bits(seg);
         let t_h = s1.shr(seg);
 
@@ -205,39 +234,40 @@ impl PostcomputeStage {
             .add(&gap_ones(cap, seg))
             .add(&c_hm.shl(seg))
             .add(&gap_ones(seg + cap, w));
-        let s2 = pass(&mut exec, AddOp::Sub, &x2, &t_l.add(&t_h.shl(seg)))?;
+        let s2 = pass(&mut exec, "pass 2: c~_lm || c~_hm", AddOp::Sub, &x2, &t_l.add(&t_h.shl(seg)))?;
         let ct_lm = s2.low_bits(cap);
         let ct_hm = s2.shr(seg).low_bits(cap);
 
         // Pass 3: t_m = c_ml + c_mh.
-        let t_m = pass(&mut exec, AddOp::Add, &c_ml, &c_mh)?;
+        let t_m = pass(&mut exec, "pass 3: t_m", AddOp::Add, &c_ml, &c_mh)?;
 
         // Pass 4: c̃_mm = c_mm − t_m.
-        let ct_mm = pass(&mut exec, AddOp::Sub, &c_mm, &t_m)?;
+        let ct_mm = pass(&mut exec, "pass 4: c~_mm", AddOp::Sub, &c_mm, &t_m)?;
 
         // Pass 5: c_l = (c_lh ‖ c_ll) + c̃_lm·2^q.
-        let c_l = pass(&mut exec, AddOp::Add, &c_ll.add(&c_lh.shl(2 * q)), &ct_lm.shl(q))?;
+        let c_l = pass(&mut exec, "pass 5: c_l", AddOp::Add, &c_ll.add(&c_lh.shl(2 * q)), &ct_lm.shl(q))?;
 
         // Pass 6: c_h likewise.
-        let c_h = pass(&mut exec, AddOp::Add, &c_hl.add(&c_hh.shl(2 * q)), &ct_hm.shl(q))?;
+        let c_h = pass(&mut exec, "pass 6: c_h", AddOp::Add, &c_hl.add(&c_hh.shl(2 * q)), &ct_hm.shl(q))?;
 
         // Passes 7–8: c_m needs two additions (c_ml is n/2+2 bits wide,
         // so appending c_mh is not possible).
-        let u = pass(&mut exec, AddOp::Add, &c_ml, &c_mh.shl(2 * q))?;
-        let c_m = pass(&mut exec, AddOp::Add, &u, &ct_mm.shl(q))?;
+        let u = pass(&mut exec, "pass 7: u", AddOp::Add, &c_ml, &c_mh.shl(2 * q))?;
+        let c_m = pass(&mut exec, "pass 8: c_m", AddOp::Add, &u, &ct_mm.shl(q))?;
 
         // Passes 9–10: c̃_m = c_m − (c_h + c_l).
-        let v = pass(&mut exec, AddOp::Add, &c_h, &c_l)?;
-        let ct_m = pass(&mut exec, AddOp::Sub, &c_m, &v)?;
+        let v = pass(&mut exec, "pass 9: v", AddOp::Add, &c_h, &c_l)?;
+        let ct_m = pass(&mut exec, "pass 10: c~_m", AddOp::Sub, &c_m, &v)?;
 
         // Pass 11 (LSB optimization): only the top 1.5n bits need the
         // final addition; the low n/2 bits of c_l pass through.
         let base_top = c_l.add(&c_h.shl(n)).shr(n / 2);
-        let c_top = pass(&mut exec, AddOp::Add, &base_top, &ct_m)?;
+        let c_top = pass(&mut exec, "pass 11: c_top", AddOp::Add, &base_top, &ct_m)?;
         let product = c_top.shl(n / 2).add(&c_l.low_bits(n / 2));
 
         // Reset the stage array for the next multiplication — 1 cc.
         exec.step(&MicroOp::reset_region(0..ROWS, 0..w + 1))?;
+        stage.end(start_cycle + exec.stats().cycles);
 
         let stats = *exec.stats();
         let endurance = EnduranceReport::from_array(&array);

@@ -20,6 +20,7 @@ use crate::chunks::{decompose_operand, LEAVES};
 use cim_bigint::Uint;
 use cim_crossbar::{Crossbar, CrossbarError, CycleStats, EnduranceReport, Executor, MicroOp};
 use cim_logic::kogge_stone::{AddOp, AdderLayout, KoggeStoneAdder, SCRATCH_ROWS};
+use cim_trace::{TrackId, Tracer};
 
 /// Output of one precomputation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +79,12 @@ const ADDITIONS: [(usize, usize, usize); 10] = [
 /// [`PrecomputeStage::leaf_rows`]).
 const A_LEAF_ROWS: [usize; LEAVES] = [0, 1, 8, 2, 3, 9, 10, 11, 12];
 const B_LEAF_ROWS: [usize; LEAVES] = [4, 5, 13, 6, 7, 14, 15, 16, 17];
+
+/// Span names of [`ADDITIONS`], in execution order.
+const ADDITION_NAMES: [&str; 10] = [
+    "add a10", "add a32", "add a20", "add a31", "add a3210", "add b10", "add b32", "add b20",
+    "add b31", "add b3210",
+];
 
 impl PrecomputeStage {
     /// Creates the stage for `n`-bit multiplications.
@@ -247,6 +254,32 @@ impl PrecomputeStage {
     ///
     /// Panics if an operand does not fit in `n` bits.
     pub fn run(&self, a: &Uint, b: &Uint) -> Result<PrecomputeOutput, CrossbarError> {
+        self.run_traced(a, b, &Tracer::disabled(), TrackId(0), 0)
+    }
+
+    /// [`PrecomputeStage::run`] with tracing: the stage is wrapped in a
+    /// `precompute` span on `track` starting at `start_cycle`, with the
+    /// 8 chunk writes and each of the 10 tree additions as child spans;
+    /// the executor's per-op events nest under them.
+    ///
+    /// The micro-op sequence is identical to the untraced path, so
+    /// cycle statistics, wear counts, and results do not change.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in `n` bits.
+    pub fn run_traced(
+        &self,
+        a: &Uint,
+        b: &Uint,
+        tracer: &Tracer,
+        track: TrackId,
+        start_cycle: u64,
+    ) -> Result<PrecomputeOutput, CrossbarError> {
         let n = self.n;
         let cols = self.cols();
         let da = decompose_operand(a, n);
@@ -254,10 +287,24 @@ impl PrecomputeStage {
 
         let mut array = Crossbar::new(ROWS, cols)?;
         let mut exec = Executor::new(&mut array);
+        exec.attach_tracer_at(tracer, track, start_cycle);
+        let stage = tracer.span_at(track, "precompute", start_cycle);
 
         // (i)+(ii) The 8 chunk writes and the ten tree additions as
-        // one statically-verified program — 8 + 10·adder cc.
-        exec.run(&self.program(a, b))?;
+        // one statically-verified program — 8 + 10·adder cc. The
+        // program executes in slices only so each addition's op events
+        // nest under its own span; the op sequence is unchanged.
+        let prog = self.program(a, b);
+        let add_len = (prog.len() - 8) / ADDITIONS.len();
+        let writes = tracer.span_at(track, "write chunks", start_cycle);
+        exec.run(&prog[..8])?;
+        writes.end(start_cycle + exec.stats().cycles);
+        for (i, name) in ADDITION_NAMES.iter().enumerate() {
+            let from = start_cycle + exec.stats().cycles;
+            let span = tracer.span_at(track, *name, from);
+            exec.run(&prog[8 + i * add_len..8 + (i + 1) * add_len])?;
+            span.end(start_cycle + exec.stats().cycles);
+        }
 
         // Read the 18 leaves (handoff — charged at the pipeline level).
         let read_leaf = |exec: &Executor<'_>, row: usize| -> Result<Uint, CrossbarError> {
@@ -273,6 +320,7 @@ impl PrecomputeStage {
         // (iii) Reset the input/result region for the next
         // multiplication — 1 cc.
         exec.step(&MicroOp::reset_region(0..RESULT_BASE + 10, 0..cols))?;
+        stage.end(start_cycle + exec.stats().cycles);
 
         let stats = *exec.stats();
         let endurance = EnduranceReport::from_array(&array);

@@ -1,0 +1,80 @@
+//! Tracing-neutrality and determinism tests for the instrumented
+//! multiplier: attaching a recording tracer must not change a single
+//! cycle, cell, or wear count, and the exported trace of a fixed
+//! multiply is byte-identical across runs.
+
+use cim_bigint::rng::UintRng;
+use cim_trace::{chrome, folded, EventKind, Tracer};
+use karatsuba_cim::multiplier::KaratsubaCimMultiplier;
+
+#[test]
+fn tracing_changes_no_cycle_or_cell_counts() {
+    let mut rng = UintRng::seeded(7);
+    for n in [16usize, 64, 128] {
+        let a = rng.uniform(n);
+        let b = rng.uniform(n);
+        let mult = KaratsubaCimMultiplier::new(n).unwrap();
+        let plain = mult.multiply(&a, &b).unwrap();
+        let tracer = Tracer::recording();
+        let traced = mult.multiply_traced(&a, &b, &tracer).unwrap();
+        assert_eq!(
+            plain, traced,
+            "n = {n}: tracing must not perturb the simulation"
+        );
+        let trace = tracer.finish().unwrap();
+        assert!(!trace.events.is_empty(), "n = {n}: trace must not be empty");
+    }
+}
+
+#[test]
+fn fixed_64bit_multiply_trace_is_deterministic_with_stage_spans() {
+    let export = || {
+        let mut rng = UintRng::seeded(42);
+        let a = rng.uniform(64);
+        let b = rng.uniform(64);
+        let mult = KaratsubaCimMultiplier::new(64).unwrap();
+        let tracer = Tracer::recording();
+        mult.multiply_traced(&a, &b, &tracer).unwrap();
+        let trace = tracer.finish().unwrap();
+        let json = chrome::to_chrome_json(&trace);
+        let stacks = folded::to_folded(&trace).unwrap();
+        (trace, json, stacks)
+    };
+
+    let (trace, json, stacks) = export();
+    let (_, json2, stacks2) = export();
+    assert_eq!(json, json2, "Chrome export must be byte-identical");
+    assert_eq!(stacks, stacks2, "folded export must be byte-identical");
+    chrome::validate_chrome_trace(&json).expect("export must be schema-valid");
+
+    // All three pipeline stages appear as named spans.
+    let span_names: Vec<&str> = trace
+        .events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Begin { name, .. } => Some(name.as_str()),
+            EventKind::Complete { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(span_names.contains(&"precompute"), "stage 1 span missing");
+    assert!(span_names.contains(&"postcompute"), "stage 3 span missing");
+    assert!(
+        span_names.contains(&"c_ll") && span_names.contains(&"c_mm"),
+        "stage 2 per-row product spans missing"
+    );
+    // The per-op occupancy counter rides along on the stage tracks.
+    assert!(
+        trace.events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Counter { name, .. } if name.as_str() == "cells_active"
+        )),
+        "cells_active counter missing"
+    );
+
+    // Every span opened on a stage track is properly closed and
+    // nested — the full multiply obeys the same invariants the unit
+    // traces do.
+    let forest = cim_trace::analysis::build_forest(&trace).unwrap();
+    cim_trace::analysis::check_nesting(&forest).unwrap();
+}

@@ -1,9 +1,10 @@
 //! The micro-op executor: runs programs, charges cycles, latches reads.
 
 use crate::array::Crossbar;
-use crate::error::CrossbarError;
+use crate::error::{Axis, CrossbarError};
 use crate::isa::MicroOp;
 use crate::stats::{CycleStats, OpClass};
+use cim_trace::{Args, Tracer, TrackId};
 
 /// Executor configuration.
 #[derive(Debug, Clone, Copy)]
@@ -25,38 +26,328 @@ impl Default for ExecConfig {
     }
 }
 
+/// Structured, allocation-free summary of one executed micro-op.
+///
+/// Captures op kind, target index, and cell span as plain integers —
+/// no `String` is built at record time; rendering happens lazily via
+/// [`std::fmt::Display`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpTrace {
+    /// Row write from the periphery.
+    Write {
+        /// Target word line.
+        row: usize,
+        /// Bits written.
+        bits: usize,
+    },
+    /// Row read into the periphery.
+    Read {
+        /// Word line sensed.
+        row: usize,
+        /// Cells sensed.
+        cells: usize,
+    },
+    /// Parallel set wave (MAGIC output initialization).
+    Init {
+        /// First row initialized.
+        first_row: usize,
+        /// Rows initialized.
+        rows: usize,
+        /// Cells driven per row.
+        width: usize,
+    },
+    /// Parallel reset wave.
+    Reset {
+        /// First row reset.
+        first_row: usize,
+        /// Rows reset.
+        rows: usize,
+        /// Cells driven per row.
+        width: usize,
+    },
+    /// MAGIC NOR across rows (SIMD over bit lines).
+    NorRows {
+        /// Input word lines.
+        inputs: usize,
+        /// Output word line.
+        out: usize,
+        /// Bit lines computed in parallel.
+        cells: usize,
+    },
+    /// MAGIC NOR along rows (SIMD over word lines).
+    NorCols {
+        /// Input bit lines.
+        inputs: usize,
+        /// Output bit line.
+        out: usize,
+        /// Word lines computed in parallel.
+        rows: usize,
+    },
+    /// Partitioned MAGIC NOR (MultPIM partition parallelism).
+    NorPart {
+        /// Partition width in columns.
+        part_width: usize,
+        /// Partitions active simultaneously.
+        partitions: usize,
+        /// Output offset within each partition.
+        out: usize,
+        /// Word lines computed in parallel.
+        rows: usize,
+    },
+    /// Periphery shift (read + shift + write back).
+    Shift {
+        /// Word line read.
+        src: usize,
+        /// Word line written.
+        dst: usize,
+        /// Shift distance (positive = towards higher columns).
+        offset: isize,
+        /// Cells in the shifted window.
+        cells: usize,
+    },
+}
+
+impl OpTrace {
+    /// Captures the structured summary of `op` (no heap allocation).
+    pub fn of(op: &MicroOp) -> Self {
+        match op {
+            MicroOp::WriteRow { row, bits, .. } => OpTrace::Write {
+                row: *row,
+                bits: bits.len(),
+            },
+            MicroOp::ReadRow { row, cols } => OpTrace::Read {
+                row: *row,
+                cells: cols.len(),
+            },
+            MicroOp::InitRows { rows, cols } => OpTrace::Init {
+                first_row: rows.first().copied().unwrap_or(0),
+                rows: rows.len(),
+                width: cols.len(),
+            },
+            MicroOp::ResetRegion(r) => OpTrace::Reset {
+                first_row: r.rows.start,
+                rows: r.rows.len(),
+                width: r.cols.len(),
+            },
+            MicroOp::ResetRows { rows, cols } => OpTrace::Reset {
+                first_row: rows.first().copied().unwrap_or(0),
+                rows: rows.len(),
+                width: cols.len(),
+            },
+            MicroOp::NorRows { inputs, out, cols } => OpTrace::NorRows {
+                inputs: inputs.len(),
+                out: *out,
+                cells: cols.len(),
+            },
+            MicroOp::NorCols {
+                in_cols,
+                out_col,
+                rows,
+            } => OpTrace::NorCols {
+                inputs: in_cols.len(),
+                out: *out_col,
+                rows: rows.len(),
+            },
+            MicroOp::NorColsPartitioned {
+                rows,
+                cols,
+                part_width,
+                out_offset,
+                ..
+            } => OpTrace::NorPart {
+                part_width: *part_width,
+                partitions: if *part_width > 0 {
+                    cols.len() / part_width
+                } else {
+                    0
+                },
+                out: *out_offset,
+                rows: rows.len(),
+            },
+            MicroOp::Shift {
+                src,
+                dst,
+                offset,
+                cols,
+                ..
+            } => OpTrace::Shift {
+                src: *src,
+                dst: *dst,
+                offset: *offset,
+                cells: cols.len(),
+            },
+        }
+    }
+
+    /// Cycle-accounting class of the op.
+    pub fn class(&self) -> OpClass {
+        match self {
+            OpTrace::Write { .. } => OpClass::Write,
+            OpTrace::Read { .. } => OpClass::Read,
+            OpTrace::Init { .. } | OpTrace::Reset { .. } => OpClass::Init,
+            OpTrace::NorRows { .. } | OpTrace::NorCols { .. } | OpTrace::NorPart { .. } => {
+                OpClass::Magic
+            }
+            OpTrace::Shift { .. } => OpClass::Shift,
+        }
+    }
+
+    /// The axis the op's SIMD parallelism runs along: `Row` for ops
+    /// that drive whole word lines, `Col` for column-oriented NORs.
+    pub fn axis(&self) -> Axis {
+        match self {
+            OpTrace::NorCols { .. } | OpTrace::NorPart { .. } => Axis::Col,
+            _ => Axis::Row,
+        }
+    }
+
+    /// Primary target index (output row/column, destination of shift).
+    pub fn index(&self) -> usize {
+        match self {
+            OpTrace::Write { row, .. } | OpTrace::Read { row, .. } => *row,
+            OpTrace::Init { first_row, .. } | OpTrace::Reset { first_row, .. } => *first_row,
+            OpTrace::NorRows { out, .. }
+            | OpTrace::NorCols { out, .. }
+            | OpTrace::NorPart { out, .. } => *out,
+            OpTrace::Shift { dst, .. } => *dst,
+        }
+    }
+
+    /// Cells the op actively drives or computes (its SIMD occupancy).
+    pub fn cells(&self) -> usize {
+        match self {
+            OpTrace::Write { bits, .. } => *bits,
+            OpTrace::Read { cells, .. } => *cells,
+            OpTrace::Init { rows, width, .. } | OpTrace::Reset { rows, width, .. } => rows * width,
+            OpTrace::NorRows { inputs, cells, .. } => (inputs + 1) * cells,
+            OpTrace::NorCols { inputs, rows, .. } => (inputs + 1) * rows,
+            OpTrace::NorPart {
+                partitions, rows, ..
+            } => partitions * rows,
+            OpTrace::Shift { cells, .. } => *cells,
+        }
+    }
+
+    /// Partitions computing simultaneously (1 for non-partitioned ops).
+    pub fn partitions(&self) -> usize {
+        match self {
+            OpTrace::NorPart { partitions, .. } => *partitions,
+            _ => 1,
+        }
+    }
+
+    /// Static event name and argument list for the trace sink.
+    fn event(&self) -> (&'static str, Args) {
+        match self {
+            OpTrace::Write { row, bits } => (
+                "write",
+                Args::new()
+                    .with("row", *row as i64)
+                    .with("bits", *bits as i64),
+            ),
+            OpTrace::Read { row, cells } => (
+                "read",
+                Args::new()
+                    .with("row", *row as i64)
+                    .with("cells", *cells as i64),
+            ),
+            OpTrace::Init { rows, width, .. } => (
+                "init",
+                Args::new()
+                    .with("rows", *rows as i64)
+                    .with("width", *width as i64),
+            ),
+            OpTrace::Reset { rows, width, .. } => (
+                "reset",
+                Args::new()
+                    .with("rows", *rows as i64)
+                    .with("width", *width as i64),
+            ),
+            OpTrace::NorRows { inputs, out, cells } => (
+                "nor",
+                Args::new()
+                    .with("inputs", *inputs as i64)
+                    .with("out", *out as i64)
+                    .with("cells", *cells as i64),
+            ),
+            OpTrace::NorCols { inputs, out, rows } => (
+                "nor_cols",
+                Args::new()
+                    .with("inputs", *inputs as i64)
+                    .with("out", *out as i64)
+                    .with("rows", *rows as i64),
+            ),
+            OpTrace::NorPart {
+                part_width,
+                partitions,
+                rows,
+                ..
+            } => (
+                "part_nor",
+                Args::new()
+                    .with("part_width", *part_width as i64)
+                    .with("partitions", *partitions as i64)
+                    .with("rows", *rows as i64),
+            ),
+            OpTrace::Shift {
+                src, dst, offset, ..
+            } => (
+                "shift",
+                Args::new()
+                    .with("src", *src as i64)
+                    .with("dst", *dst as i64)
+                    .with("offset", *offset as i64),
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for OpTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpTrace::Write { row, bits } => write!(f, "write row {row} ({bits} bits)"),
+            OpTrace::Read { row, cells } => write!(f, "read row {row} ({cells} cells)"),
+            OpTrace::Init {
+                first_row,
+                rows,
+                width,
+            } => write!(f, "init {rows} rows from row {first_row} ({width} wide)"),
+            OpTrace::Reset {
+                first_row,
+                rows,
+                width,
+            } => write!(f, "reset {rows} rows from row {first_row} ({width} wide)"),
+            OpTrace::NorRows { inputs, out, cells } => {
+                write!(f, "NOR {inputs} rows -> row {out} ({cells} bit lines)")
+            }
+            OpTrace::NorCols { inputs, out, rows } => {
+                write!(f, "NOR {inputs} cols -> col {out} ({rows} word lines)")
+            }
+            OpTrace::NorPart {
+                part_width,
+                partitions,
+                out,
+                rows,
+            } => write!(
+                f,
+                "part-NOR w={part_width} x{partitions} -> +{out} ({rows} rows)"
+            ),
+            OpTrace::Shift {
+                src, dst, offset, ..
+            } => write!(f, "shift row {src} by {offset:+} -> row {dst}"),
+        }
+    }
+}
+
 /// One entry of a recorded execution trace.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEntry {
     /// First cycle the op occupied (1-based).
     pub cycle: u64,
     /// Cycles the op took.
     pub cycles: u64,
-    /// Human-readable op summary.
-    pub summary: String,
-}
-
-fn summarize(op: &MicroOp) -> String {
-    match op {
-        MicroOp::WriteRow { row, bits, .. } => format!("write row {row} ({} bits)", bits.len()),
-        MicroOp::ReadRow { row, .. } => format!("read row {row}"),
-        MicroOp::InitRows { rows, .. } => format!("init rows {rows:?}"),
-        MicroOp::ResetRegion(r) => format!("reset rows {:?}", r.rows),
-        MicroOp::ResetRows { rows, .. } => format!("reset rows {rows:?}"),
-        MicroOp::NorRows { inputs, out, .. } => format!("NOR {inputs:?} -> row {out}"),
-        MicroOp::NorCols { in_cols, out_col, .. } => {
-            format!("NOR cols {in_cols:?} -> col {out_col}")
-        }
-        MicroOp::NorColsPartitioned {
-            part_width,
-            in_offsets,
-            out_offset,
-            ..
-        } => format!("part-NOR w={part_width} {in_offsets:?} -> +{out_offset}"),
-        MicroOp::Shift {
-            src, dst, offset, ..
-        } => format!("shift row {src} by {offset:+} -> row {dst}"),
-    }
+    /// Structured op summary (rendered lazily via `Display`).
+    pub op: OpTrace,
 }
 
 /// Executes [`MicroOp`] programs against a [`Crossbar`], accumulating
@@ -70,6 +361,9 @@ pub struct Executor<'a> {
     stats: CycleStats,
     read_buffer: Vec<bool>,
     trace: Vec<TraceEntry>,
+    tracer: Tracer,
+    track: Option<TrackId>,
+    cycle_offset: u64,
 }
 
 impl<'a> Executor<'a> {
@@ -86,7 +380,28 @@ impl<'a> Executor<'a> {
             stats: CycleStats::default(),
             read_buffer: Vec::new(),
             trace: Vec::new(),
+            tracer: Tracer::disabled(),
+            track: None,
+            cycle_offset: 0,
         }
+    }
+
+    /// Routes per-op events and occupancy counters to `tracer` on
+    /// `track`, stamped with this executor's local cycle counter.
+    ///
+    /// Tracing is purely observational: cycle statistics, wear counts,
+    /// and array contents are identical with or without a tracer.
+    pub fn attach_tracer(&mut self, tracer: &Tracer, track: TrackId) {
+        self.attach_tracer_at(tracer, track, 0);
+    }
+
+    /// Like [`attach_tracer`](Self::attach_tracer), but offsets every
+    /// emitted timestamp by `cycle_offset` — used to place a stage's
+    /// local cycle 0 at its global position in a pipeline trace.
+    pub fn attach_tracer_at(&mut self, tracer: &Tracer, track: TrackId, cycle_offset: u64) {
+        self.tracer = tracer.clone();
+        self.track = Some(track);
+        self.cycle_offset = cycle_offset;
     }
 
     /// Executes one micro-op.
@@ -174,8 +489,20 @@ impl<'a> Executor<'a> {
             self.trace.push(TraceEntry {
                 cycle: self.stats.cycles + 1,
                 cycles: op.cycles(),
-                summary: summarize(op),
+                op: OpTrace::of(op),
             });
+        }
+        if let Some(track) = self.track {
+            if self.tracer.is_enabled() {
+                let t = OpTrace::of(op);
+                let start = self.cycle_offset + self.stats.cycles;
+                let (name, args) = t.event();
+                self.tracer.complete(track, name, start, op.cycles(), args);
+                self.tracer
+                    .counter(track, "cells_active", start, t.cells() as f64);
+                self.tracer
+                    .counter(track, "partitions_active", start, t.partitions() as f64);
+            }
         }
         self.stats.record(class, op.cycles());
         Ok(())
@@ -226,7 +553,7 @@ impl<'a> Executor<'a> {
                 "cc {:>4}-{:<4} {}\n",
                 e.cycle,
                 e.cycle + e.cycles - 1,
-                e.summary
+                e.op
             ));
         }
         out
@@ -259,6 +586,11 @@ mod tests {
         assert_eq!(s.magic_cycles, 2);
         assert_eq!(s.shift_cycles, 2);
         assert_eq!(s.read_cycles, 1);
+        assert_eq!(s.write_ops, 2);
+        assert_eq!(s.init_ops, 1);
+        assert_eq!(s.magic_ops, 2);
+        assert_eq!(s.shift_ops, 1);
+        assert_eq!(s.read_ops, 1);
         // NOR(row0,row1) = [0,0,0,1]; NOT → [1,1,1,0]; shift +1 → [0,1,1,1]
         assert_eq!(e.read_buffer(), &[false, true, true, true]);
     }
@@ -334,6 +666,9 @@ mod tests {
         assert_eq!(t[1].cycle, 2);
         assert_eq!(t[1].cycles, 2);
         assert_eq!(t[2].cycle, 4);
+        // The entry is structured; the string is built only on render.
+        assert_eq!(t[0].op, OpTrace::Write { row: 0, bits: 4 });
+        assert_eq!(t[0].op.class(), OpClass::Write);
         let rendered = e.render_trace();
         assert!(rendered.contains("write row 0"));
         assert!(rendered.contains("shift row 0 by +1"));
@@ -345,6 +680,68 @@ mod tests {
         let mut e = Executor::new(&mut x);
         e.step(&MicroOp::write_row(0, &[true, false])).unwrap();
         assert!(e.trace().is_empty());
+    }
+
+    #[test]
+    fn op_trace_exposes_axis_index_and_cells() {
+        let t = OpTrace::of(&MicroOp::nor_rows(&[0, 1], 2, 0..8));
+        assert_eq!(t.axis(), Axis::Row);
+        assert_eq!(t.index(), 2);
+        assert_eq!(t.cells(), 24); // 2 inputs + 1 output, 8 bit lines
+        let t = OpTrace::of(&MicroOp::nor_cols_partitioned(0..1, 0..8, 4, &[0, 1], 2));
+        assert_eq!(t.axis(), Axis::Col);
+        assert_eq!(t.partitions(), 2);
+        let t = OpTrace::of(&MicroOp::shift_to(1, 3, 0..4, -2, true));
+        assert_eq!(t.index(), 3);
+        assert_eq!(format!("{t}"), "shift row 1 by -2 -> row 3");
+    }
+
+    #[test]
+    fn attached_tracer_sees_ops_and_counters() {
+        let tracer = Tracer::recording();
+        let track = tracer.track(tracer.process("xbar"), "ops");
+        let mut x = Crossbar::new(4, 4).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.attach_tracer_at(&tracer, track, 100);
+        e.run(&[
+            MicroOp::write_row(0, &[true; 4]),
+            MicroOp::shift(0, 0..4, 1),
+        ])
+        .unwrap();
+        let trace = tracer.finish().unwrap();
+        // 2 ops × (1 complete + 2 counters).
+        assert_eq!(trace.events.len(), 6);
+        // Timestamps carry the attachment offset.
+        assert_eq!(trace.events[0].cycle, 100);
+        assert_eq!(trace.events[3].cycle, 101);
+        assert_eq!(trace.last_cycle(), 103); // shift: starts 101, 2 cc
+    }
+
+    #[test]
+    fn tracing_does_not_change_stats_or_cells() {
+        let program = [
+            MicroOp::write_row(0, &[true, true, false, false]),
+            MicroOp::write_row(1, &[true, false, true, false]),
+            MicroOp::init_rows(&[2], 0..4),
+            MicroOp::nor_rows(&[0, 1], 2, 0..4),
+            MicroOp::shift(2, 0..4, 1),
+            MicroOp::read_row(2, 0..4),
+        ];
+        let mut plain = Crossbar::new(4, 4).unwrap();
+        let mut e1 = Executor::new(&mut plain);
+        e1.run(&program).unwrap();
+        let stats1 = *e1.stats();
+        let buf1 = e1.read_buffer().to_vec();
+
+        let tracer = Tracer::recording();
+        let track = tracer.track(tracer.process("xbar"), "ops");
+        let mut traced = Crossbar::new(4, 4).unwrap();
+        let mut e2 = Executor::new(&mut traced);
+        e2.attach_tracer(&tracer, track);
+        e2.run(&program).unwrap();
+        assert_eq!(*e2.stats(), stats1);
+        assert_eq!(e2.read_buffer(), &buf1[..]);
+        assert!(!tracer.finish().unwrap().events.is_empty());
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use cell::{Cell, Fault};
 pub use endurance::{EnduranceReport, CELL_ENDURANCE_WRITES};
 pub use energy::{EnergyParams, EnergyReport};
 pub use error::{Axis, CrossbarError};
-pub use exec::{ExecConfig, Executor, TraceEntry};
+pub use exec::{ExecConfig, Executor, OpTrace, TraceEntry};
 pub use geometry::{ColRange, Region};
 pub use isa::{MicroOp, OpFootprint};
 pub use stats::{CycleStats, OpClass};

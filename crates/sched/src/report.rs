@@ -3,7 +3,8 @@
 
 use crate::job::Job;
 use crate::policy::Policy;
-use cim_crossbar::{CycleStats, CELL_ENDURANCE_WRITES};
+use cim_crossbar::{CycleStats, OpClass, CELL_ENDURANCE_WRITES};
+use cim_trace::json::JsonWriter;
 
 /// Telemetry for one accepted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +149,66 @@ impl FarmReport {
         self.jobs_done() as f64 * 1.0e6 / self.makespan_cycles as f64
     }
 
+    /// Serializes the report as one deterministic JSON object:
+    /// farm-level aggregates, latency percentiles (p50/p90/p95/p99),
+    /// the farm-wide cycle statistics, and a per-tile array. Field
+    /// order is fixed, so equal reports serialize byte-for-byte
+    /// identically.
+    pub fn to_json(&self) -> String {
+        fn stats_json(w: &mut JsonWriter, s: &CycleStats) {
+            w.open_object()
+                .field_uint("cycles", s.cycles)
+                .field_uint("ops", s.ops)
+                .field_float("utilization", s.utilization());
+            for class in OpClass::ALL {
+                w.key(&format!("{}_cycles", class.label()))
+                    .uint(s.cycles_of(class));
+                w.key(&format!("{}_ops", class.label())).uint(s.ops_of(class));
+            }
+            w.close_object();
+        }
+
+        let mut w = JsonWriter::new();
+        w.open_object()
+            .field_str("policy", self.policy.label())
+            .field_uint("tiles", self.tiles as u64)
+            .field_uint("jobs_submitted", self.jobs_submitted as u64)
+            .field_uint("jobs_done", self.jobs_done() as u64)
+            .field_uint("jobs_rejected", self.jobs_rejected as u64)
+            .field_uint("makespan_cycles", self.makespan_cycles)
+            .field_uint("initiation_interval", self.initiation_interval())
+            .field_float("throughput_per_mcc", self.throughput_per_mcc())
+            .field_float("mean_queue_cycles", self.mean_queue_cycles())
+            .field_float("mean_utilization", self.mean_utilization())
+            .field_uint("max_cell_writes", self.max_cell_writes())
+            .field_float("writes_per_multiplication", self.writes_per_multiplication())
+            .field_uint(
+                "projected_lifetime_multiplications",
+                self.projected_lifetime_multiplications(),
+            );
+        w.key("latency_percentiles").open_object();
+        for (label, p) in [("p50", 50.0), ("p90", 90.0), ("p95", 95.0), ("p99", 99.0)] {
+            w.field_uint(label, self.latency_percentile(p));
+        }
+        w.close_object();
+        w.key("total_stats");
+        stats_json(&mut w, &self.total_stats);
+        w.key("tile_reports").open_array();
+        for t in &self.tile_reports {
+            w.open_object()
+                .field_uint("tile", t.tile as u64)
+                .field_uint("jobs_done", t.jobs_done)
+                .field_uint("busy_cycles", t.busy_cycles)
+                .field_uint("max_cell_writes", t.max_cell_writes)
+                .field_float("utilization", t.utilization);
+            w.key("stats");
+            stats_json(&mut w, &t.stats);
+            w.close_object();
+        }
+        w.close_array().close_object();
+        w.finish()
+    }
+
     /// Steady-state initiation interval: completion spacing of the
     /// last two jobs (farm-wide), or the single job's latency.
     pub fn initiation_interval(&self) -> u64 {
@@ -212,5 +273,34 @@ mod tests {
         assert_eq!(r.throughput_per_mcc(), 0.0);
         assert_eq!(r.max_cell_writes(), 0);
         assert_eq!(r.projected_lifetime_multiplications(), u64::MAX);
+    }
+
+    #[test]
+    fn to_json_is_well_formed_and_deterministic() {
+        let r = report((0..20).map(|i| record(i, i * 5, i * 5, i * 5 + 300)).collect());
+        let json = r.to_json();
+        cim_trace::json::check(&json).expect("report JSON must parse");
+        assert_eq!(json, r.to_json(), "serialization must be deterministic");
+        for key in [
+            "\"policy\":\"fifo\"",
+            "\"latency_percentiles\"",
+            "\"p50\":300",
+            "\"p99\":300",
+            "\"total_stats\"",
+            "\"magic_cycles\":0",
+            "\"tile_reports\":[]",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn empty_report_serializes_cleanly() {
+        let json = report(vec![]).to_json();
+        cim_trace::json::check(&json).expect("empty-report JSON must parse");
+        assert!(json.contains(&format!(
+            "\"projected_lifetime_multiplications\":{}",
+            u64::MAX
+        )));
     }
 }

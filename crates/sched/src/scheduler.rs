@@ -15,6 +15,7 @@ use crate::profile::{ProfileSource, ProfileTable};
 use crate::report::{FarmReport, JobRecord, TileReport};
 use crate::tile::{Tile, DEFAULT_ROTATION_SLOTS};
 use cim_crossbar::CycleStats;
+use cim_trace::{Args, ProcessId, TrackId, Tracer};
 use karatsuba_cim::multiplier::MultiplyError;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -105,8 +106,48 @@ impl Scheduler {
     ///
     /// Propagates simulation errors from measured-profile resolution.
     pub fn run(&mut self, jobs: &[Job]) -> Result<FarmReport, MultiplyError> {
+        self.run_traced(jobs, &Tracer::disabled())
+    }
+
+    /// [`Scheduler::run`] with tracing: the farm becomes one trace
+    /// process with a `scheduler` track carrying the job lifecycle
+    /// (`submit`/`reject`/`dispatch`/`retire` instants plus a
+    /// `queue_depth` counter sampled at each arrival), one track per
+    /// tile carrying a span per job served, and an `occupancy` track
+    /// with a farm-wide `jobs_running` gauge.
+    ///
+    /// Tracing never changes the schedule: the report is byte-for-byte
+    /// the one [`Scheduler::run`] produces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors from measured-profile resolution.
+    pub fn run_traced(
+        &mut self,
+        jobs: &[Job],
+        tracer: &Tracer,
+    ) -> Result<FarmReport, MultiplyError> {
         let mut order: Vec<&Job> = jobs.iter().collect();
         order.sort_by_key(|j| (j.arrival, j.id));
+
+        let enabled = tracer.is_enabled();
+        let pid = if enabled {
+            tracer.process(&format!(
+                "farm: {} tiles, {}",
+                self.config.tiles,
+                self.config.policy.label()
+            ))
+        } else {
+            ProcessId(0)
+        };
+        let sched_track = tracer.track(pid, "scheduler");
+        let tile_tracks: Vec<TrackId> = if enabled {
+            (0..self.config.tiles)
+                .map(|i| tracer.track(pid, &format!("tile {i}")))
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         let mut tiles: Vec<Tile> = (0..self.config.tiles)
             .map(|i| Tile::new(i, self.config.rotation_slots))
@@ -122,24 +163,100 @@ impl Scheduler {
             while waiting.peek().is_some_and(|Reverse(s)| *s <= job.arrival) {
                 waiting.pop();
             }
+            if enabled {
+                tracer.instant(
+                    sched_track,
+                    "submit",
+                    job.arrival,
+                    Args::new()
+                        .with("job", job.id as i64)
+                        .with("width", job.width as i64),
+                );
+            }
             if self
                 .config
                 .queue_depth
                 .is_some_and(|depth| waiting.len() >= depth)
             {
                 rejected += 1;
+                if enabled {
+                    tracer.instant(
+                        sched_track,
+                        "reject",
+                        job.arrival,
+                        Args::new()
+                            .with("job", job.id as i64)
+                            .with("queue_depth", waiting.len() as i64),
+                    );
+                }
                 continue;
             }
             let profile = self.profiles.profile(job)?.clone();
             let pick = self.config.policy.pick(&tiles, job.arrival);
             let timing = tiles[pick].execute(job, &profile, rotate);
             waiting.push(Reverse(timing.start[0]));
+            if enabled {
+                tracer.counter(
+                    sched_track,
+                    "queue_depth",
+                    job.arrival,
+                    waiting.len() as f64,
+                );
+                tracer.instant(
+                    sched_track,
+                    "dispatch",
+                    timing.start[0],
+                    Args::new()
+                        .with("job", job.id as i64)
+                        .with("tile", pick as i64),
+                );
+                tracer.instant(
+                    sched_track,
+                    "retire",
+                    timing.completed_at(),
+                    Args::new()
+                        .with("job", job.id as i64)
+                        .with("tile", pick as i64),
+                );
+                tracer.complete(
+                    tile_tracks[pick],
+                    format!("job {}", job.id),
+                    timing.start[0],
+                    timing.completed_at() - timing.start[0],
+                    Args::new()
+                        .with("job", job.id as i64)
+                        .with("width", job.width as i64)
+                        .with("queue_cycles", (timing.start[0] - job.arrival) as i64),
+                );
+            }
             records.push(JobRecord {
                 job: *job,
                 tile: pick,
                 start: timing.start[0],
                 finish: timing.completed_at(),
             });
+        }
+
+        if enabled {
+            // Farm-wide jobs-in-service gauge: +1 at dispatch, −1 at
+            // retire, sampled at every transition cycle.
+            let occupancy = tracer.track(pid, "occupancy");
+            let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(2 * records.len());
+            for r in &records {
+                deltas.push((r.start, 1));
+                deltas.push((r.finish, -1));
+            }
+            deltas.sort_unstable();
+            let mut running = 0i64;
+            let mut i = 0;
+            while i < deltas.len() {
+                let cycle = deltas[i].0;
+                while i < deltas.len() && deltas[i].0 == cycle {
+                    running += deltas[i].1;
+                    i += 1;
+                }
+                tracer.counter(occupancy, "jobs_running", cycle, running as f64);
+            }
         }
 
         let makespan = records.iter().map(|r| r.finish).max().unwrap_or(0);
@@ -276,6 +393,51 @@ mod tests {
             .run(&jobs)
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_lifecycle() {
+        use cim_trace::EventKind;
+
+        let jobs = JobMix::crypto_default(300).generate(40, 3);
+        let config = FarmConfig::new(4, Policy::WearLeveling).with_queue_depth(6);
+        let plain = Scheduler::new(config).run(&jobs).unwrap();
+        let tracer = cim_trace::Tracer::recording();
+        let traced = Scheduler::new(config).run_traced(&jobs, &tracer).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the schedule");
+
+        let trace = tracer.finish().unwrap();
+        let instants: Vec<&str> = trace
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Instant { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        let count = |what: &str| instants.iter().filter(|n| **n == what).count();
+        assert_eq!(count("submit"), plain.jobs_submitted);
+        assert_eq!(count("dispatch"), plain.jobs_done());
+        assert_eq!(count("retire"), plain.jobs_done());
+        assert_eq!(count("reject"), plain.jobs_rejected);
+        // One span per served job on the tile tracks.
+        let spans = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Complete { .. }))
+            .count();
+        assert_eq!(spans, plain.jobs_done());
+        // The counters cover the queue and the in-service gauge.
+        let counters: Vec<&str> = trace
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Counter { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(counters.contains(&"queue_depth"));
+        assert!(counters.contains(&"jobs_running"));
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! The trace data model: tracks, spans, events, and the collected
+//! [`Trace`] the exporters consume.
+//!
+//! All timestamps are **simulated clock cycles**, never wall time, so
+//! a trace of a deterministic simulation is itself byte-deterministic.
+
+use std::fmt;
+
+/// Identifies a *process* group in the trace — one simulated hardware
+/// unit (a multiplier tile, the pipeline model, the farm). Maps to
+/// Chrome's `pid`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+/// Identifies a *track* (a lane of spans/counters) within a process —
+/// one stage subarray, one multiplier row, one queue. Maps to Chrome's
+/// `tid`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId(pub u32);
+
+/// Identifies one open span; `Begin`/`End` events pair on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// A span/event name: either a `'static` label (no allocation on the
+/// hot path) or an owned string for dynamic names.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Name {
+    /// Compile-time label — the hot-path variant.
+    Static(&'static str),
+    /// Dynamically composed label.
+    Owned(String),
+}
+
+impl Name {
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Name::Static(s) => s,
+            Name::Owned(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&'static str> for Name {
+    fn from(s: &'static str) -> Self {
+        Name::Static(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name::Owned(s)
+    }
+}
+
+/// Maximum number of key/value arguments an event carries inline.
+pub const MAX_ARGS: usize = 4;
+
+/// A fixed-capacity, heap-free argument list (`&'static str` keys,
+/// integer values) attached to span and instant events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Args {
+    keys: [&'static str; MAX_ARGS],
+    vals: [i64; MAX_ARGS],
+    len: u8,
+}
+
+impl Args {
+    /// An empty argument list.
+    pub fn new() -> Self {
+        Args::default()
+    }
+
+    /// Returns the list extended by `key = value`; silently drops the
+    /// pair once [`MAX_ARGS`] entries are present.
+    #[must_use]
+    pub fn with(mut self, key: &'static str, value: i64) -> Self {
+        if (self.len as usize) < MAX_ARGS {
+            self.keys[self.len as usize] = key;
+            self.vals[self.len as usize] = value;
+            self.len += 1;
+        }
+        self
+    }
+
+    /// Number of arguments held.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, i64)> + '_ {
+        (0..self.len as usize).map(|i| (self.keys[i], self.vals[i]))
+    }
+}
+
+/// What happened at one point of the cycle timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span opened (RAII [`crate::SpanGuard`] path).
+    Begin {
+        /// Pairing id for the matching [`EventKind::End`].
+        id: SpanId,
+        /// Span name.
+        name: Name,
+        /// Attached arguments.
+        args: Args,
+    },
+    /// A span closed.
+    End {
+        /// Pairing id of the opening [`EventKind::Begin`].
+        id: SpanId,
+    },
+    /// A closed span emitted in one event (leaf ops whose duration is
+    /// known up front — the executor's per-op path).
+    Complete {
+        /// Span name.
+        name: Name,
+        /// Duration in cycles.
+        dur: u64,
+        /// Attached arguments.
+        args: Args,
+    },
+    /// A zero-duration marker (job lifecycle edges).
+    Instant {
+        /// Marker name.
+        name: Name,
+        /// Attached arguments.
+        args: Args,
+    },
+    /// A sampled counter value (occupancy, queue depth, utilization).
+    Counter {
+        /// Counter name.
+        name: Name,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The track the event belongs to.
+    pub track: TrackId,
+    /// Cycle stamp (span start for `Begin`/`Complete`).
+    pub cycle: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// Registered metadata of one track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackMeta {
+    /// The track's id.
+    pub id: TrackId,
+    /// Owning process.
+    pub process: ProcessId,
+    /// Display name.
+    pub name: String,
+}
+
+/// Registered metadata of one process group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessMeta {
+    /// The process id.
+    pub id: ProcessId,
+    /// Display name.
+    pub name: String,
+}
+
+/// A fully collected trace: registries plus the event stream in
+/// emission order. Produced by [`crate::Tracer::finish`]; consumed by
+/// the exporters ([`crate::chrome`], [`crate::folded`],
+/// [`crate::summary`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Process registry in registration order.
+    pub processes: Vec<ProcessMeta>,
+    /// Track registry in registration order.
+    pub tracks: Vec<TrackMeta>,
+    /// Events in emission order.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Display name of `track` (`"?"` if unregistered).
+    pub fn track_name(&self, track: TrackId) -> &str {
+        self.tracks
+            .iter()
+            .find(|t| t.id == track)
+            .map_or("?", |t| t.name.as_str())
+    }
+
+    /// Display name of the process owning `track` (`"?"` if
+    /// unregistered).
+    pub fn process_name_of(&self, track: TrackId) -> &str {
+        let pid = match self.tracks.iter().find(|t| t.id == track) {
+            Some(t) => t.process,
+            None => return "?",
+        };
+        self.processes
+            .iter()
+            .find(|p| p.id == pid)
+            .map_or("?", |p| p.name.as_str())
+    }
+
+    /// Highest cycle stamp in the trace (span ends included).
+    pub fn last_cycle(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::Complete { dur, .. } => e.cycle + dur,
+                _ => e.cycle,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_cap_at_max() {
+        let a = Args::new()
+            .with("a", 1)
+            .with("b", 2)
+            .with("c", 3)
+            .with("d", 4)
+            .with("overflow", 5);
+        assert_eq!(a.len(), MAX_ARGS);
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(pairs[0], ("a", 1));
+        assert_eq!(pairs[3], ("d", 4));
+        assert!(!a.is_empty());
+        assert!(Args::new().is_empty());
+    }
+
+    #[test]
+    fn name_variants_display_identically() {
+        assert_eq!(Name::Static("x").as_str(), "x");
+        assert_eq!(Name::from("y".to_string()).to_string(), "y");
+    }
+
+    #[test]
+    fn last_cycle_includes_complete_durations() {
+        let mut t = Trace::default();
+        t.events.push(Event {
+            track: TrackId(0),
+            cycle: 10,
+            kind: EventKind::Complete {
+                name: "op".into(),
+                dur: 5,
+                args: Args::new(),
+            },
+        });
+        assert_eq!(t.last_cycle(), 15);
+        assert_eq!(t.track_name(TrackId(0)), "?");
+        assert_eq!(t.process_name_of(TrackId(0)), "?");
+    }
+}

@@ -1,0 +1,103 @@
+//! Pluggable event sinks.
+
+use crate::model::Event;
+use std::fmt;
+
+/// Receives every event a [`crate::Tracer`] emits.
+///
+/// Implementations decide what to keep: [`MemorySink`] buffers
+/// everything for export, [`NullSink`] drops everything (and reports
+/// itself disabled so emitters skip event construction entirely).
+pub trait TraceSink: fmt::Debug {
+    /// Receives one event.
+    fn record(&mut self, event: Event);
+
+    /// Whether emitters should bother constructing events at all.
+    /// Checked by [`crate::Tracer::is_enabled`] before every emission.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Drains the buffered events (empty for non-buffering sinks).
+    fn take_events(&mut self) -> Vec<Event> {
+        Vec::new()
+    }
+}
+
+/// A sink that drops everything and reports itself disabled — the
+/// explicit "tracing off" plug.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that buffers every event in memory, in emission order.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Vec<Event>,
+}
+
+impl MemorySink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Events buffered so far.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Args, EventKind, TrackId};
+
+    fn instant(cycle: u64) -> Event {
+        Event {
+            track: TrackId(0),
+            cycle,
+            kind: EventKind::Instant {
+                name: "t".into(),
+                args: Args::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let mut s = MemorySink::new();
+        s.record(instant(3));
+        s.record(instant(1));
+        assert_eq!(s.events().len(), 2);
+        assert_eq!(s.events()[0].cycle, 3);
+        let drained = s.take_events();
+        assert_eq!(drained.len(), 2);
+        assert!(s.events().is_empty());
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_drops() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(instant(1));
+        assert!(s.take_events().is_empty());
+    }
+}

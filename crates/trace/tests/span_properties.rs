@@ -1,0 +1,117 @@
+//! Property tests for the span-nesting invariants: every span open is
+//! matched by exactly one close, and the cycles of a span's direct
+//! children never exceed the parent's own duration (so self-cycles
+//! are always well defined).
+
+use cim_trace::analysis::{build_forest, check_nesting};
+use cim_trace::{Args, EventKind, Tracer};
+use proptest::prelude::*;
+
+/// Drives the tracer API from a byte script: each byte either opens a
+/// span, closes the innermost open span, or drops a leaf complete
+/// event. The cycle counter only moves forward, so the construction
+/// is well nested by design — the properties then assert the analysis
+/// layer agrees.
+fn trace_from_script(script: &[u8]) -> cim_trace::Trace {
+    let tracer = Tracer::recording();
+    let pid = tracer.process("prop");
+    let track = tracer.track(pid, "t0");
+    let mut cycle = 0u64;
+    let mut stack = Vec::new();
+    for &b in script {
+        match b % 3 {
+            0 => {
+                stack.push(tracer.span_at(track, "span", cycle));
+                cycle += 1;
+            }
+            1 => {
+                if let Some(guard) = stack.pop() {
+                    cycle += 1;
+                    guard.end(cycle);
+                }
+            }
+            _ => {
+                tracer.complete(track, "leaf", cycle, 1, Args::new());
+                cycle += 1;
+            }
+        }
+    }
+    while let Some(guard) = stack.pop() {
+        cycle += 1;
+        guard.end(cycle);
+    }
+    tracer.finish().expect("recording tracer yields a trace")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every API-constructed trace passes the nesting checker: opens
+    /// and closes pair up and intervals nest.
+    #[test]
+    fn api_traces_are_well_nested(script in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let trace = trace_from_script(&script);
+        let begins = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Begin { .. }))
+            .count();
+        let ends = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::End { .. }))
+            .count();
+        prop_assert_eq!(begins, ends, "every span open must be closed");
+
+        let forest = build_forest(&trace).expect("well-formed by construction");
+        check_nesting(&forest).expect("nesting invariants hold");
+    }
+
+    /// The direct children of any span fit inside it: their summed
+    /// cycles never exceed the parent's duration, so the self/child
+    /// split is non-negative everywhere.
+    #[test]
+    fn child_cycles_never_exceed_parent(script in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let trace = trace_from_script(&script);
+        let forest = build_forest(&trace).expect("well-formed by construction");
+        for (i, node) in forest.nodes.iter().enumerate() {
+            prop_assert!(
+                forest.child_cycles(i) <= node.cycles(),
+                "children of node {} ({} cycles) sum to {}",
+                i,
+                node.cycles(),
+                forest.child_cycles(i)
+            );
+            prop_assert_eq!(
+                forest.self_cycles(i) + forest.child_cycles(i),
+                node.cycles()
+            );
+            for &c in &node.children {
+                let child = &forest.nodes[c];
+                prop_assert!(child.start >= node.start && child.end <= node.end);
+                prop_assert_eq!(child.depth, node.depth + 1);
+            }
+        }
+    }
+
+    /// Chrome export stays schema-valid for arbitrary API usage, and
+    /// the span counts line up with the event buffer.
+    #[test]
+    fn chrome_export_always_validates(script in proptest::collection::vec(any::<u8>(), 0..48)) {
+        let trace = trace_from_script(&script);
+        let json = cim_trace::chrome::to_chrome_json(&trace);
+        let summary = cim_trace::chrome::validate_chrome_trace(&json).expect("valid export");
+        let pairs = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Begin { .. }))
+            .count();
+        let completes = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Complete { .. }))
+            .count();
+        prop_assert_eq!(summary.span_pairs, pairs);
+        prop_assert_eq!(summary.complete_spans, completes);
+    }
+}

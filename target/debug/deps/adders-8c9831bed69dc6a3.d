@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adders-8c9831bed69dc6a3.d: crates/bench/benches/adders.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadders-8c9831bed69dc6a3.rmeta: crates/bench/benches/adders.rs Cargo.toml
+
+crates/bench/benches/adders.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

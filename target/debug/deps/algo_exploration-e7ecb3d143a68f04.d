@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algo_exploration-e7ecb3d143a68f04.d: crates/bench/src/bin/algo_exploration.rs
+
+/root/repo/target/debug/deps/algo_exploration-e7ecb3d143a68f04: crates/bench/src/bin/algo_exploration.rs
+
+crates/bench/src/bin/algo_exploration.rs:

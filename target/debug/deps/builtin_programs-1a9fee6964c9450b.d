@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/builtin_programs-1a9fee6964c9450b.d: crates/check/tests/builtin_programs.rs
+
+/root/repo/target/debug/deps/builtin_programs-1a9fee6964c9450b: crates/check/tests/builtin_programs.rs
+
+crates/check/tests/builtin_programs.rs:

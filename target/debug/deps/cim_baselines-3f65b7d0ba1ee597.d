@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cim_baselines-3f65b7d0ba1ee597.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/debug/deps/cim_baselines-3f65b7d0ba1ee597: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cim_baselines-431057367ecc4ba7.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/debug/deps/libcim_baselines-431057367ecc4ba7.rlib: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/debug/deps/libcim_baselines-431057367ecc4ba7.rmeta: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cim_baselines-827fdc750f35a5f6.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/debug/deps/libcim_baselines-827fdc750f35a5f6.rmeta: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:

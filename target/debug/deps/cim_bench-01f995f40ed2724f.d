@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cim_bench-01f995f40ed2724f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcim_bench-01f995f40ed2724f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cim_bench-26dd3570f7fde7f9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcim_bench-26dd3570f7fde7f9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcim_bench-26dd3570f7fde7f9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cim_bench-560b94021a6ba812.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cim_bench-560b94021a6ba812: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/cim_bigint-6813065dc8cd07a0.d: crates/bigint/src/lib.rs crates/bigint/src/add.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/error.rs crates/bigint/src/gcd.rs crates/bigint/src/int.rs crates/bigint/src/prime.rs crates/bigint/src/mul/mod.rs crates/bigint/src/mul/karatsuba.rs crates/bigint/src/mul/karatsuba_unrolled.rs crates/bigint/src/mul/schoolbook.rs crates/bigint/src/mul/toom.rs crates/bigint/src/opcount.rs crates/bigint/src/ops.rs crates/bigint/src/rng.rs crates/bigint/src/shift.rs crates/bigint/src/uint.rs
+
+/root/repo/target/debug/deps/libcim_bigint-6813065dc8cd07a0.rmeta: crates/bigint/src/lib.rs crates/bigint/src/add.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/error.rs crates/bigint/src/gcd.rs crates/bigint/src/int.rs crates/bigint/src/prime.rs crates/bigint/src/mul/mod.rs crates/bigint/src/mul/karatsuba.rs crates/bigint/src/mul/karatsuba_unrolled.rs crates/bigint/src/mul/schoolbook.rs crates/bigint/src/mul/toom.rs crates/bigint/src/opcount.rs crates/bigint/src/ops.rs crates/bigint/src/rng.rs crates/bigint/src/shift.rs crates/bigint/src/uint.rs
+
+crates/bigint/src/lib.rs:
+crates/bigint/src/add.rs:
+crates/bigint/src/convert.rs:
+crates/bigint/src/div.rs:
+crates/bigint/src/error.rs:
+crates/bigint/src/gcd.rs:
+crates/bigint/src/int.rs:
+crates/bigint/src/prime.rs:
+crates/bigint/src/mul/mod.rs:
+crates/bigint/src/mul/karatsuba.rs:
+crates/bigint/src/mul/karatsuba_unrolled.rs:
+crates/bigint/src/mul/schoolbook.rs:
+crates/bigint/src/mul/toom.rs:
+crates/bigint/src/opcount.rs:
+crates/bigint/src/ops.rs:
+crates/bigint/src/rng.rs:
+crates/bigint/src/shift.rs:
+crates/bigint/src/uint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cim_check-07870eedd40a22ce.d: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs
+
+/root/repo/target/debug/deps/libcim_check-07870eedd40a22ce.rmeta: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs
+
+crates/check/src/lib.rs:
+crates/check/src/gen.rs:
+crates/check/src/gold.rs:
+crates/check/src/pressure.rs:
+crates/check/src/verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cim_check-2dd4145b7f0175a1.d: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs
+
+/root/repo/target/debug/deps/cim_check-2dd4145b7f0175a1: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs
+
+crates/check/src/lib.rs:
+crates/check/src/gen.rs:
+crates/check/src/gold.rs:
+crates/check/src/pressure.rs:
+crates/check/src/verify.rs:

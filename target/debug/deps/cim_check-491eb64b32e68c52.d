@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cim_check-491eb64b32e68c52.d: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs
+
+/root/repo/target/debug/deps/libcim_check-491eb64b32e68c52.rlib: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs
+
+/root/repo/target/debug/deps/libcim_check-491eb64b32e68c52.rmeta: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs
+
+crates/check/src/lib.rs:
+crates/check/src/gen.rs:
+crates/check/src/gold.rs:
+crates/check/src/pressure.rs:
+crates/check/src/verify.rs:

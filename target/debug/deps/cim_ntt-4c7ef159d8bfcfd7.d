@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cim_ntt-4c7ef159d8bfcfd7.d: crates/ntt/src/lib.rs crates/ntt/src/cost.rs crates/ntt/src/field.rs crates/ntt/src/ntt.rs crates/ntt/src/poly.rs crates/ntt/src/rns.rs crates/ntt/src/rns_poly.rs
+
+/root/repo/target/debug/deps/libcim_ntt-4c7ef159d8bfcfd7.rlib: crates/ntt/src/lib.rs crates/ntt/src/cost.rs crates/ntt/src/field.rs crates/ntt/src/ntt.rs crates/ntt/src/poly.rs crates/ntt/src/rns.rs crates/ntt/src/rns_poly.rs
+
+/root/repo/target/debug/deps/libcim_ntt-4c7ef159d8bfcfd7.rmeta: crates/ntt/src/lib.rs crates/ntt/src/cost.rs crates/ntt/src/field.rs crates/ntt/src/ntt.rs crates/ntt/src/poly.rs crates/ntt/src/rns.rs crates/ntt/src/rns_poly.rs
+
+crates/ntt/src/lib.rs:
+crates/ntt/src/cost.rs:
+crates/ntt/src/field.rs:
+crates/ntt/src/ntt.rs:
+crates/ntt/src/poly.rs:
+crates/ntt/src/rns.rs:
+crates/ntt/src/rns_poly.rs:

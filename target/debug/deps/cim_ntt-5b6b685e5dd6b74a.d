@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cim_ntt-5b6b685e5dd6b74a.d: crates/ntt/src/lib.rs crates/ntt/src/cost.rs crates/ntt/src/field.rs crates/ntt/src/ntt.rs crates/ntt/src/poly.rs crates/ntt/src/rns.rs crates/ntt/src/rns_poly.rs
+
+/root/repo/target/debug/deps/cim_ntt-5b6b685e5dd6b74a: crates/ntt/src/lib.rs crates/ntt/src/cost.rs crates/ntt/src/field.rs crates/ntt/src/ntt.rs crates/ntt/src/poly.rs crates/ntt/src/rns.rs crates/ntt/src/rns_poly.rs
+
+crates/ntt/src/lib.rs:
+crates/ntt/src/cost.rs:
+crates/ntt/src/field.rs:
+crates/ntt/src/ntt.rs:
+crates/ntt/src/poly.rs:
+crates/ntt/src/rns.rs:
+crates/ntt/src/rns_poly.rs:

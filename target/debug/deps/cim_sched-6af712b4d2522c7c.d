@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cim_sched-6af712b4d2522c7c.d: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+/root/repo/target/debug/deps/cim_sched-6af712b4d2522c7c: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/batch.rs:
+crates/sched/src/job.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/profile.rs:
+crates/sched/src/report.rs:
+crates/sched/src/scheduler.rs:
+crates/sched/src/tile.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cim_suite-30f89d2112f49ab2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcim_suite-30f89d2112f49ab2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcim_suite-30f89d2112f49ab2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cim_suite-b5354aba626a36eb.d: src/lib.rs
+
+/root/repo/target/debug/deps/cim_suite-b5354aba626a36eb: src/lib.rs
+
+src/lib.rs:

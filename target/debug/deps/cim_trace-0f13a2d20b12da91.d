@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cim_trace-0f13a2d20b12da91.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/chrome.rs crates/trace/src/folded.rs crates/trace/src/json.rs crates/trace/src/summary.rs crates/trace/src/model.rs crates/trace/src/sink.rs crates/trace/src/tracer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_trace-0f13a2d20b12da91.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/chrome.rs crates/trace/src/folded.rs crates/trace/src/json.rs crates/trace/src/summary.rs crates/trace/src/model.rs crates/trace/src/sink.rs crates/trace/src/tracer.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/folded.rs:
+crates/trace/src/json.rs:
+crates/trace/src/summary.rs:
+crates/trace/src/model.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/tracer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

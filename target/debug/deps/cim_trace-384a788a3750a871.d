@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cim_trace-384a788a3750a871.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/chrome.rs crates/trace/src/folded.rs crates/trace/src/json.rs crates/trace/src/summary.rs crates/trace/src/model.rs crates/trace/src/sink.rs crates/trace/src/tracer.rs
+
+/root/repo/target/debug/deps/libcim_trace-384a788a3750a871.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/chrome.rs crates/trace/src/folded.rs crates/trace/src/json.rs crates/trace/src/summary.rs crates/trace/src/model.rs crates/trace/src/sink.rs crates/trace/src/tracer.rs
+
+/root/repo/target/debug/deps/libcim_trace-384a788a3750a871.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/chrome.rs crates/trace/src/folded.rs crates/trace/src/json.rs crates/trace/src/summary.rs crates/trace/src/model.rs crates/trace/src/sink.rs crates/trace/src/tracer.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/folded.rs:
+crates/trace/src/json.rs:
+crates/trace/src/summary.rs:
+crates/trace/src/model.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/tracer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cim_trace-cd20e352ee7579bb.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/chrome.rs crates/trace/src/folded.rs crates/trace/src/json.rs crates/trace/src/summary.rs crates/trace/src/model.rs crates/trace/src/sink.rs crates/trace/src/tracer.rs
+
+/root/repo/target/debug/deps/libcim_trace-cd20e352ee7579bb.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/chrome.rs crates/trace/src/folded.rs crates/trace/src/json.rs crates/trace/src/summary.rs crates/trace/src/model.rs crates/trace/src/sink.rs crates/trace/src/tracer.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/folded.rs:
+crates/trace/src/json.rs:
+crates/trace/src/summary.rs:
+crates/trace/src/model.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/tracer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-59b4d957d86d68b8.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-59b4d957d86d68b8: tests/determinism.rs
+
+tests/determinism.rs:

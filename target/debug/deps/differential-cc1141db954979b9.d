@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-cc1141db954979b9.d: crates/check/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-cc1141db954979b9: crates/check/tests/differential.rs
+
+crates/check/tests/differential.rs:

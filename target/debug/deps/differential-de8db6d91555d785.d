@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-de8db6d91555d785.d: crates/check/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-de8db6d91555d785.rmeta: crates/check/tests/differential.rs Cargo.toml
+
+crates/check/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-add24bef66b0d0af.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-add24bef66b0d0af: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_table-36c0b8522b587c3f.d: crates/bench/src/bin/energy_table.rs
+
+/root/repo/target/debug/deps/energy_table-36c0b8522b587c3f: crates/bench/src/bin/energy_table.rs
+
+crates/bench/src/bin/energy_table.rs:

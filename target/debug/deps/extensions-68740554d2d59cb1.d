@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-68740554d2d59cb1.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-68740554d2d59cb1: tests/extensions.rs
+
+tests/extensions.rs:

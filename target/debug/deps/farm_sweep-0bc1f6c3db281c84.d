@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/farm_sweep-0bc1f6c3db281c84.d: crates/bench/src/bin/farm_sweep.rs
+
+/root/repo/target/debug/deps/farm_sweep-0bc1f6c3db281c84: crates/bench/src/bin/farm_sweep.rs
+
+crates/bench/src/bin/farm_sweep.rs:

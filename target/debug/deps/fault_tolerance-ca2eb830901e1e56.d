@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-ca2eb830901e1e56.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-ca2eb830901e1e56: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_magic_demo-3032c035752e0b2f.d: crates/bench/src/bin/fig1_magic_demo.rs
+
+/root/repo/target/debug/deps/fig1_magic_demo-3032c035752e0b2f: crates/bench/src/bin/fig1_magic_demo.rs
+
+crates/bench/src/bin/fig1_magic_demo.rs:

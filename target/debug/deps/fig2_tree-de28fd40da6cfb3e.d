@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_tree-de28fd40da6cfb3e.d: crates/bench/src/bin/fig2_tree.rs
+
+/root/repo/target/debug/deps/fig2_tree-de28fd40da6cfb3e: crates/bench/src/bin/fig2_tree.rs
+
+crates/bench/src/bin/fig2_tree.rs:

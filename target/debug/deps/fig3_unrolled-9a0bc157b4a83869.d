@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_unrolled-9a0bc157b4a83869.d: crates/bench/src/bin/fig3_unrolled.rs
+
+/root/repo/target/debug/deps/fig3_unrolled-9a0bc157b4a83869: crates/bench/src/bin/fig3_unrolled.rs
+
+crates/bench/src/bin/fig3_unrolled.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-2365ed923ab7c15e.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-2365ed923ab7c15e: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pipeline-d4078df895f508de.d: crates/bench/src/bin/fig5_pipeline.rs
+
+/root/repo/target/debug/deps/fig5_pipeline-d4078df895f508de: crates/bench/src/bin/fig5_pipeline.rs
+
+crates/bench/src/bin/fig5_pipeline.rs:

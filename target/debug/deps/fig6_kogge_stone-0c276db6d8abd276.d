@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_kogge_stone-0c276db6d8abd276.d: crates/bench/src/bin/fig6_kogge_stone.rs
+
+/root/repo/target/debug/deps/fig6_kogge_stone-0c276db6d8abd276: crates/bench/src/bin/fig6_kogge_stone.rs
+
+crates/bench/src/bin/fig6_kogge_stone.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_kogge_stone-fa4210b371a195f8.d: crates/bench/src/bin/fig6_kogge_stone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_kogge_stone-fa4210b371a195f8.rmeta: crates/bench/src/bin/fig6_kogge_stone.rs Cargo.toml
+
+crates/bench/src/bin/fig6_kogge_stone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

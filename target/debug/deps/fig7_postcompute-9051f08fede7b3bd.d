@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_postcompute-9051f08fede7b3bd.d: crates/bench/src/bin/fig7_postcompute.rs
+
+/root/repo/target/debug/deps/fig7_postcompute-9051f08fede7b3bd: crates/bench/src/bin/fig7_postcompute.rs
+
+crates/bench/src/bin/fig7_postcompute.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gate_properties-d0ad5ed58daf833d.d: crates/logic/tests/gate_properties.rs
+
+/root/repo/target/debug/deps/gate_properties-d0ad5ed58daf833d: crates/logic/tests/gate_properties.rs
+
+crates/logic/tests/gate_properties.rs:

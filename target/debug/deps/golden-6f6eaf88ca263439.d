@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden-6f6eaf88ca263439.d: crates/trace/tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-6f6eaf88ca263439.rmeta: crates/trace/tests/golden.rs Cargo.toml
+
+crates/trace/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/trace
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden-b0c093a0ef4a506a.d: crates/trace/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-b0c093a0ef4a506a: crates/trace/tests/golden.rs
+
+crates/trace/tests/golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/trace

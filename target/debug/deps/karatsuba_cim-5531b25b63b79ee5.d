@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/karatsuba_cim-5531b25b63b79ee5.d: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs
+
+/root/repo/target/debug/deps/karatsuba_cim-5531b25b63b79ee5: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chunks.rs:
+crates/core/src/depth1.rs:
+crates/core/src/cost.rs:
+crates/core/src/multiplier.rs:
+crates/core/src/multiply.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/postcompute.rs:
+crates/core/src/precompute.rs:

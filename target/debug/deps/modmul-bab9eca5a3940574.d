@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modmul-bab9eca5a3940574.d: crates/bench/benches/modmul.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodmul-bab9eca5a3940574.rmeta: crates/bench/benches/modmul.rs Cargo.toml
+
+crates/bench/benches/modmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutants-d591699577fb8fa5.d: crates/check/tests/mutants.rs
+
+/root/repo/target/debug/deps/mutants-d591699577fb8fa5: crates/check/tests/mutants.rs
+
+crates/check/tests/mutants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntt-ccae315c7588245c.d: crates/bench/benches/ntt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntt-ccae315c7588245c.rmeta: crates/bench/benches/ntt.rs Cargo.toml
+
+crates/bench/benches/ntt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-45968bad5ebf88d3.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-45968bad5ebf88d3: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parasitics_table-7afed1f91b6018c9.d: crates/bench/src/bin/parasitics_table.rs
+
+/root/repo/target/debug/deps/parasitics_table-7afed1f91b6018c9: crates/bench/src/bin/parasitics_table.rs
+
+crates/bench/src/bin/parasitics_table.rs:

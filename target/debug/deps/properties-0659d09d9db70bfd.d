@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0659d09d9db70bfd.d: crates/ntt/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0659d09d9db70bfd: crates/ntt/tests/properties.rs
+
+crates/ntt/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0b237e5e340e2fcd.d: crates/modmul/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0b237e5e340e2fcd.rmeta: crates/modmul/tests/properties.rs Cargo.toml
+
+crates/modmul/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-14cc4615f4f8725a.d: crates/ntt/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-14cc4615f4f8725a.rmeta: crates/ntt/tests/properties.rs Cargo.toml
+
+crates/ntt/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

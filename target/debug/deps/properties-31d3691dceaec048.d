@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-31d3691dceaec048.d: crates/crossbar/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-31d3691dceaec048.rmeta: crates/crossbar/tests/properties.rs Cargo.toml
+
+crates/crossbar/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

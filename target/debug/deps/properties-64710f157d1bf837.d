@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-64710f157d1bf837.d: crates/logic/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-64710f157d1bf837.rmeta: crates/logic/tests/properties.rs Cargo.toml
+
+crates/logic/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

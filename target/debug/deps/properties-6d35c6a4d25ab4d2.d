@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6d35c6a4d25ab4d2.d: crates/crossbar/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6d35c6a4d25ab4d2: crates/crossbar/tests/properties.rs
+
+crates/crossbar/tests/properties.rs:

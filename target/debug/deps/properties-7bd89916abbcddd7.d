@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7bd89916abbcddd7.d: crates/baselines/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7bd89916abbcddd7: crates/baselines/tests/properties.rs
+
+crates/baselines/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9ac4153f1a5146cc.d: crates/modmul/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9ac4153f1a5146cc: crates/modmul/tests/properties.rs
+
+crates/modmul/tests/properties.rs:

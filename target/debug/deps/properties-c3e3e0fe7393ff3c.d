@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c3e3e0fe7393ff3c.d: crates/logic/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c3e3e0fe7393ff3c: crates/logic/tests/properties.rs
+
+crates/logic/tests/properties.rs:

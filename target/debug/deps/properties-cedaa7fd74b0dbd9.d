@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cedaa7fd74b0dbd9.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cedaa7fd74b0dbd9: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched-35efdae541bfd45d.d: crates/bench/benches/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched-35efdae541bfd45d.rmeta: crates/bench/benches/sched.rs Cargo.toml
+
+crates/bench/benches/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-7cbdfaa80ab66e33.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-7cbdfaa80ab66e33: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

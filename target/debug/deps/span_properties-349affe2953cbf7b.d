@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/span_properties-349affe2953cbf7b.d: crates/trace/tests/span_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspan_properties-349affe2953cbf7b.rmeta: crates/trace/tests/span_properties.rs Cargo.toml
+
+crates/trace/tests/span_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/span_properties-a7224be190b20235.d: crates/trace/tests/span_properties.rs
+
+/root/repo/target/debug/deps/span_properties-a7224be190b20235: crates/trace/tests/span_properties.rs
+
+crates/trace/tests/span_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-a64aaf6ac2996853.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-a64aaf6ac2996853: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

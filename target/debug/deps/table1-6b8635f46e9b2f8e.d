@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-6b8635f46e9b2f8e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-6b8635f46e9b2f8e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_dump-887c474fdbe97c5f.d: crates/bench/src/bin/trace_dump.rs
+
+/root/repo/target/debug/deps/trace_dump-887c474fdbe97c5f: crates/bench/src/bin/trace_dump.rs
+
+crates/bench/src/bin/trace_dump.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracing-cc018295616f2b9f.d: crates/core/tests/tracing.rs
+
+/root/repo/target/debug/deps/tracing-cc018295616f2b9f: crates/core/tests/tracing.rs
+
+crates/core/tests/tracing.rs:

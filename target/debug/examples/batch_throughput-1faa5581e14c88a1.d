@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_throughput-1faa5581e14c88a1.d: examples/batch_throughput.rs
+
+/root/repo/target/debug/examples/batch_throughput-1faa5581e14c88a1: examples/batch_throughput.rs
+
+examples/batch_throughput.rs:

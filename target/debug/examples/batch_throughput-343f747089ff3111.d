@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batch_throughput-343f747089ff3111.d: examples/batch_throughput.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatch_throughput-343f747089ff3111.rmeta: examples/batch_throughput.rs Cargo.toml
+
+examples/batch_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/endurance-cfda3f87f4e2958c.d: examples/endurance.rs
+
+/root/repo/target/debug/examples/endurance-cfda3f87f4e2958c: examples/endurance.rs
+
+examples/endurance.rs:

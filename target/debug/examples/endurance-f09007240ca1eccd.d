@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/endurance-f09007240ca1eccd.d: examples/endurance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libendurance-f09007240ca1eccd.rmeta: examples/endurance.rs Cargo.toml
+
+examples/endurance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

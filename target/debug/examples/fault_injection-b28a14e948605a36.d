@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-b28a14e948605a36.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-b28a14e948605a36: examples/fault_injection.rs
+
+examples/fault_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fhe_modmul-2928b5e116170cc3.d: examples/fhe_modmul.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfhe_modmul-2928b5e116170cc3.rmeta: examples/fhe_modmul.rs Cargo.toml
+
+examples/fhe_modmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fhe_modmul-5f93c110e5ee4e11.d: examples/fhe_modmul.rs
+
+/root/repo/target/debug/examples/fhe_modmul-5f93c110e5ee4e11: examples/fhe_modmul.rs
+
+examples/fhe_modmul.rs:

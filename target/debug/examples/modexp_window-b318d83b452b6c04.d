@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/modexp_window-b318d83b452b6c04.d: examples/modexp_window.rs
+
+/root/repo/target/debug/examples/modexp_window-b318d83b452b6c04: examples/modexp_window.rs
+
+examples/modexp_window.rs:

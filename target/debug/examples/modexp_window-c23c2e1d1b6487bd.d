@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/modexp_window-c23c2e1d1b6487bd.d: examples/modexp_window.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodexp_window-c23c2e1d1b6487bd.rmeta: examples/modexp_window.rs Cargo.toml
+
+examples/modexp_window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

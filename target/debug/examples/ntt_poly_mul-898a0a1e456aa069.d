@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ntt_poly_mul-898a0a1e456aa069.d: examples/ntt_poly_mul.rs
+
+/root/repo/target/debug/examples/ntt_poly_mul-898a0a1e456aa069: examples/ntt_poly_mul.rs
+
+examples/ntt_poly_mul.rs:

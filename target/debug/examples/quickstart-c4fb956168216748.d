@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c4fb956168216748.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c4fb956168216748: examples/quickstart.rs
+
+examples/quickstart.rs:

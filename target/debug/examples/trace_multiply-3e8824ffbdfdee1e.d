@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_multiply-3e8824ffbdfdee1e.d: examples/trace_multiply.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_multiply-3e8824ffbdfdee1e.rmeta: examples/trace_multiply.rs Cargo.toml
+
+examples/trace_multiply.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

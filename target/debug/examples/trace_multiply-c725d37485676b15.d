@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_multiply-c725d37485676b15.d: examples/trace_multiply.rs
+
+/root/repo/target/debug/examples/trace_multiply-c725d37485676b15: examples/trace_multiply.rs
+
+examples/trace_multiply.rs:

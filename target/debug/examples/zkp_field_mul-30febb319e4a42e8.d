@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zkp_field_mul-30febb319e4a42e8.d: examples/zkp_field_mul.rs
+
+/root/repo/target/debug/examples/zkp_field_mul-30febb319e4a42e8: examples/zkp_field_mul.rs
+
+examples/zkp_field_mul.rs:

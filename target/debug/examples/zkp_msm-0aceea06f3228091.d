@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zkp_msm-0aceea06f3228091.d: examples/zkp_msm.rs
+
+/root/repo/target/debug/examples/zkp_msm-0aceea06f3228091: examples/zkp_msm.rs
+
+examples/zkp_msm.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cim_baselines-df02323ffe69e812.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/release/deps/libcim_baselines-df02323ffe69e812.rlib: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/release/deps/libcim_baselines-df02323ffe69e812.rmeta: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:

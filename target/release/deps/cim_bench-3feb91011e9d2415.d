@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cim_bench-3feb91011e9d2415.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcim_bench-3feb91011e9d2415.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcim_bench-3feb91011e9d2415.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cim_check-04f4e5cc531dd8a0.d: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs
+
+/root/repo/target/release/deps/libcim_check-04f4e5cc531dd8a0.rlib: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs
+
+/root/repo/target/release/deps/libcim_check-04f4e5cc531dd8a0.rmeta: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs
+
+crates/check/src/lib.rs:
+crates/check/src/gen.rs:
+crates/check/src/gold.rs:
+crates/check/src/pressure.rs:
+crates/check/src/verify.rs:

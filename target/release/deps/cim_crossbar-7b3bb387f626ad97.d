@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/cim_crossbar-7b3bb387f626ad97.d: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs
+
+/root/repo/target/release/deps/libcim_crossbar-7b3bb387f626ad97.rlib: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs
+
+/root/repo/target/release/deps/libcim_crossbar-7b3bb387f626ad97.rmeta: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs
+
+crates/crossbar/src/lib.rs:
+crates/crossbar/src/array.rs:
+crates/crossbar/src/cell.rs:
+crates/crossbar/src/endurance.rs:
+crates/crossbar/src/energy.rs:
+crates/crossbar/src/error.rs:
+crates/crossbar/src/exec.rs:
+crates/crossbar/src/geometry.rs:
+crates/crossbar/src/isa.rs:
+crates/crossbar/src/parasitics.rs:
+crates/crossbar/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cim_modmul-09588d886a273df9.d: crates/modmul/src/lib.rs crates/modmul/src/barrett.rs crates/modmul/src/ec.rs crates/modmul/src/fields.rs crates/modmul/src/inmemory.rs crates/modmul/src/montgomery.rs crates/modmul/src/sparse.rs
+
+/root/repo/target/release/deps/libcim_modmul-09588d886a273df9.rlib: crates/modmul/src/lib.rs crates/modmul/src/barrett.rs crates/modmul/src/ec.rs crates/modmul/src/fields.rs crates/modmul/src/inmemory.rs crates/modmul/src/montgomery.rs crates/modmul/src/sparse.rs
+
+/root/repo/target/release/deps/libcim_modmul-09588d886a273df9.rmeta: crates/modmul/src/lib.rs crates/modmul/src/barrett.rs crates/modmul/src/ec.rs crates/modmul/src/fields.rs crates/modmul/src/inmemory.rs crates/modmul/src/montgomery.rs crates/modmul/src/sparse.rs
+
+crates/modmul/src/lib.rs:
+crates/modmul/src/barrett.rs:
+crates/modmul/src/ec.rs:
+crates/modmul/src/fields.rs:
+crates/modmul/src/inmemory.rs:
+crates/modmul/src/montgomery.rs:
+crates/modmul/src/sparse.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cim_sched-b975ac036fabd01d.d: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+/root/repo/target/release/deps/libcim_sched-b975ac036fabd01d.rlib: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+/root/repo/target/release/deps/libcim_sched-b975ac036fabd01d.rmeta: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/batch.rs:
+crates/sched/src/job.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/profile.rs:
+crates/sched/src/report.rs:
+crates/sched/src/scheduler.rs:
+crates/sched/src/tile.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cim_suite-7abc18df4982907b.d: src/lib.rs
+
+/root/repo/target/release/deps/libcim_suite-7abc18df4982907b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcim_suite-7abc18df4982907b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cim_trace-d7f98ef88a0908c3.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/chrome.rs crates/trace/src/folded.rs crates/trace/src/json.rs crates/trace/src/summary.rs crates/trace/src/model.rs crates/trace/src/sink.rs crates/trace/src/tracer.rs
+
+/root/repo/target/release/deps/libcim_trace-d7f98ef88a0908c3.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/chrome.rs crates/trace/src/folded.rs crates/trace/src/json.rs crates/trace/src/summary.rs crates/trace/src/model.rs crates/trace/src/sink.rs crates/trace/src/tracer.rs
+
+/root/repo/target/release/deps/libcim_trace-d7f98ef88a0908c3.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/chrome.rs crates/trace/src/folded.rs crates/trace/src/json.rs crates/trace/src/summary.rs crates/trace/src/model.rs crates/trace/src/sink.rs crates/trace/src/tracer.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/folded.rs:
+crates/trace/src/json.rs:
+crates/trace/src/summary.rs:
+crates/trace/src/model.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/tracer.rs:

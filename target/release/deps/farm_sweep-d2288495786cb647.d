@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/farm_sweep-d2288495786cb647.d: crates/bench/src/bin/farm_sweep.rs
+
+/root/repo/target/release/deps/farm_sweep-d2288495786cb647: crates/bench/src/bin/farm_sweep.rs
+
+crates/bench/src/bin/farm_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_dump-9080edc575b8c65b.d: crates/bench/src/bin/trace_dump.rs
+
+/root/repo/target/release/deps/trace_dump-9080edc575b8c65b: crates/bench/src/bin/trace_dump.rs
+
+crates/bench/src/bin/trace_dump.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe2048-f5baed6d8ff655f0.d: examples/_probe2048.rs
+
+/root/repo/target/release/examples/_probe2048-f5baed6d8ff655f0: examples/_probe2048.rs
+
+examples/_probe2048.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_multiply-14edfc95241248be.d: examples/trace_multiply.rs
+
+/root/repo/target/release/examples/trace_multiply-14edfc95241248be: examples/trace_multiply.rs
+
+examples/trace_multiply.rs:
