@@ -1,0 +1,84 @@
+//! The benchmark regression gate: diffs two snapshots written by
+//! `bench_snapshot` and exits nonzero when the current one regresses.
+//!
+//! ```text
+//! bench_check BASELINE CURRENT [--subset] [--wall-tol-x N] [--wall-tol-ms N]
+//! ```
+//!
+//! Every metric except `wall_ms` must match *exactly* (the snapshot is
+//! deterministic); `wall_ms` tolerates a slowdown up to the relative
+//! factor (`--wall-tol-x`, default 20) or the absolute slack
+//! (`--wall-tol-ms`, default 5000). `--subset` lets the current
+//! snapshot cover only part of the baseline's workloads — the mode CI
+//! uses to gate a `--quick` run against the committed full snapshot.
+//!
+//! Exit codes: 0 pass, 1 regression, 2 usage/parse errors.
+
+use cim_bench::snapshot::{diff, BenchSnapshot, DiffOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut paths = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--subset" => opts.allow_subset = true,
+            "--wall-tol-x" | "--wall-tol-ms" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return usage(&format!("{arg} needs a numeric value"));
+                };
+                if arg == "--wall-tol-x" {
+                    opts.wall_rel_tol = v;
+                } else {
+                    opts.wall_abs_tol_ms = v;
+                }
+            }
+            other if other.starts_with("--") => {
+                return usage(&format!("unknown argument {other}"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage("expected exactly BASELINE and CURRENT paths");
+    };
+
+    let load = |path: &str| -> Result<BenchSnapshot, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BenchSnapshot::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let d = diff(&baseline, &current, &opts);
+    for line in &d.lines {
+        println!("{line}");
+    }
+    if d.passed() {
+        println!(
+            "bench_check: PASS ({} checks, baseline {})",
+            d.lines.len(),
+            baseline_path
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench_check: FAIL ({} regressions of {} checks)",
+            d.regressions.len(),
+            d.lines.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("bench_check: {err}");
+    eprintln!("usage: bench_check BASELINE CURRENT [--subset] [--wall-tol-x N] [--wall-tol-ms N]");
+    ExitCode::from(2)
+}

@@ -15,6 +15,11 @@
 //! | `algo_exploration` | Sec. III op-count comparison |
 //! | `simulate` | end-to-end simulated multiplication report |
 //!
+//! Perf gating (see [`snapshot`]): `bench_snapshot` records the fixed
+//! workload matrix as deterministic JSON (plus an optional Prometheus
+//! exposition of the run's metrics), `bench_check` diffs two
+//! snapshots and exits nonzero on regression.
+//!
 //! Criterion benches (`cargo bench`): `algos` (software multiplication
 //! crossover), `stages` (simulated stage latencies), `adders`
 //! (Kogge-Stone vs ripple), `modmul` (reduction methods), `ablation`
@@ -22,6 +27,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod snapshot;
 
 use std::fmt::Display;
 

@@ -1,0 +1,462 @@
+//! Benchmark snapshots and the regression gate.
+//!
+//! A [`BenchSnapshot`] is a deterministic record of a fixed workload
+//! matrix — simulated multiplications at 512/1024/2048 bits, the
+//! Fig. 5 pipeline at 2048×8 jobs, and a 4-tile wear-leveling farm —
+//! with one flat `name → value` metric map per workload (cycles,
+//! writes, energy in picojoules, utilization, wall time). Every metric
+//! except `wall_ms` is bit-deterministic: regenerating the snapshot on
+//! any machine reproduces the committed numbers exactly, so the gate
+//! can demand *exact* equality for counters and only tolerate drift on
+//! wall time.
+//!
+//! [`diff`] compares two snapshots under [`DiffOptions`]:
+//!
+//! * counters/energy/utilization — exact (`f64` equality; the JSON
+//!   round-trip is lossless);
+//! * `wall_ms` — generous tolerance (relative factor or absolute
+//!   slack), and only a *slowdown* regresses;
+//! * workloads missing from the current snapshot regress unless
+//!   `allow_subset` is set (used to gate a `--quick` run against the
+//!   committed full snapshot).
+//!
+//! The `bench_snapshot` binary writes the snapshot (and optionally the
+//! Prometheus exposition of the run's metrics hub); `bench_check`
+//! diffs two snapshot files and exits nonzero on regression.
+
+use cim_bigint::rng::UintRng;
+use cim_crossbar::EnergyParams;
+use cim_metrics::jsonval::JsonValue;
+use cim_metrics::MetricsHub;
+use cim_sched::{FarmConfig, JobMix, JobProfile, Policy, Scheduler};
+use cim_trace::json::JsonWriter;
+use karatsuba_cim::multiplier::KaratsubaCimMultiplier;
+use karatsuba_cim::pipeline::PipelineSchedule;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Schema marker embedded in every snapshot file.
+pub const SNAPSHOT_SCHEMA: &str = "cim-bench-snapshot/1";
+
+/// The one metric allowed to drift between runs.
+pub const WALL_METRIC: &str = "wall_ms";
+
+/// Operand widths of the full multiplication matrix.
+pub const FULL_WIDTHS: [usize; 3] = [512, 1024, 2048];
+
+/// Operand widths of the `--quick` matrix (a strict subset of
+/// [`FULL_WIDTHS`]; shared workloads produce identical values).
+pub const QUICK_WIDTHS: [usize; 1] = [512];
+
+/// One workload's flat metric map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadResult {
+    /// Workload name (`multiply_512`, `pipeline_2048x8`, …).
+    pub name: String,
+    /// `metric → value`, sorted by name.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// A deterministic benchmark snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Free-form tag (`--tag`, e.g. a commit id); empty by default.
+    pub tag: String,
+    /// Whether this is the reduced `--quick` matrix.
+    pub quick: bool,
+    /// Workload results in execution order.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+fn multiply_workload(n: usize, hub: &MetricsHub) -> WorkloadResult {
+    let mut mult = KaratsubaCimMultiplier::new(n).expect("paper widths are multiples of 4");
+    mult.attach_metrics(hub, EnergyParams::default());
+    let mut rng = UintRng::seeded(0x42 + n as u64);
+    let a = rng.uniform(n);
+    let b = rng.uniform(n);
+    let out = mult.multiply(&a, &b).expect("simulated product is verified");
+    let r = &out.report;
+    let mut metrics = BTreeMap::new();
+    metrics.insert("cycles".into(), r.total_latency as f64);
+    for (stage, cycles) in ["precompute_cycles", "multiply_cycles", "postcompute_cycles"]
+        .iter()
+        .zip(r.stage_cycles)
+    {
+        metrics.insert((*stage).into(), cycles as f64);
+    }
+    let writes: u64 = r.endurance.iter().map(|e| e.total_writes).sum();
+    metrics.insert("writes".into(), writes as f64);
+    metrics.insert(
+        "max_cell_writes".into(),
+        r.endurance.iter().map(|e| e.max_writes).max().unwrap_or(0) as f64,
+    );
+    metrics.insert(
+        "energy_pj".into(),
+        r.energy(n, &EnergyParams::default()).total_pj(),
+    );
+    metrics.insert("area_cells".into(), r.area_cells as f64);
+    metrics.insert(
+        "utilization".into(),
+        r.stage_cycles.iter().sum::<u64>() as f64 / (3 * r.total_latency) as f64,
+    );
+    WorkloadResult { name: format!("multiply_{n}"), metrics }
+}
+
+fn pipeline_workload() -> WorkloadResult {
+    const N: usize = 2048;
+    const JOBS: u64 = 8;
+    let schedule = PipelineSchedule::for_design(N, JOBS as usize);
+    let profile = JobProfile::karatsuba_analytic(N);
+    let makespan = schedule.jobs.last().expect("nonempty schedule").completed_at();
+    let mut metrics = BTreeMap::new();
+    metrics.insert("cycles".into(), makespan as f64);
+    metrics.insert(
+        "initiation_interval".into(),
+        schedule.initiation_interval() as f64,
+    );
+    metrics.insert("throughput_per_mcc".into(), schedule.throughput_per_mcc());
+    // Hot-row wear and first-order energy scale linearly in jobs on
+    // the single (pinned) pipeline.
+    metrics.insert("writes".into(), (JOBS * profile.max_writes()) as f64);
+    metrics.insert(
+        "energy_pj".into(),
+        JOBS as f64 * profile.energy(&EnergyParams::default()).total_pj(),
+    );
+    WorkloadResult { name: format!("pipeline_{N}x{JOBS}"), metrics }
+}
+
+fn farm_workload(hub: &MetricsHub) -> WorkloadResult {
+    let jobs = JobMix::crypto_default(300).generate(64, 7);
+    let mut sched = Scheduler::new(FarmConfig::new(4, Policy::WearLeveling));
+    sched.attach_metrics(hub);
+    let report = sched.run(&jobs).expect("analytic profiles cannot fail");
+    let mut metrics = BTreeMap::new();
+    metrics.insert("cycles".into(), report.makespan_cycles as f64);
+    metrics.insert("total_cycles".into(), report.total_stats.cycles as f64);
+    metrics.insert("jobs_done".into(), report.jobs_done() as f64);
+    metrics.insert("queue_peak".into(), report.queue_peak as f64);
+    metrics.insert("writes".into(), report.max_cell_writes() as f64);
+    metrics.insert("energy_pj".into(), report.total_energy.total_pj());
+    metrics.insert("utilization".into(), report.mean_utilization());
+    metrics.insert("p50_latency".into(), report.p50_latency() as f64);
+    metrics.insert("p99_latency".into(), report.p99_latency() as f64);
+    WorkloadResult { name: "farm_4tile_wear".into(), metrics }
+}
+
+impl BenchSnapshot {
+    /// Runs the workload matrix (`quick` restricts the multiplication
+    /// widths to [`QUICK_WIDTHS`]), publishing every layer's metrics
+    /// into `hub`, and stamps each workload's `wall_ms`.
+    pub fn collect(quick: bool, tag: &str, hub: &MetricsHub) -> Self {
+        let widths: &[usize] = if quick { &QUICK_WIDTHS } else { &FULL_WIDTHS };
+        Self::collect_widths(widths, quick, tag, hub)
+    }
+
+    /// [`BenchSnapshot::collect`] with an explicit width list (tests
+    /// use small widths to stay fast in debug builds).
+    pub fn collect_widths(widths: &[usize], quick: bool, tag: &str, hub: &MetricsHub) -> Self {
+        let mut workloads = Vec::new();
+        let mut timed = |f: &dyn Fn(&MetricsHub) -> WorkloadResult| {
+            let start = Instant::now();
+            let mut w = f(hub);
+            w.metrics.insert(
+                WALL_METRIC.into(),
+                start.elapsed().as_secs_f64() * 1e3,
+            );
+            workloads.push(w);
+        };
+        for &n in widths {
+            timed(&|hub| multiply_workload(n, hub));
+        }
+        timed(&|_| pipeline_workload());
+        timed(&farm_workload);
+        BenchSnapshot { tag: tag.into(), quick, workloads }
+    }
+
+    /// Serializes the snapshot as deterministic JSON (fixed field
+    /// order, metrics sorted by name).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object()
+            .field_str("schema", SNAPSHOT_SCHEMA)
+            .field_str("tag", &self.tag);
+        w.key("quick").bool(self.quick);
+        w.key("workloads").open_array();
+        for wl in &self.workloads {
+            w.open_object().field_str("name", &wl.name);
+            w.key("metrics").open_object();
+            for (k, v) in &wl.metrics {
+                w.field_float(k, *v);
+            }
+            w.close_object().close_object();
+        }
+        w.close_array().close_object();
+        w.finish()
+    }
+
+    /// Parses a snapshot previously written by [`to_json`]
+    /// (round-trip lossless: `f64` values print in shortest
+    /// round-trip form).
+    ///
+    /// [`to_json`]: BenchSnapshot::to_json
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON or a wrong/missing schema marker.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let root = JsonValue::parse(text)?;
+        let schema = root
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing schema field")?;
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(format!("unknown snapshot schema {schema:?}"));
+        }
+        let tag = root
+            .get("tag")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let quick = root
+            .get("quick")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false);
+        let mut workloads = Vec::new();
+        for wl in root
+            .get("workloads")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing workloads array")?
+        {
+            let name = wl
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("workload without name")?
+                .to_string();
+            let mut metrics = BTreeMap::new();
+            for (k, v) in wl
+                .get("metrics")
+                .and_then(JsonValue::as_object)
+                .ok_or("workload without metrics")?
+            {
+                metrics.insert(
+                    k.clone(),
+                    v.as_f64().ok_or_else(|| format!("metric {k} not a number"))?,
+                );
+            }
+            workloads.push(WorkloadResult { name, metrics });
+        }
+        Ok(BenchSnapshot { tag, quick, workloads })
+    }
+}
+
+/// Tolerances for [`diff`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffOptions {
+    /// Allow the current snapshot to cover a subset of the baseline's
+    /// workloads (gating a `--quick` run against the full snapshot).
+    pub allow_subset: bool,
+    /// `wall_ms` passes when `current ≤ relative · baseline` …
+    pub wall_rel_tol: f64,
+    /// … or when the absolute slowdown is below this many ms.
+    pub wall_abs_tol_ms: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            allow_subset: false,
+            wall_rel_tol: 20.0,
+            wall_abs_tol_ms: 5_000.0,
+        }
+    }
+}
+
+/// Outcome of a snapshot comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diff {
+    /// Human-readable report lines, one per checked item.
+    pub lines: Vec<String>,
+    /// Subset of `lines` that are regressions.
+    pub regressions: Vec<String>,
+}
+
+impl Diff {
+    /// Whether the current snapshot is no worse than the baseline.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    fn fail(&mut self, line: String) {
+        self.lines.push(format!("FAIL {line}"));
+        self.regressions.push(line);
+    }
+
+    fn ok(&mut self, line: String) {
+        self.lines.push(format!("  ok {line}"));
+    }
+}
+
+/// Compares `current` against `baseline`: exact equality for every
+/// metric except [`WALL_METRIC`], which only regresses on a slowdown
+/// beyond both tolerances. See [`DiffOptions`].
+pub fn diff(baseline: &BenchSnapshot, current: &BenchSnapshot, opts: &DiffOptions) -> Diff {
+    let mut d = Diff::default();
+    let cur: BTreeMap<&str, &WorkloadResult> = current
+        .workloads
+        .iter()
+        .map(|w| (w.name.as_str(), w))
+        .collect();
+    for base in &baseline.workloads {
+        let Some(cur_wl) = cur.get(base.name.as_str()) else {
+            if opts.allow_subset {
+                d.ok(format!("{}: skipped (subset run)", base.name));
+            } else {
+                d.fail(format!("{}: workload missing from current snapshot", base.name));
+            }
+            continue;
+        };
+        for (metric, &want) in &base.metrics {
+            let name = format!("{}/{metric}", base.name);
+            let Some(&got) = cur_wl.metrics.get(metric) else {
+                d.fail(format!("{name}: metric missing from current snapshot"));
+                continue;
+            };
+            if metric == WALL_METRIC {
+                let slow = got - want;
+                if got <= want * opts.wall_rel_tol || slow <= opts.wall_abs_tol_ms {
+                    d.ok(format!("{name}: {want:.1} -> {got:.1} (tolerated)"));
+                } else {
+                    d.fail(format!(
+                        "{name}: {want:.1} ms -> {got:.1} ms exceeds {}x/{} ms tolerance",
+                        opts.wall_rel_tol, opts.wall_abs_tol_ms
+                    ));
+                }
+            } else if got == want {
+                d.ok(format!("{name}: {want}"));
+            } else {
+                d.fail(format!("{name}: expected {want}, got {got}"));
+            }
+        }
+        for metric in cur_wl.metrics.keys() {
+            if !base.metrics.contains_key(metric) {
+                d.ok(format!("{}/{metric}: new metric (not gated)", base.name));
+            }
+        }
+    }
+    for w in &current.workloads {
+        if !baseline.workloads.iter().any(|b| b.name == w.name) {
+            d.ok(format!("{}: new workload (not gated)", w.name));
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(entries: &[(&str, &[(&str, f64)])]) -> BenchSnapshot {
+        BenchSnapshot {
+            tag: "test".into(),
+            quick: false,
+            workloads: entries
+                .iter()
+                .map(|(name, ms)| WorkloadResult {
+                    name: (*name).to_string(),
+                    metrics: ms.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let s = snap(&[
+            ("multiply_64", &[("cycles", 123.0), ("energy_pj", 0.1 + 0.2)]),
+            ("farm", &[("wall_ms", 1.5)]),
+        ]);
+        let parsed = BenchSnapshot::parse(&s.to_json()).unwrap();
+        assert_eq!(s, parsed);
+        assert_eq!(s.to_json(), parsed.to_json());
+    }
+
+    #[test]
+    fn parse_rejects_foreign_documents() {
+        assert!(BenchSnapshot::parse("{}").is_err());
+        assert!(BenchSnapshot::parse("{\"schema\":\"other/9\"}").is_err());
+        assert!(BenchSnapshot::parse("not json").is_err());
+    }
+
+    #[test]
+    fn self_diff_passes_and_perturbation_fails() {
+        let a = snap(&[("w", &[("cycles", 10.0), ("wall_ms", 4.0)])]);
+        assert!(diff(&a, &a, &DiffOptions::default()).passed());
+
+        let mut b = a.clone();
+        b.workloads[0].metrics.insert("cycles".into(), 11.0);
+        let d = diff(&a, &b, &DiffOptions::default());
+        assert!(!d.passed());
+        assert!(d.regressions[0].contains("w/cycles"));
+    }
+
+    #[test]
+    fn wall_time_is_tolerated_but_not_unbounded() {
+        let base = snap(&[("w", &[("wall_ms", 100.0)])]);
+        let slower = snap(&[("w", &[("wall_ms", 1_500.0)])]);
+        assert!(diff(&base, &slower, &DiffOptions::default()).passed());
+        let hung = snap(&[("w", &[("wall_ms", 1.0e7)])]);
+        assert!(!diff(&base, &hung, &DiffOptions::default()).passed());
+        // Faster never regresses.
+        let faster = snap(&[("w", &[("wall_ms", 0.5)])]);
+        assert!(diff(&base, &faster, &DiffOptions::default()).passed());
+    }
+
+    #[test]
+    fn subset_gating_matches_quick_mode() {
+        let full = snap(&[("a", &[("cycles", 1.0)]), ("b", &[("cycles", 2.0)])]);
+        let quick = snap(&[("a", &[("cycles", 1.0)])]);
+        assert!(!diff(&full, &quick, &DiffOptions::default()).passed());
+        let opts = DiffOptions { allow_subset: true, ..DiffOptions::default() };
+        assert!(diff(&full, &quick, &opts).passed());
+        // A shared workload still gates exactly in subset mode.
+        let wrong = snap(&[("a", &[("cycles", 9.0)])]);
+        assert!(!diff(&full, &wrong, &opts).passed());
+    }
+
+    #[test]
+    fn missing_metric_regresses() {
+        let base = snap(&[("w", &[("cycles", 1.0), ("writes", 2.0)])]);
+        let cur = snap(&[("w", &[("cycles", 1.0)])]);
+        assert!(!diff(&base, &cur, &DiffOptions::default()).passed());
+    }
+
+    #[test]
+    fn collect_is_deterministic_apart_from_wall_time() {
+        let hub_a = MetricsHub::recording();
+        let hub_b = MetricsHub::recording();
+        let mut a = BenchSnapshot::collect_widths(&[64], true, "a", &hub_a);
+        let mut b = BenchSnapshot::collect_widths(&[64], true, "a", &hub_b);
+        for s in [&mut a, &mut b] {
+            for w in &mut s.workloads {
+                w.metrics.remove(WALL_METRIC);
+            }
+        }
+        assert_eq!(a, b);
+        // Every layer published into the hub.
+        let names: Vec<String> = hub_a
+            .snapshot()
+            .families
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        for family in [
+            "cim_xbar_cycles_total",
+            "cim_core_total_latency_cycles",
+            "cim_sched_job_latency_cycles",
+        ] {
+            assert!(names.iter().any(|n| n == family), "missing {family}");
+        }
+        // The gate passes against itself.
+        assert!(diff(&a, &b, &DiffOptions::default()).passed());
+    }
+}

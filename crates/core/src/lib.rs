@@ -47,6 +47,7 @@
 pub mod chunks;
 pub mod depth1;
 pub mod cost;
+pub mod metrics;
 pub mod multiplier;
 pub mod multiply;
 pub mod pipeline;

@@ -7,7 +7,8 @@ use crate::multiply::MultiplyStage;
 use crate::postcompute::PostcomputeStage;
 use crate::precompute::PrecomputeStage;
 use cim_bigint::Uint;
-use cim_crossbar::{CrossbarError, CycleStats, EnduranceReport};
+use cim_crossbar::{CrossbarError, CycleStats, EnduranceReport, EnergyParams};
+use cim_metrics::MetricsHub;
 use cim_trace::{Args, ProcessId, Tracer};
 use std::error::Error;
 use std::fmt;
@@ -126,6 +127,9 @@ pub struct KaratsubaCimMultiplier {
     precompute: PrecomputeStage,
     multiply: MultiplyStage,
     postcompute: PostcomputeStage,
+    /// Metrics destination + energy model; `None` keeps every
+    /// multiplication free of publication overhead.
+    meter: Option<(MetricsHub, EnergyParams)>,
 }
 
 impl KaratsubaCimMultiplier {
@@ -145,7 +149,23 @@ impl KaratsubaCimMultiplier {
             precompute: PrecomputeStage::new(n)?,
             multiply: MultiplyStage::new(n)?,
             postcompute: PostcomputeStage::new(n)?,
+            meter: None,
         })
+    }
+
+    /// Publishes an [`ExecutionReport`] into `hub` after every
+    /// verified multiplication (see [`crate::metrics`] for the family
+    /// catalogue), using `params` for the energy model. Publication is
+    /// observational: reports are bit-identical with metrics on and
+    /// off.
+    pub fn attach_metrics(&mut self, hub: &MetricsHub, params: EnergyParams) {
+        self.meter = hub.is_enabled().then(|| (hub.clone(), params));
+    }
+
+    fn publish(&self, report: &ExecutionReport) {
+        if let Some((hub, params)) = &self.meter {
+            report.publish_metrics(hub, self.n, params);
+        }
     }
 
     /// Operand width in bits.
@@ -245,16 +265,18 @@ impl KaratsubaCimMultiplier {
         let area_cells = self.precompute.area_cells()
             + self.multiply.area_cells()
             + self.postcompute.area_cells();
+        let report = ExecutionReport {
+            stage_cycles,
+            precompute_stats: pre.stats,
+            postcompute_stats: post.stats,
+            endurance: [pre.endurance, mult.endurance, post.endurance],
+            total_latency,
+            area_cells,
+        };
+        self.publish(&report);
         Ok(MultiplyOutcome {
             product: post.product,
-            report: ExecutionReport {
-                stage_cycles,
-                precompute_stats: pre.stats,
-                postcompute_stats: post.stats,
-                endurance: [pre.endurance, mult.endurance, post.endurance],
-                total_latency,
-                area_cells,
-            },
+            report,
         })
     }
 
@@ -285,16 +307,18 @@ impl KaratsubaCimMultiplier {
         let area_cells = self.precompute.area_cells()
             + self.multiply.area_cells()
             + self.postcompute.area_cells();
+        let report = ExecutionReport {
+            stage_cycles,
+            precompute_stats: pre.stats,
+            postcompute_stats: post.stats,
+            endurance: [pre.endurance, mult.endurance, post.endurance],
+            total_latency,
+            area_cells,
+        };
+        self.publish(&report);
         Ok(MultiplyOutcome {
             product: post.product,
-            report: ExecutionReport {
-                stage_cycles,
-                precompute_stats: pre.stats,
-                postcompute_stats: post.stats,
-                endurance: [pre.endurance, mult.endurance, post.endurance],
-                total_latency,
-                area_cells,
-            },
+            report,
         })
     }
 
@@ -431,6 +455,30 @@ mod tests {
         let mult = KaratsubaCimMultiplier::new(64).unwrap();
         let out = mult.multiply(&Uint::one(), &Uint::one()).unwrap();
         assert_eq!(out.report.energy(64, &zero).total_pj(), 0.0);
+    }
+
+    #[test]
+    fn metrics_do_not_change_execution_reports() {
+        let mut rng = UintRng::seeded(26);
+        let a = rng.uniform(64);
+        let b = rng.uniform(64);
+        let plain = KaratsubaCimMultiplier::new(64).unwrap();
+        let baseline = plain.multiply(&a, &b).unwrap();
+
+        let mut metered = KaratsubaCimMultiplier::new(64).unwrap();
+        let hub = MetricsHub::recording();
+        metered.attach_metrics(&hub, EnergyParams::default());
+        let observed = metered.multiply(&a, &b).unwrap();
+        assert_eq!(observed.report, baseline.report, "metrics must be neutral");
+        assert_eq!(observed.product, baseline.product);
+        assert!(!hub.snapshot().families.is_empty(), "but metrics did publish");
+
+        // Attaching a disabled hub is a no-op.
+        let mut disabled = KaratsubaCimMultiplier::new(64).unwrap();
+        let off = MetricsHub::disabled();
+        disabled.attach_metrics(&off, EnergyParams::default());
+        assert_eq!(disabled.multiply(&a, &b).unwrap().report, baseline.report);
+        assert!(off.snapshot().families.is_empty());
     }
 
     #[test]

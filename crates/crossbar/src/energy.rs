@@ -90,6 +90,26 @@ impl EnergyReport {
     pub fn offchip_movement_pj(bits: usize, params: &EnergyParams) -> f64 {
         bits as f64 * params.offchip_pj_per_bit
     }
+
+    /// Accumulates another report into this one — per-tile reports
+    /// fold into farm totals this way.
+    pub fn merge(&mut self, other: &EnergyReport) {
+        self.write_pj += other.write_pj;
+        self.read_pj += other.read_pj;
+        self.magic_pj += other.magic_pj;
+        self.controller_pj += other.controller_pj;
+    }
+
+    /// The `(component, pJ)` breakdown in fixed report order — the
+    /// iteration exporters and metrics use.
+    pub fn components(&self) -> [(&'static str, f64); 4] {
+        [
+            ("write", self.write_pj),
+            ("read", self.read_pj),
+            ("magic", self.magic_pj),
+            ("controller", self.controller_pj),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,10 @@
 //! The micro-op executor: runs programs, charges cycles, latches reads.
 
 use crate::array::Crossbar;
+use crate::energy::EnergyReport;
 use crate::error::{Axis, CrossbarError};
 use crate::isa::MicroOp;
+use crate::meter::{AttachedMeter, MeterSpec};
 use crate::stats::{CycleStats, OpClass};
 use cim_trace::{Args, Tracer, TrackId};
 
@@ -364,6 +366,7 @@ pub struct Executor<'a> {
     tracer: Tracer,
     track: Option<TrackId>,
     cycle_offset: u64,
+    meter: Option<AttachedMeter>,
 }
 
 impl<'a> Executor<'a> {
@@ -383,6 +386,7 @@ impl<'a> Executor<'a> {
             tracer: Tracer::disabled(),
             track: None,
             cycle_offset: 0,
+            meter: None,
         }
     }
 
@@ -402,6 +406,26 @@ impl<'a> Executor<'a> {
         self.tracer = tracer.clone();
         self.track = Some(track);
         self.cycle_offset = cycle_offset;
+    }
+
+    /// Publishes per-op-class cycle/op counters into the metrics plane
+    /// as ops execute. Counter handles are pre-registered here so the
+    /// per-op cost is two indexed adds; a disabled hub costs one
+    /// branch. Like tracing, metering is purely observational.
+    pub fn attach_meter(&mut self, spec: &MeterSpec) {
+        self.meter = spec.is_enabled().then(|| AttachedMeter::new(spec));
+    }
+
+    /// Publishes the energy breakdown and utilization derived from the
+    /// statistics accumulated so far (first-order model: every op
+    /// touches `row_width` cells) and returns the report. Without an
+    /// attached meter the report is still computed, with default
+    /// [`crate::EnergyParams`].
+    pub fn publish_energy(&self, row_width: usize) -> EnergyReport {
+        match &self.meter {
+            Some(m) => m.spec.publish_energy(&self.stats, row_width),
+            None => MeterSpec::default().publish_energy(&self.stats, row_width),
+        }
     }
 
     /// Executes one micro-op.
@@ -503,6 +527,9 @@ impl<'a> Executor<'a> {
                 self.tracer
                     .counter(track, "partitions_active", start, t.partitions() as f64);
             }
+        }
+        if let Some(meter) = &self.meter {
+            meter.record(class, op.cycles());
         }
         self.stats.record(class, op.cycles());
         Ok(())
@@ -742,6 +769,79 @@ mod tests {
         assert_eq!(*e2.stats(), stats1);
         assert_eq!(e2.read_buffer(), &buf1[..]);
         assert!(!tracer.finish().unwrap().events.is_empty());
+    }
+
+    #[test]
+    fn metering_does_not_change_stats_and_counters_match() {
+        use crate::meter::{METRIC_XBAR_CYCLES, METRIC_XBAR_OPS};
+        use cim_metrics::{Labels, MetricsHub};
+        let program = [
+            MicroOp::write_row(0, &[true, true, false, false]),
+            MicroOp::write_row(1, &[true, false, true, false]),
+            MicroOp::init_rows(&[2], 0..4),
+            MicroOp::nor_rows(&[0, 1], 2, 0..4),
+            MicroOp::shift(2, 0..4, 1),
+            MicroOp::read_row(2, 0..4),
+        ];
+        let mut plain = Crossbar::new(4, 4).unwrap();
+        let mut e1 = Executor::new(&mut plain);
+        e1.run(&program).unwrap();
+        let stats1 = *e1.stats();
+        let buf1 = e1.read_buffer().to_vec();
+
+        let hub = MetricsHub::recording();
+        let mut metered = Crossbar::new(4, 4).unwrap();
+        let mut e2 = Executor::new(&mut metered);
+        e2.attach_meter(&MeterSpec::new(&hub, Labels::new().with("tile", 0)));
+        e2.run(&program).unwrap();
+        assert_eq!(*e2.stats(), stats1, "metering must not perturb stats");
+        assert_eq!(e2.read_buffer(), &buf1[..]);
+
+        // The live counters agree with the executor's own accounting.
+        let snap = hub.snapshot();
+        for class in OpClass::ALL {
+            let labels = Labels::new().with("tile", 0).with("op_class", class.label());
+            assert_eq!(
+                snap.number_with(METRIC_XBAR_CYCLES, &labels),
+                Some(stats1.cycles_of(class) as f64)
+            );
+            assert_eq!(
+                snap.number_with(METRIC_XBAR_OPS, &labels),
+                Some(stats1.ops_of(class) as f64)
+            );
+        }
+    }
+
+    #[test]
+    fn publish_energy_with_and_without_meter_agree() {
+        use cim_metrics::{Labels, MetricsHub};
+        let program = [
+            MicroOp::write_row(0, &[true; 4]),
+            MicroOp::write_row(1, &[false, true, false, true]),
+            MicroOp::init_rows(&[2], 0..4),
+            MicroOp::nor_rows(&[0, 1], 2, 0..4),
+        ];
+        let mut a = Crossbar::new(4, 4).unwrap();
+        let mut e1 = Executor::new(&mut a);
+        e1.run(&program).unwrap();
+        let unmetered = e1.publish_energy(4);
+
+        let hub = MetricsHub::recording();
+        let mut b = Crossbar::new(4, 4).unwrap();
+        let mut e2 = Executor::new(&mut b);
+        e2.attach_meter(&MeterSpec::new(&hub, Labels::new()));
+        e2.run(&program).unwrap();
+        let metered = e2.publish_energy(4);
+        assert_eq!(unmetered, metered, "energy must not depend on metering");
+        assert_eq!(
+            hub.snapshot()
+                .number_with(
+                    crate::meter::METRIC_XBAR_ENERGY,
+                    &Labels::new().with("component", "magic")
+                )
+                .unwrap(),
+            metered.magic_pj
+        );
     }
 
     #[test]

@@ -57,6 +57,7 @@ mod error;
 mod exec;
 mod geometry;
 mod isa;
+pub mod meter;
 pub mod parasitics;
 mod stats;
 
@@ -68,6 +69,7 @@ pub use error::{Axis, CrossbarError};
 pub use exec::{ExecConfig, Executor, OpTrace, TraceEntry};
 pub use geometry::{ColRange, Region};
 pub use isa::{MicroOp, OpFootprint};
+pub use meter::MeterSpec;
 pub use stats::{CycleStats, OpClass};
 
 /// Practical upper bound on bit-line length (cells per line) before

@@ -1,0 +1,155 @@
+//! Label sets attached to metrics.
+//!
+//! A [`Labels`] value is a small, always-sorted list of
+//! `key = value` string pairs. Sorting at insertion time makes label
+//! sets canonical: two sets built in different orders compare equal,
+//! hash equal, and render identically in every exporter — the property
+//! the registry's determinism rests on.
+
+use std::fmt;
+
+/// A canonical (sorted, deduplicated) set of metric labels.
+///
+/// ```
+/// use cim_metrics::Labels;
+///
+/// let a = Labels::new().with("tile", 3).with("op_class", "write");
+/// let b = Labels::new().with("op_class", "write").with("tile", 3);
+/// assert_eq!(a, b);
+/// assert_eq!(a.to_string(), r#"{op_class="write",tile="3"}"#);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Labels {
+    /// Sorted by key; keys are unique.
+    pairs: Vec<(String, String)>,
+}
+
+impl Labels {
+    /// The empty label set.
+    pub fn new() -> Self {
+        Labels::default()
+    }
+
+    /// Returns the set extended (or overwritten) with `key = value`.
+    /// Values are rendered via [`fmt::Display`], so integers and
+    /// strings both work.
+    #[must_use]
+    pub fn with(mut self, key: &str, value: impl fmt::Display) -> Self {
+        let value = value.to_string();
+        match self.pairs.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.pairs[i].1 = value,
+            Err(i) => self.pairs.insert(i, (key.to_string(), value)),
+        }
+        self
+    }
+
+    /// The value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.pairs[i].1.as_str())
+    }
+
+    /// Iterates over `(key, value)` pairs in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.pairs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Union of `self` and `other`; on key collision `other` wins.
+    #[must_use]
+    pub fn merged(&self, other: &Labels) -> Labels {
+        let mut out = self.clone();
+        for (k, v) in other.iter() {
+            out = out.with(k, v);
+        }
+        out
+    }
+}
+
+/// Renders the set in Prometheus selector syntax:
+/// `{k1="v1",k2="v2"}`, or the empty string for no labels. Label
+/// values are escaped per the exposition format (`\\`, `\"`, `\n`).
+impl fmt::Display for Labels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pairs.is_empty() {
+            return Ok(());
+        }
+        f.write_str("{")?;
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{k}=\"{}\"", escape_label_value(v))?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// Escapes a label value per the Prometheus text exposition format.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_order_is_irrelevant() {
+        let a = Labels::new().with("b", 2).with("a", 1).with("c", 3);
+        let b = Labels::new().with("c", 3).with("a", 1).with("b", 2);
+        assert_eq!(a, b);
+        let keys: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn duplicate_keys_overwrite() {
+        let l = Labels::new().with("tile", 0).with("tile", 7);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.get("tile"), Some("7"));
+        assert_eq!(l.get("absent"), None);
+    }
+
+    #[test]
+    fn display_matches_prometheus_selector() {
+        assert_eq!(Labels::new().to_string(), "");
+        let l = Labels::new().with("stage", "pre\"x\"").with("w", 64);
+        assert_eq!(l.to_string(), "{stage=\"pre\\\"x\\\"\",w=\"64\"}");
+    }
+
+    #[test]
+    fn merged_prefers_other() {
+        let base = Labels::new().with("tile", 1).with("stage", "pre");
+        let over = Labels::new().with("tile", 2);
+        let m = base.merged(&over);
+        assert_eq!(m.get("tile"), Some("2"));
+        assert_eq!(m.get("stage"), Some("pre"));
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn escaping_covers_backslash_quote_newline() {
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the histogram semantics the multi-tile
+//! aggregation path depends on: merging is exact (equals recording the
+//! concatenated stream), and percentiles stay within the documented
+//! bucket error of the true sample percentiles.
+
+use cim_metrics::{bucket_bounds, bucket_index, Histogram, LINEAR_CUTOFF, SUBBUCKETS};
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// The exact nearest-rank percentile the histogram approximates.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// merge(h(a), h(b)) is bit-identical to h(a ++ b) — counts, sum,
+    /// min/max, every bucket. Merge order is irrelevant.
+    #[test]
+    fn merge_equals_concatenation(
+        a in prop::collection::vec(0u64..1_000_000, 0..80),
+        b in prop::collection::vec(0u64..1_000_000, 0..80),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        prop_assert_eq!(&merged, &hist_of(&concat));
+
+        let mut swapped = hist_of(&b);
+        swapped.merge(&hist_of(&a));
+        prop_assert_eq!(&merged, &swapped, "merge must commute");
+    }
+
+    /// Percentiles of a merged histogram equal the percentiles of the
+    /// concatenated sample stream within one bucket's relative error
+    /// (1/SUBBUCKETS above the linear cutoff, exact below it).
+    #[test]
+    fn merged_percentiles_match_concatenated_within_bucket_error(
+        a in prop::collection::vec(1u64..5_000_000, 1..120),
+        b in prop::collection::vec(1u64..5_000_000, 1..120),
+        p in 0.0f64..100.0,
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        concat.sort_unstable();
+        let exact = exact_percentile(&concat, p);
+        let got = merged.percentile(p);
+        // The representative is the bucket upper bound clamped to the
+        // observed range, so it can only overshoot — and by at most one
+        // bucket width.
+        prop_assert!(got >= exact, "p{p}: got {got} < exact {exact}");
+        if exact >= LINEAR_CUTOFF {
+            let slack = exact as f64 / SUBBUCKETS as f64;
+            prop_assert!(
+                (got - exact) as f64 <= slack + 1.0,
+                "p{p}: got {got}, exact {exact}, slack {slack}"
+            );
+        } else {
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            prop_assert!(got >= lo && got <= hi.max(merged.max().min(hi)));
+            prop_assert_eq!(got, exact, "linear-range percentiles are exact");
+        }
+    }
+
+    /// Count/sum/min/max are exact regardless of bucketing.
+    #[test]
+    fn scalar_aggregates_are_exact(
+        samples in prop::collection::vec(0u64..u32::MAX as u64, 1..100),
+    ) {
+        let h = hist_of(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+    }
+
+    /// Every value lands in a bucket containing it, and bucket bounds
+    /// invert the index map.
+    #[test]
+    fn bucket_index_and_bounds_agree(v in any::<u64>()) {
+        let i = bucket_index(v);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi);
+        prop_assert_eq!(bucket_index(lo), i);
+        prop_assert_eq!(bucket_index(hi), i);
+    }
+}

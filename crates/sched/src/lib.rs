@@ -21,7 +21,11 @@
 //! * [`policy`] — FIFO, least-loaded, and wear-leveling dispatch;
 //! * [`scheduler`] — bounded admission plus tile selection;
 //! * [`report`] — per-job, per-tile, and farm-level telemetry
-//!   (makespan, utilization, p50/p99 latency, projected lifetime);
+//!   (makespan, utilization, p50/p99 latency via a mergeable
+//!   log-bucketed histogram, energy breakdowns, projected lifetime);
+//! * [`metrics`] — publication of a [`FarmReport`] into a
+//!   [`cim_metrics::MetricsHub`] (latency histograms, queue/occupancy
+//!   peaks, per-tile cycle and energy counters);
 //! * [`batch`] — the single-pipeline batch API (moved here from
 //!   `karatsuba_cim::batch`), now the one-tile degenerate farm.
 //!
@@ -43,6 +47,7 @@
 
 pub mod batch;
 pub mod job;
+pub mod metrics;
 pub mod policy;
 pub mod profile;
 pub mod report;

@@ -82,6 +82,7 @@ mod tests {
     use super::*;
     use crate::job::{Algo, Job};
     use crate::profile::JobProfile;
+    use cim_crossbar::EnergyParams;
 
     fn farm(n: usize) -> Vec<Tile> {
         (0..n).map(|i| Tile::new(i, 8)).collect()
@@ -93,7 +94,7 @@ mod tests {
         let profile = JobProfile::karatsuba_analytic(256);
         let job = Job { id: 0, width: 256, algo: Algo::Karatsuba, arrival: 0 };
         assert_eq!(Policy::Fifo.pick(&tiles, 0), 0);
-        tiles[0].execute(&job, &profile, false);
+        tiles[0].execute(&job, &profile, false, &EnergyParams::default());
         assert_eq!(Policy::Fifo.pick(&tiles, 0), 1);
     }
 
@@ -102,7 +103,7 @@ mod tests {
         let mut tiles = farm(2);
         let big = JobProfile::karatsuba_analytic(2048);
         let job = Job { id: 0, width: 2048, algo: Algo::Karatsuba, arrival: 0 };
-        tiles[0].execute(&job, &big, false);
+        tiles[0].execute(&job, &big, false, &EnergyParams::default());
         assert_eq!(Policy::LeastLoaded.pick(&tiles, 0), 1);
     }
 
@@ -111,7 +112,7 @@ mod tests {
         let mut tiles = farm(2);
         let profile = JobProfile::karatsuba_analytic(256);
         let job = Job { id: 0, width: 256, algo: Algo::Karatsuba, arrival: 0 };
-        tiles[0].execute(&job, &profile, true);
+        tiles[0].execute(&job, &profile, true, &EnergyParams::default());
         // Both tiles are free far in the future; tile 1 has no wear.
         let later = tiles[0].drained_at();
         assert_eq!(Policy::WearLeveling.pick(&tiles, later), 1);

@@ -17,7 +17,7 @@
 
 use crate::job::{Algo, Job};
 use cim_bigint::rng::UintRng;
-use cim_crossbar::{CycleStats, EnduranceReport, OpClass};
+use cim_crossbar::{CycleStats, EnduranceReport, EnergyParams, EnergyReport, OpClass};
 use cim_logic::multpim::CELLS_PER_BIT;
 use karatsuba_cim::cost::{DesignPoint, HANDOFF_CYCLES};
 use karatsuba_cim::multiplier::{KaratsubaCimMultiplier, MultiplyError};
@@ -207,6 +207,19 @@ impl JobProfile {
     pub fn max_writes(&self) -> u64 {
         self.wear.iter().map(|w| w.max_writes).max().unwrap_or(0)
     }
+
+    /// First-order energy for one job of this class: the whole-job
+    /// [`CycleStats`] run through [`EnergyReport::from_stats`] at the
+    /// class's dominant row width — `n/4+2` cells for the Karatsuba
+    /// stage arrays, `n` for the single-row schoolbook multiplier.
+    /// Tiles accumulate this per job served; farm totals are the sum.
+    pub fn energy(&self, params: &EnergyParams) -> EnergyReport {
+        let row_width = match self.algo {
+            Algo::Karatsuba => self.width / 4 + 2,
+            Algo::Schoolbook => self.width,
+        };
+        EnergyReport::from_stats(&self.stats, row_width, params)
+    }
 }
 
 /// Synthesizes whole-job [`CycleStats`] from stage latencies when no
@@ -350,6 +363,23 @@ mod tests {
         // envelope the simulator tests use).
         assert!(p.max_writes() <= 4 * d.max_writes);
         assert!(p.max_writes() >= d.max_writes / 4);
+    }
+
+    #[test]
+    fn energy_scales_with_width_and_sums_components() {
+        let params = EnergyParams::default();
+        let small = JobProfile::karatsuba_analytic(64).energy(&params);
+        let big = JobProfile::karatsuba_analytic(256).energy(&params);
+        assert!(big.total_pj() > small.total_pj());
+        for e in [small, big] {
+            assert!(e.magic_pj > 0.0, "stage cycles are charged as MAGIC");
+            assert!(e.write_pj > 0.0, "handoffs are charged as writes");
+            let sum: f64 = e.components().iter().map(|(_, pj)| pj).sum();
+            assert!((sum - e.total_pj()).abs() < 1e-9);
+        }
+        // Schoolbook charges its single row at full width.
+        let sb = JobProfile::schoolbook_analytic(256).energy(&params);
+        assert!(sb.total_pj() > 0.0);
     }
 
     #[test]

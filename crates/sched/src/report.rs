@@ -3,7 +3,8 @@
 
 use crate::job::Job;
 use crate::policy::Policy;
-use cim_crossbar::{CycleStats, OpClass, CELL_ENDURANCE_WRITES};
+use cim_crossbar::{CycleStats, EnergyReport, OpClass, CELL_ENDURANCE_WRITES};
+use cim_metrics::Histogram;
 use cim_trace::json::JsonWriter;
 
 /// Telemetry for one accepted job.
@@ -46,6 +47,8 @@ pub struct TileReport {
     pub utilization: f64,
     /// Cumulative cycle statistics.
     pub stats: CycleStats,
+    /// Cumulative first-order energy (see [`crate::profile::JobProfile::energy`]).
+    pub energy: EnergyReport,
 }
 
 /// Aggregate result of one farm run.
@@ -59,14 +62,22 @@ pub struct FarmReport {
     pub jobs_submitted: usize,
     /// Jobs rejected by the bounded admission queue.
     pub jobs_rejected: usize,
+    /// Peak admitted-but-not-yet-dispatched backlog over the run.
+    pub queue_peak: u64,
     /// Cycle at which the last accepted job completed.
     pub makespan_cycles: u64,
     /// Per-job telemetry in admission order.
     pub records: Vec<JobRecord>,
+    /// End-to-end job latencies as a mergeable log-bucketed
+    /// [`Histogram`] (the same shape the metrics registry exports, so
+    /// multi-run aggregation is an exact element-wise merge).
+    pub latency_histogram: Histogram,
     /// Per-tile summaries.
     pub tile_reports: Vec<TileReport>,
     /// Farm-wide cycle statistics (sum of the per-tile statistics).
     pub total_stats: CycleStats,
+    /// Farm-wide energy (sum of the per-tile energy reports).
+    pub total_energy: EnergyReport,
 }
 
 impl FarmReport {
@@ -75,16 +86,14 @@ impl FarmReport {
         self.records.len()
     }
 
-    /// Latency percentile over accepted jobs (`p` in `0..=100`,
-    /// nearest-rank on the sorted latencies); 0 with no jobs.
+    /// Latency percentile over accepted jobs (`p` in `0..=100`),
+    /// nearest-rank on the log-bucketed [`latency_histogram`]
+    /// (relative bucket error ≤ 1/16 above the histogram's linear
+    /// range, clamped to the observed min/max); 0 with no jobs.
+    ///
+    /// [`latency_histogram`]: FarmReport::latency_histogram
     pub fn latency_percentile(&self, p: f64) -> u64 {
-        if self.records.is_empty() {
-            return 0;
-        }
-        let mut lat: Vec<u64> = self.records.iter().map(JobRecord::latency).collect();
-        lat.sort_unstable();
-        let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
-        lat[idx.min(lat.len() - 1)]
+        self.latency_histogram.percentile(p)
     }
 
     /// Median end-to-end job latency.
@@ -151,8 +160,9 @@ impl FarmReport {
 
     /// Serializes the report as one deterministic JSON object:
     /// farm-level aggregates, latency percentiles (p50/p90/p95/p99),
-    /// the farm-wide cycle statistics, and a per-tile array. Field
-    /// order is fixed, so equal reports serialize byte-for-byte
+    /// the farm-wide cycle statistics and energy breakdown, and a
+    /// per-tile array (each tile with its own energy breakdown).
+    /// Field order is fixed, so equal reports serialize byte-for-byte
     /// identically.
     pub fn to_json(&self) -> String {
         fn stats_json(w: &mut JsonWriter, s: &CycleStats) {
@@ -168,6 +178,15 @@ impl FarmReport {
             w.close_object();
         }
 
+        fn energy_json(w: &mut JsonWriter, e: &EnergyReport) {
+            w.open_object();
+            for (component, pj) in e.components() {
+                w.field_float(&format!("{component}_pj"), pj);
+            }
+            w.field_float("total_pj", e.total_pj());
+            w.close_object();
+        }
+
         let mut w = JsonWriter::new();
         w.open_object()
             .field_str("policy", self.policy.label())
@@ -175,6 +194,7 @@ impl FarmReport {
             .field_uint("jobs_submitted", self.jobs_submitted as u64)
             .field_uint("jobs_done", self.jobs_done() as u64)
             .field_uint("jobs_rejected", self.jobs_rejected as u64)
+            .field_uint("queue_peak", self.queue_peak)
             .field_uint("makespan_cycles", self.makespan_cycles)
             .field_uint("initiation_interval", self.initiation_interval())
             .field_float("throughput_per_mcc", self.throughput_per_mcc())
@@ -193,6 +213,8 @@ impl FarmReport {
         w.close_object();
         w.key("total_stats");
         stats_json(&mut w, &self.total_stats);
+        w.key("total_energy");
+        energy_json(&mut w, &self.total_energy);
         w.key("tile_reports").open_array();
         for t in &self.tile_reports {
             w.open_object()
@@ -203,10 +225,30 @@ impl FarmReport {
                 .field_float("utilization", t.utilization);
             w.key("stats");
             stats_json(&mut w, &t.stats);
+            w.key("energy");
+            energy_json(&mut w, &t.energy);
             w.close_object();
         }
         w.close_array().close_object();
         w.finish()
+    }
+
+    /// Peak number of jobs simultaneously in service (dispatched and
+    /// not yet retired), reconstructed from the job records.
+    pub fn peak_jobs_running(&self) -> u64 {
+        let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(2 * self.records.len());
+        for r in &self.records {
+            deltas.push((r.start, 1));
+            deltas.push((r.finish, -1));
+        }
+        deltas.sort_unstable();
+        let mut running = 0i64;
+        let mut peak = 0i64;
+        for (_, d) in deltas {
+            running += d;
+            peak = peak.max(running);
+        }
+        peak as u64
     }
 
     /// Steady-state initiation interval: completion spacing of the
@@ -238,25 +280,47 @@ mod tests {
 
     fn report(records: Vec<JobRecord>) -> FarmReport {
         let makespan = records.iter().map(|r| r.finish).max().unwrap_or(0);
+        let mut latency_histogram = Histogram::new();
+        for r in &records {
+            latency_histogram.record(r.latency());
+        }
         FarmReport {
             policy: Policy::Fifo,
             tiles: 1,
             jobs_submitted: records.len(),
             jobs_rejected: 0,
+            queue_peak: 0,
             makespan_cycles: makespan,
             records,
+            latency_histogram,
             tile_reports: vec![],
             total_stats: CycleStats::default(),
+            total_energy: EnergyReport::default(),
         }
     }
 
     #[test]
     fn percentiles_use_nearest_rank() {
         let r = report((0..100).map(|i| record(i, 0, 0, (i + 1) * 10)).collect());
-        // Nearest rank on 100 samples: round(0.5·99) = 50 → 51st value.
-        assert_eq!(r.p50_latency(), 510);
-        assert_eq!(r.p99_latency(), 990);
+        // Nearest rank on 100 samples: round(0.5·99) = 50 → the 51st
+        // latency, 510, reported as its histogram bucket's upper
+        // bound 511 (≤ 1/16 relative error by construction).
+        assert_eq!(r.p50_latency(), 511);
+        // round(0.99·99) = 98 → 990, bucket upper bound 991.
+        assert_eq!(r.p99_latency(), 991);
+        // The top percentile clamps to the observed max exactly.
         assert_eq!(r.latency_percentile(100.0), 1000);
+    }
+
+    #[test]
+    fn peak_jobs_running_counts_overlap() {
+        let r = report(vec![
+            record(0, 0, 0, 100),
+            record(1, 0, 50, 150),
+            record(2, 0, 160, 200),
+        ]);
+        assert_eq!(r.peak_jobs_running(), 2);
+        assert_eq!(report(vec![]).peak_jobs_running(), 0);
     }
 
     #[test]
@@ -286,8 +350,12 @@ mod tests {
             "\"latency_percentiles\"",
             "\"p50\":300",
             "\"p99\":300",
+            "\"queue_peak\":0",
             "\"total_stats\"",
             "\"magic_cycles\":0",
+            "\"total_energy\"",
+            "\"write_pj\":0",
+            "\"total_pj\":0",
             "\"tile_reports\":[]",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -14,7 +14,8 @@ use crate::policy::Policy;
 use crate::profile::{ProfileSource, ProfileTable};
 use crate::report::{FarmReport, JobRecord, TileReport};
 use crate::tile::{Tile, DEFAULT_ROTATION_SLOTS};
-use cim_crossbar::CycleStats;
+use cim_crossbar::{CycleStats, EnergyParams, EnergyReport};
+use cim_metrics::{Histogram, MetricsHub};
 use cim_trace::{Args, ProcessId, TrackId, Tracer};
 use karatsuba_cim::multiplier::MultiplyError;
 use std::cmp::Reverse;
@@ -74,21 +75,48 @@ impl FarmConfig {
 pub struct Scheduler {
     config: FarmConfig,
     profiles: ProfileTable,
+    energy_params: EnergyParams,
+    hub: MetricsHub,
 }
 
 impl Scheduler {
     /// A scheduler with analytic job profiles (the common case).
     pub fn new(config: FarmConfig) -> Self {
-        Scheduler {
-            config,
-            profiles: ProfileTable::new(ProfileSource::Analytic),
-        }
+        Self::with_profiles(config, ProfileTable::new(ProfileSource::Analytic))
     }
 
     /// A scheduler with a caller-provided profile table (measured
     /// profiles, or pre-seeded by the batch bridge).
     pub fn with_profiles(config: FarmConfig, profiles: ProfileTable) -> Self {
-        Scheduler { config, profiles }
+        Scheduler {
+            config,
+            profiles,
+            energy_params: EnergyParams::default(),
+            hub: MetricsHub::disabled(),
+        }
+    }
+
+    /// Overrides the energy parameters pricing the per-tile and farm
+    /// energy reports (defaults to [`EnergyParams::default`]).
+    ///
+    /// The parameters live on the scheduler, not on [`FarmConfig`]:
+    /// the config is a hashable/comparable identity key, and energy
+    /// prices are floats that never influence the schedule.
+    pub fn with_energy_params(mut self, params: EnergyParams) -> Self {
+        self.energy_params = params;
+        self
+    }
+
+    /// The active energy parameters.
+    pub fn energy_params(&self) -> &EnergyParams {
+        &self.energy_params
+    }
+
+    /// Attaches a metrics hub; every subsequent run publishes its
+    /// [`FarmReport`] (see [`crate::metrics`]). Metrics never change
+    /// the schedule or the report.
+    pub fn attach_metrics(&mut self, hub: &MetricsHub) {
+        self.hub = hub.clone();
     }
 
     /// The active configuration.
@@ -154,6 +182,7 @@ impl Scheduler {
             .collect();
         let mut records = Vec::with_capacity(order.len());
         let mut rejected = 0usize;
+        let mut queue_peak = 0u64;
         // Dispatch cycles of admitted jobs still waiting (start >
         // current arrival): the backlog the bounded queue counts.
         let mut waiting: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
@@ -193,8 +222,9 @@ impl Scheduler {
             }
             let profile = self.profiles.profile(job)?.clone();
             let pick = self.config.policy.pick(&tiles, job.arrival);
-            let timing = tiles[pick].execute(job, &profile, rotate);
+            let timing = tiles[pick].execute(job, &profile, rotate, &self.energy_params);
             waiting.push(Reverse(timing.start[0]));
+            queue_peak = queue_peak.max(waiting.len() as u64);
             if enabled {
                 tracer.counter(
                     sched_track,
@@ -261,10 +291,12 @@ impl Scheduler {
 
         let makespan = records.iter().map(|r| r.finish).max().unwrap_or(0);
         let mut total_stats = CycleStats::default();
+        let mut total_energy = EnergyReport::default();
         let tile_reports = tiles
             .iter()
             .map(|t| {
                 total_stats.merge(t.stats());
+                total_energy.merge(t.energy());
                 TileReport {
                     tile: t.id(),
                     jobs_done: t.jobs_done(),
@@ -272,20 +304,30 @@ impl Scheduler {
                     max_cell_writes: t.max_cell_writes(),
                     utilization: t.utilization(makespan),
                     stats: *t.stats(),
+                    energy: *t.energy(),
                 }
             })
             .collect();
+        let mut latency_histogram = Histogram::new();
+        for r in &records {
+            latency_histogram.record(r.latency());
+        }
 
-        Ok(FarmReport {
+        let report = FarmReport {
             policy: self.config.policy,
             tiles: self.config.tiles,
             jobs_submitted: jobs.len(),
             jobs_rejected: rejected,
+            queue_peak,
             makespan_cycles: makespan,
             records,
+            latency_histogram,
             tile_reports,
             total_stats,
-        })
+            total_energy,
+        };
+        report.publish_metrics(&self.hub);
+        Ok(report)
     }
 }
 
@@ -438,6 +480,55 @@ mod tests {
             .collect();
         assert!(counters.contains(&"queue_depth"));
         assert!(counters.contains(&"jobs_running"));
+    }
+
+    #[test]
+    fn metrics_do_not_change_the_report() {
+        let jobs = JobMix::crypto_default(300).generate(60, 11);
+        let config = FarmConfig::new(4, Policy::WearLeveling).with_queue_depth(8);
+        let plain = Scheduler::new(config).run(&jobs).unwrap();
+
+        let hub = cim_metrics::MetricsHub::recording();
+        let mut metered = Scheduler::new(config);
+        metered.attach_metrics(&hub);
+        let report = metered.run(&jobs).unwrap();
+        assert_eq!(plain, report, "metrics must not perturb the schedule");
+        assert!(!hub.snapshot().families.is_empty());
+
+        let disabled = cim_metrics::MetricsHub::disabled();
+        let mut off = Scheduler::new(config);
+        off.attach_metrics(&disabled);
+        assert_eq!(plain, off.run(&jobs).unwrap());
+        assert!(disabled.snapshot().families.is_empty());
+    }
+
+    #[test]
+    fn farm_energy_is_sum_of_tiles_and_prices_scale() {
+        let jobs = closed_batch(24);
+        let report = Scheduler::new(FarmConfig::new(3, Policy::LeastLoaded))
+            .run(&jobs)
+            .unwrap();
+        let sum: f64 = report.tile_reports.iter().map(|t| t.energy.total_pj()).sum();
+        assert!((report.total_energy.total_pj() - sum).abs() < 1e-6);
+        assert!(report.total_energy.magic_pj > 0.0);
+
+        // Doubling every price doubles the bill without touching timing.
+        let base = cim_crossbar::EnergyParams::default();
+        let doubled = cim_crossbar::EnergyParams {
+            write_pj: 2.0 * base.write_pj,
+            read_pj: 2.0 * base.read_pj,
+            magic_pj: 2.0 * base.magic_pj,
+            controller_pj_per_cycle: 2.0 * base.controller_pj_per_cycle,
+            offchip_pj_per_bit: 2.0 * base.offchip_pj_per_bit,
+        };
+        let pricey = Scheduler::new(FarmConfig::new(3, Policy::LeastLoaded))
+            .with_energy_params(doubled)
+            .run(&jobs)
+            .unwrap();
+        assert_eq!(pricey.makespan_cycles, report.makespan_cycles);
+        assert_eq!(pricey.records, report.records);
+        let ratio = pricey.total_energy.total_pj() / report.total_energy.total_pj();
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
     }
 
     #[test]

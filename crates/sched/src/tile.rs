@@ -21,7 +21,7 @@
 
 use crate::job::Job;
 use crate::profile::JobProfile;
-use cim_crossbar::CycleStats;
+use cim_crossbar::{CycleStats, EnergyParams, EnergyReport};
 
 /// Default number of row-offset rotation slots per stage subarray.
 ///
@@ -55,6 +55,8 @@ pub struct Tile {
     stage_free: [u64; 3],
     /// Cumulative cycle statistics across all jobs served.
     stats: CycleStats,
+    /// Cumulative first-order energy across all jobs served.
+    energy: EnergyReport,
     /// Sum of stage-occupancy cycles across all jobs (load metric).
     busy_cycles: u64,
     jobs_done: u64,
@@ -76,6 +78,7 @@ impl Tile {
             id,
             stage_free: [0; 3],
             stats: CycleStats::default(),
+            energy: EnergyReport::default(),
             busy_cycles: 0,
             jobs_done: 0,
             slot_wear: vec![[0; 3]; rotation_slots],
@@ -96,11 +99,19 @@ impl Tile {
 
     /// Serves `job` on this tile; `rotate` selects whether the wear
     /// ledger advances to the next rotation slot (wear-leveling) or
-    /// pins the job to slot 0 (all other policies).
+    /// pins the job to slot 0 (all other policies). `params` prices
+    /// the job's first-order energy ([`JobProfile::energy`]), which
+    /// accumulates into the tile's [`energy`](Tile::energy) ledger.
     ///
     /// Timing is the exact `PipelineSchedule::simulate` recurrence,
     /// seeded with the job's arrival cycle.
-    pub fn execute(&mut self, job: &Job, profile: &JobProfile, rotate: bool) -> TileJobTiming {
+    pub fn execute(
+        &mut self,
+        job: &Job,
+        profile: &JobProfile,
+        rotate: bool,
+        params: &EnergyParams,
+    ) -> TileJobTiming {
         let mut start = [0u64; 3];
         let mut finish = [0u64; 3];
         let mut input_ready = job.arrival;
@@ -122,6 +133,7 @@ impl Tile {
             self.slot_wear[slot][s] += profile.wear[s].max_writes;
         }
         self.stats.merge(&profile.stats);
+        self.energy.merge(&profile.energy(params));
         self.jobs_done += 1;
         TileJobTiming { start, finish }
     }
@@ -138,6 +150,11 @@ impl Tile {
     /// Cumulative cycle statistics for all jobs served.
     pub fn stats(&self) -> &CycleStats {
         &self.stats
+    }
+
+    /// Cumulative first-order energy for all jobs served.
+    pub fn energy(&self) -> &EnergyReport {
+        &self.energy
     }
 
     /// Total stage-occupancy cycles accumulated (load metric).
@@ -179,10 +196,11 @@ mod tests {
     #[test]
     fn single_tile_reproduces_pipeline_schedule() {
         let profile = JobProfile::karatsuba_analytic(256);
+        let params = EnergyParams::default();
         let mut tile = Tile::new(0, 1);
         let reference = PipelineSchedule::for_design(256, 12);
         for (i, expect) in reference.jobs.iter().enumerate() {
-            let t = tile.execute(&job(i as u64, 0), &profile, false);
+            let t = tile.execute(&job(i as u64, 0), &profile, false, &params);
             assert_eq!(t.start, expect.start, "job {i}");
             assert_eq!(t.finish, expect.finish, "job {i}");
         }
@@ -194,7 +212,7 @@ mod tests {
         let profile = JobProfile::karatsuba_analytic(256);
         let mut tile = Tile::new(0, 1);
         let late = 1_000_000;
-        let t = tile.execute(&job(0, late), &profile, false);
+        let t = tile.execute(&job(0, late), &profile, false, &EnergyParams::default());
         assert_eq!(t.start[0], late);
         assert_eq!(t.completed_at(), late + profile.service_latency());
     }
@@ -202,11 +220,12 @@ mod tests {
     #[test]
     fn rotation_divides_wear() {
         let profile = JobProfile::karatsuba_analytic(256);
+        let params = EnergyParams::default();
         let mut pinned = Tile::new(0, 8);
         let mut rotated = Tile::new(1, 8);
         for i in 0..16 {
-            pinned.execute(&job(i, 0), &profile, false);
-            rotated.execute(&job(i, 0), &profile, true);
+            pinned.execute(&job(i, 0), &profile, false, &params);
+            rotated.execute(&job(i, 0), &profile, true, &params);
         }
         assert_eq!(pinned.max_cell_writes(), 16 * profile.max_writes());
         // 16 jobs over 8 slots: 2 per slot.
@@ -218,9 +237,10 @@ mod tests {
     #[test]
     fn stats_accumulate_across_jobs() {
         let profile = JobProfile::schoolbook_analytic(256);
+        let params = EnergyParams::default();
         let mut tile = Tile::new(0, 4);
         for i in 0..5 {
-            tile.execute(&job(i, 0), &profile, true);
+            tile.execute(&job(i, 0), &profile, true, &params);
         }
         assert_eq!(tile.jobs_done(), 5);
         assert_eq!(tile.stats().cycles, 5 * profile.stats.cycles);
@@ -228,5 +248,7 @@ mod tests {
             tile.busy_cycles(),
             5 * profile.stage_occupancy().iter().sum::<u64>()
         );
+        let per_job = profile.energy(&params).total_pj();
+        assert!((tile.energy().total_pj() - 5.0 * per_job).abs() < 1e-6);
     }
 }

@@ -48,9 +48,14 @@ fn fold_into(forest: &Forest, node: usize, prefix: &str, stacks: &mut BTreeMap<S
     }
 }
 
-/// Frame names must not contain the folded format's separators.
+/// Frame names must not contain the folded format's separators: `;`
+/// splits frames and the *last* space splits the sample count, and a
+/// literal newline (or any other whitespace control) would break the
+/// line structure outright. Every such character folds to `_`.
 fn sanitize(name: &str) -> String {
-    name.replace([';', ' '], "_")
+    name.chars()
+        .map(|c| if c == ';' || c.is_whitespace() { '_' } else { c })
+        .collect()
 }
 
 #[cfg(test)]

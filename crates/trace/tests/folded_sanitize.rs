@@ -1,0 +1,39 @@
+//! Regression test: folded-stack frame names must survive spans whose
+//! names contain the format's separator characters — `;` (frame
+//! separator), the space before the sample count, and any other
+//! whitespace (tab, newline, CR), which would corrupt the line-based
+//! format. All of them must fold to `_`.
+
+use cim_trace::folded::to_folded;
+use cim_trace::{Args, Tracer};
+
+#[test]
+fn separator_and_whitespace_span_names_fold_to_underscores() {
+    let t = Tracer::recording();
+    let track = t.track(t.process("proc; one"), "track\ttwo");
+    t.complete(track, "add a;b\nc\rd", 0, 7, Args::new());
+    let folded = to_folded(&t.finish().unwrap()).unwrap();
+    assert_eq!(folded, "proc__one;track_two;add_a_b_c_d 7\n");
+}
+
+#[test]
+fn sanitized_output_stays_machine_parseable() {
+    let t = Tracer::recording();
+    let track = t.track(t.process("p"), "t");
+    let outer = t.span_at(track, "outer span\nwith newline", 0);
+    t.complete(track, "inner;frame", 2, 5, Args::new());
+    outer.end(20);
+    let folded = to_folded(&t.finish().unwrap()).unwrap();
+    for line in folded.lines() {
+        // Every line is `frame(;frame)* <count>`: exactly one space,
+        // a numeric tail, and no stray control characters.
+        let (stack, count) = line.rsplit_once(' ').expect("one separating space");
+        assert!(count.parse::<u64>().is_ok(), "bad count in {line:?}");
+        assert!(!stack.contains(' '), "unsanitized space in {stack:?}");
+        assert!(
+            !line.chars().any(|c| c.is_control()),
+            "control character in {line:?}"
+        );
+    }
+    assert!(folded.contains("outer_span_with_newline;inner_frame 5"));
+}

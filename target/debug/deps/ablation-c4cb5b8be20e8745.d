@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-c4cb5b8be20e8745.d: crates/bench/benches/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-c4cb5b8be20e8745.rmeta: crates/bench/benches/ablation.rs Cargo.toml
+
+crates/bench/benches/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

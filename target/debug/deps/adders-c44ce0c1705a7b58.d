@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adders-c44ce0c1705a7b58.d: crates/bench/benches/adders.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadders-c44ce0c1705a7b58.rmeta: crates/bench/benches/adders.rs Cargo.toml
+
+crates/bench/benches/adders.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algo_exploration-56d3b5f4312271eb.d: crates/bench/src/bin/algo_exploration.rs
+
+/root/repo/target/debug/deps/algo_exploration-56d3b5f4312271eb: crates/bench/src/bin/algo_exploration.rs
+
+crates/bench/src/bin/algo_exploration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algo_exploration-59142fb8d3528564.d: crates/bench/src/bin/algo_exploration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgo_exploration-59142fb8d3528564.rmeta: crates/bench/src/bin/algo_exploration.rs Cargo.toml
+
+crates/bench/src/bin/algo_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

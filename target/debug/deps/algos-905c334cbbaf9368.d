@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algos-905c334cbbaf9368.d: crates/bench/benches/algos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgos-905c334cbbaf9368.rmeta: crates/bench/benches/algos.rs Cargo.toml
+
+crates/bench/benches/algos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

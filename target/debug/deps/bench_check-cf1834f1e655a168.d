@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_check-cf1834f1e655a168.d: crates/bench/src/bin/bench_check.rs
+
+/root/repo/target/debug/deps/bench_check-cf1834f1e655a168: crates/bench/src/bin/bench_check.rs
+
+crates/bench/src/bin/bench_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_check-feb77bacbff43e04.d: crates/bench/src/bin/bench_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_check-feb77bacbff43e04.rmeta: crates/bench/src/bin/bench_check.rs Cargo.toml
+
+crates/bench/src/bin/bench_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

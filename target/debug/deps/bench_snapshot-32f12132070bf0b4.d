@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_snapshot-32f12132070bf0b4.d: crates/bench/src/bin/bench_snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_snapshot-32f12132070bf0b4.rmeta: crates/bench/src/bin/bench_snapshot.rs Cargo.toml
+
+crates/bench/src/bin/bench_snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_snapshot-87a8e8374bb1eaec.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/debug/deps/bench_snapshot-87a8e8374bb1eaec: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/builtin_programs-b68813aedd11de48.d: crates/check/tests/builtin_programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuiltin_programs-b68813aedd11de48.rmeta: crates/check/tests/builtin_programs.rs Cargo.toml
+
+crates/check/tests/builtin_programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/builtin_programs-bdd92280fd5c49f4.d: crates/check/tests/builtin_programs.rs
+
+/root/repo/target/debug/deps/builtin_programs-bdd92280fd5c49f4: crates/check/tests/builtin_programs.rs
+
+crates/check/tests/builtin_programs.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cim_baselines-592e3a0bb55e5def.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/debug/deps/libcim_baselines-592e3a0bb55e5def.rlib: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/debug/deps/libcim_baselines-592e3a0bb55e5def.rmeta: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:

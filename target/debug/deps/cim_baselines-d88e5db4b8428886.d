@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cim_baselines-d88e5db4b8428886.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_baselines-d88e5db4b8428886.rmeta: crates/baselines/src/lib.rs crates/baselines/src/interp.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cim_baselines-e75fe6759a687c64.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/debug/deps/cim_baselines-e75fe6759a687c64: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cim_bench-8b83c9eaa4a5278f.d: crates/bench/src/lib.rs crates/bench/src/snapshot.rs
+
+/root/repo/target/debug/deps/libcim_bench-8b83c9eaa4a5278f.rlib: crates/bench/src/lib.rs crates/bench/src/snapshot.rs
+
+/root/repo/target/debug/deps/libcim_bench-8b83c9eaa4a5278f.rmeta: crates/bench/src/lib.rs crates/bench/src/snapshot.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/snapshot.rs:

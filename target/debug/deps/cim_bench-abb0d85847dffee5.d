@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cim_bench-abb0d85847dffee5.d: crates/bench/src/lib.rs crates/bench/src/snapshot.rs
+
+/root/repo/target/debug/deps/cim_bench-abb0d85847dffee5: crates/bench/src/lib.rs crates/bench/src/snapshot.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/snapshot.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cim_bench-f890b72e29e29370.d: crates/bench/src/lib.rs crates/bench/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_bench-f890b72e29e29370.rmeta: crates/bench/src/lib.rs crates/bench/src/snapshot.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

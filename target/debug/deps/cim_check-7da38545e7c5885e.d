@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cim_check-7da38545e7c5885e.d: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs
+
+/root/repo/target/debug/deps/libcim_check-7da38545e7c5885e.rlib: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs
+
+/root/repo/target/debug/deps/libcim_check-7da38545e7c5885e.rmeta: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs
+
+crates/check/src/lib.rs:
+crates/check/src/gen.rs:
+crates/check/src/gold.rs:
+crates/check/src/pressure.rs:
+crates/check/src/verify.rs:

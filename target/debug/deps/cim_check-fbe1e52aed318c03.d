@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cim_check-fbe1e52aed318c03.d: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_check-fbe1e52aed318c03.rmeta: crates/check/src/lib.rs crates/check/src/gen.rs crates/check/src/gold.rs crates/check/src/pressure.rs crates/check/src/verify.rs Cargo.toml
+
+crates/check/src/lib.rs:
+crates/check/src/gen.rs:
+crates/check/src/gold.rs:
+crates/check/src/pressure.rs:
+crates/check/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

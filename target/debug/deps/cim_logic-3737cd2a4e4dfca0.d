@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cim_logic-3737cd2a4e4dfca0.d: crates/logic/src/lib.rs crates/logic/src/condsub.rs crates/logic/src/gates.rs crates/logic/src/kogge_stone.rs crates/logic/src/magic_schoolbook.rs crates/logic/src/multpim.rs crates/logic/src/program.rs crates/logic/src/ripple.rs crates/logic/src/tmr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_logic-3737cd2a4e4dfca0.rmeta: crates/logic/src/lib.rs crates/logic/src/condsub.rs crates/logic/src/gates.rs crates/logic/src/kogge_stone.rs crates/logic/src/magic_schoolbook.rs crates/logic/src/multpim.rs crates/logic/src/program.rs crates/logic/src/ripple.rs crates/logic/src/tmr.rs Cargo.toml
+
+crates/logic/src/lib.rs:
+crates/logic/src/condsub.rs:
+crates/logic/src/gates.rs:
+crates/logic/src/kogge_stone.rs:
+crates/logic/src/magic_schoolbook.rs:
+crates/logic/src/multpim.rs:
+crates/logic/src/program.rs:
+crates/logic/src/ripple.rs:
+crates/logic/src/tmr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

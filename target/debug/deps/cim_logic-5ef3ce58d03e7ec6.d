@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cim_logic-5ef3ce58d03e7ec6.d: crates/logic/src/lib.rs crates/logic/src/condsub.rs crates/logic/src/gates.rs crates/logic/src/kogge_stone.rs crates/logic/src/magic_schoolbook.rs crates/logic/src/multpim.rs crates/logic/src/program.rs crates/logic/src/ripple.rs crates/logic/src/tmr.rs
+
+/root/repo/target/debug/deps/libcim_logic-5ef3ce58d03e7ec6.rlib: crates/logic/src/lib.rs crates/logic/src/condsub.rs crates/logic/src/gates.rs crates/logic/src/kogge_stone.rs crates/logic/src/magic_schoolbook.rs crates/logic/src/multpim.rs crates/logic/src/program.rs crates/logic/src/ripple.rs crates/logic/src/tmr.rs
+
+/root/repo/target/debug/deps/libcim_logic-5ef3ce58d03e7ec6.rmeta: crates/logic/src/lib.rs crates/logic/src/condsub.rs crates/logic/src/gates.rs crates/logic/src/kogge_stone.rs crates/logic/src/magic_schoolbook.rs crates/logic/src/multpim.rs crates/logic/src/program.rs crates/logic/src/ripple.rs crates/logic/src/tmr.rs
+
+crates/logic/src/lib.rs:
+crates/logic/src/condsub.rs:
+crates/logic/src/gates.rs:
+crates/logic/src/kogge_stone.rs:
+crates/logic/src/magic_schoolbook.rs:
+crates/logic/src/multpim.rs:
+crates/logic/src/program.rs:
+crates/logic/src/ripple.rs:
+crates/logic/src/tmr.rs:

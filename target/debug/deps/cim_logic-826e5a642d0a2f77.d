@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cim_logic-826e5a642d0a2f77.d: crates/logic/src/lib.rs crates/logic/src/condsub.rs crates/logic/src/gates.rs crates/logic/src/kogge_stone.rs crates/logic/src/magic_schoolbook.rs crates/logic/src/multpim.rs crates/logic/src/program.rs crates/logic/src/ripple.rs crates/logic/src/tmr.rs
+
+/root/repo/target/debug/deps/cim_logic-826e5a642d0a2f77: crates/logic/src/lib.rs crates/logic/src/condsub.rs crates/logic/src/gates.rs crates/logic/src/kogge_stone.rs crates/logic/src/magic_schoolbook.rs crates/logic/src/multpim.rs crates/logic/src/program.rs crates/logic/src/ripple.rs crates/logic/src/tmr.rs
+
+crates/logic/src/lib.rs:
+crates/logic/src/condsub.rs:
+crates/logic/src/gates.rs:
+crates/logic/src/kogge_stone.rs:
+crates/logic/src/magic_schoolbook.rs:
+crates/logic/src/multpim.rs:
+crates/logic/src/program.rs:
+crates/logic/src/ripple.rs:
+crates/logic/src/tmr.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cim_metrics-922a3c2cfa255cc9.d: crates/metrics/src/lib.rs crates/metrics/src/bridge.rs crates/metrics/src/histogram.rs crates/metrics/src/jsonval.rs crates/metrics/src/labels.rs crates/metrics/src/prometheus.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs
+
+/root/repo/target/debug/deps/libcim_metrics-922a3c2cfa255cc9.rlib: crates/metrics/src/lib.rs crates/metrics/src/bridge.rs crates/metrics/src/histogram.rs crates/metrics/src/jsonval.rs crates/metrics/src/labels.rs crates/metrics/src/prometheus.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs
+
+/root/repo/target/debug/deps/libcim_metrics-922a3c2cfa255cc9.rmeta: crates/metrics/src/lib.rs crates/metrics/src/bridge.rs crates/metrics/src/histogram.rs crates/metrics/src/jsonval.rs crates/metrics/src/labels.rs crates/metrics/src/prometheus.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/bridge.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/jsonval.rs:
+crates/metrics/src/labels.rs:
+crates/metrics/src/prometheus.rs:
+crates/metrics/src/registry.rs:
+crates/metrics/src/snapshot.rs:

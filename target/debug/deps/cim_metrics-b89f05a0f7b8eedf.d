@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cim_metrics-b89f05a0f7b8eedf.d: crates/metrics/src/lib.rs crates/metrics/src/bridge.rs crates/metrics/src/histogram.rs crates/metrics/src/jsonval.rs crates/metrics/src/labels.rs crates/metrics/src/prometheus.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_metrics-b89f05a0f7b8eedf.rmeta: crates/metrics/src/lib.rs crates/metrics/src/bridge.rs crates/metrics/src/histogram.rs crates/metrics/src/jsonval.rs crates/metrics/src/labels.rs crates/metrics/src/prometheus.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/bridge.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/jsonval.rs:
+crates/metrics/src/labels.rs:
+crates/metrics/src/prometheus.rs:
+crates/metrics/src/registry.rs:
+crates/metrics/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cim_metrics-eea171d7e68356ea.d: crates/metrics/src/lib.rs crates/metrics/src/bridge.rs crates/metrics/src/histogram.rs crates/metrics/src/jsonval.rs crates/metrics/src/labels.rs crates/metrics/src/prometheus.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs
+
+/root/repo/target/debug/deps/cim_metrics-eea171d7e68356ea: crates/metrics/src/lib.rs crates/metrics/src/bridge.rs crates/metrics/src/histogram.rs crates/metrics/src/jsonval.rs crates/metrics/src/labels.rs crates/metrics/src/prometheus.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/bridge.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/jsonval.rs:
+crates/metrics/src/labels.rs:
+crates/metrics/src/prometheus.rs:
+crates/metrics/src/registry.rs:
+crates/metrics/src/snapshot.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cim_modmul-00c0564871b3739b.d: crates/modmul/src/lib.rs crates/modmul/src/barrett.rs crates/modmul/src/ec.rs crates/modmul/src/fields.rs crates/modmul/src/inmemory.rs crates/modmul/src/montgomery.rs crates/modmul/src/sparse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_modmul-00c0564871b3739b.rmeta: crates/modmul/src/lib.rs crates/modmul/src/barrett.rs crates/modmul/src/ec.rs crates/modmul/src/fields.rs crates/modmul/src/inmemory.rs crates/modmul/src/montgomery.rs crates/modmul/src/sparse.rs Cargo.toml
+
+crates/modmul/src/lib.rs:
+crates/modmul/src/barrett.rs:
+crates/modmul/src/ec.rs:
+crates/modmul/src/fields.rs:
+crates/modmul/src/inmemory.rs:
+crates/modmul/src/montgomery.rs:
+crates/modmul/src/sparse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

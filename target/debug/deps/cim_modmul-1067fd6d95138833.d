@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cim_modmul-1067fd6d95138833.d: crates/modmul/src/lib.rs crates/modmul/src/barrett.rs crates/modmul/src/ec.rs crates/modmul/src/fields.rs crates/modmul/src/inmemory.rs crates/modmul/src/montgomery.rs crates/modmul/src/sparse.rs
+
+/root/repo/target/debug/deps/libcim_modmul-1067fd6d95138833.rlib: crates/modmul/src/lib.rs crates/modmul/src/barrett.rs crates/modmul/src/ec.rs crates/modmul/src/fields.rs crates/modmul/src/inmemory.rs crates/modmul/src/montgomery.rs crates/modmul/src/sparse.rs
+
+/root/repo/target/debug/deps/libcim_modmul-1067fd6d95138833.rmeta: crates/modmul/src/lib.rs crates/modmul/src/barrett.rs crates/modmul/src/ec.rs crates/modmul/src/fields.rs crates/modmul/src/inmemory.rs crates/modmul/src/montgomery.rs crates/modmul/src/sparse.rs
+
+crates/modmul/src/lib.rs:
+crates/modmul/src/barrett.rs:
+crates/modmul/src/ec.rs:
+crates/modmul/src/fields.rs:
+crates/modmul/src/inmemory.rs:
+crates/modmul/src/montgomery.rs:
+crates/modmul/src/sparse.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cim_modmul-9c4ffe89bee25c90.d: crates/modmul/src/lib.rs crates/modmul/src/barrett.rs crates/modmul/src/ec.rs crates/modmul/src/fields.rs crates/modmul/src/inmemory.rs crates/modmul/src/montgomery.rs crates/modmul/src/sparse.rs
+
+/root/repo/target/debug/deps/cim_modmul-9c4ffe89bee25c90: crates/modmul/src/lib.rs crates/modmul/src/barrett.rs crates/modmul/src/ec.rs crates/modmul/src/fields.rs crates/modmul/src/inmemory.rs crates/modmul/src/montgomery.rs crates/modmul/src/sparse.rs
+
+crates/modmul/src/lib.rs:
+crates/modmul/src/barrett.rs:
+crates/modmul/src/ec.rs:
+crates/modmul/src/fields.rs:
+crates/modmul/src/inmemory.rs:
+crates/modmul/src/montgomery.rs:
+crates/modmul/src/sparse.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cim_ntt-7c07fb2c212164d2.d: crates/ntt/src/lib.rs crates/ntt/src/cost.rs crates/ntt/src/field.rs crates/ntt/src/ntt.rs crates/ntt/src/poly.rs crates/ntt/src/rns.rs crates/ntt/src/rns_poly.rs
+
+/root/repo/target/debug/deps/libcim_ntt-7c07fb2c212164d2.rlib: crates/ntt/src/lib.rs crates/ntt/src/cost.rs crates/ntt/src/field.rs crates/ntt/src/ntt.rs crates/ntt/src/poly.rs crates/ntt/src/rns.rs crates/ntt/src/rns_poly.rs
+
+/root/repo/target/debug/deps/libcim_ntt-7c07fb2c212164d2.rmeta: crates/ntt/src/lib.rs crates/ntt/src/cost.rs crates/ntt/src/field.rs crates/ntt/src/ntt.rs crates/ntt/src/poly.rs crates/ntt/src/rns.rs crates/ntt/src/rns_poly.rs
+
+crates/ntt/src/lib.rs:
+crates/ntt/src/cost.rs:
+crates/ntt/src/field.rs:
+crates/ntt/src/ntt.rs:
+crates/ntt/src/poly.rs:
+crates/ntt/src/rns.rs:
+crates/ntt/src/rns_poly.rs:

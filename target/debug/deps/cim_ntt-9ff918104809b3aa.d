@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cim_ntt-9ff918104809b3aa.d: crates/ntt/src/lib.rs crates/ntt/src/cost.rs crates/ntt/src/field.rs crates/ntt/src/ntt.rs crates/ntt/src/poly.rs crates/ntt/src/rns.rs crates/ntt/src/rns_poly.rs
+
+/root/repo/target/debug/deps/cim_ntt-9ff918104809b3aa: crates/ntt/src/lib.rs crates/ntt/src/cost.rs crates/ntt/src/field.rs crates/ntt/src/ntt.rs crates/ntt/src/poly.rs crates/ntt/src/rns.rs crates/ntt/src/rns_poly.rs
+
+crates/ntt/src/lib.rs:
+crates/ntt/src/cost.rs:
+crates/ntt/src/field.rs:
+crates/ntt/src/ntt.rs:
+crates/ntt/src/poly.rs:
+crates/ntt/src/rns.rs:
+crates/ntt/src/rns_poly.rs:

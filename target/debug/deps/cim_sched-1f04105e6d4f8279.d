@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cim_sched-1f04105e6d4f8279.d: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+/root/repo/target/debug/deps/libcim_sched-1f04105e6d4f8279.rlib: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+/root/repo/target/debug/deps/libcim_sched-1f04105e6d4f8279.rmeta: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/batch.rs:
+crates/sched/src/job.rs:
+crates/sched/src/metrics.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/profile.rs:
+crates/sched/src/report.rs:
+crates/sched/src/scheduler.rs:
+crates/sched/src/tile.rs:

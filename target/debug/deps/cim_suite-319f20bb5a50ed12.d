@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cim_suite-319f20bb5a50ed12.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcim_suite-319f20bb5a50ed12.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcim_suite-319f20bb5a50ed12.rmeta: src/lib.rs
+
+src/lib.rs:

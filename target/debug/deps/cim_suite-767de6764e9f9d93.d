@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cim_suite-767de6764e9f9d93.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_suite-767de6764e9f9d93.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

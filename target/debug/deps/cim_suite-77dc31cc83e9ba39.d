@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cim_suite-77dc31cc83e9ba39.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcim_suite-77dc31cc83e9ba39.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cim_suite-a19f7192cda93390.d: src/lib.rs
+
+/root/repo/target/debug/deps/cim_suite-a19f7192cda93390: src/lib.rs
+
+src/lib.rs:

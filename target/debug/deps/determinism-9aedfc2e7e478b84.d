@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-9aedfc2e7e478b84.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-9aedfc2e7e478b84: tests/determinism.rs
+
+tests/determinism.rs:

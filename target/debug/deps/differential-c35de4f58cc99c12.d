@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-c35de4f58cc99c12.d: crates/check/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-c35de4f58cc99c12: crates/check/tests/differential.rs
+
+crates/check/tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-f2224c5b3f8ae9d5.d: crates/check/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-f2224c5b3f8ae9d5.rmeta: crates/check/tests/differential.rs Cargo.toml
+
+crates/check/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

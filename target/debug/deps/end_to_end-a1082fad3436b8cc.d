@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a1082fad3436b8cc.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a1082fad3436b8cc: tests/end_to_end.rs
+
+tests/end_to_end.rs:

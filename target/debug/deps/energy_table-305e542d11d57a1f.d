@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy_table-305e542d11d57a1f.d: crates/bench/src/bin/energy_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy_table-305e542d11d57a1f.rmeta: crates/bench/src/bin/energy_table.rs Cargo.toml
+
+crates/bench/src/bin/energy_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

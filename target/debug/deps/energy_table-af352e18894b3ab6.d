@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_table-af352e18894b3ab6.d: crates/bench/src/bin/energy_table.rs
+
+/root/repo/target/debug/deps/energy_table-af352e18894b3ab6: crates/bench/src/bin/energy_table.rs
+
+crates/bench/src/bin/energy_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy_table-ce40338e9516ad9e.d: crates/bench/src/bin/energy_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy_table-ce40338e9516ad9e.rmeta: crates/bench/src/bin/energy_table.rs Cargo.toml
+
+crates/bench/src/bin/energy_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

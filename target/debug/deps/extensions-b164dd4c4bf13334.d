@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-b164dd4c4bf13334.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-b164dd4c4bf13334: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/farm_sweep-2895ead06cdc181a.d: crates/bench/src/bin/farm_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfarm_sweep-2895ead06cdc181a.rmeta: crates/bench/src/bin/farm_sweep.rs Cargo.toml
+
+crates/bench/src/bin/farm_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/farm_sweep-90d63dfeba7fd8f6.d: crates/bench/src/bin/farm_sweep.rs
+
+/root/repo/target/debug/deps/farm_sweep-90d63dfeba7fd8f6: crates/bench/src/bin/farm_sweep.rs
+
+crates/bench/src/bin/farm_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-da086d752859a780.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-da086d752859a780: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

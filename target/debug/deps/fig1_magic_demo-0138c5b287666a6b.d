@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_magic_demo-0138c5b287666a6b.d: crates/bench/src/bin/fig1_magic_demo.rs
+
+/root/repo/target/debug/deps/fig1_magic_demo-0138c5b287666a6b: crates/bench/src/bin/fig1_magic_demo.rs
+
+crates/bench/src/bin/fig1_magic_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_magic_demo-1f862425f465e861.d: crates/bench/src/bin/fig1_magic_demo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_magic_demo-1f862425f465e861.rmeta: crates/bench/src/bin/fig1_magic_demo.rs Cargo.toml
+
+crates/bench/src/bin/fig1_magic_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

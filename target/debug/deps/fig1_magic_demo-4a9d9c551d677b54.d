@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_magic_demo-4a9d9c551d677b54.d: crates/bench/src/bin/fig1_magic_demo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_magic_demo-4a9d9c551d677b54.rmeta: crates/bench/src/bin/fig1_magic_demo.rs Cargo.toml
+
+crates/bench/src/bin/fig1_magic_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

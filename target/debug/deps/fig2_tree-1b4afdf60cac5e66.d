@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_tree-1b4afdf60cac5e66.d: crates/bench/src/bin/fig2_tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_tree-1b4afdf60cac5e66.rmeta: crates/bench/src/bin/fig2_tree.rs Cargo.toml
+
+crates/bench/src/bin/fig2_tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_tree-22295707b6188eda.d: crates/bench/src/bin/fig2_tree.rs
+
+/root/repo/target/debug/deps/fig2_tree-22295707b6188eda: crates/bench/src/bin/fig2_tree.rs
+
+crates/bench/src/bin/fig2_tree.rs:

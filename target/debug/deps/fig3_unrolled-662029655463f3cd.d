@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_unrolled-662029655463f3cd.d: crates/bench/src/bin/fig3_unrolled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_unrolled-662029655463f3cd.rmeta: crates/bench/src/bin/fig3_unrolled.rs Cargo.toml
+
+crates/bench/src/bin/fig3_unrolled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_unrolled-7bd5f965c1b4656f.d: crates/bench/src/bin/fig3_unrolled.rs
+
+/root/repo/target/debug/deps/fig3_unrolled-7bd5f965c1b4656f: crates/bench/src/bin/fig3_unrolled.rs
+
+crates/bench/src/bin/fig3_unrolled.rs:

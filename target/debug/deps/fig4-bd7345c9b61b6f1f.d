@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-bd7345c9b61b6f1f.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-bd7345c9b61b6f1f: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

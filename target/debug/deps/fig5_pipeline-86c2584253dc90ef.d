@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pipeline-86c2584253dc90ef.d: crates/bench/src/bin/fig5_pipeline.rs
+
+/root/repo/target/debug/deps/fig5_pipeline-86c2584253dc90ef: crates/bench/src/bin/fig5_pipeline.rs
+
+crates/bench/src/bin/fig5_pipeline.rs:

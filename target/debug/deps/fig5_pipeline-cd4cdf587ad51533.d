@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_pipeline-cd4cdf587ad51533.d: crates/bench/src/bin/fig5_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_pipeline-cd4cdf587ad51533.rmeta: crates/bench/src/bin/fig5_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/fig5_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_kogge_stone-0202028104963a3b.d: crates/bench/src/bin/fig6_kogge_stone.rs
+
+/root/repo/target/debug/deps/fig6_kogge_stone-0202028104963a3b: crates/bench/src/bin/fig6_kogge_stone.rs
+
+crates/bench/src/bin/fig6_kogge_stone.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_kogge_stone-bfc7f7662a5d6771.d: crates/bench/src/bin/fig6_kogge_stone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_kogge_stone-bfc7f7662a5d6771.rmeta: crates/bench/src/bin/fig6_kogge_stone.rs Cargo.toml
+
+crates/bench/src/bin/fig6_kogge_stone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_postcompute-04edf7b81933dfa7.d: crates/bench/src/bin/fig7_postcompute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_postcompute-04edf7b81933dfa7.rmeta: crates/bench/src/bin/fig7_postcompute.rs Cargo.toml
+
+crates/bench/src/bin/fig7_postcompute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

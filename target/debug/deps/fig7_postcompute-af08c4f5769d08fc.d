@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_postcompute-af08c4f5769d08fc.d: crates/bench/src/bin/fig7_postcompute.rs
+
+/root/repo/target/debug/deps/fig7_postcompute-af08c4f5769d08fc: crates/bench/src/bin/fig7_postcompute.rs
+
+crates/bench/src/bin/fig7_postcompute.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_postcompute-f81958cd29e8e143.d: crates/bench/src/bin/fig7_postcompute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_postcompute-f81958cd29e8e143.rmeta: crates/bench/src/bin/fig7_postcompute.rs Cargo.toml
+
+crates/bench/src/bin/fig7_postcompute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

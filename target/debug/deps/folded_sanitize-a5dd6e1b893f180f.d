@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/folded_sanitize-a5dd6e1b893f180f.d: crates/trace/tests/folded_sanitize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfolded_sanitize-a5dd6e1b893f180f.rmeta: crates/trace/tests/folded_sanitize.rs Cargo.toml
+
+crates/trace/tests/folded_sanitize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/folded_sanitize-f0d5a244b7fc262c.d: crates/trace/tests/folded_sanitize.rs
+
+/root/repo/target/debug/deps/folded_sanitize-f0d5a244b7fc262c: crates/trace/tests/folded_sanitize.rs
+
+crates/trace/tests/folded_sanitize.rs:

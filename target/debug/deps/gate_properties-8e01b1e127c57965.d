@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gate_properties-8e01b1e127c57965.d: crates/logic/tests/gate_properties.rs
+
+/root/repo/target/debug/deps/gate_properties-8e01b1e127c57965: crates/logic/tests/gate_properties.rs
+
+crates/logic/tests/gate_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gate_properties-afd38ea8aeaa02cd.d: crates/logic/tests/gate_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgate_properties-afd38ea8aeaa02cd.rmeta: crates/logic/tests/gate_properties.rs Cargo.toml
+
+crates/logic/tests/gate_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

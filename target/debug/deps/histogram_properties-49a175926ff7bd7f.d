@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/histogram_properties-49a175926ff7bd7f.d: crates/metrics/tests/histogram_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhistogram_properties-49a175926ff7bd7f.rmeta: crates/metrics/tests/histogram_properties.rs Cargo.toml
+
+crates/metrics/tests/histogram_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

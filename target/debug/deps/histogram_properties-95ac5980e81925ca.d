@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/histogram_properties-95ac5980e81925ca.d: crates/metrics/tests/histogram_properties.rs
+
+/root/repo/target/debug/deps/histogram_properties-95ac5980e81925ca: crates/metrics/tests/histogram_properties.rs
+
+crates/metrics/tests/histogram_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_e2e-76b58284eeec3a24.d: tests/metrics_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_e2e-76b58284eeec3a24.rmeta: tests/metrics_e2e.rs Cargo.toml
+
+tests/metrics_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

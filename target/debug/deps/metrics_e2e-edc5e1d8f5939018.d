@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_e2e-edc5e1d8f5939018.d: tests/metrics_e2e.rs
+
+/root/repo/target/debug/deps/metrics_e2e-edc5e1d8f5939018: tests/metrics_e2e.rs
+
+tests/metrics_e2e.rs:

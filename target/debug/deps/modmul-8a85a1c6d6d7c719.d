@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modmul-8a85a1c6d6d7c719.d: crates/bench/benches/modmul.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodmul-8a85a1c6d6d7c719.rmeta: crates/bench/benches/modmul.rs Cargo.toml
+
+crates/bench/benches/modmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

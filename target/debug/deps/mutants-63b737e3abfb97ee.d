@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutants-63b737e3abfb97ee.d: crates/check/tests/mutants.rs
+
+/root/repo/target/debug/deps/mutants-63b737e3abfb97ee: crates/check/tests/mutants.rs
+
+crates/check/tests/mutants.rs:

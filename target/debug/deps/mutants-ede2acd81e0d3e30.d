@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutants-ede2acd81e0d3e30.d: crates/check/tests/mutants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutants-ede2acd81e0d3e30.rmeta: crates/check/tests/mutants.rs Cargo.toml
+
+crates/check/tests/mutants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntt-d0a70f29f55cc321.d: crates/bench/benches/ntt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntt-d0a70f29f55cc321.rmeta: crates/bench/benches/ntt.rs Cargo.toml
+
+crates/bench/benches/ntt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-84dd376a8a9404e2.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-84dd376a8a9404e2: tests/paper_claims.rs
+
+tests/paper_claims.rs:

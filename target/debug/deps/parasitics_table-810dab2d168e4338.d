@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parasitics_table-810dab2d168e4338.d: crates/bench/src/bin/parasitics_table.rs
+
+/root/repo/target/debug/deps/parasitics_table-810dab2d168e4338: crates/bench/src/bin/parasitics_table.rs
+
+crates/bench/src/bin/parasitics_table.rs:

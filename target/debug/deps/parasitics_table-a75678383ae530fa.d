@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parasitics_table-a75678383ae530fa.d: crates/bench/src/bin/parasitics_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparasitics_table-a75678383ae530fa.rmeta: crates/bench/src/bin/parasitics_table.rs Cargo.toml
+
+crates/bench/src/bin/parasitics_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-51bc96bce7bb9301.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-51bc96bce7bb9301: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

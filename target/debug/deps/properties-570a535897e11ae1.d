@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-570a535897e11ae1.d: crates/logic/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-570a535897e11ae1: crates/logic/tests/properties.rs
+
+crates/logic/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-57cf4ee788e913da.d: crates/baselines/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-57cf4ee788e913da: crates/baselines/tests/properties.rs
+
+crates/baselines/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5d31f34cf8062167.d: crates/ntt/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5d31f34cf8062167: crates/ntt/tests/properties.rs
+
+crates/ntt/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5e299a3896e960ee.d: crates/crossbar/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5e299a3896e960ee: crates/crossbar/tests/properties.rs
+
+crates/crossbar/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-767265fc275725c0.d: crates/modmul/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-767265fc275725c0: crates/modmul/tests/properties.rs
+
+crates/modmul/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-b0ec01e58d585140.d: crates/ntt/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b0ec01e58d585140.rmeta: crates/ntt/tests/properties.rs Cargo.toml
+
+crates/ntt/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d43258e5f64b9c86.d: crates/crossbar/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d43258e5f64b9c86.rmeta: crates/crossbar/tests/properties.rs Cargo.toml
+
+crates/crossbar/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ddf54d7e31f0e9f1.d: crates/logic/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ddf54d7e31f0e9f1.rmeta: crates/logic/tests/properties.rs Cargo.toml
+
+crates/logic/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ed2a3ae8737ca8ed.d: crates/modmul/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ed2a3ae8737ca8ed.rmeta: crates/modmul/tests/properties.rs Cargo.toml
+
+crates/modmul/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched-d39acbcd34a89bfe.d: crates/bench/benches/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched-d39acbcd34a89bfe.rmeta: crates/bench/benches/sched.rs Cargo.toml
+
+crates/bench/benches/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

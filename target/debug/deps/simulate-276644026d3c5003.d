@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-276644026d3c5003.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-276644026d3c5003: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

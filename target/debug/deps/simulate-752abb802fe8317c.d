@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulate-752abb802fe8317c.d: crates/bench/src/bin/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulate-752abb802fe8317c.rmeta: crates/bench/src/bin/simulate.rs Cargo.toml
+
+crates/bench/src/bin/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stages-ae95ba5b13989116.d: crates/bench/benches/stages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstages-ae95ba5b13989116.rmeta: crates/bench/benches/stages.rs Cargo.toml
+
+crates/bench/benches/stages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-00619b28205d6341.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-00619b28205d6341: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

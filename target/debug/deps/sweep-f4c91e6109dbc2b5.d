@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep-f4c91e6109dbc2b5.d: crates/bench/src/bin/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep-f4c91e6109dbc2b5.rmeta: crates/bench/src/bin/sweep.rs Cargo.toml
+
+crates/bench/src/bin/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

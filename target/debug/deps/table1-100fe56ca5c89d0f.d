@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-100fe56ca5c89d0f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-100fe56ca5c89d0f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_dump-57787bafab903571.d: crates/bench/src/bin/trace_dump.rs
+
+/root/repo/target/debug/deps/trace_dump-57787bafab903571: crates/bench/src/bin/trace_dump.rs
+
+crates/bench/src/bin/trace_dump.rs:

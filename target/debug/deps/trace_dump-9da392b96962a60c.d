@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_dump-9da392b96962a60c.d: crates/bench/src/bin/trace_dump.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_dump-9da392b96962a60c.rmeta: crates/bench/src/bin/trace_dump.rs Cargo.toml
+
+crates/bench/src/bin/trace_dump.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

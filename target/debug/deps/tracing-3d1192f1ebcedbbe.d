@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracing-3d1192f1ebcedbbe.d: crates/core/tests/tracing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracing-3d1192f1ebcedbbe.rmeta: crates/core/tests/tracing.rs Cargo.toml
+
+crates/core/tests/tracing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracing-ae4646e62116a2e8.d: crates/core/tests/tracing.rs
+
+/root/repo/target/debug/deps/tracing-ae4646e62116a2e8: crates/core/tests/tracing.rs
+
+crates/core/tests/tracing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batch_throughput-4a9c9aa120a8e03c.d: examples/batch_throughput.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatch_throughput-4a9c9aa120a8e03c.rmeta: examples/batch_throughput.rs Cargo.toml
+
+examples/batch_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

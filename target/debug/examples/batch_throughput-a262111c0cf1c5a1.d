@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_throughput-a262111c0cf1c5a1.d: examples/batch_throughput.rs
+
+/root/repo/target/debug/examples/batch_throughput-a262111c0cf1c5a1: examples/batch_throughput.rs
+
+examples/batch_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/endurance-ae9bc0138cfb74bc.d: examples/endurance.rs
+
+/root/repo/target/debug/examples/endurance-ae9bc0138cfb74bc: examples/endurance.rs
+
+examples/endurance.rs:

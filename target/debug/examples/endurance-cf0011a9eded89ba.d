@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/endurance-cf0011a9eded89ba.d: examples/endurance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libendurance-cf0011a9eded89ba.rmeta: examples/endurance.rs Cargo.toml
+
+examples/endurance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_injection-6fdfdaa30cabb624.d: examples/fault_injection.rs
+
+/root/repo/target/debug/examples/fault_injection-6fdfdaa30cabb624: examples/fault_injection.rs
+
+examples/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fhe_modmul-6bf7c56fe5fa2d4b.d: examples/fhe_modmul.rs
+
+/root/repo/target/debug/examples/fhe_modmul-6bf7c56fe5fa2d4b: examples/fhe_modmul.rs
+
+examples/fhe_modmul.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fhe_modmul-9eb840962a28d4b1.d: examples/fhe_modmul.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfhe_modmul-9eb840962a28d4b1.rmeta: examples/fhe_modmul.rs Cargo.toml
+
+examples/fhe_modmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/modexp_window-799fc696e6974164.d: examples/modexp_window.rs
+
+/root/repo/target/debug/examples/modexp_window-799fc696e6974164: examples/modexp_window.rs
+
+examples/modexp_window.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/modexp_window-7f3fe6468bd41b2e.d: examples/modexp_window.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodexp_window-7f3fe6468bd41b2e.rmeta: examples/modexp_window.rs Cargo.toml
+
+examples/modexp_window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

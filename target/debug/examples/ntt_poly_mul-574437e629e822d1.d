@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ntt_poly_mul-574437e629e822d1.d: examples/ntt_poly_mul.rs
+
+/root/repo/target/debug/examples/ntt_poly_mul-574437e629e822d1: examples/ntt_poly_mul.rs
+
+examples/ntt_poly_mul.rs:

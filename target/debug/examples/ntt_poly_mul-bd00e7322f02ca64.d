@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ntt_poly_mul-bd00e7322f02ca64.d: examples/ntt_poly_mul.rs Cargo.toml
+
+/root/repo/target/debug/examples/libntt_poly_mul-bd00e7322f02ca64.rmeta: examples/ntt_poly_mul.rs Cargo.toml
+
+examples/ntt_poly_mul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

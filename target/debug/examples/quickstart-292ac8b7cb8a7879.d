@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-292ac8b7cb8a7879.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-292ac8b7cb8a7879: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_multiply-08ed27e932f2db3b.d: examples/trace_multiply.rs
+
+/root/repo/target/debug/examples/trace_multiply-08ed27e932f2db3b: examples/trace_multiply.rs
+
+examples/trace_multiply.rs:

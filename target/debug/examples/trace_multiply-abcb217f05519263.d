@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_multiply-abcb217f05519263.d: examples/trace_multiply.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_multiply-abcb217f05519263.rmeta: examples/trace_multiply.rs Cargo.toml
+
+examples/trace_multiply.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

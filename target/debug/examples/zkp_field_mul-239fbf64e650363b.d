@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/zkp_field_mul-239fbf64e650363b.d: examples/zkp_field_mul.rs Cargo.toml
+
+/root/repo/target/debug/examples/libzkp_field_mul-239fbf64e650363b.rmeta: examples/zkp_field_mul.rs Cargo.toml
+
+examples/zkp_field_mul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

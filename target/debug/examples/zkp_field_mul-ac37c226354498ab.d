@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zkp_field_mul-ac37c226354498ab.d: examples/zkp_field_mul.rs
+
+/root/repo/target/debug/examples/zkp_field_mul-ac37c226354498ab: examples/zkp_field_mul.rs
+
+examples/zkp_field_mul.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zkp_msm-514487f2bb958897.d: examples/zkp_msm.rs
+
+/root/repo/target/debug/examples/zkp_msm-514487f2bb958897: examples/zkp_msm.rs
+
+examples/zkp_msm.rs:

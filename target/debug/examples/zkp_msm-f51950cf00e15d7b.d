@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/zkp_msm-f51950cf00e15d7b.d: examples/zkp_msm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libzkp_msm-f51950cf00e15d7b.rmeta: examples/zkp_msm.rs Cargo.toml
+
+examples/zkp_msm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

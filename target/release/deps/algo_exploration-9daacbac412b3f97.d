@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/algo_exploration-9daacbac412b3f97.d: crates/bench/src/bin/algo_exploration.rs
+
+/root/repo/target/release/deps/algo_exploration-9daacbac412b3f97: crates/bench/src/bin/algo_exploration.rs
+
+crates/bench/src/bin/algo_exploration.rs:

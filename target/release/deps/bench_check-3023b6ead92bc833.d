@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_check-3023b6ead92bc833.d: crates/bench/src/bin/bench_check.rs
+
+/root/repo/target/release/deps/bench_check-3023b6ead92bc833: crates/bench/src/bin/bench_check.rs
+
+crates/bench/src/bin/bench_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_snapshot-b1554866b8919104.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/release/deps/bench_snapshot-b1554866b8919104: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

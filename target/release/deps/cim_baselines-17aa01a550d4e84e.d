@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cim_baselines-17aa01a550d4e84e.d: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/release/deps/libcim_baselines-17aa01a550d4e84e.rlib: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+/root/repo/target/release/deps/libcim_baselines-17aa01a550d4e84e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/interp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/interp.rs:

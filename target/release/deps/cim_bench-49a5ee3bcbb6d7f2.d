@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cim_bench-49a5ee3bcbb6d7f2.d: crates/bench/src/lib.rs crates/bench/src/snapshot.rs
+
+/root/repo/target/release/deps/libcim_bench-49a5ee3bcbb6d7f2.rlib: crates/bench/src/lib.rs crates/bench/src/snapshot.rs
+
+/root/repo/target/release/deps/libcim_bench-49a5ee3bcbb6d7f2.rmeta: crates/bench/src/lib.rs crates/bench/src/snapshot.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/snapshot.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cim_logic-1409a119564d2a5b.d: crates/logic/src/lib.rs crates/logic/src/condsub.rs crates/logic/src/gates.rs crates/logic/src/kogge_stone.rs crates/logic/src/magic_schoolbook.rs crates/logic/src/multpim.rs crates/logic/src/program.rs crates/logic/src/ripple.rs crates/logic/src/tmr.rs
+
+/root/repo/target/release/deps/libcim_logic-1409a119564d2a5b.rlib: crates/logic/src/lib.rs crates/logic/src/condsub.rs crates/logic/src/gates.rs crates/logic/src/kogge_stone.rs crates/logic/src/magic_schoolbook.rs crates/logic/src/multpim.rs crates/logic/src/program.rs crates/logic/src/ripple.rs crates/logic/src/tmr.rs
+
+/root/repo/target/release/deps/libcim_logic-1409a119564d2a5b.rmeta: crates/logic/src/lib.rs crates/logic/src/condsub.rs crates/logic/src/gates.rs crates/logic/src/kogge_stone.rs crates/logic/src/magic_schoolbook.rs crates/logic/src/multpim.rs crates/logic/src/program.rs crates/logic/src/ripple.rs crates/logic/src/tmr.rs
+
+crates/logic/src/lib.rs:
+crates/logic/src/condsub.rs:
+crates/logic/src/gates.rs:
+crates/logic/src/kogge_stone.rs:
+crates/logic/src/magic_schoolbook.rs:
+crates/logic/src/multpim.rs:
+crates/logic/src/program.rs:
+crates/logic/src/ripple.rs:
+crates/logic/src/tmr.rs:

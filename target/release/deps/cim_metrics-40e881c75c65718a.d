@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cim_metrics-40e881c75c65718a.d: crates/metrics/src/lib.rs crates/metrics/src/bridge.rs crates/metrics/src/histogram.rs crates/metrics/src/jsonval.rs crates/metrics/src/labels.rs crates/metrics/src/prometheus.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs
+
+/root/repo/target/release/deps/libcim_metrics-40e881c75c65718a.rlib: crates/metrics/src/lib.rs crates/metrics/src/bridge.rs crates/metrics/src/histogram.rs crates/metrics/src/jsonval.rs crates/metrics/src/labels.rs crates/metrics/src/prometheus.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs
+
+/root/repo/target/release/deps/libcim_metrics-40e881c75c65718a.rmeta: crates/metrics/src/lib.rs crates/metrics/src/bridge.rs crates/metrics/src/histogram.rs crates/metrics/src/jsonval.rs crates/metrics/src/labels.rs crates/metrics/src/prometheus.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/bridge.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/jsonval.rs:
+crates/metrics/src/labels.rs:
+crates/metrics/src/prometheus.rs:
+crates/metrics/src/registry.rs:
+crates/metrics/src/snapshot.rs:

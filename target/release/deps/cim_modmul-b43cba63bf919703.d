@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cim_modmul-b43cba63bf919703.d: crates/modmul/src/lib.rs crates/modmul/src/barrett.rs crates/modmul/src/ec.rs crates/modmul/src/fields.rs crates/modmul/src/inmemory.rs crates/modmul/src/montgomery.rs crates/modmul/src/sparse.rs
+
+/root/repo/target/release/deps/libcim_modmul-b43cba63bf919703.rlib: crates/modmul/src/lib.rs crates/modmul/src/barrett.rs crates/modmul/src/ec.rs crates/modmul/src/fields.rs crates/modmul/src/inmemory.rs crates/modmul/src/montgomery.rs crates/modmul/src/sparse.rs
+
+/root/repo/target/release/deps/libcim_modmul-b43cba63bf919703.rmeta: crates/modmul/src/lib.rs crates/modmul/src/barrett.rs crates/modmul/src/ec.rs crates/modmul/src/fields.rs crates/modmul/src/inmemory.rs crates/modmul/src/montgomery.rs crates/modmul/src/sparse.rs
+
+crates/modmul/src/lib.rs:
+crates/modmul/src/barrett.rs:
+crates/modmul/src/ec.rs:
+crates/modmul/src/fields.rs:
+crates/modmul/src/inmemory.rs:
+crates/modmul/src/montgomery.rs:
+crates/modmul/src/sparse.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cim_ntt-f58142ab103f8cf3.d: crates/ntt/src/lib.rs crates/ntt/src/cost.rs crates/ntt/src/field.rs crates/ntt/src/ntt.rs crates/ntt/src/poly.rs crates/ntt/src/rns.rs crates/ntt/src/rns_poly.rs
+
+/root/repo/target/release/deps/libcim_ntt-f58142ab103f8cf3.rlib: crates/ntt/src/lib.rs crates/ntt/src/cost.rs crates/ntt/src/field.rs crates/ntt/src/ntt.rs crates/ntt/src/poly.rs crates/ntt/src/rns.rs crates/ntt/src/rns_poly.rs
+
+/root/repo/target/release/deps/libcim_ntt-f58142ab103f8cf3.rmeta: crates/ntt/src/lib.rs crates/ntt/src/cost.rs crates/ntt/src/field.rs crates/ntt/src/ntt.rs crates/ntt/src/poly.rs crates/ntt/src/rns.rs crates/ntt/src/rns_poly.rs
+
+crates/ntt/src/lib.rs:
+crates/ntt/src/cost.rs:
+crates/ntt/src/field.rs:
+crates/ntt/src/ntt.rs:
+crates/ntt/src/poly.rs:
+crates/ntt/src/rns.rs:
+crates/ntt/src/rns_poly.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cim_sched-86fc8936cc7d84d5.d: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+/root/repo/target/release/deps/libcim_sched-86fc8936cc7d84d5.rlib: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+/root/repo/target/release/deps/libcim_sched-86fc8936cc7d84d5.rmeta: crates/sched/src/lib.rs crates/sched/src/batch.rs crates/sched/src/job.rs crates/sched/src/metrics.rs crates/sched/src/policy.rs crates/sched/src/profile.rs crates/sched/src/report.rs crates/sched/src/scheduler.rs crates/sched/src/tile.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/batch.rs:
+crates/sched/src/job.rs:
+crates/sched/src/metrics.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/profile.rs:
+crates/sched/src/report.rs:
+crates/sched/src/scheduler.rs:
+crates/sched/src/tile.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cim_suite-a3a6b5273f9d0ff0.d: src/lib.rs
+
+/root/repo/target/release/deps/libcim_suite-a3a6b5273f9d0ff0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcim_suite-a3a6b5273f9d0ff0.rmeta: src/lib.rs
+
+src/lib.rs:

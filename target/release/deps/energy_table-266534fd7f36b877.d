@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/energy_table-266534fd7f36b877.d: crates/bench/src/bin/energy_table.rs
+
+/root/repo/target/release/deps/energy_table-266534fd7f36b877: crates/bench/src/bin/energy_table.rs
+
+crates/bench/src/bin/energy_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/farm_sweep-048eaf304dba0a23.d: crates/bench/src/bin/farm_sweep.rs
+
+/root/repo/target/release/deps/farm_sweep-048eaf304dba0a23: crates/bench/src/bin/farm_sweep.rs
+
+crates/bench/src/bin/farm_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_magic_demo-17a0ab26fd432bc2.d: crates/bench/src/bin/fig1_magic_demo.rs
+
+/root/repo/target/release/deps/fig1_magic_demo-17a0ab26fd432bc2: crates/bench/src/bin/fig1_magic_demo.rs
+
+crates/bench/src/bin/fig1_magic_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_tree-d9f17471998cf217.d: crates/bench/src/bin/fig2_tree.rs
+
+/root/repo/target/release/deps/fig2_tree-d9f17471998cf217: crates/bench/src/bin/fig2_tree.rs
+
+crates/bench/src/bin/fig2_tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_unrolled-5e75a7daf05a9d9a.d: crates/bench/src/bin/fig3_unrolled.rs
+
+/root/repo/target/release/deps/fig3_unrolled-5e75a7daf05a9d9a: crates/bench/src/bin/fig3_unrolled.rs
+
+crates/bench/src/bin/fig3_unrolled.rs:

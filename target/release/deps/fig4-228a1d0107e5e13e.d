@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-228a1d0107e5e13e.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-228a1d0107e5e13e: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_pipeline-1ba8256bdf083194.d: crates/bench/src/bin/fig5_pipeline.rs
+
+/root/repo/target/release/deps/fig5_pipeline-1ba8256bdf083194: crates/bench/src/bin/fig5_pipeline.rs
+
+crates/bench/src/bin/fig5_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_kogge_stone-181e844511ae9721.d: crates/bench/src/bin/fig6_kogge_stone.rs
+
+/root/repo/target/release/deps/fig6_kogge_stone-181e844511ae9721: crates/bench/src/bin/fig6_kogge_stone.rs
+
+crates/bench/src/bin/fig6_kogge_stone.rs:

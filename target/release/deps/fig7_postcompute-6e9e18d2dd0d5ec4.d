@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_postcompute-6e9e18d2dd0d5ec4.d: crates/bench/src/bin/fig7_postcompute.rs
+
+/root/repo/target/release/deps/fig7_postcompute-6e9e18d2dd0d5ec4: crates/bench/src/bin/fig7_postcompute.rs
+
+crates/bench/src/bin/fig7_postcompute.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parasitics_table-ea605f8ff26a7be0.d: crates/bench/src/bin/parasitics_table.rs
+
+/root/repo/target/release/deps/parasitics_table-ea605f8ff26a7be0: crates/bench/src/bin/parasitics_table.rs
+
+crates/bench/src/bin/parasitics_table.rs:

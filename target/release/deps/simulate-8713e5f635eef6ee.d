@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulate-8713e5f635eef6ee.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/release/deps/simulate-8713e5f635eef6ee: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

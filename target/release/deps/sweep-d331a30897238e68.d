@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-d331a30897238e68.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-d331a30897238e68: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

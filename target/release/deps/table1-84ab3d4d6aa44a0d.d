@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-84ab3d4d6aa44a0d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-84ab3d4d6aa44a0d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

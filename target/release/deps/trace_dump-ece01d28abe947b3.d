@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_dump-ece01d28abe947b3.d: crates/bench/src/bin/trace_dump.rs
+
+/root/repo/target/release/deps/trace_dump-ece01d28abe947b3: crates/bench/src/bin/trace_dump.rs
+
+crates/bench/src/bin/trace_dump.rs:
