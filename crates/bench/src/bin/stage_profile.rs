@@ -1,0 +1,53 @@
+//! Wall-clock profile of one simulated multiply, stage by stage — a
+//! development aid for finding the hot stage of the simulator itself,
+//! not part of the bench gate.
+//!
+//! Usage: `stage_profile [WIDTH]` (default 2048).
+
+use cim_bigint::rng::UintRng;
+use cim_bigint::Uint;
+use karatsuba_cim::multiplier::KaratsubaCimMultiplier;
+use karatsuba_cim::postcompute::PostcomputeStage;
+use karatsuba_cim::precompute::PrecomputeStage;
+use karatsuba_cim::progcache;
+use std::time::Instant;
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2048usize);
+    let mut rng = UintRng::seeded(7);
+    let a = rng.uniform(n);
+    let b = rng.uniform(n);
+    let m = KaratsubaCimMultiplier::new(n).expect("width");
+
+    let t = Instant::now();
+    let _ = m.multiply(&a, &b).expect("multiply");
+    println!("n={n}: cold multiply {:?}", t.elapsed());
+
+    let pre = PrecomputeStage::new(n).expect("stage");
+    let t = Instant::now();
+    let out = pre.run(&a, &b).expect("pre.run");
+    println!("  precompute stage {:?}", t.elapsed());
+
+    let post = PostcomputeStage::new(n).expect("stage");
+    let prods: [Uint; 9] = std::array::from_fn(|i| {
+        cim_bigint::mul::schoolbook::mul(&out.a_leaves[i], &out.b_leaves[i])
+    });
+    let t = Instant::now();
+    let _ = post.run(&prods).expect("post.run");
+    println!("  postcompute stage {:?}", t.elapsed());
+
+    for _ in 0..3 {
+        let t = Instant::now();
+        let r = m.multiply(&a, &b).expect("multiply");
+        println!(
+            "n={n}: warm multiply {:?} cycles={}",
+            t.elapsed(),
+            r.report.total_latency
+        );
+    }
+    let (hits, misses) = progcache::stats();
+    println!("progcache: {hits} hits, {misses} misses");
+}

@@ -1,12 +1,42 @@
-//! Differential fuzzing: random verified programs executed on both
-//! the cycle-accurate [`Executor`] and the ideal [`GoldMatrix`] must
-//! agree on every trace-visible effect — sensed reads, final cell
-//! state, cycle counts — and the executor's measured wear must equal
-//! the verifier's statically-predicted write pressure.
+//! Differential fuzzing: random verified programs executed on the
+//! cycle-accurate [`Executor`] — once per crossbar backend (bit-packed
+//! and per-cell scalar) — and the ideal [`GoldMatrix`] must agree on
+//! every trace-visible effect — sensed reads, final cell state, cycle
+//! counts — and the executors' measured wear must equal the verifier's
+//! statically-predicted write pressure, cell for cell.
 
 use cim_check::{verify, GoldMatrix, ProgramGen, VerifyConfig};
-use cim_crossbar::{Crossbar, ExecConfig, Executor, MicroOp};
+use cim_crossbar::{BackendKind, Crossbar, ExecConfig, Executor, MicroOp};
 use proptest::prelude::*;
+
+/// Sensed reads, cycle count, and trace length of one executor run of
+/// `program` on an array with the given backend.
+fn run_exec(
+    array: &mut Crossbar,
+    program: &[MicroOp],
+    seed: u64,
+) -> (Vec<Vec<bool>>, u64, usize) {
+    let kind = array.backend_kind();
+    let mut exec = Executor::with_config(
+        array,
+        ExecConfig {
+            strict_init: true,
+            record_trace: true,
+        },
+    );
+    let mut reads: Vec<Vec<bool>> = Vec::new();
+    for op in program {
+        exec.step(op).unwrap_or_else(|e| {
+            panic!("seed {seed}: {kind:?} executor rejected verified op {op:?}: {e}")
+        });
+        if matches!(op, MicroOp::ReadRow { .. }) {
+            reads.push(exec.read_buffer().to_vec());
+        }
+    }
+    let cycles = exec.stats().cycles;
+    let trace_len = exec.trace().len();
+    (reads, cycles, trace_len)
+}
 
 /// Runs one seeded differential case; panics (via assert) on any
 /// divergence. Returns (ops, cycles) for meta-assertions.
@@ -19,26 +49,14 @@ fn run_case(rows: usize, cols: usize, min_len: usize, seed: u64) -> (usize, u64)
     let report = verify(&program, &config)
         .unwrap_or_else(|err| panic!("seed {seed}: generated program failed verify:\n{err}"));
 
-    // Side A: cycle-accurate executor, strict init, with trace.
-    let mut array = Crossbar::new(rows, cols).unwrap();
-    let mut exec = Executor::with_config(
-        &mut array,
-        ExecConfig {
-            strict_init: true,
-            record_trace: true,
-        },
-    );
-    let mut exec_reads: Vec<Vec<bool>> = Vec::new();
-    for op in &program {
-        exec.step(op)
-            .unwrap_or_else(|e| panic!("seed {seed}: executor rejected verified op {op:?}: {e}"));
-        if matches!(op, MicroOp::ReadRow { .. }) {
-            exec_reads.push(exec.read_buffer().to_vec());
-        }
-    }
-    let exec_cycles = exec.stats().cycles;
+    // Side A: cycle-accurate executor on BOTH backends, strict init,
+    // with trace.
+    let mut packed = Crossbar::with_backend(rows, cols, BackendKind::Packed).unwrap();
+    let mut scalar = Crossbar::with_backend(rows, cols, BackendKind::Scalar).unwrap();
+    let (exec_reads, exec_cycles, trace_len) = run_exec(&mut packed, &program, seed);
+    let (scalar_reads, scalar_cycles, _) = run_exec(&mut scalar, &program, seed);
     assert_eq!(
-        exec.trace().len(),
+        trace_len,
         program.len(),
         "seed {seed}: trace must record every op"
     );
@@ -49,22 +67,38 @@ fn run_case(rows: usize, cols: usize, min_len: usize, seed: u64) -> (usize, u64)
 
     // Trace-visible effects agree.
     assert_eq!(exec_reads, gold_reads, "seed {seed}: sensed reads diverged");
+    assert_eq!(
+        scalar_reads, exec_reads,
+        "seed {seed}: backends' sensed reads diverged"
+    );
     // Final state agrees cell-for-cell.
     for r in 0..rows {
-        let exec_row = array.read_row_bits(r, 0..cols).unwrap();
+        let exec_row = packed.read_row_bits(r, 0..cols).unwrap();
         let gold_row = gold.row_bits(r, 0..cols);
         assert_eq!(exec_row, gold_row, "seed {seed}: final state of row {r} diverged");
     }
-    // Cycle accounting agrees across all three implementations.
+    assert_eq!(
+        packed, scalar,
+        "seed {seed}: backends' final array state diverged"
+    );
+    // Cycle accounting agrees across all implementations.
     assert_eq!(exec_cycles, gold.cycles(), "seed {seed}: cycle counts diverged");
     assert_eq!(exec_cycles, report.cycles, "seed {seed}: verifier cycle estimate diverged");
-    // Statically-predicted wear equals measured wear, cell for cell.
+    assert_eq!(exec_cycles, scalar_cycles, "seed {seed}: backend cycle counts diverged");
+    // Statically-predicted wear equals measured wear on both backends,
+    // cell for cell.
     for r in 0..rows {
         for c in 0..cols {
+            let predicted = report.pressure.writes_at(r, c);
             assert_eq!(
-                array.cell(r, c).unwrap().writes(),
-                report.pressure.writes_at(r, c),
-                "seed {seed}: wear prediction diverged at ({r}, {c})"
+                packed.cell(r, c).unwrap().writes(),
+                predicted,
+                "seed {seed}: packed wear prediction diverged at ({r}, {c})"
+            );
+            assert_eq!(
+                scalar.cell(r, c).unwrap().writes(),
+                predicted,
+                "seed {seed}: scalar wear prediction diverged at ({r}, {c})"
             );
         }
     }

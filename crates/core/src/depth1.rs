@@ -151,7 +151,7 @@ impl KaratsubaDepth1Multiplier {
                     col_base: 0,
                 },
             );
-            stage1.extend(adder.program(AddOp::Add));
+            stage1.extend_from_slice(&crate::progcache::adder_program(&adder, AddOp::Add));
         }
         cim_check::debug_assert_verified(
             &stage1,
@@ -209,7 +209,7 @@ impl KaratsubaDepth1Multiplier {
                         y: &Uint|
          -> Result<Uint, CrossbarError> {
             let span = tracer.span_at(post_track, name, post_start + exec.stats().cycles);
-            exec.run(&crate::postcompute::pass_program(&adder, op, x, y))?;
+            crate::postcompute::run_pass(exec, &adder, op, x, y)?;
             span.end(post_start + exec.stats().cycles);
             let bits = exec.array().read_row_bits(2, 0..w + 1)?;
             let full = Uint::from_bits(&bits);

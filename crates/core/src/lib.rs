@@ -53,6 +53,7 @@ pub mod multiply;
 pub mod pipeline;
 pub mod postcompute;
 pub mod precompute;
+pub mod progcache;
 
 /// The paper's chosen unroll depth (Fig. 4 shows L = 2 minimizes the
 /// area-time product across cryptographically relevant sizes).

@@ -59,21 +59,52 @@ pub const ROWS: usize = 8 + SCRATCH_ROWS;
 /// Panics if an operand does not fit in `adder.width() + 1` bits, or
 /// (debug/test builds) if the composed program fails verification.
 pub fn pass_program(adder: &KoggeStoneAdder, op: AddOp, x: &Uint, y: &Uint) -> Vec<MicroOp> {
-    let w = adder.width();
-    let layout = adder.layout();
-    let cols = layout.col_base..layout.col_base + w + 1;
-    let mut prog = vec![
-        MicroOp::reset_rows(&[layout.x_row, layout.y_row, layout.sum_row], cols.clone()),
-        MicroOp::write_row_at(layout.x_row, layout.col_base, &x.to_bits(w + 1)),
-        MicroOp::write_row_at(layout.y_row, layout.col_base, &y.to_bits(w + 1)),
-    ];
-    prog.extend(adder.program(op));
+    let mut prog = pass_staging(adder, x, y).to_vec();
+    prog.extend_from_slice(&crate::progcache::adder_program(adder, op));
     cim_check::debug_assert_verified(
         &prog,
         &cim_check::VerifyConfig::new(adder.required_rows(), adder.required_cols()),
         "postcompute::pass_program",
     );
     prog
+}
+
+/// The operand-dependent staging prefix of one pass: reset the I/O
+/// rows, write the packed operands.
+fn pass_staging(adder: &KoggeStoneAdder, x: &Uint, y: &Uint) -> [MicroOp; 3] {
+    let w = adder.width();
+    let layout = adder.layout();
+    let cols = layout.col_base..layout.col_base + w + 1;
+    [
+        MicroOp::reset_rows(&[layout.x_row, layout.y_row, layout.sum_row], cols),
+        MicroOp::write_row_at(layout.x_row, layout.col_base, &x.to_bits(w + 1)),
+        MicroOp::write_row_at(layout.y_row, layout.col_base, &y.to_bits(w + 1)),
+    ]
+}
+
+/// Executes one pass as the staging prefix plus the *cached* adder
+/// body ([`crate::progcache`]) — the op sequence is identical to
+/// running [`pass_program`], without cloning the adder body per pass.
+pub(crate) fn run_pass(
+    exec: &mut Executor<'_>,
+    adder: &KoggeStoneAdder,
+    op: AddOp,
+    x: &Uint,
+    y: &Uint,
+) -> Result<(), CrossbarError> {
+    let staging = pass_staging(adder, x, y);
+    let body = crate::progcache::adder_program(adder, op);
+    if cfg!(debug_assertions) {
+        let mut full = staging.to_vec();
+        full.extend_from_slice(&body);
+        cim_check::debug_assert_verified(
+            &full,
+            &cim_check::VerifyConfig::new(adder.required_rows(), adder.required_cols()),
+            "postcompute::pass_program",
+        );
+    }
+    exec.run(&staging)?;
+    exec.run(&body)
 }
 
 /// Output of one postcomputation run.
@@ -201,8 +232,9 @@ impl PostcomputeStage {
             },
         );
 
-        // One adder pass: reset I/O rows, write packed operands, run —
-        // a single verified program per pass, wrapped in a named span.
+        // One adder pass: reset I/O rows, write packed operands, run
+        // the cached adder body — op-identical to `pass_program`,
+        // wrapped in a named span.
         let pass = |exec: &mut Executor<'_>,
                         name: &'static str,
                         op: AddOp,
@@ -210,7 +242,7 @@ impl PostcomputeStage {
                         y: &Uint|
          -> Result<Uint, CrossbarError> {
             let span = tracer.span_at(track, name, start_cycle + exec.stats().cycles);
-            exec.run(&pass_program(&adder, op, x, y))?;
+            run_pass(exec, &adder, op, x, y)?;
             span.end(start_cycle + exec.stats().cycles);
             let bits = exec.array().read_row_bits(2, 0..w + 1)?;
             let full = Uint::from_bits(&bits);

@@ -21,6 +21,7 @@ use cim_bigint::Uint;
 use cim_crossbar::{Crossbar, CrossbarError, CycleStats, EnduranceReport, Executor, MicroOp};
 use cim_logic::kogge_stone::{AddOp, AdderLayout, KoggeStoneAdder, SCRATCH_ROWS};
 use cim_trace::{TrackId, Tracer};
+use std::sync::Arc;
 
 /// Output of one precomputation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,22 +154,45 @@ impl PrecomputeStage {
         )
     }
 
+    /// The operand-dependent program prefix: one packed write per
+    /// chunk row. Always rebuilt — it embeds data bits.
+    fn chunk_writes(&self, chunks: &[&Uint]) -> Vec<MicroOp> {
+        let cols = self.cols();
+        chunks
+            .iter()
+            .enumerate()
+            .map(|(i, chunk)| MicroOp::write_row(INPUT_BASE + i, &chunk.to_bits(cols)))
+            .collect()
+    }
+
+    /// The operand-independent addition suffix covering the first
+    /// `additions` entries of [`ADDITIONS`], compiled once per
+    /// `(adder width, count)` and shared via [`crate::progcache`].
+    /// The row map and layouts are constants, so the key captures
+    /// everything the suffix depends on.
+    fn addition_suffix(&self, additions: usize) -> Arc<[MicroOp]> {
+        crate::progcache::precompute_suffix(self.adder_width(), additions, || {
+            let mut prog = Vec::new();
+            for &(x, y, sum) in &ADDITIONS[..additions] {
+                prog.extend_from_slice(&crate::progcache::adder_program(
+                    &self.adder_for(x, y, sum),
+                    AddOp::Add,
+                ));
+            }
+            prog
+        })
+    }
+
     /// Composes the chunk writes and the given additions into one
     /// program and statically verifies it (debug/test builds). The
     /// composed program needs no preload declarations: the chunk
     /// writes define every operand the additions consume.
-    fn compose_program(&self, chunks: &[&Uint], additions: &[(usize, usize, usize)]) -> Vec<MicroOp> {
-        let cols = self.cols();
-        let mut prog = Vec::new();
-        for (i, chunk) in chunks.iter().enumerate() {
-            prog.push(MicroOp::write_row(INPUT_BASE + i, &chunk.to_bits(cols)));
-        }
-        for &(x, y, sum) in additions {
-            prog.extend(self.adder_for(x, y, sum).program(AddOp::Add));
-        }
+    fn compose_program(&self, chunks: &[&Uint], additions: usize) -> Vec<MicroOp> {
+        let mut prog = self.chunk_writes(chunks);
+        prog.extend_from_slice(&self.addition_suffix(additions));
         cim_check::debug_assert_verified(
             &prog,
-            &cim_check::VerifyConfig::new(ROWS, cols),
+            &cim_check::VerifyConfig::new(ROWS, self.cols()),
             "PrecomputeStage::program",
         );
         prog
@@ -186,7 +210,7 @@ impl PrecomputeStage {
         let da = decompose_operand(a, self.n);
         let db = decompose_operand(b, self.n);
         let chunks: Vec<&Uint> = da.chunks.iter().chain(db.chunks.iter()).collect();
-        self.compose_program(&chunks, &ADDITIONS)
+        self.compose_program(&chunks, ADDITIONS.len())
     }
 
     /// The squaring variant of [`PrecomputeStage::program`]: both
@@ -199,7 +223,7 @@ impl PrecomputeStage {
     pub fn square_program(&self, a: &Uint) -> Vec<MicroOp> {
         let da = decompose_operand(a, self.n);
         let chunks: Vec<&Uint> = da.chunks.iter().chain(da.chunks.iter()).collect();
-        self.compose_program(&chunks, &ADDITIONS[..5])
+        self.compose_program(&chunks, 5)
     }
 
     /// Runs the stage for a squaring: the `b`-side sums equal the
@@ -290,19 +314,33 @@ impl PrecomputeStage {
         exec.attach_tracer_at(tracer, track, start_cycle);
         let stage = tracer.span_at(track, "precompute", start_cycle);
 
-        // (i)+(ii) The 8 chunk writes and the ten tree additions as
-        // one statically-verified program — 8 + 10·adder cc. The
-        // program executes in slices only so each addition's op events
-        // nest under its own span; the op sequence is unchanged.
-        let prog = self.program(a, b);
-        let add_len = (prog.len() - 8) / ADDITIONS.len();
+        // (i)+(ii) The 8 chunk writes and the ten tree additions —
+        // 8 + 10·adder cc. The operand writes are rebuilt per call;
+        // the addition suffix comes from the program cache and is
+        // executed in per-addition slices so each addition's op events
+        // nest under its own span. The op sequence is identical to
+        // [`PrecomputeStage::program`] (asserted below in debug/test
+        // builds via the same static verification).
+        let chunks: Vec<&Uint> = da.chunks.iter().chain(db.chunks.iter()).collect();
+        let writes_prog = self.chunk_writes(&chunks);
+        let suffix = self.addition_suffix(ADDITIONS.len());
+        if cfg!(debug_assertions) {
+            let mut full = writes_prog.clone();
+            full.extend_from_slice(&suffix);
+            cim_check::debug_assert_verified(
+                &full,
+                &cim_check::VerifyConfig::new(ROWS, cols),
+                "PrecomputeStage::program",
+            );
+        }
+        let add_len = suffix.len() / ADDITIONS.len();
         let writes = tracer.span_at(track, "write chunks", start_cycle);
-        exec.run(&prog[..8])?;
+        exec.run(&writes_prog)?;
         writes.end(start_cycle + exec.stats().cycles);
         for (i, name) in ADDITION_NAMES.iter().enumerate() {
             let from = start_cycle + exec.stats().cycles;
             let span = tracer.span_at(track, *name, from);
-            exec.run(&prog[8 + i * add_len..8 + (i + 1) * add_len])?;
+            exec.run(&suffix[i * add_len..(i + 1) * add_len])?;
             span.end(start_cycle + exec.stats().cycles);
         }
 

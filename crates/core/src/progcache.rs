@@ -1,0 +1,168 @@
+//! Compiled-program cache: memoized MAGIC micro-op programs.
+//!
+//! The micro-op programs the stages execute are functions of *widths
+//! and layouts only* — the Kogge–Stone adder program for a given
+//! `(width, op, layout)` triple, and therefore the whole operand-
+//! independent addition suffix of the precompute stage, are identical
+//! across multiplications. Regenerating them per multiply costs
+//! allocation and network construction on every call; this module
+//! caches them process-wide as `Arc<[MicroOp]>` slices, the same way
+//! `cim-sched`'s profile table caches one `JobProfile` per job class.
+//!
+//! Only operand-*independent* program parts are cached (adder bodies,
+//! the precompute addition tree). Operand writes are always rebuilt —
+//! they embed data bits.
+//!
+//! Hit/miss counters are exposed via [`stats`] so benchmarks and tests
+//! can assert the cache is actually doing something.
+
+use cim_crossbar::MicroOp;
+use cim_logic::kogge_stone::{AddOp, AdderLayout, KoggeStoneAdder};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Key of one cached adder program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct AdderKey {
+    width: usize,
+    op: AddOp,
+    layout: AdderLayout,
+}
+
+/// Key of one cached precompute addition suffix: the stage's adder
+/// width plus how many tree additions run (10 for a general multiply,
+/// 5 for a square).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SuffixKey {
+    adder_width: usize,
+    additions: usize,
+}
+
+#[derive(Default)]
+struct Caches {
+    adders: HashMap<AdderKey, Arc<[MicroOp]>>,
+    suffixes: HashMap<SuffixKey, Arc<[MicroOp]>>,
+}
+
+static CACHES: OnceLock<Mutex<Caches>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn caches() -> &'static Mutex<Caches> {
+    CACHES.get_or_init(Mutex::default)
+}
+
+/// `(hits, misses)` of the process-wide program cache.
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// The adder's program for `op`, compiled once per
+/// `(width, op, layout)` and shared afterwards. Identical, op for op,
+/// to what [`KoggeStoneAdder::program`] returns.
+pub fn adder_program(adder: &KoggeStoneAdder, op: AddOp) -> Arc<[MicroOp]> {
+    let key = AdderKey {
+        width: adder.width(),
+        op,
+        layout: adder.layout().clone(),
+    };
+    if let Some(hit) = caches().lock().expect("progcache poisoned").adders.get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(hit);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    // Compile outside the lock — first-call compiles of distinct
+    // widths don't serialize each other.
+    let prog: Arc<[MicroOp]> = adder.program(op).into();
+    let mut guard = caches().lock().expect("progcache poisoned");
+    Arc::clone(guard.adders.entry(key).or_insert(prog))
+}
+
+/// An operand-independent addition suffix (a concatenation of adder
+/// programs, all of the same length), compiled once per key via
+/// `build` and shared afterwards. The caller keys by everything the
+/// suffix depends on; `cim-core` uses `(adder_width, additions)` for
+/// the precompute tree.
+pub(crate) fn precompute_suffix(
+    adder_width: usize,
+    additions: usize,
+    build: impl FnOnce() -> Vec<MicroOp>,
+) -> Arc<[MicroOp]> {
+    let key = SuffixKey {
+        adder_width,
+        additions,
+    };
+    if let Some(hit) = caches()
+        .lock()
+        .expect("progcache poisoned")
+        .suffixes
+        .get(&key)
+    {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(hit);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let prog: Arc<[MicroOp]> = build().into();
+    let mut guard = caches().lock().expect("progcache poisoned");
+    Arc::clone(guard.suffixes.entry(key).or_insert(prog))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_logic::kogge_stone::SCRATCH_ROWS;
+
+    fn layout(sum_row: usize) -> AdderLayout {
+        AdderLayout {
+            x_row: 0,
+            y_row: 1,
+            sum_row,
+            scratch: std::array::from_fn(|i| 8 + i),
+            col_base: 0,
+        }
+    }
+
+    #[test]
+    fn cached_program_is_identical_to_fresh_compile() {
+        let adder = KoggeStoneAdder::with_layout(16, layout(2));
+        for op in [AddOp::Add, AddOp::Sub] {
+            let cached = adder_program(&adder, op);
+            assert_eq!(cached.as_ref(), adder.program(op).as_slice());
+        }
+    }
+
+    #[test]
+    fn same_key_shares_one_allocation() {
+        let adder = KoggeStoneAdder::with_layout(24, layout(2));
+        let a = adder_program(&adder, AddOp::Add);
+        let b = adder_program(&adder, AddOp::Add);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be a cache hit");
+        let (hits, _) = stats();
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn distinct_layouts_do_not_collide() {
+        let a = adder_program(&KoggeStoneAdder::with_layout(16, layout(2)), AddOp::Add);
+        let b = adder_program(&KoggeStoneAdder::with_layout(16, layout(3)), AddOp::Add);
+        assert!(!Arc::ptr_eq(&a, &b));
+        // Programs for different sum rows must differ somewhere.
+        assert_ne!(a.as_ref(), b.as_ref());
+        let _ = SCRATCH_ROWS; // layout() above must match the real count
+    }
+
+    #[test]
+    fn suffix_builder_runs_once_per_key() {
+        use std::sync::atomic::AtomicUsize;
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        let build = || {
+            BUILDS.fetch_add(1, Ordering::Relaxed);
+            vec![MicroOp::reset_region(0..1, 0..909)]
+        };
+        let a = precompute_suffix(909, 10, build);
+        let b = precompute_suffix(909, 10, build);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(BUILDS.load(Ordering::Relaxed), 1);
+    }
+}

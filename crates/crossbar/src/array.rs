@@ -2,39 +2,113 @@
 //!
 //! Methods on [`Crossbar`] mutate state and update per-cell wear; clock
 //! cycles are charged by the [`crate::Executor`] that drives them.
+//!
+//! Two interchangeable backends store the state (see [`BackendKind`]):
+//! the original per-cell [`Cell`] vector, and a bit-packed plane of
+//! `u64` words per row that executes row-parallel MAGIC as `O(words)`
+//! bitwise ops. Both are observationally identical — values, faults,
+//! wear counts and error ordering — which the `cim-check` differential
+//! suite asserts case by case.
 
 use crate::cell::{Cell, Fault};
 use crate::error::{Axis, CrossbarError};
 use crate::geometry::{ColRange, Region};
+use crate::packed::PackedPlanes;
 use crate::PRACTICAL_LINE_LIMIT;
+use std::sync::OnceLock;
+
+/// Which state backend a [`Crossbar`] uses.
+///
+/// The default is [`BackendKind::Packed`]; set the environment
+/// variable `CIM_XBAR_BACKEND=scalar` to flip new arrays back to the
+/// per-cell backend (read once per process), or construct explicitly
+/// via [`Crossbar::with_backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// One [`Cell`] struct per bit — simple, the differential gold.
+    Scalar,
+    /// `u64` bit-plane words per row, sparse fault masks, lazy wear.
+    Packed,
+}
+
+impl BackendKind {
+    /// The process-wide default backend: `Packed`, unless the
+    /// `CIM_XBAR_BACKEND` environment variable says `scalar`.
+    pub fn default_kind() -> BackendKind {
+        static DEFAULT: OnceLock<BackendKind> = OnceLock::new();
+        *DEFAULT.get_or_init(|| match std::env::var("CIM_XBAR_BACKEND").as_deref() {
+            Ok("scalar") => BackendKind::Scalar,
+            _ => BackendKind::Packed,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Backing {
+    Scalar(Vec<Cell>),
+    Packed(PackedPlanes),
+}
 
 /// A rows × columns grid of memristors with MAGIC compute support.
 ///
 /// See the [crate-level documentation](crate) for the execution model
 /// and a usage example.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Crossbar {
     rows: usize,
     cols: usize,
-    cells: Vec<Cell>,
+    state: Backing,
 }
 
 impl Crossbar {
-    /// Creates a crossbar of `rows × cols` cells, all logic 0.
+    /// Creates a crossbar of `rows × cols` cells, all logic 0, on the
+    /// process default backend ([`BackendKind::default_kind`]).
     ///
     /// # Errors
     ///
     /// Returns [`CrossbarError::EmptyDimension`] if either dimension is
     /// zero.
     pub fn new(rows: usize, cols: usize) -> Result<Self, CrossbarError> {
+        Self::with_backend(rows, cols, BackendKind::default_kind())
+    }
+
+    /// Creates a crossbar on the scalar per-cell backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::EmptyDimension`] if either dimension is
+    /// zero.
+    pub fn new_scalar(rows: usize, cols: usize) -> Result<Self, CrossbarError> {
+        Self::with_backend(rows, cols, BackendKind::Scalar)
+    }
+
+    /// Creates a crossbar on an explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::EmptyDimension`] if either dimension is
+    /// zero.
+    pub fn with_backend(
+        rows: usize,
+        cols: usize,
+        kind: BackendKind,
+    ) -> Result<Self, CrossbarError> {
         if rows == 0 || cols == 0 {
             return Err(CrossbarError::EmptyDimension);
         }
-        Ok(Crossbar {
-            rows,
-            cols,
-            cells: vec![Cell::default(); rows * cols],
-        })
+        let state = match kind {
+            BackendKind::Scalar => Backing::Scalar(vec![Cell::default(); rows * cols]),
+            BackendKind::Packed => Backing::Packed(PackedPlanes::new(rows, cols)),
+        };
+        Ok(Crossbar { rows, cols, state })
+    }
+
+    /// The backend this array runs on.
+    pub fn backend_kind(&self) -> BackendKind {
+        match &self.state {
+            Backing::Scalar(_) => BackendKind::Scalar,
+            Backing::Packed(_) => BackendKind::Packed,
+        }
     }
 
     /// Number of word lines (rows).
@@ -86,18 +160,80 @@ impl Crossbar {
     pub fn read_cell(&self, row: usize, col: usize) -> Result<bool, CrossbarError> {
         self.check_row(row)?;
         self.check_cols(&(col..col + 1))?;
-        Ok(self.cells[self.idx(row, col)].read())
+        Ok(match &self.state {
+            Backing::Scalar(cells) => cells[self.idx(row, col)].read(),
+            Backing::Packed(p) => p.read_bit(row, col),
+        })
     }
 
     /// Reads the bits of `row` over the column span (sense amplifiers).
+    ///
+    /// Allocates a fresh buffer per call; hot paths should prefer
+    /// [`Crossbar::read_row_into`], which reuses one.
     ///
     /// # Errors
     ///
     /// Returns an error if the coordinates are out of range.
     pub fn read_row_bits(&self, row: usize, cols: ColRange) -> Result<Vec<bool>, CrossbarError> {
+        let mut out = Vec::new();
+        self.read_row_into(row, cols, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads the bits of `row` over the column span into `out`
+    /// (cleared first) — the allocation-free variant of
+    /// [`Crossbar::read_row_bits`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinates are out of range.
+    pub fn read_row_into(
+        &self,
+        row: usize,
+        cols: ColRange,
+        out: &mut Vec<bool>,
+    ) -> Result<(), CrossbarError> {
         self.check_row(row)?;
         self.check_cols(&cols)?;
-        Ok(cols.map(|c| self.cells[self.idx(row, c)].read()).collect())
+        match &self.state {
+            Backing::Scalar(cells) => {
+                out.clear();
+                out.extend(cols.map(|c| cells[row * self.cols + c].read()));
+            }
+            Backing::Packed(p) => p.read_into(row, cols, out),
+        }
+        Ok(())
+    }
+
+    /// Reads the bits of `row` over the column span as little-endian
+    /// `u64` words aligned to `cols.start` — the word-parallel sense
+    /// path used by bulk arithmetic such as the in-row multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinates are out of range.
+    pub fn read_row_words(
+        &self,
+        row: usize,
+        cols: ColRange,
+        out: &mut Vec<u64>,
+    ) -> Result<(), CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&cols)?;
+        match &self.state {
+            Backing::Scalar(cells) => {
+                let len = cols.len();
+                out.clear();
+                out.resize(len.div_ceil(64), 0);
+                for (j, c) in cols.enumerate() {
+                    if cells[row * self.cols + c].read() {
+                        out[j / 64] |= 1 << (j % 64);
+                    }
+                }
+            }
+            Backing::Packed(p) => p.read_words_into(row, cols, out),
+        }
+        Ok(())
     }
 
     /// Writes `bits` into `row` starting at column `col_offset`.
@@ -113,9 +249,41 @@ impl Crossbar {
     ) -> Result<(), CrossbarError> {
         self.check_row(row)?;
         self.check_cols(&(col_offset..col_offset + bits.len()))?;
-        for (i, &b) in bits.iter().enumerate() {
-            let idx = self.idx(row, col_offset + i);
-            self.cells[idx].write(b);
+        match &mut self.state {
+            Backing::Scalar(cells) => {
+                for (i, &b) in bits.iter().enumerate() {
+                    cells[row * self.cols + col_offset + i].write(b);
+                }
+            }
+            Backing::Packed(p) => p.write_bits(row, col_offset, bits),
+        }
+        Ok(())
+    }
+
+    /// Writes `len` bits from little-endian `words` into `row` at
+    /// `col_offset` — the word-parallel counterpart of
+    /// [`Crossbar::write_row`], with identical per-cell wear.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the span exceeds the array.
+    pub fn write_row_words(
+        &mut self,
+        row: usize,
+        col_offset: usize,
+        words: &[u64],
+        len: usize,
+    ) -> Result<(), CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&(col_offset..col_offset + len))?;
+        match &mut self.state {
+            Backing::Scalar(cells) => {
+                for j in 0..len {
+                    let bit = (words.get(j / 64).copied().unwrap_or(0) >> (j % 64)) & 1 == 1;
+                    cells[row * self.cols + col_offset + j].write(bit);
+                }
+            }
+            Backing::Packed(p) => p.write_words(row, col_offset, words, len),
         }
         Ok(())
     }
@@ -147,11 +315,15 @@ impl Crossbar {
             });
         }
         self.check_cols(&region.cols)?;
-        for row in region.rows.clone() {
-            for col in region.cols.clone() {
-                let idx = self.idx(row, col);
-                self.cells[idx].write(value);
+        match &mut self.state {
+            Backing::Scalar(cells) => {
+                for row in region.rows.clone() {
+                    for col in region.cols.clone() {
+                        cells[row * self.cols + col].write(value);
+                    }
+                }
             }
+            Backing::Packed(p) => p.fill(region.rows.clone(), region.cols.clone(), value),
         }
         Ok(())
     }
@@ -186,17 +358,22 @@ impl Crossbar {
         }
         self.check_row(out)?;
         self.check_cols(&cols)?;
-        for col in cols {
-            let any = inputs
-                .iter()
-                .any(|&r| self.cells[self.idx(r, col)].read());
-            let out_idx = self.idx(out, col);
-            if strict && !self.cells[out_idx].read() {
-                return Err(CrossbarError::OutputNotInitialized { row: out, col });
+        match &mut self.state {
+            Backing::Scalar(cells) => {
+                for col in cols {
+                    let any = inputs.iter().any(|&r| cells[r * self.cols + col].read());
+                    let out_idx = out * self.cols + col;
+                    if strict && !cells[out_idx].read() {
+                        return Err(CrossbarError::OutputNotInitialized { row: out, col });
+                    }
+                    cells[out_idx].magic_drive(!any);
+                }
+                Ok(())
             }
-            self.cells[out_idx].magic_drive(!any);
+            Backing::Packed(p) => p
+                .nor_rows(inputs, out, cols, strict)
+                .map_err(|col| CrossbarError::OutputNotInitialized { row: out, col }),
         }
-        Ok(())
     }
 
     /// MAGIC NOR along rows (column-oriented): for every row in
@@ -232,17 +409,22 @@ impl Crossbar {
                 rows: self.rows,
             });
         }
-        for row in rows {
-            let any = in_cols
-                .iter()
-                .any(|&c| self.cells[self.idx(row, c)].read());
-            let out_idx = self.idx(row, out_col);
-            if strict && !self.cells[out_idx].read() {
-                return Err(CrossbarError::OutputNotInitialized { row, col: out_col });
+        match &mut self.state {
+            Backing::Scalar(cells) => {
+                for row in rows {
+                    let any = in_cols.iter().any(|&c| cells[row * self.cols + c].read());
+                    let out_idx = row * self.cols + out_col;
+                    if strict && !cells[out_idx].read() {
+                        return Err(CrossbarError::OutputNotInitialized { row, col: out_col });
+                    }
+                    cells[out_idx].magic_drive(!any);
+                }
+                Ok(())
             }
-            self.cells[out_idx].magic_drive(!any);
+            Backing::Packed(p) => p
+                .nor_cols(in_cols, out_col, rows, strict)
+                .map_err(|row| CrossbarError::OutputNotInitialized { row, col: out_col }),
         }
-        Ok(())
     }
 
     /// Partitioned MAGIC NOR along rows: the column span `cols` is
@@ -295,22 +477,29 @@ impl Crossbar {
                 rows: self.rows,
             });
         }
-        for row in rows {
-            for base in (cols.start..cols.end).step_by(part_width) {
-                let any = in_offsets
-                    .iter()
-                    .any(|&off| self.cells[self.idx(row, base + off)].read());
-                let out_idx = self.idx(row, base + out_offset);
-                if strict && !self.cells[out_idx].read() {
-                    return Err(CrossbarError::OutputNotInitialized {
-                        row,
-                        col: base + out_offset,
-                    });
+        match &mut self.state {
+            Backing::Scalar(cells) => {
+                for row in rows {
+                    for base in (cols.start..cols.end).step_by(part_width) {
+                        let any = in_offsets
+                            .iter()
+                            .any(|&off| cells[row * self.cols + base + off].read());
+                        let out_idx = row * self.cols + base + out_offset;
+                        if strict && !cells[out_idx].read() {
+                            return Err(CrossbarError::OutputNotInitialized {
+                                row,
+                                col: base + out_offset,
+                            });
+                        }
+                        cells[out_idx].magic_drive(!any);
+                    }
                 }
-                self.cells[out_idx].magic_drive(!any);
+                Ok(())
             }
+            Backing::Packed(p) => p
+                .nor_cols_partitioned(rows, cols, part_width, in_offsets, out_offset, strict)
+                .map_err(|(row, col)| CrossbarError::OutputNotInitialized { row, col }),
         }
-        Ok(())
     }
 
     /// Periphery shift: reads `src[cols]`, shifts by `offset` columns
@@ -334,16 +523,11 @@ impl Crossbar {
         offset: isize,
         fill: bool,
     ) -> Result<(), CrossbarError> {
-        let bits = self.read_row_bits(src, cols.clone())?;
-        let w = bits.len();
-        let mut shifted = vec![fill; w];
-        for (i, &b) in bits.iter().enumerate() {
-            let j = i as isize + offset;
-            if (0..w as isize).contains(&j) {
-                shifted[j as usize] = b;
-            }
-        }
-        self.write_row(dst, cols.start, &shifted)
+        let w = cols.len();
+        let mut words = Vec::new();
+        self.read_row_words(src, cols.clone(), &mut words)?;
+        let shifted = crate::packed::shift_words(&words, w, offset, fill);
+        self.write_row_words(dst, cols.start, &shifted, w)
     }
 
     /// In-place periphery shift with zero fill; see
@@ -374,25 +558,94 @@ impl Crossbar {
     ) -> Result<(), CrossbarError> {
         self.check_row(row)?;
         self.check_cols(&(col..col + 1))?;
-        let idx = self.idx(row, col);
-        self.cells[idx].set_fault(fault);
+        match &mut self.state {
+            Backing::Scalar(cells) => cells[row * self.cols + col].set_fault(fault),
+            Backing::Packed(p) => p.set_fault(row, col, fault),
+        }
         Ok(())
     }
 
-    /// Immutable access to a cell (wear inspection, tests).
+    /// Whether no cell of `row` across `cols` carries a stuck-at
+    /// fault — gate for word-parallel fast paths that mirror array
+    /// state in software (faults feed back through reads, so those
+    /// paths fall back to per-cell execution).
     ///
     /// # Errors
     ///
     /// Returns an error if the coordinates are out of range.
-    pub fn cell(&self, row: usize, col: usize) -> Result<&Cell, CrossbarError> {
+    pub fn row_region_fault_free(
+        &self,
+        row: usize,
+        cols: ColRange,
+    ) -> Result<bool, CrossbarError> {
         self.check_row(row)?;
-        self.check_cols(&(col..col + 1))?;
-        Ok(&self.cells[self.idx(row, col)])
+        self.check_cols(&cols)?;
+        Ok(match &self.state {
+            Backing::Scalar(cells) => cols
+                .clone()
+                .all(|c| cells[row * self.cols + c].fault().is_none()),
+            Backing::Packed(p) => p.region_fault_free(row, cols),
+        })
     }
 
-    /// Iterates over all cells (row-major) — used by endurance reports.
-    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
-        self.cells.iter()
+    fn cell_unchecked(&self, row: usize, col: usize) -> Cell {
+        match &self.state {
+            Backing::Scalar(cells) => cells[row * self.cols + col],
+            Backing::Packed(p) => p.cell(row, col),
+        }
+    }
+
+    /// The cell view at a coordinate (wear inspection, tests). On the
+    /// packed backend the [`Cell`] is synthesized from the bit planes;
+    /// it is a snapshot, not a live reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinates are out of range.
+    pub fn cell(&self, row: usize, col: usize) -> Result<Cell, CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&(col..col + 1))?;
+        Ok(self.cell_unchecked(row, col))
+    }
+
+    /// Iterates over all cells (row-major) as snapshots.
+    pub fn cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        (0..self.rows)
+            .flat_map(move |r| (0..self.cols).map(move |c| self.cell_unchecked(r, c)))
+    }
+
+    /// `(max, total, touched)` per-cell write statistics, computed
+    /// without materializing the packed backend's lazy wear plane into
+    /// per-cell counters — the fast path behind
+    /// [`crate::EnduranceReport::from_array`].
+    pub(crate) fn wear_stats(&self) -> (u64, u64, usize) {
+        match &self.state {
+            Backing::Scalar(cells) => {
+                let (mut max, mut total, mut touched) = (0u64, 0u64, 0usize);
+                for cell in cells {
+                    let w = cell.writes();
+                    max = max.max(w);
+                    total += w;
+                    if w > 0 {
+                        touched += 1;
+                    }
+                }
+                (max, total, touched)
+            }
+            Backing::Packed(p) => {
+                let (mut max, mut total, mut touched) = (0u64, 0u64, 0usize);
+                for row in 0..self.rows {
+                    p.wear.for_each_segment(row, |w, n| {
+                        if w > 0 {
+                            max = max.max(w);
+                            total += w * n as u64;
+                            touched += n;
+                        }
+                    });
+                }
+                (max, total, touched)
+            }
+        }
     }
 
     /// `(max, mean)` per-cell write counts — the one-call wear summary
@@ -404,8 +657,13 @@ impl Crossbar {
 
     /// Clears all wear counters (keeps values and faults).
     pub fn reset_wear(&mut self) {
-        for c in &mut self.cells {
-            c.reset_wear();
+        match &mut self.state {
+            Backing::Scalar(cells) => {
+                for c in cells {
+                    c.reset_wear();
+                }
+            }
+            Backing::Packed(p) => p.wear.reset(),
         }
     }
 
@@ -440,7 +698,7 @@ impl Crossbar {
         let mut out = String::new();
         for row in region.rows.clone() {
             for col in region.cols.clone() {
-                let cell = &self.cells[self.idx(row, col)];
+                let cell = self.cell_unchecked(row, col);
                 let ch = match (cell.fault(), cell.read()) {
                     (Some(_), true) => 'X',
                     (Some(_), false) => 'x',
@@ -455,6 +713,19 @@ impl Crossbar {
     }
 }
 
+/// Semantic equality: same geometry and, per cell, the same underlying
+/// value, wear count and fault — regardless of which backend stores
+/// them. A packed array equals its scalar twin after any op sequence.
+impl PartialEq for Crossbar {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.cells().eq(other.cells())
+    }
+}
+
+impl Eq for Crossbar {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,8 +736,18 @@ mod tests {
 
     #[test]
     fn new_rejects_empty() {
-        assert_eq!(Crossbar::new(0, 4), Err(CrossbarError::EmptyDimension));
-        assert_eq!(Crossbar::new(4, 0), Err(CrossbarError::EmptyDimension));
+        assert_eq!(
+            Crossbar::new(0, 4).unwrap_err(),
+            CrossbarError::EmptyDimension
+        );
+        assert_eq!(
+            Crossbar::new(4, 0).unwrap_err(),
+            CrossbarError::EmptyDimension
+        );
+        assert_eq!(
+            Crossbar::new_scalar(0, 4).unwrap_err(),
+            CrossbarError::EmptyDimension
+        );
     }
 
     #[test]
@@ -678,5 +959,135 @@ mod tests {
         x.write_row(0, 0, &[true, false, true]).unwrap();
         let s = x.render_region(&Region::new(0..2, 0..3));
         assert_eq!(s, "101\n000\n");
+    }
+
+    // ---- backend equivalence ----
+
+    /// Drives the same op soup on both backends, returning the pair.
+    fn twin_run(rows: usize, cols: usize, f: impl Fn(&mut Crossbar)) -> (Crossbar, Crossbar) {
+        let mut packed = Crossbar::with_backend(rows, cols, BackendKind::Packed).unwrap();
+        let mut scalar = Crossbar::with_backend(rows, cols, BackendKind::Scalar).unwrap();
+        f(&mut packed);
+        f(&mut scalar);
+        (packed, scalar)
+    }
+
+    #[test]
+    fn backends_agree_on_mixed_ops() {
+        let (packed, scalar) = twin_run(4, 130, |x| {
+            let pattern: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+            x.write_row(0, 0, &pattern).unwrap();
+            x.write_row(1, 5, &pattern[..100]).unwrap();
+            x.init_region(&Region::new(2..4, 0..130)).unwrap();
+            x.nor_rows(&[0, 1], 2, 3..120, true).unwrap();
+            x.shift_row(2, 0..130, 7).unwrap();
+            x.shift_row_to(2, 3, 10..80, -3, true).unwrap();
+            x.nor_cols(&[0, 64, 129], 65, 0..4, false).unwrap();
+            x.reset_region(&Region::new(0..1, 60..70)).unwrap();
+        });
+        assert_eq!(packed.backend_kind(), BackendKind::Packed);
+        assert_eq!(scalar.backend_kind(), BackendKind::Scalar);
+        assert_eq!(packed, scalar, "cross-backend semantic equality");
+        for r in 0..4 {
+            assert_eq!(
+                packed.read_row_bits(r, 0..130).unwrap(),
+                scalar.read_row_bits(r, 0..130).unwrap()
+            );
+            for c in 0..130 {
+                assert_eq!(
+                    packed.cell(r, c).unwrap().writes(),
+                    scalar.cell(r, c).unwrap().writes(),
+                    "wear at ({r},{c})"
+                );
+            }
+        }
+        assert_eq!(packed.wear_summary(), scalar.wear_summary());
+    }
+
+    #[test]
+    fn backends_agree_on_strict_failure_prefix() {
+        // Output row initialized only on [0, 70): strict NOR over
+        // 0..100 fails at column 70, after driving (and wearing)
+        // exactly the first 70 columns — on both backends.
+        let (packed, scalar) = twin_run(3, 128, |x| {
+            x.write_row(0, 0, &[true; 128]).unwrap();
+            x.init_region(&Region::new(2..3, 0..70)).unwrap();
+            let err = x.nor_rows(&[0, 1], 2, 0..100, true).unwrap_err();
+            assert_eq!(
+                err,
+                CrossbarError::OutputNotInitialized { row: 2, col: 70 }
+            );
+        });
+        assert_eq!(packed, scalar);
+        assert_eq!(packed.cell(2, 69).unwrap().writes(), 2, "driven before the failure");
+        assert_eq!(packed.cell(2, 70).unwrap().writes(), 0, "failing column untouched");
+    }
+
+    #[test]
+    fn backends_agree_under_faults() {
+        let (packed, scalar) = twin_run(3, 80, |x| {
+            x.inject_fault(0, 66, Some(Fault::StuckAt1)).unwrap();
+            x.inject_fault(2, 3, Some(Fault::StuckAt0)).unwrap();
+            x.write_row(0, 0, &[false; 80]).unwrap();
+            x.init_region(&Region::new(2..3, 0..80)).unwrap();
+            x.nor_rows(&[0], 2, 0..80, false).unwrap();
+            x.inject_fault(0, 66, None).unwrap();
+        });
+        assert_eq!(packed, scalar);
+        // Stuck-at-1 input pulls NOR to 0 at column 66 only.
+        assert!(packed.read_cell(2, 65).unwrap());
+        assert!(!packed.read_cell(2, 66).unwrap());
+        // The stuck-at-0 output stays 0 but wears.
+        assert!(!packed.read_cell(2, 3).unwrap());
+        assert_eq!(packed.cell(2, 3).unwrap().writes(), 2);
+    }
+
+    #[test]
+    fn read_row_into_reuses_buffer() {
+        let mut x = bar(2, 70);
+        x.write_row(0, 64, &[true, false, true]).unwrap();
+        let mut buf = vec![true; 5];
+        x.read_row_into(0, 63..68, &mut buf).unwrap();
+        assert_eq!(buf, vec![false, true, false, true, false]);
+        assert!(x.read_row_into(0, 60..80, &mut buf).is_err());
+    }
+
+    #[test]
+    fn word_level_read_write_both_backends() {
+        for kind in [BackendKind::Scalar, BackendKind::Packed] {
+            let mut x = Crossbar::with_backend(2, 150, kind).unwrap();
+            let words = [0xAAAA_5555_F0F0_0F0Fu64, 0x1234_5678_9ABC_DEF0];
+            x.write_row_words(1, 17, &words, 101).unwrap();
+            let mut back = Vec::new();
+            x.read_row_words(1, 17..118, &mut back).unwrap();
+            let mut expect = words.to_vec();
+            crate::packed::mask_tail(&mut expect, 101);
+            assert_eq!(back, expect, "{kind:?}");
+            // Bit view agrees with word view.
+            let bits = x.read_row_bits(1, 17..118).unwrap();
+            for (j, &b) in bits.iter().enumerate() {
+                assert_eq!(b, (expect[j / 64] >> (j % 64)) & 1 == 1);
+            }
+            // Every written cell wore exactly once.
+            assert_eq!(x.cell(1, 17).unwrap().writes(), 1);
+            assert_eq!(x.cell(1, 117).unwrap().writes(), 1);
+            assert_eq!(x.cell(1, 16).unwrap().writes(), 0);
+        }
+    }
+
+    #[test]
+    fn default_backend_is_packed_and_scalar_opt_in_works() {
+        // The env override is read once per process, so only assert
+        // the constructors' explicit behaviour here.
+        assert_eq!(
+            Crossbar::new_scalar(1, 1).unwrap().backend_kind(),
+            BackendKind::Scalar
+        );
+        assert_eq!(
+            Crossbar::with_backend(1, 1, BackendKind::Packed)
+                .unwrap()
+                .backend_kind(),
+            BackendKind::Packed
+        );
     }
 }

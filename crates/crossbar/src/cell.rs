@@ -22,6 +22,15 @@ pub struct Cell {
 }
 
 impl Cell {
+    /// Assembles a cell snapshot from backend planes (packed backend).
+    pub(crate) fn from_parts(value: bool, writes: u64, fault: Option<Fault>) -> Cell {
+        Cell {
+            value,
+            writes,
+            fault,
+        }
+    }
+
     /// The stored bit, accounting for a stuck-at fault if present.
     pub fn read(&self) -> bool {
         match self.fault {

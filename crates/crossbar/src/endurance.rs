@@ -25,18 +25,13 @@ pub struct EnduranceReport {
 
 impl EnduranceReport {
     /// Computes the report for an array.
+    ///
+    /// Reads through the backend's wear representation directly — on
+    /// the packed backend this walks the lazy wear plane's constant
+    /// segments instead of materializing one [`crate::Cell`] per bit,
+    /// so per-multiply endurance reporting stays off the hot path.
     pub fn from_array(array: &Crossbar) -> Self {
-        let mut max_writes = 0;
-        let mut total_writes = 0;
-        let mut cells_touched = 0;
-        for cell in array.cells() {
-            let w = cell.writes();
-            max_writes = max_writes.max(w);
-            total_writes += w;
-            if w > 0 {
-                cells_touched += 1;
-            }
-        }
+        let (max_writes, total_writes, cells_touched) = array.wear_stats();
         EnduranceReport {
             max_writes,
             total_writes,

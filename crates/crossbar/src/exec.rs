@@ -445,7 +445,10 @@ impl<'a> Executor<'a> {
                 OpClass::Write
             }
             MicroOp::ReadRow { row, cols } => {
-                self.read_buffer = self.array.read_row_bits(*row, cols.clone())?;
+                // Refill the executor-owned buffer in place: no
+                // per-read heap allocation on the hot path.
+                self.array
+                    .read_row_into(*row, cols.clone(), &mut self.read_buffer)?;
                 OpClass::Read
             }
             MicroOp::InitRows { rows, cols } => {

@@ -58,10 +58,12 @@ mod exec;
 mod geometry;
 mod isa;
 pub mod meter;
+mod packed;
 pub mod parasitics;
 mod stats;
+mod wear;
 
-pub use array::Crossbar;
+pub use array::{BackendKind, Crossbar};
 pub use cell::{Cell, Fault};
 pub use endurance::{EnduranceReport, CELL_ENDURANCE_WRITES};
 pub use energy::{EnergyParams, EnergyReport};

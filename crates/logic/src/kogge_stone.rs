@@ -55,7 +55,7 @@ const U: usize = 10;
 const V: usize = 11;
 
 /// Whether a program computes `x + y` or `x − y (mod 2^w)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AddOp {
     /// Addition; the `n+1`-bit result includes the carry-out.
     Add,
@@ -65,7 +65,7 @@ pub enum AddOp {
 }
 
 /// Placement of an adder inside a larger crossbar.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AdderLayout {
     /// Row holding operand `x`.
     pub x_row: usize,

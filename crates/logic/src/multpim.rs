@@ -28,7 +28,118 @@
 //! cycles are charged by the formula (see DESIGN.md §1/§4).
 
 use cim_bigint::Uint;
-use cim_crossbar::{Crossbar, CrossbarError, EnduranceReport, Executor, MicroOp};
+use cim_crossbar::{Crossbar, CrossbarError, EnduranceReport, Executor, MicroOp, Region};
+
+/// Little-endian word-vector helpers for the word-parallel shift-add
+/// fast path. All vectors are LSB-aligned `u64` words with an explicit
+/// bit length; bits past the length are kept zero.
+mod wordvec {
+    pub(super) fn words_for(bits: usize) -> usize {
+        bits.div_ceil(64)
+    }
+
+    pub(super) fn bit(words: &[u64], i: usize) -> bool {
+        words.get(i / 64).is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+    }
+
+    pub(super) fn set_bit(words: &mut [u64], i: usize, v: bool) {
+        if v {
+            words[i / 64] |= 1 << (i % 64);
+        } else {
+            words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    pub(super) fn mask_tail(words: &mut [u64], bits: usize) {
+        let tail = bits % 64;
+        if tail != 0 {
+            if let Some(last) = words.get_mut(bits / 64) {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// `x + y` over `bits` bits (the callers guarantee no overflow past
+    /// `bits`; the tail is masked anyway).
+    pub(super) fn add(x: &[u64], y: &[u64], bits: usize) -> Vec<u64> {
+        let n = words_for(bits);
+        let mut out = vec![0u64; n];
+        let mut carry = false;
+        for (k, slot) in out.iter_mut().enumerate() {
+            let a = x.get(k).copied().unwrap_or(0);
+            let b = y.get(k).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            *slot = s2;
+            carry = c1 || c2;
+        }
+        mask_tail(&mut out, bits);
+        out
+    }
+
+    /// `a ^ b ^ c` over `bits` bits — for a ripple sum `s = x + y`,
+    /// `s ^ x ^ y` is exactly the vector of carries *into* each bit.
+    pub(super) fn xor3(a: &[u64], b: &[u64], c: &[u64], bits: usize) -> Vec<u64> {
+        let n = words_for(bits);
+        let mut out = vec![0u64; n];
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = a.get(k).copied().unwrap_or(0)
+                ^ b.get(k).copied().unwrap_or(0)
+                ^ c.get(k).copied().unwrap_or(0);
+        }
+        mask_tail(&mut out, bits);
+        out
+    }
+
+    /// Logical right shift by one bit.
+    pub(super) fn shr1(words: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; words.len()];
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = (words[k] >> 1) | words.get(k + 1).map_or(0, |&w| w << 63);
+        }
+        out
+    }
+
+    /// Extracts `len` bits of `src` starting at bit `start`.
+    pub(super) fn window(src: &[u64], start: usize, len: usize) -> Vec<u64> {
+        let n = words_for(len);
+        let base = start / 64;
+        let sh = start % 64;
+        let mut out = vec![0u64; n];
+        for (k, slot) in out.iter_mut().enumerate() {
+            let lo = src.get(base + k).copied().unwrap_or(0) >> sh;
+            let hi = if sh == 0 {
+                0
+            } else {
+                src.get(base + k + 1).copied().unwrap_or(0) << (64 - sh)
+            };
+            *slot = lo | hi;
+        }
+        mask_tail(&mut out, len);
+        out
+    }
+
+    /// Overwrites `len` bits of `dst` at bit `start` with bits of `src`.
+    pub(super) fn insert(dst: &mut [u64], start: usize, len: usize, src: &[u64]) {
+        let mut remaining = len;
+        let mut k = 0;
+        while remaining > 0 {
+            let take = remaining.min(64);
+            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let chunk = src.get(k).copied().unwrap_or(0) & mask;
+            let pos = start + k * 64;
+            let (wi, off) = (pos / 64, pos % 64);
+            dst[wi] = (dst[wi] & !(mask << off)) | (chunk << off);
+            if off != 0 && off + take > 64 {
+                let spill = off + take - 64;
+                let spill_mask = (1u64 << spill) - 1;
+                dst[wi + 1] = (dst[wi + 1] & !spill_mask) | (chunk >> (64 - off));
+            }
+            remaining -= take;
+            k += 1;
+        }
+    }
+}
 
 /// Cells per row required for one `w`-bit in-row multiplier
 /// (paper: `12·(n/4+2)` for the stage's `w = n/4+2`-bit operands).
@@ -152,16 +263,48 @@ impl RowMultiplier {
         let mut loader = Executor::new(&mut *array);
         loader.run(&self.load_program(row, col_base, a, b))?;
 
-        // Serial shift-add: iteration i adds (a·b_i) << i into the
-        // accumulator. The adds are performed cell-by-cell so the
-        // accumulator, carry and scratch cells see realistic traffic.
+        // The word-parallel fast path mirrors the accumulator in
+        // software, which is only valid while no cell in the row
+        // region can pin a read; with faults present, fall back to the
+        // cell-by-cell reference loop (identical final state and wear).
+        let region = col_base..col_base + self.required_cols();
+        if array.row_region_fault_free(row, region)? {
+            self.shift_add_packed(array, row, col_base)?;
+        } else {
+            self.shift_add_reference(array, row, col_base)?;
+        }
+
+        // Read the product from the shared region.
+        let bits = array.read_row_bits(row, at(P_OFF)..at(P_OFF) + 2 * w)?;
+        Ok((
+            Uint::from_bits(&bits),
+            RowMultStats {
+                cycles: self.latency(),
+                iterations: w,
+            },
+        ))
+    }
+
+    /// Reference shift-add: iteration i adds (a·b_i) << i into the
+    /// accumulator cell by cell, so accumulator, carry and scratch
+    /// cells see realistic traffic. This is the behavioural gold the
+    /// fast path must match write-for-write; it also handles faulty
+    /// cells (whose pinned reads feed back into the sums).
+    fn shift_add_reference(
+        &self,
+        array: &mut Crossbar,
+        row: usize,
+        col_base: usize,
+    ) -> Result<(), CrossbarError> {
+        let w = self.width;
+        let at = |off: usize| col_base + off * w;
         for i in 0..w {
             let b_i = array.read_cell(row, at(B_OFF) + i)?;
             // Partition-parallel p/g staging writes (scratch region is
             // reused every iteration — this is what bounds MultPIM's
             // per-cell wear at O(w)).
             let scratch_cols = at(S_OFF)..at(S_OFF) + w;
-            array.reset_region(&cim_crossbar::Region::new(row..row + 1, scratch_cols))?;
+            array.reset_region(&Region::new(row..row + 1, scratch_cols))?;
             if !b_i {
                 continue;
             }
@@ -181,16 +324,70 @@ impl RowMultiplier {
                 carry = total >= 2;
             }
         }
+        Ok(())
+    }
 
-        // Read the product from the shared region.
-        let bits = array.read_row_bits(row, at(P_OFF)..at(P_OFF) + 2 * w)?;
-        Ok((
-            Uint::from_bits(&bits),
-            RowMultStats {
-                cycles: self.latency(),
-                iterations: w,
-            },
-        ))
+    /// Word-parallel shift-add, observationally identical to
+    /// [`RowMultiplier::shift_add_reference`] on a fault-free region.
+    ///
+    /// Per active iteration the reference loop's `w + 1` cell-serial
+    /// full adds collapse into three bulk row writes derived from a
+    /// software mirror of the accumulator:
+    ///
+    /// * the ripple carries are recovered in one shot as
+    ///   `s ^ a ^ window` (carry *into* bit `k` is bit `k` of that
+    ///   xor), so the carry-staging cells `C[j % w]` receive their
+    ///   exact reference values — including `C[0]`, which the
+    ///   reference writes twice (at `j = 0` and `j = w`) and therefore
+    ///   gets an extra single-cell write here to keep wear identical;
+    /// * the product window `[i, i + w + 1)` takes the low `w + 1`
+    ///   sum bits in one word write (the reference drops the top carry
+    ///   from the window too — it lands in `C[0]`);
+    /// * the scratch reset is already a bulk region fill.
+    ///
+    /// Each cell thus sees the same number of write pulses with the
+    /// same final values as the reference loop; reads carry no wear or
+    /// cycle cost, so reading operands once instead of per iteration
+    /// is unobservable.
+    fn shift_add_packed(
+        &self,
+        array: &mut Crossbar,
+        row: usize,
+        col_base: usize,
+    ) -> Result<(), CrossbarError> {
+        use wordvec as wv;
+        let w = self.width;
+        let at = |off: usize| col_base + off * w;
+
+        let mut a_words = Vec::new();
+        array.read_row_words(row, at(A_OFF)..at(A_OFF) + w, &mut a_words)?;
+        let mut b_words = Vec::new();
+        array.read_row_words(row, at(B_OFF)..at(B_OFF) + w, &mut b_words)?;
+
+        // Software mirror of the 2w-bit product accumulator (the
+        // prologue just reset it to zero).
+        let mut acc = vec![0u64; wv::words_for(2 * w)];
+        let scratch = at(S_OFF)..at(S_OFF) + w;
+        for i in 0..w {
+            array.reset_region(&Region::new(row..row + 1, scratch.clone()))?;
+            if !wv::bit(&b_words, i) {
+                continue;
+            }
+            let win = wv::window(&acc, i, w + 1);
+            let sum = wv::add(&a_words, &win, w + 2);
+            let carries = wv::xor3(&sum, &a_words, &win, w + 2);
+            // Reference j = 0: C[0] ← carry out of bit 0.
+            array.write_row(row, at(C_OFF), &[wv::bit(&carries, 1)])?;
+            // Reference j = 1..=w: C[k] ← carry out of bit k, with
+            // j = w wrapping onto C[0].
+            let mut c_words = wv::shr1(&carries);
+            wv::set_bit(&mut c_words, 0, wv::bit(&carries, w + 1));
+            array.write_row_words(row, at(C_OFF), &c_words, w)?;
+            // Accumulator window write-back (low w + 1 sum bits).
+            array.write_row_words(row, at(P_OFF) + i, &sum, w + 1)?;
+            wv::insert(&mut acc, i, w + 1, &sum);
+        }
+        Ok(())
     }
 
     /// Convenience: standalone multiplication on a fresh 1-row array.
@@ -289,6 +486,54 @@ mod tests {
         // iteration → O(w) per-cell writes, matching MultPIM's 4n scaling.
         assert!(report.max_writes <= 4 * 16 + 8, "max {}", report.max_writes);
         assert!(report.max_writes >= 16, "max {}", report.max_writes);
+    }
+
+    /// The word-parallel fast path must leave exactly the state and
+    /// wear the cell-serial reference loop leaves — on both crossbar
+    /// backends.
+    #[test]
+    fn packed_shift_add_matches_reference_state_and_wear() {
+        use cim_crossbar::BackendKind;
+        let mut rng = UintRng::seeded(991);
+        for w in [4usize, 8, 17, 63, 64, 65, 70] {
+            let m = RowMultiplier::new(w);
+            let a = rng.uniform(w);
+            let b = rng.uniform(w);
+            for kind in [BackendKind::Scalar, BackendKind::Packed] {
+                let mut fast = Crossbar::with_backend(1, m.required_cols(), kind).unwrap();
+                let mut gold = Crossbar::with_backend(1, m.required_cols(), kind).unwrap();
+                let mut loader = Executor::new(&mut fast);
+                loader.run(&m.load_program(0, 0, &a, &b)).unwrap();
+                m.shift_add_packed(&mut fast, 0, 0).unwrap();
+                let mut loader = Executor::new(&mut gold);
+                loader.run(&m.load_program(0, 0, &a, &b)).unwrap();
+                m.shift_add_reference(&mut gold, 0, 0).unwrap();
+                assert_eq!(fast, gold, "w = {w}, {kind:?}");
+                for c in 0..m.required_cols() {
+                    assert_eq!(
+                        fast.cell(0, c).unwrap(),
+                        gold.cell(0, c).unwrap(),
+                        "cell {c}, w = {w}, {kind:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_region_falls_back_to_reference() {
+        use cim_crossbar::Fault;
+        let m = RowMultiplier::new(8);
+        let mut array = Crossbar::new(1, m.required_cols()).unwrap();
+        // Pin an accumulator cell to 1: the product must reflect the
+        // pinned read feeding back through the shift-add.
+        array
+            .inject_fault(0, 2 * 8 + 3, Some(Fault::StuckAt1))
+            .unwrap();
+        let (p, _) = m
+            .run_in(&mut array, 0, 0, &Uint::from_u64(0), &Uint::from_u64(0))
+            .unwrap();
+        assert_eq!(p, Uint::from_u64(8), "stuck-at-1 bit 3 shows in 0·0");
     }
 
     #[test]

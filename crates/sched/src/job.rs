@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 /// Which in-memory multiplier serves a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Algo {
     /// The paper's three-stage unrolled-Karatsuba pipeline (L = 2).
     Karatsuba,

@@ -277,18 +277,69 @@ impl ProfileTable {
     pub fn profile(&mut self, job: &Job) -> Result<&JobProfile, MultiplyError> {
         let key = (job.width, job.algo);
         if !self.profiles.contains_key(&key) {
-            let p = match (job.algo, self.source) {
-                (Algo::Karatsuba, ProfileSource::Analytic) => {
-                    JobProfile::karatsuba_analytic(job.width)
-                }
-                (Algo::Karatsuba, ProfileSource::Measured { seed }) => {
-                    JobProfile::karatsuba_measured(job.width, seed ^ job.width as u64)?
-                }
-                (Algo::Schoolbook, _) => JobProfile::schoolbook_analytic(job.width),
-            };
+            let p = Self::resolve(self.source, job.width, job.algo)?;
             self.profiles.insert(key, p);
         }
         Ok(&self.profiles[&key])
+    }
+
+    /// The cached profile for a class, if resolved.
+    pub(crate) fn get(&self, key: (usize, Algo)) -> Option<&JobProfile> {
+        self.profiles.get(&key)
+    }
+
+    /// Computes the profile of one class from `source` (no caching).
+    fn resolve(source: ProfileSource, width: usize, algo: Algo) -> Result<JobProfile, MultiplyError> {
+        Ok(match (algo, source) {
+            (Algo::Karatsuba, ProfileSource::Analytic) => JobProfile::karatsuba_analytic(width),
+            (Algo::Karatsuba, ProfileSource::Measured { seed }) => {
+                JobProfile::karatsuba_measured(width, seed ^ width as u64)?
+            }
+            (Algo::Schoolbook, _) => JobProfile::schoolbook_analytic(width),
+        })
+    }
+
+    /// Resolves every class appearing in `jobs` that the table has not
+    /// cached yet, computing the missing profiles concurrently — one
+    /// scoped thread per class. In measured mode each class costs a
+    /// full simulated multiplication, so distinct widths calibrate in
+    /// parallel; analytic classes resolve near-instantly either way.
+    ///
+    /// Determinism: the class list is sorted and deduplicated before
+    /// the fan-out and results are inserted in that same order, so the
+    /// table's final state is independent of thread finish order. Each
+    /// class's profile is itself a pure function of `(source, class)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulation error in class-sorted order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a calibration thread panics.
+    pub fn prewarm(&mut self, jobs: &[Job]) -> Result<(), MultiplyError> {
+        let mut classes: Vec<(usize, Algo)> = jobs.iter().map(|j| (j.width, j.algo)).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        classes.retain(|key| !self.profiles.contains_key(key));
+        if classes.is_empty() {
+            return Ok(());
+        }
+        let source = self.source;
+        let results: Vec<Result<JobProfile, MultiplyError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = classes
+                .iter()
+                .map(|&(width, algo)| s.spawn(move || Self::resolve(source, width, algo)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("profile calibration thread panicked"))
+                .collect()
+        });
+        for (key, result) in classes.into_iter().zip(results) {
+            self.profiles.insert(key, result?);
+        }
+        Ok(())
     }
 
     /// Inserts a pre-built profile (used by the batch bridge, which

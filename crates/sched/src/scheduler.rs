@@ -137,6 +137,38 @@ impl Scheduler {
         self.run_traced(jobs, &Tracer::disabled())
     }
 
+    /// [`Scheduler::run`] on the farm's concurrent execution path.
+    ///
+    /// Two parts of a run parallelize without touching the schedule:
+    ///
+    /// 1. **Profile calibration** — the distinct `(width, algo)`
+    ///    classes of the stream resolve on one scoped thread each
+    ///    ([`ProfileTable::prewarm`]); in measured mode every class is
+    ///    a full simulated multiplication, so a mixed-width stream
+    ///    calibrates concurrently instead of serially on first use.
+    /// 2. **Tile ledger application** — per-tile cycle/energy
+    ///    accounting ([`Tile::apply_cost`]) is deferred during the
+    ///    placement pass and then applied with one scoped thread per
+    ///    tile, so a 4-tile farm folds 4 ledgers concurrently.
+    ///
+    /// Tile *selection* stays sequential: every [`Policy`] pick reads
+    /// the clocks and wear produced by the previous placements.
+    ///
+    /// The report is byte-for-byte the one [`Scheduler::run`]
+    /// produces: placement order is unchanged, each tile folds its own
+    /// jobs in dispatch order regardless of thread timing, and tiles
+    /// merge into farm totals in tile-id order. (The only observable
+    /// difference is the profile table: prewarming also resolves
+    /// classes whose every job gets rejected.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors from measured-profile resolution.
+    pub fn run_parallel(&mut self, jobs: &[Job]) -> Result<FarmReport, MultiplyError> {
+        self.profiles.prewarm(jobs)?;
+        self.serve(jobs, &Tracer::disabled(), true)
+    }
+
     /// [`Scheduler::run`] with tracing: the farm becomes one trace
     /// process with a `scheduler` track carrying the job lifecycle
     /// (`submit`/`reject`/`dispatch`/`retire` instants plus a
@@ -154,6 +186,19 @@ impl Scheduler {
         &mut self,
         jobs: &[Job],
         tracer: &Tracer,
+    ) -> Result<FarmReport, MultiplyError> {
+        self.serve(jobs, tracer, false)
+    }
+
+    /// The one scheduling loop behind [`Scheduler::run_traced`] and
+    /// [`Scheduler::run_parallel`]. With `defer_costs`, tiles only
+    /// *place* jobs during the loop and the per-tile cost ledgers are
+    /// applied afterwards, one scoped thread per tile.
+    fn serve(
+        &mut self,
+        jobs: &[Job],
+        tracer: &Tracer,
+        defer_costs: bool,
     ) -> Result<FarmReport, MultiplyError> {
         let mut order: Vec<&Job> = jobs.iter().collect();
         order.sort_by_key(|j| (j.arrival, j.id));
@@ -180,6 +225,10 @@ impl Scheduler {
         let mut tiles: Vec<Tile> = (0..self.config.tiles)
             .map(|i| Tile::new(i, self.config.rotation_slots))
             .collect();
+        // Per-tile job classes whose cost application is deferred to
+        // the post-placement parallel phase (dispatch order per tile).
+        let mut deferred: Vec<Vec<(usize, crate::job::Algo)>> =
+            vec![Vec::new(); if defer_costs { self.config.tiles } else { 0 }];
         let mut records = Vec::with_capacity(order.len());
         let mut rejected = 0usize;
         let mut queue_peak = 0u64;
@@ -222,7 +271,12 @@ impl Scheduler {
             }
             let profile = self.profiles.profile(job)?.clone();
             let pick = self.config.policy.pick(&tiles, job.arrival);
-            let timing = tiles[pick].execute(job, &profile, rotate, &self.energy_params);
+            let timing = if defer_costs {
+                deferred[pick].push((job.width, job.algo));
+                tiles[pick].place(job, &profile, rotate)
+            } else {
+                tiles[pick].execute(job, &profile, rotate, &self.energy_params)
+            };
             waiting.push(Reverse(timing.start[0]));
             queue_peak = queue_peak.max(waiting.len() as u64);
             if enabled {
@@ -287,6 +341,25 @@ impl Scheduler {
                 }
                 tracer.counter(occupancy, "jobs_running", cycle, running as f64);
             }
+        }
+
+        if defer_costs {
+            // Parallel accounting phase: each tile folds its own jobs'
+            // cycle/energy costs in dispatch order on its own thread.
+            // Tiles share nothing mutable, so the per-tile ledgers are
+            // bit-identical to the sequential path's.
+            let profiles = &self.profiles;
+            let params = &self.energy_params;
+            std::thread::scope(|s| {
+                for (tile, classes) in tiles.iter_mut().zip(&deferred) {
+                    s.spawn(move || {
+                        for &key in classes {
+                            let profile = profiles.get(key).expect("class placed, so cached");
+                            tile.apply_cost(profile, params);
+                        }
+                    });
+                }
+            });
         }
 
         let makespan = records.iter().map(|r| r.finish).max().unwrap_or(0);
@@ -435,6 +508,43 @@ mod tests {
             .run(&jobs)
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_sequential() {
+        for policy in Policy::all() {
+            let jobs = JobMix::crypto_default(300).generate(120, 7);
+            let config = FarmConfig::new(4, policy).with_queue_depth(16);
+            let seq = Scheduler::new(config).run(&jobs).unwrap();
+            let par = Scheduler::new(config).run_parallel(&jobs).unwrap();
+            assert_eq!(seq, par, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_with_measured_profiles() {
+        // Two distinct Karatsuba widths so the prewarm fan-out really
+        // calibrates more than one class concurrently.
+        let mut jobs = JobMix::uniform(16, Algo::Karatsuba, 40).generate(6, 3);
+        for (i, job) in JobMix::uniform(32, Algo::Karatsuba, 40)
+            .generate(6, 4)
+            .into_iter()
+            .enumerate()
+        {
+            jobs.push(Job {
+                id: 100 + i as u64,
+                ..job
+            });
+        }
+        let config = FarmConfig::new(2, Policy::WearLeveling);
+        let source = ProfileSource::Measured { seed: 5 };
+        let seq = Scheduler::with_profiles(config, ProfileTable::new(source))
+            .run(&jobs)
+            .unwrap();
+        let par = Scheduler::with_profiles(config, ProfileTable::new(source))
+            .run_parallel(&jobs)
+            .unwrap();
+        assert_eq!(seq, par);
     }
 
     #[test]

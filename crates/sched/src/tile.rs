@@ -112,6 +112,17 @@ impl Tile {
         rotate: bool,
         params: &EnergyParams,
     ) -> TileJobTiming {
+        let timing = self.place(job, profile, rotate);
+        self.apply_cost(profile, params);
+        timing
+    }
+
+    /// Placement phase of [`Tile::execute`]: advances the stage
+    /// clocks, the wear ledger, and the load/job counters — everything
+    /// a [`crate::policy::Policy`] reads when picking the next tile.
+    /// Placement is inherently sequential across the farm (each pick
+    /// depends on the state the previous placements produced).
+    pub(crate) fn place(&mut self, job: &Job, profile: &JobProfile, rotate: bool) -> TileJobTiming {
         let mut start = [0u64; 3];
         let mut finish = [0u64; 3];
         let mut input_ready = job.arrival;
@@ -132,10 +143,19 @@ impl Tile {
         for s in 0..3 {
             self.slot_wear[slot][s] += profile.wear[s].max_writes;
         }
-        self.stats.merge(&profile.stats);
-        self.energy.merge(&profile.energy(params));
         self.jobs_done += 1;
         TileJobTiming { start, finish }
+    }
+
+    /// Accounting phase of [`Tile::execute`]: folds the job's cycle
+    /// statistics and priced energy into the tile's ledgers. No policy
+    /// reads these, so the farm's parallel path defers them and
+    /// applies each tile's jobs (in dispatch order) from its own
+    /// thread — the fold order per tile matches the sequential path,
+    /// making the resulting ledgers bit-identical.
+    pub(crate) fn apply_cost(&mut self, profile: &JobProfile, params: &EnergyParams) {
+        self.stats.merge(&profile.stats);
+        self.energy.merge(&profile.energy(params));
     }
 
     /// Worst accumulated per-cell writes anywhere on this tile.

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-075ea53b033bb99f.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-075ea53b033bb99f: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

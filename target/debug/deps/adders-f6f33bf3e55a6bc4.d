@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adders-f6f33bf3e55a6bc4.d: crates/bench/benches/adders.rs
+
+/root/repo/target/debug/deps/adders-f6f33bf3e55a6bc4: crates/bench/benches/adders.rs
+
+crates/bench/benches/adders.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algo_exploration-0ecb84d2332df7e4.d: crates/bench/src/bin/algo_exploration.rs
+
+/root/repo/target/debug/deps/algo_exploration-0ecb84d2332df7e4: crates/bench/src/bin/algo_exploration.rs
+
+crates/bench/src/bin/algo_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algos-3703c5882faed527.d: crates/bench/benches/algos.rs
+
+/root/repo/target/debug/deps/algos-3703c5882faed527: crates/bench/benches/algos.rs
+
+crates/bench/benches/algos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backends-5b9968ec6e8fd526.d: crates/bench/benches/backends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackends-5b9968ec6e8fd526.rmeta: crates/bench/benches/backends.rs Cargo.toml
+
+crates/bench/benches/backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

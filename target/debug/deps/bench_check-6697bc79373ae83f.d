@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_check-6697bc79373ae83f.d: crates/bench/src/bin/bench_check.rs
+
+/root/repo/target/debug/deps/bench_check-6697bc79373ae83f: crates/bench/src/bin/bench_check.rs
+
+crates/bench/src/bin/bench_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_snapshot-44dce14573e2f785.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/debug/deps/bench_snapshot-44dce14573e2f785: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

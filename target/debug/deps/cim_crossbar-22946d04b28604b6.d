@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/cim_crossbar-22946d04b28604b6.d: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/cim_crossbar-22946d04b28604b6.d: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/packed.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs crates/crossbar/src/wear.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcim_crossbar-22946d04b28604b6.rmeta: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/libcim_crossbar-22946d04b28604b6.rmeta: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/packed.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs crates/crossbar/src/wear.rs Cargo.toml
 
 crates/crossbar/src/lib.rs:
 crates/crossbar/src/array.rs:
@@ -12,8 +12,10 @@ crates/crossbar/src/exec.rs:
 crates/crossbar/src/geometry.rs:
 crates/crossbar/src/isa.rs:
 crates/crossbar/src/meter.rs:
+crates/crossbar/src/packed.rs:
 crates/crossbar/src/parasitics.rs:
 crates/crossbar/src/stats.rs:
+crates/crossbar/src/wear.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/cim_crossbar-b8d4937a8fc77012.d: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs
+/root/repo/target/debug/deps/cim_crossbar-b8d4937a8fc77012.d: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/packed.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs crates/crossbar/src/wear.rs
 
-/root/repo/target/debug/deps/cim_crossbar-b8d4937a8fc77012: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs
+/root/repo/target/debug/deps/cim_crossbar-b8d4937a8fc77012: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/packed.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs crates/crossbar/src/wear.rs
 
 crates/crossbar/src/lib.rs:
 crates/crossbar/src/array.rs:
@@ -12,5 +12,7 @@ crates/crossbar/src/exec.rs:
 crates/crossbar/src/geometry.rs:
 crates/crossbar/src/isa.rs:
 crates/crossbar/src/meter.rs:
+crates/crossbar/src/packed.rs:
 crates/crossbar/src/parasitics.rs:
 crates/crossbar/src/stats.rs:
+crates/crossbar/src/wear.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_table-a2b51298d91bb563.d: crates/bench/src/bin/energy_table.rs
+
+/root/repo/target/debug/deps/energy_table-a2b51298d91bb563: crates/bench/src/bin/energy_table.rs
+
+crates/bench/src/bin/energy_table.rs:

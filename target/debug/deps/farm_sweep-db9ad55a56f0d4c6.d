@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/farm_sweep-db9ad55a56f0d4c6.d: crates/bench/src/bin/farm_sweep.rs
+
+/root/repo/target/debug/deps/farm_sweep-db9ad55a56f0d4c6: crates/bench/src/bin/farm_sweep.rs
+
+crates/bench/src/bin/farm_sweep.rs:

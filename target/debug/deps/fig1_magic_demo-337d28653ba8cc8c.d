@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_magic_demo-337d28653ba8cc8c.d: crates/bench/src/bin/fig1_magic_demo.rs
+
+/root/repo/target/debug/deps/fig1_magic_demo-337d28653ba8cc8c: crates/bench/src/bin/fig1_magic_demo.rs
+
+crates/bench/src/bin/fig1_magic_demo.rs:

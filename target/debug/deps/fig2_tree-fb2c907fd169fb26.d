@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_tree-fb2c907fd169fb26.d: crates/bench/src/bin/fig2_tree.rs
+
+/root/repo/target/debug/deps/fig2_tree-fb2c907fd169fb26: crates/bench/src/bin/fig2_tree.rs
+
+crates/bench/src/bin/fig2_tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_unrolled-03d16541999d0dc8.d: crates/bench/src/bin/fig3_unrolled.rs
+
+/root/repo/target/debug/deps/fig3_unrolled-03d16541999d0dc8: crates/bench/src/bin/fig3_unrolled.rs
+
+crates/bench/src/bin/fig3_unrolled.rs:

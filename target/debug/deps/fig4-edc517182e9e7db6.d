@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-edc517182e9e7db6.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-edc517182e9e7db6: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pipeline-d9c84817333ca8f2.d: crates/bench/src/bin/fig5_pipeline.rs
+
+/root/repo/target/debug/deps/fig5_pipeline-d9c84817333ca8f2: crates/bench/src/bin/fig5_pipeline.rs
+
+crates/bench/src/bin/fig5_pipeline.rs:

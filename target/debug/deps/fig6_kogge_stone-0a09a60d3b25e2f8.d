@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_kogge_stone-0a09a60d3b25e2f8.d: crates/bench/src/bin/fig6_kogge_stone.rs
+
+/root/repo/target/debug/deps/fig6_kogge_stone-0a09a60d3b25e2f8: crates/bench/src/bin/fig6_kogge_stone.rs
+
+crates/bench/src/bin/fig6_kogge_stone.rs:

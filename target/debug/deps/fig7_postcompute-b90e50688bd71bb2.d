@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_postcompute-b90e50688bd71bb2.d: crates/bench/src/bin/fig7_postcompute.rs
+
+/root/repo/target/debug/deps/fig7_postcompute-b90e50688bd71bb2: crates/bench/src/bin/fig7_postcompute.rs
+
+crates/bench/src/bin/fig7_postcompute.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/karatsuba_cim-0c58014c68473ee0.d: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs
+/root/repo/target/debug/deps/karatsuba_cim-0c58014c68473ee0.d: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs crates/core/src/progcache.rs
 
-/root/repo/target/debug/deps/libkaratsuba_cim-0c58014c68473ee0.rlib: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs
+/root/repo/target/debug/deps/libkaratsuba_cim-0c58014c68473ee0.rlib: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs crates/core/src/progcache.rs
 
-/root/repo/target/debug/deps/libkaratsuba_cim-0c58014c68473ee0.rmeta: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs
+/root/repo/target/debug/deps/libkaratsuba_cim-0c58014c68473ee0.rmeta: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs crates/core/src/progcache.rs
 
 crates/core/src/lib.rs:
 crates/core/src/chunks.rs:
@@ -14,3 +14,4 @@ crates/core/src/multiply.rs:
 crates/core/src/pipeline.rs:
 crates/core/src/postcompute.rs:
 crates/core/src/precompute.rs:
+crates/core/src/progcache.rs:

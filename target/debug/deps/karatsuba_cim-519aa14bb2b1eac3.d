@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/karatsuba_cim-519aa14bb2b1eac3.d: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs Cargo.toml
+/root/repo/target/debug/deps/karatsuba_cim-519aa14bb2b1eac3.d: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs crates/core/src/progcache.rs Cargo.toml
 
-/root/repo/target/debug/deps/libkaratsuba_cim-519aa14bb2b1eac3.rmeta: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs Cargo.toml
+/root/repo/target/debug/deps/libkaratsuba_cim-519aa14bb2b1eac3.rmeta: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs crates/core/src/progcache.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/chunks.rs:
@@ -12,6 +12,7 @@ crates/core/src/multiply.rs:
 crates/core/src/pipeline.rs:
 crates/core/src/postcompute.rs:
 crates/core/src/precompute.rs:
+crates/core/src/progcache.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

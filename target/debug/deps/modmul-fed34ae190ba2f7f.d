@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/modmul-fed34ae190ba2f7f.d: crates/bench/benches/modmul.rs
+
+/root/repo/target/debug/deps/modmul-fed34ae190ba2f7f: crates/bench/benches/modmul.rs
+
+crates/bench/benches/modmul.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ntt-8098d00f9e3295f5.d: crates/bench/benches/ntt.rs
+
+/root/repo/target/debug/deps/ntt-8098d00f9e3295f5: crates/bench/benches/ntt.rs
+
+crates/bench/benches/ntt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parasitics_table-fe27f139733d0db0.d: crates/bench/src/bin/parasitics_table.rs
+
+/root/repo/target/debug/deps/parasitics_table-fe27f139733d0db0: crates/bench/src/bin/parasitics_table.rs
+
+crates/bench/src/bin/parasitics_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched-84d37fc7ff3b6558.d: crates/bench/benches/sched.rs
+
+/root/repo/target/debug/deps/sched-84d37fc7ff3b6558: crates/bench/benches/sched.rs
+
+crates/bench/benches/sched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-2c74f57003194662.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-2c74f57003194662: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stage_profile-2c7b764b2b0e7354.d: crates/bench/src/bin/stage_profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstage_profile-2c7b764b2b0e7354.rmeta: crates/bench/src/bin/stage_profile.rs Cargo.toml
+
+crates/bench/src/bin/stage_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stage_profile-312996f1d51dc1b0.d: crates/bench/src/bin/stage_profile.rs
+
+/root/repo/target/debug/deps/stage_profile-312996f1d51dc1b0: crates/bench/src/bin/stage_profile.rs
+
+crates/bench/src/bin/stage_profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stage_profile-e4a73f4717b74c93.d: crates/bench/src/bin/stage_profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstage_profile-e4a73f4717b74c93.rmeta: crates/bench/src/bin/stage_profile.rs Cargo.toml
+
+crates/bench/src/bin/stage_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stages-29824d363d45cead.d: crates/bench/benches/stages.rs
+
+/root/repo/target/debug/deps/stages-29824d363d45cead: crates/bench/benches/stages.rs
+
+crates/bench/benches/stages.rs:

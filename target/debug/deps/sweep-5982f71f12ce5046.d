@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-5982f71f12ce5046.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-5982f71f12ce5046: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c998c004585abbb7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c998c004585abbb7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_dump-82f2bbdec76a5cdf.d: crates/bench/src/bin/trace_dump.rs
+
+/root/repo/target/debug/deps/trace_dump-82f2bbdec76a5cdf: crates/bench/src/bin/trace_dump.rs
+
+crates/bench/src/bin/trace_dump.rs:

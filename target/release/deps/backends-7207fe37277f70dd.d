@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/backends-7207fe37277f70dd.d: crates/bench/benches/backends.rs
+
+/root/repo/target/release/deps/backends-7207fe37277f70dd: crates/bench/benches/backends.rs
+
+crates/bench/benches/backends.rs:

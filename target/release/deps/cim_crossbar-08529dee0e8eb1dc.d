@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/cim_crossbar-08529dee0e8eb1dc.d: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs
+/root/repo/target/release/deps/cim_crossbar-08529dee0e8eb1dc.d: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/packed.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs crates/crossbar/src/wear.rs
 
-/root/repo/target/release/deps/libcim_crossbar-08529dee0e8eb1dc.rlib: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs
+/root/repo/target/release/deps/libcim_crossbar-08529dee0e8eb1dc.rlib: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/packed.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs crates/crossbar/src/wear.rs
 
-/root/repo/target/release/deps/libcim_crossbar-08529dee0e8eb1dc.rmeta: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs
+/root/repo/target/release/deps/libcim_crossbar-08529dee0e8eb1dc.rmeta: crates/crossbar/src/lib.rs crates/crossbar/src/array.rs crates/crossbar/src/cell.rs crates/crossbar/src/endurance.rs crates/crossbar/src/energy.rs crates/crossbar/src/error.rs crates/crossbar/src/exec.rs crates/crossbar/src/geometry.rs crates/crossbar/src/isa.rs crates/crossbar/src/meter.rs crates/crossbar/src/packed.rs crates/crossbar/src/parasitics.rs crates/crossbar/src/stats.rs crates/crossbar/src/wear.rs
 
 crates/crossbar/src/lib.rs:
 crates/crossbar/src/array.rs:
@@ -14,5 +14,7 @@ crates/crossbar/src/exec.rs:
 crates/crossbar/src/geometry.rs:
 crates/crossbar/src/isa.rs:
 crates/crossbar/src/meter.rs:
+crates/crossbar/src/packed.rs:
 crates/crossbar/src/parasitics.rs:
 crates/crossbar/src/stats.rs:
+crates/crossbar/src/wear.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/karatsuba_cim-a49734c5df19dd5f.d: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs
+/root/repo/target/release/deps/karatsuba_cim-a49734c5df19dd5f.d: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs crates/core/src/progcache.rs
 
-/root/repo/target/release/deps/libkaratsuba_cim-a49734c5df19dd5f.rlib: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs
+/root/repo/target/release/deps/libkaratsuba_cim-a49734c5df19dd5f.rlib: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs crates/core/src/progcache.rs
 
-/root/repo/target/release/deps/libkaratsuba_cim-a49734c5df19dd5f.rmeta: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs
+/root/repo/target/release/deps/libkaratsuba_cim-a49734c5df19dd5f.rmeta: crates/core/src/lib.rs crates/core/src/chunks.rs crates/core/src/depth1.rs crates/core/src/cost.rs crates/core/src/metrics.rs crates/core/src/multiplier.rs crates/core/src/multiply.rs crates/core/src/pipeline.rs crates/core/src/postcompute.rs crates/core/src/precompute.rs crates/core/src/progcache.rs
 
 crates/core/src/lib.rs:
 crates/core/src/chunks.rs:
@@ -14,3 +14,4 @@ crates/core/src/multiply.rs:
 crates/core/src/pipeline.rs:
 crates/core/src/postcompute.rs:
 crates/core/src/precompute.rs:
+crates/core/src/progcache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stage_profile-ca9131431037fb90.d: crates/bench/src/bin/stage_profile.rs
+
+/root/repo/target/release/deps/stage_profile-ca9131431037fb90: crates/bench/src/bin/stage_profile.rs
+
+crates/bench/src/bin/stage_profile.rs:
