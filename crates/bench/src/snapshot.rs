@@ -29,6 +29,8 @@ use cim_crossbar::EnergyParams;
 use cim_metrics::jsonval::JsonValue;
 use cim_metrics::MetricsHub;
 use cim_sched::{FarmConfig, JobMix, JobProfile, Policy, Scheduler};
+use cim_serve::loadgen::LoadgenConfig;
+use cim_serve::FleetConfig as ServeFleetConfig;
 use cim_trace::json::JsonWriter;
 use karatsuba_cim::multiplier::KaratsubaCimMultiplier;
 use karatsuba_cim::pipeline::PipelineSchedule;
@@ -125,6 +127,47 @@ fn pipeline_workload() -> WorkloadResult {
     WorkloadResult { name: format!("pipeline_{N}x{JOBS}"), metrics }
 }
 
+fn serve_workload(hub: &MetricsHub) -> WorkloadResult {
+    // A deterministic two-tenant serving run over the 4-farm fleet:
+    // the mixed zkEVM-style trace, admission, batching and dispatch
+    // all run on virtual cycle stamps, so every number below (incl.
+    // the throughput) gates exactly.
+    let config = LoadgenConfig {
+        requests: 1_500,
+        tenants: 2,
+        rate: 300,
+        mean_gap: 1_500,
+        exp_bits: 6,
+        scalar_bits: 6,
+        fleet: ServeFleetConfig { farms: 4, tiles_per_farm: 4, ..ServeFleetConfig::default() },
+        ..LoadgenConfig::default()
+    };
+    let report = cim_serve::loadgen::run(&config, hub);
+    let mut metrics = BTreeMap::new();
+    metrics.insert("served".into(), report.served as f64);
+    metrics.insert("shed".into(), report.shed as f64);
+    metrics.insert("errors".into(), report.errors as f64);
+    metrics.insert("incorrect".into(), report.incorrect as f64);
+    metrics.insert("batches".into(), report.stats.batches as f64);
+    metrics.insert("farm_jobs".into(), report.stats.jobs as f64);
+    metrics.insert("drained_cycles".into(), report.stats.drained_at as f64);
+    metrics.insert(
+        "throughput_per_mcc".into(),
+        report.stats.throughput_per_mcc,
+    );
+    for t in &report.stats.tenants {
+        metrics.insert(
+            format!("{}_p99_latency", t.name),
+            t.p99_latency_cycles as f64,
+        );
+        metrics.insert(
+            format!("{}_shed", t.name),
+            (t.shed_rate_limited + t.shed_queue_full) as f64,
+        );
+    }
+    WorkloadResult { name: "serve_2tenant_4farm".into(), metrics }
+}
+
 fn farm_workload(hub: &MetricsHub) -> WorkloadResult {
     let jobs = JobMix::crypto_default(300).generate(64, 7);
     let mut sched = Scheduler::new(FarmConfig::new(4, Policy::WearLeveling));
@@ -170,6 +213,7 @@ impl BenchSnapshot {
         }
         timed(&|_| pipeline_workload());
         timed(&farm_workload);
+        timed(&serve_workload);
         BenchSnapshot { tag: tag.into(), quick, workloads }
     }
 
@@ -296,6 +340,16 @@ impl Diff {
     }
 }
 
+/// Relative delta of `got` vs `want` as a display string (`n/a` when
+/// the baseline is zero).
+fn rel_delta(want: f64, got: f64) -> String {
+    if want == 0.0 {
+        "n/a vs zero baseline".to_string()
+    } else {
+        format!("{:+.4}%", 100.0 * (got - want) / want)
+    }
+}
+
 /// Compares `current` against `baseline`: exact equality for every
 /// metric except [`WALL_METRIC`], which only regresses on a slowdown
 /// beyond both tolerances. See [`DiffOptions`].
@@ -327,14 +381,21 @@ pub fn diff(baseline: &BenchSnapshot, current: &BenchSnapshot, opts: &DiffOption
                     d.ok(format!("{name}: {want:.1} -> {got:.1} (tolerated)"));
                 } else {
                     d.fail(format!(
-                        "{name}: {want:.1} ms -> {got:.1} ms exceeds {}x/{} ms tolerance",
-                        opts.wall_rel_tol, opts.wall_abs_tol_ms
+                        "{name}: expected <= {want:.1} ms, actual {got:.1} ms, \
+                         delta {slow:+.1} ms ({}) exceeds {}x/{} ms tolerance",
+                        rel_delta(want, got),
+                        opts.wall_rel_tol,
+                        opts.wall_abs_tol_ms
                     ));
                 }
             } else if got == want {
                 d.ok(format!("{name}: {want}"));
             } else {
-                d.fail(format!("{name}: expected {want}, got {got}"));
+                d.fail(format!(
+                    "{name}: expected {want}, actual {got}, delta {:+} ({})",
+                    got - want,
+                    rel_delta(want, got)
+                ));
             }
         }
         for metric in cur_wl.metrics.keys() {
@@ -400,6 +461,37 @@ mod tests {
     }
 
     #[test]
+    fn failure_lines_spell_out_expected_actual_and_delta() {
+        let base = snap(&[("w", &[("cycles", 10.0), ("writes", 0.0)])]);
+        let cur = snap(&[("w", &[("cycles", 12.5), ("writes", 3.0)])]);
+        let d = diff(&base, &cur, &DiffOptions::default());
+        assert_eq!(d.regressions.len(), 2);
+        let cycles = d
+            .regressions
+            .iter()
+            .find(|l| l.contains("w/cycles"))
+            .expect("cycles regression reported");
+        assert!(cycles.contains("expected 10"), "{cycles}");
+        assert!(cycles.contains("actual 12.5"), "{cycles}");
+        assert!(cycles.contains("delta +2.5"), "{cycles}");
+        assert!(cycles.contains("+25.0000%"), "{cycles}");
+        let writes = d
+            .regressions
+            .iter()
+            .find(|l| l.contains("w/writes"))
+            .expect("writes regression reported");
+        assert!(writes.contains("n/a vs zero baseline"), "{writes}");
+
+        let wall_base = snap(&[("w", &[("wall_ms", 10.0)])]);
+        let wall_hung = snap(&[("w", &[("wall_ms", 1.0e6)])]);
+        let d = diff(&wall_base, &wall_hung, &DiffOptions::default());
+        assert!(!d.passed());
+        assert!(d.regressions[0].contains("expected <= 10.0 ms"), "{}", d.regressions[0]);
+        assert!(d.regressions[0].contains("actual 1000000.0 ms"), "{}", d.regressions[0]);
+        assert!(d.regressions[0].contains("delta +999990.0 ms"), "{}", d.regressions[0]);
+    }
+
+    #[test]
     fn wall_time_is_tolerated_but_not_unbounded() {
         let base = snap(&[("w", &[("wall_ms", 100.0)])]);
         let slower = snap(&[("w", &[("wall_ms", 1_500.0)])]);
@@ -453,9 +545,19 @@ mod tests {
             "cim_xbar_cycles_total",
             "cim_core_total_latency_cycles",
             "cim_sched_job_latency_cycles",
+            "cim_serve_requests_total",
         ] {
             assert!(names.iter().any(|n| n == family), "missing {family}");
         }
+        // The serving workload is part of the matrix and gated.
+        let serve = a
+            .workloads
+            .iter()
+            .find(|w| w.name == "serve_2tenant_4farm")
+            .expect("serve workload in snapshot");
+        assert_eq!(serve.metrics["incorrect"], 0.0);
+        assert!(serve.metrics["served"] > 0.0);
+        assert!(serve.metrics["throughput_per_mcc"] > 0.0);
         // The gate passes against itself.
         assert!(diff(&a, &b, &DiffOptions::default()).passed());
     }

@@ -26,6 +26,14 @@ pub enum MultiplyError {
         /// What the gold model expected.
         expected: Box<Uint>,
     },
+    /// The requested operand width cannot be served: not a positive
+    /// multiple of 4, or wider than the hardware is provisioned for.
+    UnsupportedWidth {
+        /// The requested operand width in bits.
+        width: usize,
+        /// The widest operand the configuration supports.
+        max: usize,
+    },
 }
 
 impl fmt::Display for MultiplyError {
@@ -38,6 +46,10 @@ impl fmt::Display for MultiplyError {
                 got.as_ref(),
                 expected.as_ref()
             ),
+            MultiplyError::UnsupportedWidth { width, max } => write!(
+                f,
+                "operand width {width} unsupported (must be a positive multiple of 4, at most {max})"
+            ),
         }
     }
 }
@@ -46,7 +58,9 @@ impl Error for MultiplyError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             MultiplyError::Crossbar(e) => Some(e),
-            MultiplyError::VerificationFailed { .. } => None,
+            MultiplyError::VerificationFailed { .. } | MultiplyError::UnsupportedWidth { .. } => {
+                None
+            }
         }
     }
 }

@@ -52,6 +52,79 @@ pub fn goldilocks() -> Uint {
     Uint::from_u64(0xFFFF_FFFF_0000_0001)
 }
 
+/// A stable, wire-serializable identifier for the sample moduli —
+/// the field tag the `cim-serve` protocol puts on `modexp` / `ec_*`
+/// requests. The `u8` codes are part of the wire format and must
+/// never be reassigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FieldId {
+    /// BLS12-381 base field (381 bits).
+    Bls12_381Base,
+    /// BN254 base field (254 bits).
+    Bn254Base,
+    /// BN254 scalar field (254 bits).
+    Bn254Scalar,
+    /// Curve25519 prime `2^255 − 19`.
+    Curve25519,
+    /// Goldilocks prime `2^64 − 2^32 + 1`.
+    Goldilocks,
+}
+
+impl FieldId {
+    /// Every defined field id.
+    pub const ALL: [FieldId; 5] = [
+        FieldId::Bls12_381Base,
+        FieldId::Bn254Base,
+        FieldId::Bn254Scalar,
+        FieldId::Curve25519,
+        FieldId::Goldilocks,
+    ];
+
+    /// The wire code (stable across protocol versions).
+    pub fn code(self) -> u8 {
+        match self {
+            FieldId::Bls12_381Base => 0,
+            FieldId::Bn254Base => 1,
+            FieldId::Bn254Scalar => 2,
+            FieldId::Curve25519 => 3,
+            FieldId::Goldilocks => 4,
+        }
+    }
+
+    /// Decodes a wire code; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<FieldId> {
+        FieldId::ALL.into_iter().find(|f| f.code() == code)
+    }
+
+    /// Display name (matches [`catalog`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            FieldId::Bls12_381Base => "bls12_381_base",
+            FieldId::Bn254Base => "bn254_base",
+            FieldId::Bn254Scalar => "bn254_scalar",
+            FieldId::Curve25519 => "curve25519",
+            FieldId::Goldilocks => "goldilocks",
+        }
+    }
+
+    /// The modulus this id names.
+    pub fn modulus(self) -> Uint {
+        match self {
+            FieldId::Bls12_381Base => bls12_381_base(),
+            FieldId::Bn254Base => bn254_base(),
+            FieldId::Bn254Scalar => bn254_scalar(),
+            FieldId::Curve25519 => curve25519(),
+            FieldId::Goldilocks => goldilocks(),
+        }
+    }
+
+    /// Operand width class of this field on the CIM multiplier: the
+    /// modulus bit length rounded up to a multiple of 4.
+    pub fn width(self) -> usize {
+        self.modulus().bit_len().div_ceil(4) * 4
+    }
+}
+
 /// All sample moduli with display names and the paper's motivating
 /// application.
 pub fn catalog() -> Vec<(&'static str, &'static str, Uint)> {
@@ -93,6 +166,17 @@ mod tests {
             Uint::pow2(64).rem(&goldilocks()),
             Uint::pow2(32).sub(&Uint::one())
         );
+    }
+
+    #[test]
+    fn field_id_codes_round_trip() {
+        for id in FieldId::ALL {
+            assert_eq!(FieldId::from_code(id.code()), Some(id));
+            assert_eq!(id.width() % 4, 0);
+            assert!(id.width() >= id.modulus().bit_len());
+            assert!(id.width() < id.modulus().bit_len() + 4);
+        }
+        assert_eq!(FieldId::from_code(200), None);
     }
 
     #[test]

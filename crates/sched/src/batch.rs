@@ -132,19 +132,14 @@ fn accumulate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cim_bigint::rng::UintRng;
+    use crate::testutil::pairs;
     use karatsuba_cim::pipeline::PipelineSchedule;
-
-    fn pairs(n: usize, count: usize, seed: u64) -> Vec<(Uint, Uint)> {
-        let mut rng = UintRng::seeded(seed);
-        (0..count).map(|_| (rng.uniform(n), rng.uniform(n))).collect()
-    }
 
     #[test]
     fn batch_reports_scale_with_size() {
-        let mult = KaratsubaCimMultiplier::new(32).unwrap();
-        let small = run_batch(&mult, &pairs(32, 2, 1)).unwrap();
-        let large = run_batch(&mult, &pairs(32, 6, 1)).unwrap();
+        let mult = KaratsubaCimMultiplier::new(32).expect("32 is a valid multiplier width");
+        let small = run_batch(&mult, &pairs(32, 2, 1)).expect("2-pair batch must run");
+        let large = run_batch(&mult, &pairs(32, 6, 1)).expect("6-pair batch must run");
         assert_eq!(small.multiplications, 2);
         assert_eq!(large.multiplications, 6);
         assert!(large.makespan_cycles > small.makespan_cycles);
@@ -155,28 +150,28 @@ mod tests {
 
     #[test]
     fn amortized_writes_are_stable() {
-        let mult = KaratsubaCimMultiplier::new(16).unwrap();
-        let r = run_batch(&mult, &pairs(16, 5, 2)).unwrap();
+        let mult = KaratsubaCimMultiplier::new(16).expect("16 is a valid multiplier width");
+        let r = run_batch(&mult, &pairs(16, 5, 2)).expect("5-pair batch must run");
         let per = r.writes_per_multiplication();
         assert!(per > 0.0);
         // Within 2x of a single run's max writes (same workload shape).
-        let single = run_batch(&mult, &pairs(16, 1, 2)).unwrap();
+        let single = run_batch(&mult, &pairs(16, 1, 2)).expect("1-pair batch must run");
         assert!(per <= 2.0 * single.max_writes() as f64);
         assert!(r.projected_lifetime_multiplications() > 1_000_000);
     }
 
     #[test]
     fn empty_batch() {
-        let mult = KaratsubaCimMultiplier::new(16).unwrap();
-        let r = run_batch(&mult, &[]).unwrap();
+        let mult = KaratsubaCimMultiplier::new(16).expect("16 is a valid multiplier width");
+        let r = run_batch(&mult, &[]).expect("empty batch must run");
         assert_eq!(r.multiplications, 0);
         assert_eq!(r.max_writes(), 0);
     }
 
     #[test]
     fn throughput_matches_design_point() {
-        let mult = KaratsubaCimMultiplier::new(64).unwrap();
-        let r = run_batch(&mult, &pairs(64, 4, 3)).unwrap();
+        let mult = KaratsubaCimMultiplier::new(64).expect("64 is a valid multiplier width");
+        let r = run_batch(&mult, &pairs(64, 4, 3)).expect("4-pair batch must run");
         let d = mult.design_point();
         // Stage 3 measured differs ≤2% from the paper formula, so the
         // batch throughput must be within 2% of the model's.
@@ -188,15 +183,17 @@ mod tests {
     /// single-pipeline schedule it replaced.
     #[test]
     fn farm_timing_matches_pipeline_schedule() {
-        let mult = KaratsubaCimMultiplier::new(32).unwrap();
+        let mult = KaratsubaCimMultiplier::new(32).expect("32 is a valid multiplier width");
         let ps = pairs(32, 5, 4);
-        let r = run_batch(&mult, &ps).unwrap();
-        let out = mult.multiply(&ps[0].0, &ps[0].1).unwrap();
+        let r = run_batch(&mult, &ps).expect("5-pair batch must run");
+        let out = mult
+            .multiply(&ps[0].0, &ps[0].1)
+            .expect("verified multiply must succeed");
         let schedule =
             PipelineSchedule::simulate(ps.len(), out.report.stage_cycles, HANDOFF_CYCLES);
         assert_eq!(
             r.makespan_cycles,
-            schedule.jobs.last().unwrap().completed_at()
+            schedule.jobs.last().expect("nonempty schedule").completed_at()
         );
         assert!((r.throughput_per_mcc - schedule.throughput_per_mcc()).abs() < 1e-9);
     }

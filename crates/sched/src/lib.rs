@@ -47,6 +47,8 @@
 
 pub mod batch;
 pub mod job;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod metrics;
 pub mod policy;
 pub mod profile;
@@ -57,7 +59,9 @@ pub mod tile;
 pub use batch::{run_batch, BatchReport};
 pub use job::{Algo, Job, JobClass, JobMix};
 pub use policy::Policy;
-pub use profile::{JobProfile, ProfileSource, ProfileTable, StageWear};
+pub use profile::{
+    validate_width, JobProfile, ProfileSource, ProfileTable, StageWear, MAX_JOB_WIDTH,
+};
 pub use report::{FarmReport, JobRecord, TileReport};
 pub use scheduler::{FarmConfig, Scheduler};
 pub use tile::{Tile, TileJobTiming, DEFAULT_ROTATION_SLOTS};

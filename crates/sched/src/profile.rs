@@ -28,6 +28,25 @@ fn ceil_log2(n: usize) -> u64 {
     (usize::BITS - (n - 1).leading_zeros()) as u64
 }
 
+/// Widest operand any tile profile is provisioned for. Jobs beyond it
+/// (or with a width that is not a positive multiple of 4) are rejected
+/// with [`MultiplyError::UnsupportedWidth`] rather than panicking —
+/// the serving layer forwards untrusted request widths here.
+pub const MAX_JOB_WIDTH: usize = 1 << 16;
+
+/// Validates a job width against the class the profiles support.
+///
+/// # Errors
+///
+/// [`MultiplyError::UnsupportedWidth`] when `width` is zero, not a
+/// multiple of 4, or above [`MAX_JOB_WIDTH`].
+pub fn validate_width(width: usize) -> Result<(), MultiplyError> {
+    if width == 0 || !width.is_multiple_of(4) || width > MAX_JOB_WIDTH {
+        return Err(MultiplyError::UnsupportedWidth { width, max: MAX_JOB_WIDTH });
+    }
+    Ok(())
+}
+
 /// Wear one job inflicts on one stage array of a tile.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageWear {
@@ -290,6 +309,7 @@ impl ProfileTable {
 
     /// Computes the profile of one class from `source` (no caching).
     fn resolve(source: ProfileSource, width: usize, algo: Algo) -> Result<JobProfile, MultiplyError> {
+        validate_width(width)?;
         Ok(match (algo, source) {
             (Algo::Karatsuba, ProfileSource::Analytic) => JobProfile::karatsuba_analytic(width),
             (Algo::Karatsuba, ProfileSource::Measured { seed }) => {

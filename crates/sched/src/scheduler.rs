@@ -548,6 +548,69 @@ mod tests {
     }
 
     #[test]
+    fn parallel_run_empty_job_list() {
+        for policy in Policy::all() {
+            let report = Scheduler::new(FarmConfig::new(4, policy))
+                .run_parallel(&[])
+                .expect("an empty stream is a valid (trivial) run");
+            assert_eq!(report.jobs_submitted, 0);
+            assert_eq!(report.jobs_done(), 0);
+            assert_eq!(report.makespan_cycles, 0);
+            assert_eq!(report.tile_reports.len(), 4);
+            // The empty parallel run matches the empty sequential run.
+            let seq = Scheduler::new(FarmConfig::new(4, policy))
+                .run(&[])
+                .expect("empty sequential run");
+            assert_eq!(report, seq, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_run_single_tile_farm() {
+        let jobs = JobMix::crypto_default(200).generate(40, 13);
+        for policy in Policy::all() {
+            let config = FarmConfig::new(1, policy).with_queue_depth(8);
+            let seq = Scheduler::new(config).run(&jobs).expect("sequential run");
+            let par = Scheduler::new(config)
+                .run_parallel(&jobs)
+                .expect("parallel run");
+            assert_eq!(seq, par, "{policy:?}");
+            assert_eq!(par.tile_reports.len(), 1);
+            assert_eq!(par.jobs_done() + par.jobs_rejected, jobs.len());
+        }
+    }
+
+    #[test]
+    fn oversized_job_width_errors_instead_of_panicking() {
+        use crate::profile::MAX_JOB_WIDTH;
+
+        let too_wide = Job {
+            id: 0,
+            width: 2 * MAX_JOB_WIDTH,
+            algo: Algo::Karatsuba,
+            arrival: 0,
+        };
+        let unaligned = Job { id: 1, width: 30, ..too_wide };
+        for bad in [too_wide, unaligned] {
+            for parallel in [false, true] {
+                let mut sched = Scheduler::new(FarmConfig::new(2, Policy::Fifo));
+                let result = if parallel {
+                    sched.run_parallel(&[bad])
+                } else {
+                    sched.run(&[bad])
+                };
+                match result {
+                    Err(MultiplyError::UnsupportedWidth { width, max }) => {
+                        assert_eq!(width, bad.width);
+                        assert_eq!(max, MAX_JOB_WIDTH);
+                    }
+                    other => panic!("width {} must be rejected, got {other:?}", bad.width),
+                }
+            }
+        }
+    }
+
+    #[test]
     fn traced_run_matches_untraced_and_emits_lifecycle() {
         use cim_trace::EventKind;
 

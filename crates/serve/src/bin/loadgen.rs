@@ -1,0 +1,207 @@
+//! Replayable load generator for the cim-serve fleet.
+//!
+//! ```text
+//! loadgen [--requests N] [--tenants N] [--farms N] [--tiles N]
+//!         [--seed N] [--mean-gap CYCLES] [--rate R] [--burst B]
+//!         [--queue-depth D] [--exp-bits N] [--scalar-bits N]
+//!         [--max-batch-jobs N] [--max-wait CYCLES]
+//!         [--threaded] [--workers N] [--smoke]
+//!         [--json PATH] [--prom PATH]
+//! ```
+//!
+//! Generates a deterministic zkEVM-precompile-style request trace,
+//! serves it through the engine (or the threaded server with
+//! `--threaded`), verifies every `Ok` response against an independent
+//! gold path, and prints a human summary. `--json` writes the full
+//! report; `--prom` writes the Prometheus exposition of the
+//! `cim_serve_*` families. `--smoke` is the CI preset: a small run
+//! that still covers all four operations, both tenants shedding and
+//! the threaded path.
+//!
+//! Exit codes: 0 all responses correct, 1 any incorrect response or
+//! internal error, 2 usage errors.
+
+use cim_metrics::{prometheus, MetricsHub};
+use cim_serve::loadgen::{run, LoadgenConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = LoadgenConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> Result<u64, String> {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| format!("{arg_name} needs a numeric value", arg_name = arg))
+        };
+        match arg.as_str() {
+            "--requests" => match num(&mut args) {
+                Ok(v) => config.requests = v,
+                Err(e) => return usage(&e),
+            },
+            "--tenants" => match num(&mut args) {
+                Ok(v) => config.tenants = (v as usize).max(1),
+                Err(e) => return usage(&e),
+            },
+            "--farms" => match num(&mut args) {
+                Ok(v) => config.fleet.farms = (v as usize).max(1),
+                Err(e) => return usage(&e),
+            },
+            "--tiles" => match num(&mut args) {
+                Ok(v) => config.fleet.tiles_per_farm = (v as usize).max(1),
+                Err(e) => return usage(&e),
+            },
+            "--seed" => match num(&mut args) {
+                Ok(v) => config.seed = v,
+                Err(e) => return usage(&e),
+            },
+            "--mean-gap" => match num(&mut args) {
+                Ok(v) => config.mean_gap = v.max(1),
+                Err(e) => return usage(&e),
+            },
+            "--rate" => match num(&mut args) {
+                Ok(v) => config.rate = v.max(1),
+                Err(e) => return usage(&e),
+            },
+            "--burst" => match num(&mut args) {
+                Ok(v) => config.burst = v,
+                Err(e) => return usage(&e),
+            },
+            "--queue-depth" => match num(&mut args) {
+                Ok(v) => config.queue_depth = v as usize,
+                Err(e) => return usage(&e),
+            },
+            "--exp-bits" => match num(&mut args) {
+                Ok(v) => config.exp_bits = (v as usize).max(1),
+                Err(e) => return usage(&e),
+            },
+            "--scalar-bits" => match num(&mut args) {
+                Ok(v) => config.scalar_bits = (v as usize).max(1),
+                Err(e) => return usage(&e),
+            },
+            "--max-batch-jobs" => match num(&mut args) {
+                Ok(v) => config.batch.max_jobs = v.max(1),
+                Err(e) => return usage(&e),
+            },
+            "--max-wait" => match num(&mut args) {
+                Ok(v) => config.batch.max_wait_cycles = v,
+                Err(e) => return usage(&e),
+            },
+            "--workers" => match num(&mut args) {
+                Ok(v) => config.workers = v as usize,
+                Err(e) => return usage(&e),
+            },
+            "--threaded" => {
+                if config.workers == 0 {
+                    config.workers = 4;
+                }
+            }
+            "--smoke" => {
+                config.requests = 5_000;
+                config.tenants = 2;
+                config.rate = 300;
+                config.mean_gap = 1_500;
+                config.exp_bits = 8;
+                config.scalar_bits = 8;
+                if config.workers == 0 {
+                    config.workers = 2;
+                }
+            }
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => return usage("--json needs a path"),
+            },
+            "--prom" => match args.next() {
+                Some(p) => prom_path = Some(p),
+                None => return usage("--prom needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let hub = MetricsHub::recording();
+    let report = run(&config, &hub);
+
+    println!(
+        "loadgen: {} requests ({} tenants, {} farms x {} tiles, seed {}, {})",
+        report.submitted,
+        config.tenants,
+        config.fleet.farms,
+        config.fleet.tiles_per_farm,
+        config.seed,
+        if report.threaded { "threaded" } else { "sync" },
+    );
+    println!(
+        "  served {}  shed {}  errors {}  verified {}  incorrect {}",
+        report.served, report.shed, report.errors, report.verified, report.incorrect
+    );
+    for (op, n) in &report.by_op {
+        println!("  {op:<8} {n}");
+    }
+    for t in &report.stats.tenants {
+        println!(
+            "  {}: served {}  shed {}+{}  p50 {}  p95 {}  p99 {} cycles",
+            t.name,
+            t.served,
+            t.shed_rate_limited,
+            t.shed_queue_full,
+            t.p50_latency_cycles,
+            t.p95_latency_cycles,
+            t.p99_latency_cycles
+        );
+    }
+    for f in &report.stats.farms {
+        println!(
+            "  farm {}: {} batches  {} jobs  clock {}  utilization {:.3}",
+            f.farm, f.batches, f.jobs, f.clock, f.utilization
+        );
+    }
+    println!(
+        "  drained at {} cycles, throughput {:.2} served/Mcycle, wall {} ms",
+        report.stats.drained_at, report.stats.throughput_per_mcc, report.wall_ms
+    );
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("loadgen: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("  report written to {path}");
+    }
+    if let Some(path) = &prom_path {
+        let text = prometheus::render(&hub.snapshot());
+        if let Err(e) = prometheus::check(&text) {
+            eprintln!("loadgen: invalid exposition: {e}");
+            return ExitCode::from(1);
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("loadgen: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("  metrics written to {path}");
+    }
+
+    if report.incorrect > 0 {
+        eprintln!("loadgen: FAIL — {} incorrect responses", report.incorrect);
+        return ExitCode::from(1);
+    }
+    if report.served + report.shed + report.errors != report.submitted {
+        eprintln!("loadgen: FAIL — responses do not account for every request");
+        return ExitCode::from(1);
+    }
+    println!("loadgen: PASS — every served response verified against gold");
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("loadgen: {err}");
+    eprintln!(
+        "usage: loadgen [--requests N] [--tenants N] [--farms N] [--tiles N] \
+         [--seed N] [--mean-gap CYCLES] [--rate R] [--burst B] [--queue-depth D] \
+         [--exp-bits N] [--scalar-bits N] [--max-batch-jobs N] [--max-wait CYCLES] \
+         [--threaded] [--workers N] [--smoke] [--json PATH] [--prom PATH]"
+    );
+    ExitCode::from(2)
+}

@@ -1,0 +1,364 @@
+//! Arithmetic execution with built-in gold verification.
+//!
+//! Every served operation is computed twice through *independent*
+//! code paths before a result leaves the server:
+//!
+//! * `mul` — Karatsuba ([`cim_bigint::mul::karatsuba`]) against
+//!   schoolbook ([`cim_bigint::mul::schoolbook`]);
+//! * `modexp` — Montgomery REDC against Barrett reduction;
+//! * `ec_add` — Jacobian addition, checked commutatively and against
+//!   the curve equation;
+//! * `ec_mul` — double-and-add against the Montgomery ladder.
+//!
+//! A disagreement turns into a [`Response::Error`], never a wrong
+//! `Ok` — the serving layer's correctness contract. Clients can
+//! re-verify with [`OpExecutor::verify`], which recomputes one gold
+//! path from scratch.
+//!
+//! The executor holds [`Curve`] contexts, which are `Rc`-based and
+//! hence `!Send`: the server gives each worker thread its own
+//! executor instead of sharing one.
+//!
+//! [`Response::Error`]: crate::protocol::Response::Error
+
+use crate::protocol::{EcPoint, Op, ResponsePayload};
+use cim_bigint::Uint;
+use cim_modmul::barrett::BarrettContext;
+use cim_modmul::ec::{Curve, Point};
+use cim_modmul::fields::FieldId;
+use cim_modmul::montgomery::MontgomeryContext;
+use cim_modmul::ModularReducer;
+use cim_sched::validate_width;
+
+/// Largest exponent (in bits) `modexp` serves; wider exponents are
+/// rejected at validation instead of expanding into unbounded work.
+pub const MAX_EXP_BITS: usize = 4096;
+
+/// Largest scalar (in bits) `ec_mul` serves.
+pub const MAX_SCALAR_BITS: usize = 512;
+
+/// Whether a field has a serving curve for `ec_add` / `ec_mul`.
+pub fn has_curve(field: FieldId) -> bool {
+    matches!(field, FieldId::Bn254Base | FieldId::Bls12_381Base)
+}
+
+/// Cheap structural validation of an operation — everything the
+/// dispatcher checks *before* spending admission tokens or farm
+/// cycles. Deep checks (point on curve, gold agreement) happen in
+/// [`OpExecutor::execute`].
+///
+/// # Errors
+///
+/// A human-readable reason the request can never be served.
+pub fn validate(op: &Op) -> Result<(), String> {
+    match op {
+        Op::Mul { width, a, b } => {
+            validate_width(*width).map_err(|e| e.to_string())?;
+            if a.bit_len() > *width || b.bit_len() > *width {
+                return Err(format!(
+                    "operand wider than the declared {width}-bit class"
+                ));
+            }
+            Ok(())
+        }
+        Op::ModExp { exp, .. } => {
+            if exp.bit_len() > MAX_EXP_BITS {
+                return Err(format!(
+                    "exponent of {} bits exceeds the {MAX_EXP_BITS}-bit limit",
+                    exp.bit_len()
+                ));
+            }
+            Ok(())
+        }
+        Op::EcAdd { field, .. } => {
+            if !has_curve(*field) {
+                return Err(format!("no serving curve over {}", field.label()));
+            }
+            Ok(())
+        }
+        Op::EcMul { field, k, .. } => {
+            if !has_curve(*field) {
+                return Err(format!("no serving curve over {}", field.label()));
+            }
+            if k.bit_len() > MAX_SCALAR_BITS {
+                return Err(format!(
+                    "scalar of {} bits exceeds the {MAX_SCALAR_BITS}-bit limit",
+                    k.bit_len()
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Per-thread arithmetic contexts for every field in the catalogue.
+pub struct OpExecutor {
+    mont: Vec<MontgomeryContext>,
+    barrett: Vec<BarrettContext>,
+    curves: Vec<Option<Curve>>,
+}
+
+impl OpExecutor {
+    /// Builds contexts for all of [`FieldId::ALL`]. Construction does
+    /// the Montgomery/Barrett precomputation once; `execute` calls are
+    /// then allocation-light.
+    pub fn new() -> Self {
+        let mont = FieldId::ALL
+            .iter()
+            .map(|f| {
+                MontgomeryContext::new(f.modulus()).expect("catalogue moduli are odd")
+            })
+            .collect();
+        let barrett = FieldId::ALL
+            .iter()
+            .map(|f| BarrettContext::new(f.modulus()).expect("catalogue moduli are valid"))
+            .collect();
+        let curves = FieldId::ALL
+            .iter()
+            .map(|f| match f {
+                // The real curve equations: alt_bn128 is y² = x³ + 3,
+                // BLS12-381 G1 is y² = x³ + 4.
+                FieldId::Bn254Base => Some(
+                    Curve::new(f.modulus(), Uint::zero(), Uint::from_u64(3))
+                        .expect("alt_bn128 is non-singular"),
+                ),
+                FieldId::Bls12_381Base => {
+                    Some(Curve::bls12_381_g1().expect("BLS12-381 G1 is non-singular"))
+                }
+                _ => None,
+            })
+            .collect();
+        OpExecutor { mont, barrett, curves }
+    }
+
+    /// The serving curve over `field`, if any.
+    pub fn curve(&self, field: FieldId) -> Option<&Curve> {
+        self.curves[field.code() as usize].as_ref()
+    }
+
+    fn decode_point(&self, curve: &Curve, p: &EcPoint) -> Result<Point, String> {
+        if p.infinity {
+            return Ok(Point::infinity());
+        }
+        curve.point(&p.x, &p.y).ok_or_else(|| "point not on curve".to_string())
+    }
+
+    fn encode_point(&self, curve: &Curve, p: &Point) -> EcPoint {
+        match curve.to_affine(p) {
+            None => EcPoint::infinity(),
+            Some((x, y)) => EcPoint::affine(x, y),
+        }
+    }
+
+    /// Computes `op` and cross-checks it against an independent
+    /// implementation.
+    ///
+    /// # Errors
+    ///
+    /// A validation failure, an off-curve input point, or a gold
+    /// disagreement (the latter indicates a bug and is surfaced, never
+    /// silently served).
+    pub fn execute(&self, op: &Op) -> Result<ResponsePayload, String> {
+        validate(op)?;
+        match op {
+            Op::Mul { a, b, .. } => {
+                let fast = cim_bigint::mul::karatsuba::mul(a, b);
+                let gold = cim_bigint::mul::schoolbook::mul(a, b);
+                if fast != gold {
+                    return Err("gold mismatch: karatsuba vs schoolbook".to_string());
+                }
+                Ok(ResponsePayload::Value(fast))
+            }
+            Op::ModExp { field, base, exp } => {
+                let i = field.code() as usize;
+                let fast = self.mont[i].pow_mod(base, exp);
+                let gold = self.barrett[i].pow_mod(base, exp);
+                if fast != gold {
+                    return Err("gold mismatch: montgomery vs barrett".to_string());
+                }
+                Ok(ResponsePayload::Value(fast))
+            }
+            Op::EcAdd { field, p, q } => {
+                let curve = self.curve(*field).expect("validated");
+                let pp = self.decode_point(curve, p)?;
+                let qq = self.decode_point(curve, q)?;
+                let sum = curve.add(&pp, &qq);
+                // Independent checks: the group is abelian, and every
+                // affine result must satisfy the curve equation.
+                let flipped = curve.add(&qq, &pp);
+                if !curve.points_equal(&sum, &flipped) {
+                    return Err("gold mismatch: ec_add not commutative".to_string());
+                }
+                let out = self.encode_point(curve, &sum);
+                if !out.infinity && curve.point(&out.x, &out.y).is_none() {
+                    return Err("gold mismatch: ec_add left the curve".to_string());
+                }
+                Ok(ResponsePayload::Point(out))
+            }
+            Op::EcMul { field, k, p } => {
+                let curve = self.curve(*field).expect("validated");
+                let pp = self.decode_point(curve, p)?;
+                let fast = curve.scalar_mul(k, &pp);
+                let gold = curve.scalar_mul_ladder(k, &pp);
+                if !curve.points_equal(&fast, &gold) {
+                    return Err("gold mismatch: double-and-add vs ladder".to_string());
+                }
+                Ok(ResponsePayload::Point(self.encode_point(curve, &fast)))
+            }
+        }
+    }
+
+    /// Client-side gold check: recomputes `op` through one independent
+    /// reference path and compares with `payload`. Used by the load
+    /// generator to verify every `Ok` response it receives.
+    pub fn verify(&self, op: &Op, payload: &ResponsePayload) -> bool {
+        match (op, payload) {
+            (Op::Mul { a, b, .. }, ResponsePayload::Value(v)) => {
+                cim_bigint::mul::schoolbook::mul(a, b) == *v
+            }
+            (Op::ModExp { field, base, exp }, ResponsePayload::Value(v)) => {
+                self.barrett[field.code() as usize].pow_mod(base, exp) == *v
+            }
+            (Op::EcAdd { field, p, q }, ResponsePayload::Point(out)) => {
+                let Some(curve) = self.curve(*field) else { return false };
+                let (Ok(pp), Ok(qq)) =
+                    (self.decode_point(curve, p), self.decode_point(curve, q))
+                else {
+                    return false;
+                };
+                let expect = self.encode_point(curve, &curve.add(&pp, &qq));
+                expect == *out
+            }
+            (Op::EcMul { field, k, p }, ResponsePayload::Point(out)) => {
+                let Some(curve) = self.curve(*field) else { return false };
+                let Ok(pp) = self.decode_point(curve, p) else { return false };
+                let expect = self.encode_point(curve, &curve.scalar_mul_ladder(k, &pp));
+                expect == *out
+            }
+            // Shape mismatch: a point for a scalar op or vice versa.
+            _ => false,
+        }
+    }
+}
+
+impl Default for OpExecutor {
+    fn default() -> Self {
+        OpExecutor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_bigint::rng::UintRng;
+
+    #[test]
+    fn mul_executes_and_verifies() {
+        let exec = OpExecutor::new();
+        let mut rng = UintRng::seeded(1);
+        for _ in 0..5 {
+            let op = Op::Mul { width: 256, a: rng.uniform(256), b: rng.uniform(256) };
+            let out = exec.execute(&op).expect("mul must execute");
+            assert!(exec.verify(&op, &out));
+        }
+    }
+
+    #[test]
+    fn modexp_executes_on_every_field() {
+        let exec = OpExecutor::new();
+        let mut rng = UintRng::seeded(2);
+        for field in FieldId::ALL {
+            let op = Op::ModExp {
+                field,
+                base: rng.below(&field.modulus()),
+                exp: Uint::from_u64(65537),
+            };
+            let out = exec.execute(&op).expect("modexp must execute");
+            assert!(exec.verify(&op, &out), "{}", field.label());
+        }
+    }
+
+    #[test]
+    fn ec_ops_on_both_curves() {
+        let exec = OpExecutor::new();
+        for field in [FieldId::Bn254Base, FieldId::Bls12_381Base] {
+            let curve = exec.curve(field).expect("serving curve");
+            let base = curve.find_point();
+            let (x, y) = curve.to_affine(&base).expect("affine");
+            let p = EcPoint::affine(x, y);
+            let two = curve.to_affine(&curve.double(&base)).expect("2P affine");
+            let q = EcPoint::affine(two.0, two.1);
+
+            let add = Op::EcAdd { field, p: p.clone(), q: q.clone() };
+            let sum = exec.execute(&add).expect("ec_add must execute");
+            assert!(exec.verify(&add, &sum), "{}", field.label());
+
+            // P + 2P must equal 3P.
+            let mul = Op::EcMul { field, k: Uint::from_u64(3), p: p.clone() };
+            let triple = exec.execute(&mul).expect("ec_mul must execute");
+            assert!(exec.verify(&mul, &triple));
+            assert_eq!(sum, triple, "P + 2P = 3P on {}", field.label());
+
+            // P + (−P) is the identity.
+            let neg = curve.to_affine(&curve.neg(&base)).expect("−P affine");
+            let cancel = Op::EcAdd { field, p, q: EcPoint::affine(neg.0, neg.1) };
+            match exec.execute(&cancel).expect("cancelling add") {
+                ResponsePayload::Point(out) => assert!(out.infinity),
+                other => panic!("expected a point, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn off_curve_point_is_rejected() {
+        let exec = OpExecutor::new();
+        let bogus = EcPoint::affine(Uint::from_u64(7), Uint::from_u64(8));
+        let op = Op::EcAdd { field: FieldId::Bn254Base, p: bogus, q: EcPoint::infinity() };
+        let err = exec.execute(&op).expect_err("off-curve point");
+        assert!(err.contains("not on curve"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_structural_garbage() {
+        // Width not a multiple of 4.
+        assert!(validate(&Op::Mul { width: 30, a: Uint::one(), b: Uint::one() }).is_err());
+        // Operand wider than its class.
+        assert!(validate(&Op::Mul {
+            width: 8,
+            a: Uint::from_u64(1 << 20),
+            b: Uint::one()
+        })
+        .is_err());
+        // No curve over Goldilocks.
+        assert!(validate(&Op::EcAdd {
+            field: FieldId::Goldilocks,
+            p: EcPoint::infinity(),
+            q: EcPoint::infinity()
+        })
+        .is_err());
+        // Oversized exponent.
+        assert!(validate(&Op::ModExp {
+            field: FieldId::Goldilocks,
+            base: Uint::one(),
+            exp: Uint::pow2(MAX_EXP_BITS + 1)
+        })
+        .is_err());
+        // Oversized scalar.
+        assert!(validate(&Op::EcMul {
+            field: FieldId::Bn254Base,
+            k: Uint::pow2(MAX_SCALAR_BITS + 1),
+            p: EcPoint::infinity()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_answers() {
+        let exec = OpExecutor::new();
+        let op = Op::Mul { width: 64, a: Uint::from_u64(3), b: Uint::from_u64(5) };
+        assert!(exec.verify(&op, &ResponsePayload::Value(Uint::from_u64(15))));
+        assert!(!exec.verify(&op, &ResponsePayload::Value(Uint::from_u64(16))));
+        // Shape mismatch is a failure, not a panic.
+        assert!(!exec.verify(&op, &ResponsePayload::Point(EcPoint::infinity())));
+    }
+}

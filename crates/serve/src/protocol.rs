@@ -1,0 +1,816 @@
+//! The `cim-serve` wire protocol: versioned, length-prefixed binary
+//! frames carrying arithmetic requests and responses.
+//!
+//! A frame is a little-endian `u32` payload length followed by the
+//! payload:
+//!
+//! ```text
+//! +-----+-----+---------+------+--------------------+
+//! | 'C' | 'S' | version | kind | body …             |
+//! +-----+-----+---------+------+--------------------+
+//! ```
+//!
+//! Integers are little-endian; a [`Uint`] is a `u32` byte count
+//! followed by its little-endian magnitude bytes (shortest form). The
+//! `kind` byte distinguishes requests from the three response shapes.
+//! All codes — frame kinds, op tags, shed reasons, field ids (see
+//! [`FieldId`]) — are part of the versioned format and never
+//! reassigned; unknown codes decode to a [`WireError`], never a panic,
+//! because the server feeds this decoder untrusted bytes.
+
+use cim_bigint::Uint;
+use cim_modmul::fields::FieldId;
+use std::error::Error;
+use std::fmt;
+
+/// Protocol magic, first two payload bytes of every frame.
+pub const FRAME_MAGIC: [u8; 2] = *b"CS";
+
+/// Current protocol version.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a sane payload (1 MiB) — a length prefix above this
+/// is rejected before any allocation.
+pub const MAX_PAYLOAD_LEN: usize = 1 << 20;
+
+/// Decode/encode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the header or a declared length requires.
+    Truncated,
+    /// The payload did not start with [`FRAME_MAGIC`].
+    BadMagic,
+    /// Version byte this implementation does not speak.
+    UnsupportedVersion(u8),
+    /// Unknown frame-kind byte.
+    UnknownKind(u8),
+    /// Unknown operation tag in a request body.
+    UnknownOp(u8),
+    /// Unknown field id in a request body.
+    UnknownField(u8),
+    /// Unknown shed-reason code in a response body.
+    UnknownReason(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD_LEN`].
+    PayloadTooLong(usize),
+    /// Bytes left over after a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadMagic => write!(f, "payload does not start with CS magic"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::UnknownOp(t) => write!(f, "unknown operation tag {t}"),
+            WireError::UnknownField(c) => write!(f, "unknown field id {c}"),
+            WireError::UnknownReason(c) => write!(f, "unknown shed reason {c}"),
+            WireError::PayloadTooLong(n) => write!(f, "payload length {n} exceeds limit"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// An elliptic-curve point in affine coordinates (`infinity` encodes
+/// the group identity; its `x`/`y` are ignored and sent as zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcPoint {
+    /// Affine x.
+    pub x: Uint,
+    /// Affine y.
+    pub y: Uint,
+    /// Whether this is the point at infinity.
+    pub infinity: bool,
+}
+
+impl EcPoint {
+    /// The group identity.
+    pub fn infinity() -> Self {
+        EcPoint { x: Uint::zero(), y: Uint::zero(), infinity: true }
+    }
+
+    /// An affine point.
+    pub fn affine(x: Uint, y: Uint) -> Self {
+        EcPoint { x, y, infinity: false }
+    }
+}
+
+/// The operation class of a request — the label metrics and batching
+/// key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// Raw wide multiplication.
+    Mul,
+    /// Modular exponentiation (the `modexp` precompile shape).
+    ModExp,
+    /// Elliptic-curve point addition (`ecadd`).
+    EcAdd,
+    /// Elliptic-curve scalar multiplication (`ecmul`).
+    EcMul,
+}
+
+impl OpKind {
+    /// All operation kinds.
+    pub const ALL: [OpKind; 4] = [OpKind::Mul, OpKind::ModExp, OpKind::EcAdd, OpKind::EcMul];
+
+    /// Stable label (metrics, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Mul => "mul",
+            OpKind::ModExp => "modexp",
+            OpKind::EcAdd => "ec_add",
+            OpKind::EcMul => "ec_mul",
+        }
+    }
+}
+
+/// One arithmetic operation over the workspace's field catalogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `a · b` at the given operand width class.
+    Mul {
+        /// Operand width class in bits (positive multiple of 4).
+        width: usize,
+        /// Left operand.
+        a: Uint,
+        /// Right operand.
+        b: Uint,
+    },
+    /// `base^exp mod field`.
+    ModExp {
+        /// Field the exponentiation runs in.
+        field: FieldId,
+        /// Base.
+        base: Uint,
+        /// Exponent.
+        exp: Uint,
+    },
+    /// `p + q` on the field's serving curve.
+    EcAdd {
+        /// Base field of the curve.
+        field: FieldId,
+        /// First point.
+        p: EcPoint,
+        /// Second point.
+        q: EcPoint,
+    },
+    /// `k · p` on the field's serving curve.
+    EcMul {
+        /// Base field of the curve.
+        field: FieldId,
+        /// Scalar.
+        k: Uint,
+        /// Point.
+        p: EcPoint,
+    },
+}
+
+impl Op {
+    /// This operation's class.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Mul { .. } => OpKind::Mul,
+            Op::ModExp { .. } => OpKind::ModExp,
+            Op::EcAdd { .. } => OpKind::EcAdd,
+            Op::EcMul { .. } => OpKind::EcMul,
+        }
+    }
+
+    /// Operand width class this operation occupies on a tile: the
+    /// explicit width for `mul`, the field's width otherwise.
+    pub fn width(&self) -> usize {
+        match self {
+            Op::Mul { width, .. } => *width,
+            Op::ModExp { field, .. }
+            | Op::EcAdd { field, .. }
+            | Op::EcMul { field, .. } => field.width(),
+        }
+    }
+
+    /// First-order number of full multiplier passes this operation
+    /// costs the farm — the serving layer's unit of batched work.
+    ///
+    /// One modular multiplication is three multiplier passes
+    /// (Montgomery steady state, matching [`cim_modmul::CimCost`]'s
+    /// projection); a point doubling costs ~10 field muls and a point
+    /// addition ~16 on the Jacobian formulas the executor runs.
+    pub fn farm_passes(&self) -> u64 {
+        fn popcount(x: &Uint) -> u64 {
+            x.limbs().iter().map(|l| l.count_ones() as u64).sum()
+        }
+        match self {
+            Op::Mul { .. } => 1,
+            Op::ModExp { exp, .. } => {
+                // Square-and-multiply: one squaring per exponent bit
+                // plus one multiplication per set bit.
+                3 * (exp.bit_len() as u64 + popcount(exp)).max(1)
+            }
+            Op::EcAdd { .. } => 3 * 16,
+            Op::EcMul { k, .. } => {
+                3 * (10 * k.bit_len() as u64 + 16 * popcount(k) + 16)
+            }
+        }
+    }
+}
+
+/// Why the server refused a request without serving it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The tenant's token bucket was empty (rate limit).
+    RateLimited,
+    /// The tenant's bounded queue was full (backpressure).
+    QueueFull,
+}
+
+impl ShedReason {
+    /// Stable label (metrics, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::RateLimited => "rate_limited",
+            ShedReason::QueueFull => "queue_full",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            ShedReason::RateLimited => 0,
+            ShedReason::QueueFull => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ShedReason::RateLimited),
+            1 => Some(ShedReason::QueueFull),
+            _ => None,
+        }
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen request id, echoed on the response.
+    pub id: u64,
+    /// Tenant index (the server's tenant table assigns semantics).
+    pub tenant: u16,
+    /// Virtual arrival cycle — the simulation clock all admission,
+    /// batching and latency accounting runs on. Replaying the same
+    /// stamped trace reproduces the same admission decisions.
+    pub arrival_cycle: u64,
+    /// The operation.
+    pub op: Op,
+}
+
+/// What a successful response carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponsePayload {
+    /// A scalar result (`mul`, `modexp`).
+    Value(Uint),
+    /// A point result (`ec_add`, `ec_mul`).
+    Point(EcPoint),
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Served: the verified result plus cycle-domain latency split.
+    Ok {
+        /// Echoed request id.
+        id: u64,
+        /// The verified result.
+        result: ResponsePayload,
+        /// Cycles between arrival and farm dispatch.
+        queue_cycles: u64,
+        /// Cycles between farm dispatch and completion.
+        service_cycles: u64,
+        /// Farm that served the batch.
+        farm: u32,
+    },
+    /// Refused by admission control; the client may retry later.
+    Shed {
+        /// Echoed request id.
+        id: u64,
+        /// Why.
+        reason: ShedReason,
+    },
+    /// The request was admitted but could not be served.
+    Error {
+        /// Echoed request id.
+        id: u64,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Ok { id, .. } | Response::Shed { id, .. } | Response::Error { id, .. } => {
+                *id
+            }
+        }
+    }
+}
+
+const KIND_REQUEST: u8 = 0;
+const KIND_OK: u8 = 1;
+const KIND_SHED: u8 = 2;
+const KIND_ERROR: u8 = 3;
+
+const OP_MUL: u8 = 0;
+const OP_MODEXP: u8 = 1;
+const OP_EC_ADD: u8 = 2;
+const OP_EC_MUL: u8 = 3;
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn new(kind: u8) -> Self {
+        let mut w = Writer(Vec::with_capacity(64));
+        w.0.extend_from_slice(&FRAME_MAGIC);
+        w.0.push(PROTOCOL_VERSION);
+        w.0.push(kind);
+        w
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn uint(&mut self, v: &Uint) {
+        let bytes = v.to_le_bytes();
+        self.u32(bytes.len() as u32);
+        self.0.extend_from_slice(&bytes);
+    }
+
+    fn point(&mut self, p: &EcPoint) {
+        self.u8(p.infinity as u8);
+        if p.infinity {
+            self.uint(&Uint::zero());
+            self.uint(&Uint::zero());
+        } else {
+            self.uint(&p.x);
+            self.uint(&p.y);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn uint(&mut self) -> Result<Uint, WireError> {
+        let len = self.u32()? as usize;
+        if len > MAX_PAYLOAD_LEN {
+            return Err(WireError::PayloadTooLong(len));
+        }
+        Ok(Uint::from_le_bytes(self.take(len)?))
+    }
+
+    fn point(&mut self) -> Result<EcPoint, WireError> {
+        let infinity = self.u8()? != 0;
+        let x = self.uint()?;
+        let y = self.uint()?;
+        Ok(if infinity { EcPoint::infinity() } else { EcPoint::affine(x, y) })
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if len > MAX_PAYLOAD_LEN {
+            return Err(WireError::PayloadTooLong(len));
+        }
+        Ok(String::from_utf8_lossy(self.take(len)?).into_owned())
+    }
+
+    fn field(&mut self) -> Result<FieldId, WireError> {
+        let code = self.u8()?;
+        FieldId::from_code(code).ok_or(WireError::UnknownField(code))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let left = self.bytes.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(left))
+        }
+    }
+}
+
+/// Checks the `CS`+version header and returns the kind byte plus a
+/// body reader.
+fn open(payload: &[u8]) -> Result<(u8, Reader<'_>), WireError> {
+    let mut r = Reader { bytes: payload, pos: 0 };
+    if r.take(2)? != FRAME_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = r.u8()?;
+    Ok((kind, r))
+}
+
+/// Encodes a request payload (no length prefix — see [`frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = Writer::new(KIND_REQUEST);
+    w.u64(req.id);
+    w.u16(req.tenant);
+    w.u64(req.arrival_cycle);
+    match &req.op {
+        Op::Mul { width, a, b } => {
+            w.u8(OP_MUL);
+            w.u32(*width as u32);
+            w.uint(a);
+            w.uint(b);
+        }
+        Op::ModExp { field, base, exp } => {
+            w.u8(OP_MODEXP);
+            w.u8(field.code());
+            w.uint(base);
+            w.uint(exp);
+        }
+        Op::EcAdd { field, p, q } => {
+            w.u8(OP_EC_ADD);
+            w.u8(field.code());
+            w.point(p);
+            w.point(q);
+        }
+        Op::EcMul { field, k, p } => {
+            w.u8(OP_EC_MUL);
+            w.u8(field.code());
+            w.uint(k);
+            w.point(p);
+        }
+    }
+    w.0
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// Any [`WireError`] for malformed, truncated or foreign bytes.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let (kind, mut r) = open(payload)?;
+    if kind != KIND_REQUEST {
+        return Err(WireError::UnknownKind(kind));
+    }
+    let id = r.u64()?;
+    let tenant = r.u16()?;
+    let arrival_cycle = r.u64()?;
+    let tag = r.u8()?;
+    let op = match tag {
+        OP_MUL => {
+            let width = r.u32()? as usize;
+            let a = r.uint()?;
+            let b = r.uint()?;
+            Op::Mul { width, a, b }
+        }
+        OP_MODEXP => {
+            let field = r.field()?;
+            let base = r.uint()?;
+            let exp = r.uint()?;
+            Op::ModExp { field, base, exp }
+        }
+        OP_EC_ADD => {
+            let field = r.field()?;
+            let p = r.point()?;
+            let q = r.point()?;
+            Op::EcAdd { field, p, q }
+        }
+        OP_EC_MUL => {
+            let field = r.field()?;
+            let k = r.uint()?;
+            let p = r.point()?;
+            Op::EcMul { field, k, p }
+        }
+        other => return Err(WireError::UnknownOp(other)),
+    };
+    r.finish()?;
+    Ok(Request { id, tenant, arrival_cycle, op })
+}
+
+/// Encodes a response payload (no length prefix — see [`frame`]).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Ok { id, result, queue_cycles, service_cycles, farm } => {
+            let mut w = Writer::new(KIND_OK);
+            w.u64(*id);
+            w.u64(*queue_cycles);
+            w.u64(*service_cycles);
+            w.u32(*farm);
+            match result {
+                ResponsePayload::Value(v) => {
+                    w.u8(0);
+                    w.uint(v);
+                }
+                ResponsePayload::Point(p) => {
+                    w.u8(1);
+                    w.point(p);
+                }
+            }
+            w.0
+        }
+        Response::Shed { id, reason } => {
+            let mut w = Writer::new(KIND_SHED);
+            w.u64(*id);
+            w.u8(reason.code());
+            w.0
+        }
+        Response::Error { id, message } => {
+            let mut w = Writer::new(KIND_ERROR);
+            w.u64(*id);
+            w.str(message);
+            w.0
+        }
+    }
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+///
+/// Any [`WireError`] for malformed, truncated or foreign bytes.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let (kind, mut r) = open(payload)?;
+    let resp = match kind {
+        KIND_OK => {
+            let id = r.u64()?;
+            let queue_cycles = r.u64()?;
+            let service_cycles = r.u64()?;
+            let farm = r.u32()?;
+            let result = match r.u8()? {
+                0 => ResponsePayload::Value(r.uint()?),
+                1 => ResponsePayload::Point(r.point()?),
+                other => return Err(WireError::UnknownOp(other)),
+            };
+            Response::Ok { id, result, queue_cycles, service_cycles, farm }
+        }
+        KIND_SHED => {
+            let id = r.u64()?;
+            let code = r.u8()?;
+            let reason = ShedReason::from_code(code).ok_or(WireError::UnknownReason(code))?;
+            Response::Shed { id, reason }
+        }
+        KIND_ERROR => {
+            let id = r.u64()?;
+            let message = r.str()?;
+            Response::Error { id, message }
+        }
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+/// Prepends the `u32` little-endian length prefix to a payload.
+pub fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// A complete frame split off a byte stream: `(payload, rest)`, or
+/// `None` when the stream does not yet hold a whole frame.
+pub type Framed<'a> = Option<(&'a [u8], &'a [u8])>;
+
+/// Splits one length-prefixed frame off the front of `bytes`,
+/// returning the payload and the remaining bytes; `None` when `bytes`
+/// does not yet hold a complete frame.
+///
+/// # Errors
+///
+/// [`WireError::PayloadTooLong`] when the prefix exceeds
+/// [`MAX_PAYLOAD_LEN`] (a corrupt or hostile stream).
+pub fn deframe(bytes: &[u8]) -> Result<Framed<'_>, WireError> {
+    if bytes.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_PAYLOAD_LEN {
+        return Err(WireError::PayloadTooLong(len));
+    }
+    if bytes.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some((&bytes[4..4 + len], &bytes[4 + len..])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request {
+                id: 7,
+                tenant: 0,
+                arrival_cycle: 1234,
+                op: Op::Mul {
+                    width: 256,
+                    a: Uint::from_u64(0xDEAD_BEEF),
+                    b: Uint::from_decimal("340282366920938463463374607431768211297")
+                        .expect("valid constant"),
+                },
+            },
+            Request {
+                id: u64::MAX,
+                tenant: 65535,
+                arrival_cycle: 0,
+                op: Op::ModExp {
+                    field: FieldId::Bn254Base,
+                    base: Uint::from_u64(3),
+                    exp: Uint::from_u64(65537),
+                },
+            },
+            Request {
+                id: 0,
+                tenant: 1,
+                arrival_cycle: u64::MAX,
+                op: Op::EcAdd {
+                    field: FieldId::Bls12_381Base,
+                    p: EcPoint::affine(Uint::from_u64(1), Uint::from_u64(2)),
+                    q: EcPoint::infinity(),
+                },
+            },
+            Request {
+                id: 42,
+                tenant: 3,
+                arrival_cycle: 99,
+                op: Op::EcMul {
+                    field: FieldId::Bn254Base,
+                    k: Uint::from_u64(255),
+                    p: EcPoint::affine(Uint::zero(), Uint::from_u64(9)),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).expect("round trip"), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Ok {
+                id: 9,
+                result: ResponsePayload::Value(Uint::from_u64(81)),
+                queue_cycles: 5,
+                service_cycles: 5000,
+                farm: 3,
+            },
+            Response::Ok {
+                id: 10,
+                result: ResponsePayload::Point(EcPoint::infinity()),
+                queue_cycles: 0,
+                service_cycles: 1,
+                farm: 0,
+            },
+            Response::Shed { id: 11, reason: ShedReason::RateLimited },
+            Response::Shed { id: 12, reason: ShedReason::QueueFull },
+            Response::Error { id: 13, message: "point not on curve".into() },
+        ];
+        for resp in responses {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).expect("round trip"), resp);
+        }
+    }
+
+    #[test]
+    fn framing_round_trips_and_handles_partials() {
+        let req = &sample_requests()[0];
+        let framed = frame(encode_request(req));
+        // Complete frame splits exactly.
+        let (payload, rest) = deframe(&framed).expect("sane length").expect("complete");
+        assert_eq!(decode_request(payload).expect("payload decodes"), *req);
+        assert!(rest.is_empty());
+        // Any prefix is "not yet complete", never an error.
+        for cut in 0..framed.len() {
+            assert_eq!(deframe(&framed[..cut]).expect("sane length"), None);
+        }
+        // Two frames back to back split one at a time.
+        let mut two = framed.clone();
+        two.extend_from_slice(&framed);
+        let (first, rest) = deframe(&two).expect("sane").expect("complete");
+        assert_eq!(first.len(), framed.len() - 4);
+        assert_eq!(rest, &framed[..]);
+    }
+
+    #[test]
+    fn hostile_inputs_error_not_panic() {
+        assert_eq!(decode_request(&[]), Err(WireError::Truncated));
+        assert_eq!(decode_request(b"XX\x01\x00"), Err(WireError::BadMagic));
+        assert_eq!(
+            decode_request(b"CS\x09\x00"),
+            Err(WireError::UnsupportedVersion(9))
+        );
+        assert_eq!(decode_response(b"CS\x01\x77"), Err(WireError::UnknownKind(0x77)));
+        // Oversized length prefix rejected before allocation.
+        let huge = (u32::MAX).to_le_bytes();
+        assert_eq!(
+            deframe(&huge),
+            Err(WireError::PayloadTooLong(u32::MAX as usize))
+        );
+        // A valid request with trailing garbage is rejected.
+        let mut bytes = encode_request(&sample_requests()[0]);
+        bytes.push(0);
+        assert_eq!(decode_request(&bytes), Err(WireError::TrailingBytes(1)));
+        // Truncating a valid request anywhere is Truncated or a
+        // declared-length error, never a panic.
+        let bytes = encode_request(&sample_requests()[1]);
+        for cut in 4..bytes.len() {
+            assert!(decode_request(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn farm_passes_model() {
+        let mul = Op::Mul { width: 256, a: Uint::one(), b: Uint::one() };
+        assert_eq!(mul.farm_passes(), 1);
+        // 65537 = 2^16 + 1: 17 bits, 2 set bits → 3·19 passes.
+        let exp = Op::ModExp {
+            field: FieldId::Bn254Base,
+            base: Uint::from_u64(2),
+            exp: Uint::from_u64(65537),
+        };
+        assert_eq!(exp.farm_passes(), 3 * 19);
+        let add = Op::EcAdd {
+            field: FieldId::Bn254Base,
+            p: EcPoint::infinity(),
+            q: EcPoint::infinity(),
+        };
+        assert_eq!(add.farm_passes(), 48);
+        // Larger scalars cost more.
+        let small = Op::EcMul {
+            field: FieldId::Bn254Base,
+            k: Uint::from_u64(3),
+            p: EcPoint::infinity(),
+        };
+        let large = Op::EcMul {
+            field: FieldId::Bn254Base,
+            k: Uint::from_u64(u64::MAX),
+            p: EcPoint::infinity(),
+        };
+        assert!(large.farm_passes() > small.farm_passes());
+        // Width classes: mul carries its own, field ops use the field.
+        assert_eq!(mul.width(), 256);
+        assert_eq!(exp.width(), 256, "BN254 base is 254 bits → class 256");
+    }
+}
