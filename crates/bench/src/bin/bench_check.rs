@@ -2,7 +2,7 @@
 //! `bench_snapshot` and exits nonzero when the current one regresses.
 //!
 //! ```text
-//! bench_check BASELINE CURRENT [--subset] [--wall-tol-x N] [--wall-tol-ms N]
+//! bench_check BASELINE CURRENT [--subset[=PATTERNS]] [--wall-tol-x N] [--wall-tol-ms N]
 //! ```
 //!
 //! Every metric except `wall_ms` must match *exactly* (the snapshot is
@@ -11,6 +11,11 @@
 //! (`--wall-tol-ms`, default 5000). `--subset` lets the current
 //! snapshot cover only part of the baseline's workloads — the mode CI
 //! uses to gate a `--quick` run against the committed full snapshot.
+//! `--subset=PATTERNS` (comma-separated exact names or trailing-`*`
+//! prefix globs, e.g. `--subset='mul_*,batch64_*'`) keeps workloads
+//! matching any pattern *required* while everything else stays
+//! skippable, so CI can demand a workload family without enumerating
+//! its members.
 //!
 //! Exit codes: 0 pass, 1 regression, 2 usage/parse errors.
 
@@ -24,6 +29,15 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--subset" => opts.allow_subset = true,
+            _ if arg.starts_with("--subset=") => {
+                opts.allow_subset = true;
+                opts.subset_patterns.extend(
+                    arg["--subset=".len()..]
+                        .split(',')
+                        .filter(|p| !p.is_empty())
+                        .map(str::to_string),
+                );
+            }
             "--wall-tol-x" | "--wall-tol-ms" => {
                 let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
                     return usage(&format!("{arg} needs a numeric value"));
@@ -79,6 +93,8 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("bench_check: {err}");
-    eprintln!("usage: bench_check BASELINE CURRENT [--subset] [--wall-tol-x N] [--wall-tol-ms N]");
+    eprintln!(
+        "usage: bench_check BASELINE CURRENT [--subset[=PATTERNS]] [--wall-tol-x N] [--wall-tol-ms N]"
+    );
     ExitCode::from(2)
 }

@@ -14,11 +14,14 @@
 //!
 //! * counters/energy/utilization — exact (`f64` equality; the JSON
 //!   round-trip is lossless);
-//! * `wall_ms` — generous tolerance (relative factor or absolute
-//!   slack), and only a *slowdown* regresses;
+//! * `wall_ms` and `*_wall_ms` — generous tolerance (relative factor
+//!   or absolute slack), and only a *slowdown* regresses;
+//! * `*_speedup_x` — wall-derived ratios, gated the opposite way:
+//!   only a collapse below `baseline / wall_rel_tol` regresses;
 //! * workloads missing from the current snapshot regress unless
 //!   `allow_subset` is set (used to gate a `--quick` run against the
-//!   committed full snapshot).
+//!   committed full snapshot); `subset_patterns` keeps selected
+//!   workload families required even then.
 //!
 //! The `bench_snapshot` binary writes the snapshot (and optionally the
 //! Prometheus exposition of the run's metrics hub); `bench_check`
@@ -102,6 +105,61 @@ fn multiply_workload(n: usize, hub: &MetricsHub) -> WorkloadResult {
         r.stage_cycles.iter().sum::<u64>() as f64 / (3 * r.total_latency) as f64,
     );
     WorkloadResult { name: format!("multiply_{n}"), metrics }
+}
+
+fn batch_workload(n: usize, lanes: usize) -> WorkloadResult {
+    // One solo multiply and one `lanes`-lane batch, timed under
+    // identical in-process conditions, so the products-per-wall-ms
+    // speedup compares like with like. Operands are seeded per width.
+    let mult = KaratsubaCimMultiplier::new(n).expect("paper widths are multiples of 4");
+    let mut rng = UintRng::seeded(0x6b + n as u64);
+    let pairs: Vec<_> = (0..lanes)
+        .map(|_| (rng.uniform(n), rng.uniform(n)))
+        .collect();
+
+    let solo_start = Instant::now();
+    let solo = mult
+        .multiply(&pairs[0].0, &pairs[0].1)
+        .expect("simulated product is verified");
+    let solo_ms = solo_start.elapsed().as_secs_f64() * 1e3;
+
+    let batch_start = Instant::now();
+    let out = mult
+        .multiply_batch(&pairs)
+        .expect("every batch lane is verified");
+    let batch_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+
+    // Products per wall-ms, batch vs solo. Wall-derived, so the diff
+    // gate only bounds it loosely; the binary `meets_10x` metric is
+    // the exact-gated acceptance criterion.
+    let speedup = lanes as f64 * solo_ms / batch_ms;
+
+    let mut metrics = BTreeMap::new();
+    metrics.insert("cycles".into(), out.total_latency as f64);
+    metrics.insert("lanes".into(), out.lanes() as f64);
+    metrics.insert("products_ok".into(), out.lanes() as f64);
+    metrics.insert("products_per_kcc".into(), out.products_per_kcc());
+    // Cycle-domain amortization: batch latency equals solo latency, so
+    // this is exactly `lanes` — gated exactly to pin the semantics.
+    metrics.insert(
+        "cycle_throughput_x".into(),
+        out.lanes() as f64 * solo.report.total_latency as f64 / out.total_latency as f64,
+    );
+    let per_lane = out.lane_endurance.iter().flatten();
+    metrics.insert(
+        "writes".into(),
+        per_lane.clone().map(|e| e.total_writes).sum::<u64>() as f64,
+    );
+    metrics.insert(
+        "max_cell_writes".into(),
+        per_lane.map(|e| e.max_writes).max().unwrap_or(0) as f64,
+    );
+    metrics.insert("area_cells".into(), out.area_cells as f64);
+    metrics.insert("single_wall_ms".into(), solo_ms);
+    metrics.insert("batch_wall_ms".into(), batch_ms);
+    metrics.insert("wall_speedup_x".into(), speedup);
+    metrics.insert("meets_10x".into(), f64::from(speedup > 10.0));
+    WorkloadResult { name: format!("batch64_{n}"), metrics }
 }
 
 fn pipeline_workload() -> WorkloadResult {
@@ -211,6 +269,10 @@ impl BenchSnapshot {
         for &n in widths {
             timed(&|hub| multiply_workload(n, hub));
         }
+        // The bit-sliced batch runs at the largest width of the matrix
+        // (2048 in the full run), 64 lanes per compiled program.
+        let batch_n = widths.iter().copied().max().unwrap_or(2048);
+        timed(&|_| batch_workload(batch_n, 64));
         timed(&|_| pipeline_workload());
         timed(&farm_workload);
         timed(&serve_workload);
@@ -294,11 +356,18 @@ impl BenchSnapshot {
 }
 
 /// Tolerances for [`diff`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiffOptions {
     /// Allow the current snapshot to cover a subset of the baseline's
     /// workloads (gating a `--quick` run against the full snapshot).
     pub allow_subset: bool,
+    /// Workload-name patterns that must still gate in subset mode:
+    /// exact names or trailing-`*` prefix globs (`mul_*`). A baseline
+    /// workload matching any pattern regresses when missing from the
+    /// current snapshot even under `allow_subset` — so CI can demand a
+    /// family of workloads (`batch64_*`) without enumerating it.
+    /// Empty means every workload is skippable in subset mode.
+    pub subset_patterns: Vec<String>,
     /// `wall_ms` passes when `current ≤ relative · baseline` …
     pub wall_rel_tol: f64,
     /// … or when the absolute slowdown is below this many ms.
@@ -309,9 +378,33 @@ impl Default for DiffOptions {
     fn default() -> Self {
         DiffOptions {
             allow_subset: false,
+            subset_patterns: Vec::new(),
             wall_rel_tol: 20.0,
             wall_abs_tol_ms: 5_000.0,
         }
+    }
+}
+
+/// Whether `name` is wall-derived timing (tolerated slowdown): the
+/// canonical [`WALL_METRIC`] plus any `*_wall_ms` sub-timing.
+pub fn is_wall_metric(name: &str) -> bool {
+    name == WALL_METRIC || name.ends_with("_wall_ms")
+}
+
+/// Whether `name` is a wall-derived speedup ratio (`*_speedup_x`):
+/// gated in the opposite direction of wall time — only a collapse
+/// below `baseline / wall_rel_tol` regresses, growth never does.
+pub fn is_speedup_metric(name: &str) -> bool {
+    name.ends_with("_speedup_x")
+}
+
+/// Whether `name` matches `pattern`: exact string equality, or a
+/// trailing-`*` prefix glob (`multiply_*` matches `multiply_2048`). A
+/// bare `*` matches everything.
+pub fn name_matches(pattern: &str, name: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => name.starts_with(prefix),
+        None => name == pattern,
     }
 }
 
@@ -362,10 +455,15 @@ pub fn diff(baseline: &BenchSnapshot, current: &BenchSnapshot, opts: &DiffOption
         .collect();
     for base in &baseline.workloads {
         let Some(cur_wl) = cur.get(base.name.as_str()) else {
-            if opts.allow_subset {
-                d.ok(format!("{}: skipped (subset run)", base.name));
-            } else {
+            let required = !opts.allow_subset
+                || opts
+                    .subset_patterns
+                    .iter()
+                    .any(|p| name_matches(p, &base.name));
+            if required {
                 d.fail(format!("{}: workload missing from current snapshot", base.name));
+            } else {
+                d.ok(format!("{}: skipped (subset run)", base.name));
             }
             continue;
         };
@@ -375,7 +473,7 @@ pub fn diff(baseline: &BenchSnapshot, current: &BenchSnapshot, opts: &DiffOption
                 d.fail(format!("{name}: metric missing from current snapshot"));
                 continue;
             };
-            if metric == WALL_METRIC {
+            if is_wall_metric(metric) {
                 let slow = got - want;
                 if got <= want * opts.wall_rel_tol || slow <= opts.wall_abs_tol_ms {
                     d.ok(format!("{name}: {want:.1} -> {got:.1} (tolerated)"));
@@ -386,6 +484,18 @@ pub fn diff(baseline: &BenchSnapshot, current: &BenchSnapshot, opts: &DiffOption
                         rel_delta(want, got),
                         opts.wall_rel_tol,
                         opts.wall_abs_tol_ms
+                    ));
+                }
+            } else if is_speedup_metric(metric) {
+                if got * opts.wall_rel_tol >= want {
+                    d.ok(format!("{name}: {want:.1}x -> {got:.1}x (tolerated)"));
+                } else {
+                    d.fail(format!(
+                        "{name}: expected >= {:.1}x, actual {got:.1}x ({}) — \
+                         speedup collapsed past the {}x tolerance",
+                        want / opts.wall_rel_tol,
+                        rel_delta(want, got),
+                        opts.wall_rel_tol
                     ));
                 }
             } else if got == want {
@@ -516,6 +626,82 @@ mod tests {
     }
 
     #[test]
+    fn sub_timings_and_speedups_get_wall_style_tolerance() {
+        assert!(is_wall_metric("wall_ms"));
+        assert!(is_wall_metric("batch_wall_ms"));
+        assert!(!is_wall_metric("cycles"));
+        assert!(is_speedup_metric("wall_speedup_x"));
+        assert!(!is_speedup_metric("cycle_throughput_x"));
+
+        // A slower sub-timing inside tolerance passes; a hung one fails.
+        let base = snap(&[("b", &[("batch_wall_ms", 10.0), ("wall_speedup_x", 25.0)])]);
+        let drifted = snap(&[("b", &[("batch_wall_ms", 80.0), ("wall_speedup_x", 12.0)])]);
+        assert!(diff(&base, &drifted, &DiffOptions::default()).passed());
+        let hung = snap(&[("b", &[("batch_wall_ms", 1.0e7), ("wall_speedup_x", 25.0)])]);
+        assert!(!diff(&base, &hung, &DiffOptions::default()).passed());
+        // A speedup collapse past the relative tolerance regresses; a
+        // faster-than-baseline speedup never does.
+        let collapsed = snap(&[("b", &[("batch_wall_ms", 10.0), ("wall_speedup_x", 0.5)])]);
+        let d = diff(&base, &collapsed, &DiffOptions::default());
+        assert!(!d.passed());
+        assert!(d.regressions[0].contains("speedup collapsed"), "{:?}", d.regressions);
+        let faster = snap(&[("b", &[("batch_wall_ms", 1.0), ("wall_speedup_x", 60.0)])]);
+        assert!(diff(&base, &faster, &DiffOptions::default()).passed());
+    }
+
+    #[test]
+    fn batch_workload_amortizes_solo_cycles_over_64_lanes() {
+        let w = batch_workload(64, 64);
+        assert_eq!(w.name, "batch64_64");
+        assert_eq!(w.metrics["lanes"], 64.0);
+        assert_eq!(w.metrics["products_ok"], 64.0);
+        // Batch latency equals solo latency, so the cycle-domain
+        // throughput gain is exactly the lane count.
+        assert_eq!(w.metrics["cycle_throughput_x"], 64.0);
+        assert!(w.metrics["products_per_kcc"] > 0.0);
+        assert!(w.metrics["writes"] > 0.0);
+    }
+
+    #[test]
+    fn subset_patterns_accept_prefix_globs() {
+        assert!(name_matches("multiply_2048", "multiply_2048"));
+        assert!(!name_matches("multiply_2048", "multiply_204"));
+        assert!(!name_matches("multiply_204", "multiply_2048"), "exact is not a prefix");
+        assert!(name_matches("mul*", "multiply_2048"));
+        assert!(name_matches("multiply_*", "multiply_2048"));
+        assert!(name_matches("mul_*", "mul_2048"));
+        assert!(!name_matches("mul*", "batch64_2048"));
+        assert!(name_matches("*", "anything"));
+    }
+
+    #[test]
+    fn subset_patterns_keep_matching_workloads_required() {
+        let full = snap(&[
+            ("multiply_512", &[("cycles", 1.0)]),
+            ("batch64_2048", &[("cycles", 2.0)]),
+            ("farm_4tile_wear", &[("cycles", 3.0)]),
+        ]);
+        // Current run covers only the batch family.
+        let batch_only = snap(&[("batch64_2048", &[("cycles", 2.0)])]);
+        let opts = DiffOptions {
+            allow_subset: true,
+            subset_patterns: vec!["batch64_*".into()],
+            ..DiffOptions::default()
+        };
+        // Non-matching workloads are skippable, matching ones gate.
+        assert!(diff(&full, &batch_only, &opts).passed());
+        // Dropping a workload the pattern demands regresses even in
+        // subset mode.
+        let none = snap(&[("multiply_512", &[("cycles", 1.0)])]);
+        let d = diff(&full, &none, &opts);
+        assert!(!d.passed());
+        assert!(d.regressions[0].contains("batch64_2048"), "{:?}", d.regressions);
+        // Patterns never weaken value gating on present workloads.
+        let wrong = snap(&[("batch64_2048", &[("cycles", 9.0)])]);
+        assert!(!diff(&full, &wrong, &opts).passed());
+    }
+
+    #[test]
     fn missing_metric_regresses() {
         let base = snap(&[("w", &[("cycles", 1.0), ("writes", 2.0)])]);
         let cur = snap(&[("w", &[("cycles", 1.0)])]);
@@ -530,7 +716,11 @@ mod tests {
         let mut b = BenchSnapshot::collect_widths(&[64], true, "a", &hub_b);
         for s in [&mut a, &mut b] {
             for w in &mut s.workloads {
-                w.metrics.remove(WALL_METRIC);
+                // Wall-derived metrics (and the wall-derived 10x flag)
+                // are the only nondeterministic ones.
+                w.metrics.retain(|k, _| {
+                    !is_wall_metric(k) && !is_speedup_metric(k) && k != "meets_10x"
+                });
             }
         }
         assert_eq!(a, b);

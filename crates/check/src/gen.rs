@@ -17,6 +17,91 @@
 use crate::verify::{AbstractState, Violation, VerifyConfig};
 use cim_crossbar::MicroOp;
 
+/// One generated bit-sliced batch: a width bucket plus per-lane
+/// operand bit patterns (little-endian, `width` bits each).
+///
+/// Lanes are *ragged*: each draws its own effective width inside the
+/// bucket, with the high bits zero — exactly the shape a batch
+/// scheduler produces when it packs differently-sized requests into
+/// one width class. Some lanes are adversarial by construction
+/// (all-ones at full bucket width, all-zeros) so downstream harnesses
+/// exercise maximal carry chains and degenerate operands without
+/// hand-building them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneBatch {
+    /// The width bucket in bits (every lane's operands are stored at
+    /// this width; ragged lanes zero-pad the top).
+    pub width: usize,
+    /// Per-lane `(a, b)` operand bits, `1..=64` lanes.
+    pub lanes: Vec<(Vec<bool>, Vec<bool>)>,
+}
+
+/// Deterministic generator of [`LaneBatch`]es for lane-triangulation
+/// fuzzing: random lane counts in `1..=64`, ragged operand widths
+/// within a bucket, and a sprinkling of adversarial lanes.
+///
+/// Like [`ProgramGen`], generation is fully deterministic in the seed
+/// (splitmix64), so every fuzz failure replays from its seed alone.
+#[derive(Debug, Clone)]
+pub struct BatchGen {
+    rng: u64,
+}
+
+impl BatchGen {
+    /// Creates a generator seeded deterministically.
+    pub fn new(seed: u64) -> Self {
+        BatchGen {
+            rng: seed ^ 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    /// splitmix64 step.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// One operand: random bits over a ragged effective width, or an
+    /// adversarial extreme (all-ones at the full bucket width, or
+    /// all-zeros) roughly one lane in four.
+    fn operand(&mut self, width: usize) -> Vec<bool> {
+        match self.below(8) {
+            0 => vec![true; width],
+            1 => vec![false; width],
+            _ => {
+                let effective = 1 + self.below(width);
+                (0..width)
+                    .map(|i| i < effective && self.next_u64() & 1 == 1)
+                    .collect()
+            }
+        }
+    }
+
+    /// Generates the next batch: a lane count drawn from `1..=64` and
+    /// per-lane operands in a `1..=max_width`-bit bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_width == 0`.
+    pub fn next_batch(&mut self, max_width: usize) -> LaneBatch {
+        assert!(max_width > 0, "width bucket must be non-empty");
+        let width = 1 + self.below(max_width);
+        let lane_count = 1 + self.below(64);
+        let lanes = (0..lane_count)
+            .map(|_| (self.operand(width), self.operand(width)))
+            .collect();
+        LaneBatch { width, lanes }
+    }
+}
+
 /// Deterministic generator of verified micro-op programs.
 #[derive(Debug, Clone)]
 pub struct ProgramGen {
@@ -331,6 +416,51 @@ mod tests {
             let program = gen.generate(10);
             verify(&program, &VerifyConfig::new(2, 1)).expect("2×1 program");
         }
+    }
+
+    #[test]
+    fn batches_are_deterministic_and_well_formed() {
+        let mut a = BatchGen::new(99);
+        let mut b = BatchGen::new(99);
+        for _ in 0..50 {
+            let batch = a.next_batch(24);
+            assert_eq!(batch, b.next_batch(24));
+            assert!(batch.width >= 1 && batch.width <= 24);
+            assert!(!batch.lanes.is_empty() && batch.lanes.len() <= 64);
+            for (x, y) in &batch.lanes {
+                assert_eq!(x.len(), batch.width);
+                assert_eq!(y.len(), batch.width);
+            }
+        }
+        assert_ne!(
+            BatchGen::new(1).next_batch(24),
+            BatchGen::new(2).next_batch(24),
+            "different seeds should diverge"
+        );
+    }
+
+    #[test]
+    fn batches_cover_lane_counts_and_adversarial_shapes() {
+        let mut gen = BatchGen::new(5);
+        let mut saw_full = false;
+        let mut saw_single = false;
+        let mut saw_all_ones = false;
+        let mut saw_all_zeros = false;
+        for _ in 0..400 {
+            let batch = gen.next_batch(16);
+            saw_full |= batch.lanes.len() == 64;
+            saw_single |= batch.lanes.len() == 1;
+            for (a, b) in &batch.lanes {
+                for op in [a, b] {
+                    saw_all_ones |= op.iter().all(|&bit| bit);
+                    saw_all_zeros |= op.iter().all(|&bit| !bit);
+                }
+            }
+        }
+        assert!(saw_full, "never generated a full 64-lane batch");
+        assert!(saw_single, "never generated a single-lane batch");
+        assert!(saw_all_ones, "never generated an all-ones operand");
+        assert!(saw_all_zeros, "never generated an all-zeros operand");
     }
 
     #[test]

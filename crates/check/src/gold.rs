@@ -100,6 +100,18 @@ impl GoldMatrix {
                 }
                 None
             }
+            // The gold matrix models a single instance, i.e. lane 0 of
+            // a batch: a lane-staged write applies the lane-0 bits.
+            MicroOp::WriteRowLanes {
+                row,
+                col_offset,
+                lane_words,
+            } => {
+                for (i, &w) in lane_words.iter().enumerate() {
+                    self.set(*row, col_offset + i, w & 1 == 1);
+                }
+                None
+            }
             MicroOp::ReadRow { row, cols } => Some(self.row_bits(*row, cols.clone())),
             MicroOp::InitRows { rows, cols } => {
                 for &r in rows {

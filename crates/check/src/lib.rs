@@ -51,7 +51,7 @@ mod gold;
 mod pressure;
 mod verify;
 
-pub use gen::ProgramGen;
+pub use gen::{BatchGen, LaneBatch, ProgramGen};
 pub use gold::GoldMatrix;
 pub use pressure::{Hotspot, WritePressure};
 pub use verify::{

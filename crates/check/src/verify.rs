@@ -374,6 +374,23 @@ impl AbstractState {
                     self.write(*row, col_offset + i, s, &mut pressure);
                 }
             }
+            MicroOp::WriteRowLanes {
+                row,
+                col_offset,
+                lane_words,
+            } => {
+                // Lane words differ per lane; a cell is known-One for
+                // the MAGIC init rule only when *every* lane writes 1
+                // (sound for any active lane count), else just data.
+                for (i, &w) in lane_words.iter().enumerate() {
+                    let s = if w == u64::MAX {
+                        CellState::One
+                    } else {
+                        CellState::Defined
+                    };
+                    self.write(*row, col_offset + i, s, &mut pressure);
+                }
+            }
             MicroOp::ReadRow { .. } => {} // read-only; handled above
             MicroOp::InitRows { rows, cols } => {
                 for &r in rows {

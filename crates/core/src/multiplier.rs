@@ -131,6 +131,37 @@ pub struct MultiplyOutcome {
     pub report: ExecutionReport,
 }
 
+/// Outcome of [`KaratsubaCimMultiplier::multiply_batch`]: up to 64
+/// verified products computed in the cycle budget of one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMultiplyOutcome {
+    /// The verified `2n`-bit products, one per lane.
+    pub products: Vec<Uint>,
+    /// Stage cycle counts `[pre, mult, post]` — identical to a solo
+    /// run; the batch amortizes them over every lane.
+    pub stage_cycles: [u64; 3],
+    /// Total latency including the inter-stage handoffs.
+    pub total_latency: u64,
+    /// Total cells across the three stage arrays (per lane-set; the
+    /// sliced arrays hold every lane in the same cells).
+    pub area_cells: u64,
+    /// Per-lane endurance reports per stage `[pre, mult, post]`.
+    pub lane_endurance: [Vec<EnduranceReport>; 3],
+}
+
+impl BatchMultiplyOutcome {
+    /// Number of lanes that ran.
+    pub fn lanes(&self) -> usize {
+        self.products.len()
+    }
+
+    /// Batch throughput in products per kilocycle — the headline
+    /// batching win: `lanes / total_latency · 1000`.
+    pub fn products_per_kcc(&self) -> f64 {
+        self.lanes() as f64 * 1000.0 / self.total_latency as f64
+    }
+}
+
 /// The paper's three-stage pipelined Karatsuba multiplier for
 /// `n`-bit operands on resistive CIM crossbars.
 ///
@@ -294,6 +325,56 @@ impl KaratsubaCimMultiplier {
         })
     }
 
+    /// Multiplies up to 64 pairs of `n`-bit integers in one bit-sliced
+    /// pass through the three stages — the same micro-op programs a
+    /// single multiplication executes, with every lane riding its own
+    /// bit of the lane words. Stage cycle counts are therefore
+    /// identical to [`KaratsubaCimMultiplier::multiply`]; throughput
+    /// scales with the lane count. Every lane's product is verified
+    /// against the software gold model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiplyError::Crossbar`] on simulation failure and
+    /// [`MultiplyError::VerificationFailed`] for the first lane whose
+    /// product diverges from the gold model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty, holds more than 64 entries, or an
+    /// operand does not fit in `n` bits.
+    pub fn multiply_batch(
+        &self,
+        pairs: &[(Uint, Uint)],
+    ) -> Result<BatchMultiplyOutcome, MultiplyError> {
+        let pre = self.precompute.run_batch(pairs)?;
+        let mult = self.multiply.run_batch(&pre.a_leaves, &pre.b_leaves)?;
+        let post = self.postcompute.run_batch(&mult.products)?;
+
+        for (lane, (a, b)) in pairs.iter().enumerate() {
+            let expected = a * b;
+            if post.products[lane] != expected {
+                return Err(MultiplyError::VerificationFailed {
+                    got: Box::new(post.products[lane].clone()),
+                    expected: Box::new(expected),
+                });
+            }
+        }
+
+        let stage_cycles = [pre.stats.cycles, mult.cycles, post.stats.cycles];
+        let total_latency = stage_cycles.iter().sum::<u64>() + 3 * HANDOFF_CYCLES;
+        let area_cells = self.precompute.area_cells()
+            + self.multiply.area_cells()
+            + self.postcompute.area_cells();
+        Ok(BatchMultiplyOutcome {
+            products: post.products,
+            stage_cycles,
+            total_latency,
+            area_cells,
+            lane_endurance: [pre.endurance, mult.endurance, post.endurance],
+        })
+    }
+
     /// Squares an `n`-bit integer — stage 1 runs its squaring fast
     /// path (5 additions instead of 10, saving ~40 % of precompute
     /// latency), stages 2–3 run as usual.
@@ -381,6 +462,52 @@ mod tests {
         let out = mult.multiply(&a, &b).unwrap();
         assert_eq!(out.product, &a * &b);
         assert!(out.product.bit_len() >= 767);
+    }
+
+    #[test]
+    fn batch_multiply_verifies_all_lanes_at_solo_cycle_cost() {
+        let mut rng = UintRng::seeded(29);
+        let n = 32;
+        let lanes = 64;
+        let mult = KaratsubaCimMultiplier::new(n).unwrap();
+        let pairs: Vec<(Uint, Uint)> =
+            (0..lanes).map(|_| (rng.uniform(n), rng.uniform(n))).collect();
+        let batch = mult.multiply_batch(&pairs).unwrap();
+        assert_eq!(batch.lanes(), lanes);
+        let solo = mult.multiply(&pairs[0].0, &pairs[0].1).unwrap();
+        assert_eq!(
+            batch.stage_cycles, solo.report.stage_cycles,
+            "batch must cost exactly one instance's cycles"
+        );
+        assert_eq!(batch.total_latency, solo.report.total_latency);
+        assert_eq!(batch.area_cells, solo.report.area_cells);
+        for (lane, (a, b)) in pairs.iter().enumerate() {
+            assert_eq!(batch.products[lane], a * b, "lane {lane}");
+        }
+        // 64 lanes in one instance's cycles → 64× products per cycle.
+        assert!(
+            batch.products_per_kcc()
+                >= 63.9 * (1000.0 / solo.report.total_latency as f64)
+        );
+    }
+
+    #[test]
+    fn batch_lane_endurance_matches_solo() {
+        let mut rng = UintRng::seeded(31);
+        let n = 16;
+        let mult = KaratsubaCimMultiplier::new(n).unwrap();
+        let pairs: Vec<(Uint, Uint)> =
+            (0..5).map(|_| (rng.uniform(n), rng.uniform(n))).collect();
+        let batch = mult.multiply_batch(&pairs).unwrap();
+        for (lane, (a, b)) in pairs.iter().enumerate() {
+            let solo = mult.multiply(a, b).unwrap();
+            for stage in 0..3 {
+                assert_eq!(
+                    batch.lane_endurance[stage][lane], solo.report.endurance[stage],
+                    "stage {stage}, lane {lane}"
+                );
+            }
+        }
     }
 
     #[test]

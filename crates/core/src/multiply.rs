@@ -29,6 +29,17 @@ pub struct MultiplyOutput {
     pub endurance: EnduranceReport,
 }
 
+/// Output of one bit-sliced batch multiplication-stage run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchMultiplyOutput {
+    /// Per-lane partial products (leaf order within each lane).
+    pub products: Vec<[Uint; LEAVES]>,
+    /// Stage latency — identical to a solo run.
+    pub cycles: u64,
+    /// Per-lane endurance reports of the stage array.
+    pub endurance: Vec<EnduranceReport>,
+}
+
 /// The multiplication stage for `n`-bit multiplications.
 ///
 /// ```
@@ -92,6 +103,48 @@ impl MultiplyStage {
         b_leaves: &[Uint; LEAVES],
     ) -> Result<MultiplyOutput, CrossbarError> {
         self.run_traced(a_leaves, b_leaves, &Tracer::disabled(), ProcessId(0), 0)
+    }
+
+    /// Runs the nine partial multiplications for up to 64 instances at
+    /// once on a bit-sliced array: row `i` multiplies leaf `i` of every
+    /// lane in the same shift-add pass
+    /// ([`RowMultiplier::run_batch_in`]), so the stage latency equals
+    /// [`MultiplyStage::latency`] regardless of the lane count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leaf sets are empty, differ in lane count, exceed
+    /// 64 lanes, or a leaf operand exceeds `n/4 + 2` bits.
+    pub fn run_batch(
+        &self,
+        a_leaves: &[[Uint; LEAVES]],
+        b_leaves: &[[Uint; LEAVES]],
+    ) -> Result<BatchMultiplyOutput, CrossbarError> {
+        let lanes = a_leaves.len();
+        assert!(
+            lanes > 0 && lanes <= 64 && lanes == b_leaves.len(),
+            "batch must hold 1..=64 lanes on both sides"
+        );
+        let mut array = Crossbar::new_sliced(LEAVES, self.multiplier.required_cols(), lanes)?;
+        let mut products: Vec<[Uint; LEAVES]> = vec![Default::default(); lanes];
+        for i in 0..LEAVES {
+            let pairs: Vec<(Uint, Uint)> = (0..lanes)
+                .map(|l| (a_leaves[l][i].clone(), b_leaves[l][i].clone()))
+                .collect();
+            let (lane_products, _) = self.multiplier.run_batch_in(&mut array, i, 0, &pairs)?;
+            for (l, p) in lane_products.into_iter().enumerate() {
+                products[l][i] = p;
+            }
+        }
+        Ok(BatchMultiplyOutput {
+            products,
+            cycles: self.latency(),
+            endurance: EnduranceReport::per_lane(&array),
+        })
     }
 
     /// [`MultiplyStage::run`] with tracing: each of the nine row
@@ -167,6 +220,27 @@ mod tests {
                     "n = {n}, product {i}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn batch_products_match_solo_runs_at_solo_cycle_cost() {
+        let mut rng = UintRng::seeded(43);
+        let n = 32;
+        let lanes = 17;
+        let stage = MultiplyStage::new(n).unwrap();
+        let decomp = |x: &Uint| decompose_operand(x, n).leaves;
+        let sets: Vec<([Uint; LEAVES], [Uint; LEAVES])> = (0..lanes)
+            .map(|_| (decomp(&rng.uniform(n)), decomp(&rng.uniform(n))))
+            .collect();
+        let a_sets: Vec<_> = sets.iter().map(|(a, _)| a.clone()).collect();
+        let b_sets: Vec<_> = sets.iter().map(|(_, b)| b.clone()).collect();
+        let batch = stage.run_batch(&a_sets, &b_sets).unwrap();
+        assert_eq!(batch.cycles, stage.latency());
+        for (lane, (a, b)) in sets.iter().enumerate() {
+            let solo = stage.run(a, b).unwrap();
+            assert_eq!(batch.products[lane], solo.products, "lane {lane}");
+            assert_eq!(batch.endurance[lane], solo.endurance, "lane {lane}");
         }
     }
 

@@ -93,6 +93,19 @@ impl PipelineSchedule {
         self.jobs.first().map_or(0, JobTiming::completed_at)
     }
 
+    /// Measured pipelined throughput when every job is a bit-sliced
+    /// batch of `lanes` multiplications: batching leaves stage
+    /// latencies (and thus the schedule) unchanged, so throughput
+    /// scales linearly with the lane count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds 64.
+    pub fn batched_throughput_per_mcc(&self, lanes: usize) -> f64 {
+        assert!((1..=64).contains(&lanes), "lanes must be 1..=64");
+        lanes as f64 * self.throughput_per_mcc()
+    }
+
     /// Steady-state initiation interval: completion spacing of the
     /// last two jobs.
     pub fn initiation_interval(&self) -> u64 {
@@ -220,6 +233,20 @@ mod tests {
                 "n = {n}"
             );
         }
+    }
+
+    #[test]
+    fn batched_throughput_scales_linearly_with_lanes() {
+        let s = PipelineSchedule::for_design(256, 16);
+        let base = s.throughput_per_mcc();
+        assert_eq!(s.batched_throughput_per_mcc(1), base);
+        assert!((s.batched_throughput_per_mcc(64) - 64.0 * base).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes must be 1..=64")]
+    fn batched_throughput_rejects_zero_lanes() {
+        let _ = PipelineSchedule::for_design(64, 1).batched_throughput_per_mcc(0);
     }
 
     #[test]

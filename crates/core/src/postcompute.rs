@@ -107,6 +107,60 @@ pub(crate) fn run_pass(
     exec.run(&body)
 }
 
+/// The batch counterpart of [`pass_staging`]: the reset is unchanged
+/// (it is lane-oblivious) and the two operand writes carry one lane
+/// word per column — same op count, same cycle cost.
+fn pass_staging_batch(adder: &KoggeStoneAdder, xs: &[Uint], ys: &[Uint]) -> [MicroOp; 3] {
+    let w = adder.width();
+    let layout = adder.layout();
+    let cols = layout.col_base..layout.col_base + w + 1;
+    let transpose = |ops: &[Uint]| -> Vec<u64> {
+        let refs: Vec<&[u64]> = ops
+            .iter()
+            .inspect(|op| {
+                assert!(
+                    op.bit_len() <= w + 1,
+                    "operand of {} bits does not fit in width {}",
+                    op.bit_len(),
+                    w + 1
+                );
+            })
+            .map(|op| op.limbs())
+            .collect();
+        cim_crossbar::lanes::transpose_lanes(&refs, w + 1)
+    };
+    [
+        MicroOp::reset_rows(&[layout.x_row, layout.y_row, layout.sum_row], cols),
+        MicroOp::write_row_lanes(layout.x_row, layout.col_base, &transpose(xs)),
+        MicroOp::write_row_lanes(layout.y_row, layout.col_base, &transpose(ys)),
+    ]
+}
+
+/// Executes one batched pass: lane-staged operands plus the cached
+/// adder body — op-for-op the shape of [`run_pass`], with every lane
+/// adding its own operands.
+pub(crate) fn run_pass_batch(
+    exec: &mut Executor<'_>,
+    adder: &KoggeStoneAdder,
+    op: AddOp,
+    xs: &[Uint],
+    ys: &[Uint],
+) -> Result<(), CrossbarError> {
+    let staging = pass_staging_batch(adder, xs, ys);
+    let body = crate::progcache::adder_program(adder, op);
+    if cfg!(debug_assertions) {
+        let mut full = staging.to_vec();
+        full.extend_from_slice(&body);
+        cim_check::debug_assert_verified(
+            &full,
+            &cim_check::VerifyConfig::new(adder.required_rows(), adder.required_cols()),
+            "postcompute::batch_pass_program",
+        );
+    }
+    exec.run(&staging)?;
+    exec.run(&body)
+}
+
 /// Output of one postcomputation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PostcomputeOutput {
@@ -116,6 +170,17 @@ pub struct PostcomputeOutput {
     pub stats: CycleStats,
     /// Endurance report of the stage array.
     pub endurance: EnduranceReport,
+}
+
+/// Output of one bit-sliced batch postcomputation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPostcomputeOutput {
+    /// Per-lane final `2n`-bit products.
+    pub products: Vec<Uint>,
+    /// Cycle statistics — identical to a solo run.
+    pub stats: CycleStats,
+    /// Per-lane endurance reports of the stage array.
+    pub endurance: Vec<EnduranceReport>,
 }
 
 /// The postcomputation stage for `n`-bit multiplications.
@@ -187,6 +252,154 @@ impl PostcomputeStage {
     /// Panics if a product exceeds its maximal width (`n/2 + 4` bits).
     pub fn run(&self, products: &[Uint; LEAVES]) -> Result<PostcomputeOutput, CrossbarError> {
         self.run_traced(products, &Tracer::disabled(), TrackId(0), 0)
+    }
+
+    /// Runs the stage for up to 64 product sets at once on a
+    /// bit-sliced array: every one of the 11 shared-adder passes stages
+    /// its operands lane-wise and runs the *same* cached adder body, so
+    /// the cycle count equals [`PostcomputeStage::latency`] regardless
+    /// of the lane count. The inter-pass recombination arithmetic runs
+    /// per lane in the controller, exactly as it does for one instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `product_sets` is empty, holds more than 64 entries,
+    /// or a product exceeds its maximal width (`n/2 + 4` bits).
+    pub fn run_batch(
+        &self,
+        product_sets: &[[Uint; LEAVES]],
+    ) -> Result<BatchPostcomputeOutput, CrossbarError> {
+        let n = self.n;
+        let q = n / 4;
+        let w = self.adder_width(); // 6q
+        let seg = w / 2; // 3q
+        let cap = 2 * q + 2; // max width of c_lm / c_hm
+        let lanes = product_sets.len();
+        assert!(
+            lanes > 0 && lanes <= 64,
+            "batch must hold 1..=64 lanes"
+        );
+
+        let leaf = |i: usize| -> Vec<Uint> {
+            product_sets.iter().map(|p| p[i].clone()).collect()
+        };
+        let [c_ll, c_lh, c_lm, c_hl, c_hh, c_hm, c_ml, c_mh, c_mm] =
+            std::array::from_fn::<_, LEAVES, _>(leaf);
+
+        let mut array = Crossbar::new_sliced(ROWS, w + 1, lanes)?;
+        let mut exec = Executor::new(&mut array);
+        let adder = KoggeStoneAdder::with_layout(
+            w,
+            AdderLayout {
+                x_row: 0,
+                y_row: 1,
+                sum_row: 2,
+                scratch: std::array::from_fn(|i| 8 + i),
+                col_base: 0,
+            },
+        );
+
+        // One batched adder pass; returns the per-lane sums.
+        let pass = |exec: &mut Executor<'_>,
+                    op: AddOp,
+                    xs: &[Uint],
+                    ys: &[Uint]|
+         -> Result<Vec<Uint>, CrossbarError> {
+            run_pass_batch(exec, &adder, op, xs, ys)?;
+            let mut sum_cols = Vec::new();
+            exec.array().read_row_lane_words(2, 0..w + 1, &mut sum_cols)?;
+            Ok(cim_crossbar::lanes::lane_limbs(&sum_cols, lanes)
+                .into_iter()
+                .map(|limbs| {
+                    let full = Uint::from_limbs(limbs);
+                    match op {
+                        AddOp::Add => full,
+                        AddOp::Sub => full.low_bits(w),
+                    }
+                })
+                .collect())
+        };
+        let map = |xs: &[Uint], f: &dyn Fn(&Uint) -> Uint| -> Vec<Uint> {
+            xs.iter().map(f).collect()
+        };
+        let zip = |xs: &[Uint], ys: &[Uint], f: &dyn Fn(&Uint, &Uint) -> Uint| -> Vec<Uint> {
+            xs.iter().zip(ys).map(|(x, y)| f(x, y)).collect()
+        };
+        let gap_ones = |from: usize, to: usize| Uint::pow2(to).sub(&Uint::pow2(from));
+
+        // Pass 1: t_l ‖ t_h (batched add).
+        let s1 = pass(
+            &mut exec,
+            AddOp::Add,
+            &zip(&c_ll, &c_hl, &|l, h| l.add(&h.shl(seg))),
+            &zip(&c_lh, &c_hh, &|l, h| l.add(&h.shl(seg))),
+        )?;
+        let t_l = map(&s1, &|s| s.low_bits(seg));
+        let t_h = map(&s1, &|s| s.shr(seg));
+
+        // Pass 2: c̃_lm ‖ c̃_hm (batched sub; minuend gap bits = 1).
+        let x2 = zip(&c_lm, &c_hm, &|lm, hm| {
+            lm.add(&gap_ones(cap, seg))
+                .add(&hm.shl(seg))
+                .add(&gap_ones(seg + cap, w))
+        });
+        let s2 = pass(
+            &mut exec,
+            AddOp::Sub,
+            &x2,
+            &zip(&t_l, &t_h, &|l, h| l.add(&h.shl(seg))),
+        )?;
+        let ct_lm = map(&s2, &|s| s.low_bits(cap));
+        let ct_hm = map(&s2, &|s| s.shr(seg).low_bits(cap));
+
+        // Pass 3: t_m = c_ml + c_mh.
+        let t_m = pass(&mut exec, AddOp::Add, &c_ml, &c_mh)?;
+
+        // Pass 4: c̃_mm = c_mm − t_m.
+        let ct_mm = pass(&mut exec, AddOp::Sub, &c_mm, &t_m)?;
+
+        // Pass 5: c_l = (c_lh ‖ c_ll) + c̃_lm·2^q.
+        let c_l = pass(
+            &mut exec,
+            AddOp::Add,
+            &zip(&c_ll, &c_lh, &|l, h| l.add(&h.shl(2 * q))),
+            &map(&ct_lm, &|x| x.shl(q)),
+        )?;
+
+        // Pass 6: c_h likewise.
+        let c_h = pass(
+            &mut exec,
+            AddOp::Add,
+            &zip(&c_hl, &c_hh, &|l, h| l.add(&h.shl(2 * q))),
+            &map(&ct_hm, &|x| x.shl(q)),
+        )?;
+
+        // Passes 7–8: c_m in two additions.
+        let u = pass(&mut exec, AddOp::Add, &c_ml, &map(&c_mh, &|x| x.shl(2 * q)))?;
+        let c_m = pass(&mut exec, AddOp::Add, &u, &map(&ct_mm, &|x| x.shl(q)))?;
+
+        // Passes 9–10: c̃_m = c_m − (c_h + c_l).
+        let v = pass(&mut exec, AddOp::Add, &c_h, &c_l)?;
+        let ct_m = pass(&mut exec, AddOp::Sub, &c_m, &v)?;
+
+        // Pass 11 (LSB optimization).
+        let base_top = zip(&c_l, &c_h, &|l, h| l.add(&h.shl(n)).shr(n / 2));
+        let c_top = pass(&mut exec, AddOp::Add, &base_top, &ct_m)?;
+        let products = zip(&c_top, &c_l, &|t, l| t.shl(n / 2).add(&l.low_bits(n / 2)));
+
+        // Reset the stage array for the next batch — 1 cc.
+        exec.step(&MicroOp::reset_region(0..ROWS, 0..w + 1))?;
+        let stats = *exec.stats();
+        let endurance = EnduranceReport::per_lane(&array);
+        Ok(BatchPostcomputeOutput {
+            products,
+            stats,
+            endurance,
+        })
     }
 
     /// [`PostcomputeStage::run`] with tracing: the stage is wrapped in
@@ -344,6 +557,25 @@ mod tests {
             let a = Uint::pow2(n).sub(&Uint::one());
             let out = stage.run(&products_of(&a, &a, n)).unwrap();
             assert_eq!(out.product, &a * &a, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn batch_recombination_matches_solo_runs_at_solo_cycle_cost() {
+        let mut rng = UintRng::seeded(47);
+        let n = 32;
+        let lanes = 11;
+        let stage = PostcomputeStage::new(n).unwrap();
+        let sets: Vec<[Uint; LEAVES]> = (0..lanes)
+            .map(|_| products_of(&rng.uniform(n), &rng.uniform(n), n))
+            .collect();
+        let batch = stage.run_batch(&sets).unwrap();
+        assert_eq!(batch.stats.cycles, stage.latency());
+        for (lane, set) in sets.iter().enumerate() {
+            let solo = stage.run(set).unwrap();
+            assert_eq!(batch.products[lane], solo.product, "lane {lane}");
+            assert_eq!(batch.stats, solo.stats, "lane {lane}");
+            assert_eq!(batch.endurance[lane], solo.endurance, "lane {lane}");
         }
     }
 

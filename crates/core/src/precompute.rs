@@ -36,6 +36,21 @@ pub struct PrecomputeOutput {
     pub endurance: EnduranceReport,
 }
 
+/// Output of one bit-sliced batch precomputation run: one leaf set
+/// per lane, one shared cycle count (the batch runs the *same*
+/// micro-op program a single instance runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPrecomputeOutput {
+    /// Per-lane `a`-side leaf operands.
+    pub a_leaves: Vec<[Uint; LEAVES]>,
+    /// Per-lane `b`-side leaf operands.
+    pub b_leaves: Vec<[Uint; LEAVES]>,
+    /// Cycle statistics — identical to a solo run.
+    pub stats: CycleStats,
+    /// Per-lane endurance reports of the stage array.
+    pub endurance: Vec<EnduranceReport>,
+}
+
 /// The precomputation stage for `n`-bit multiplications.
 ///
 /// ```
@@ -163,6 +178,122 @@ impl PrecomputeStage {
             .enumerate()
             .map(|(i, chunk)| MicroOp::write_row(INPUT_BASE + i, &chunk.to_bits(cols)))
             .collect()
+    }
+
+    /// The batch counterpart of [`PrecomputeStage::chunk_writes`]:
+    /// each input row's write carries one lane word per column, so the
+    /// whole batch loads in the same 8 cycles.
+    fn chunk_writes_batch(&self, chunk_rows: &[Vec<&Uint>]) -> Vec<MicroOp> {
+        let cols = self.cols();
+        chunk_rows
+            .iter()
+            .enumerate()
+            .map(|(i, lanes)| {
+                let refs: Vec<&[u64]> = lanes
+                    .iter()
+                    .inspect(|chunk| {
+                        assert!(
+                            chunk.bit_len() <= cols,
+                            "chunk of {} bits does not fit in {} columns",
+                            chunk.bit_len(),
+                            cols
+                        );
+                    })
+                    .map(|chunk| chunk.limbs())
+                    .collect();
+                let words = cim_crossbar::lanes::transpose_lanes(&refs, cols);
+                MicroOp::write_row_lanes(INPUT_BASE + i, 0, &words)
+            })
+            .collect()
+    }
+
+    /// Runs the stage for up to 64 multiplications at once on a
+    /// bit-sliced array: lane `l` computes the leaf operands of
+    /// `pairs[l]`. The micro-op program is the solo program with the
+    /// eight chunk writes staged lane-wise, so the cycle count equals
+    /// [`PrecomputeStage::latency`] regardless of the lane count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrossbarError`] from execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty, holds more than 64 entries, or an
+    /// operand does not fit in `n` bits.
+    pub fn run_batch(&self, pairs: &[(Uint, Uint)]) -> Result<BatchPrecomputeOutput, CrossbarError> {
+        let cols = self.cols();
+        assert!(
+            !pairs.is_empty() && pairs.len() <= 64,
+            "batch must hold 1..=64 lanes"
+        );
+        let decomps: Vec<_> = pairs
+            .iter()
+            .map(|(a, b)| (decompose_operand(a, self.n), decompose_operand(b, self.n)))
+            .collect();
+        // Row-major chunk staging: row i holds chunk i of every lane.
+        let chunk_rows: Vec<Vec<&Uint>> = (0..8)
+            .map(|i| {
+                decomps
+                    .iter()
+                    .map(|(da, db)| {
+                        if i < 4 {
+                            &da.chunks[i]
+                        } else {
+                            &db.chunks[i - 4]
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut array = Crossbar::new_sliced(ROWS, cols, pairs.len())?;
+        let mut exec = Executor::new(&mut array);
+        let mut prog = self.chunk_writes_batch(&chunk_rows);
+        prog.extend_from_slice(&self.addition_suffix(ADDITIONS.len()));
+        cim_check::debug_assert_verified(
+            &prog,
+            &cim_check::VerifyConfig::new(ROWS, cols),
+            "PrecomputeStage::batch_program",
+        );
+        exec.run(&prog)?;
+
+        // One word-level read per leaf row; `lane_limbs` fans the
+        // column words back out into per-lane values.
+        let read_leaf_row = |exec: &Executor<'_>, row: usize| -> Result<Vec<Uint>, CrossbarError> {
+            let mut row_cols = Vec::new();
+            exec.array().read_row_lane_words(row, 0..cols, &mut row_cols)?;
+            Ok(cim_crossbar::lanes::lane_limbs(&row_cols, pairs.len())
+                .into_iter()
+                .map(Uint::from_limbs)
+                .collect())
+        };
+        let mut a_rows: [Vec<Uint>; LEAVES] = Default::default();
+        let mut b_rows: [Vec<Uint>; LEAVES] = Default::default();
+        for i in 0..LEAVES {
+            a_rows[i] = read_leaf_row(&exec, A_LEAF_ROWS[i])?;
+            b_rows[i] = read_leaf_row(&exec, B_LEAF_ROWS[i])?;
+        }
+        let mut a_leaves = Vec::with_capacity(pairs.len());
+        let mut b_leaves = Vec::with_capacity(pairs.len());
+        for lane in 0..pairs.len() {
+            let a_set: [Uint; LEAVES] = std::array::from_fn(|i| a_rows[i][lane].clone());
+            let b_set: [Uint; LEAVES] = std::array::from_fn(|i| b_rows[i][lane].clone());
+            debug_assert_eq!(a_set, decomps[lane].0.leaves);
+            debug_assert_eq!(b_set, decomps[lane].1.leaves);
+            a_leaves.push(a_set);
+            b_leaves.push(b_set);
+        }
+
+        exec.step(&MicroOp::reset_region(0..RESULT_BASE + 10, 0..cols))?;
+        let stats = *exec.stats();
+        let endurance = EnduranceReport::per_lane(&array);
+        Ok(BatchPrecomputeOutput {
+            a_leaves,
+            b_leaves,
+            stats,
+            endurance,
+        })
     }
 
     /// The operand-independent addition suffix covering the first
@@ -405,6 +536,31 @@ mod tests {
             let q = n / 4;
             let levels = (usize::BITS - (q + 1 - 1).leading_zeros()) as u64;
             assert_eq!(stage.latency(), 8 + 10 * (17 + 11 * levels) + 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn batch_leaves_match_solo_runs_at_solo_cycle_cost() {
+        let mut rng = UintRng::seeded(41);
+        for (n, lanes) in [(16usize, 5usize), (64, 64)] {
+            let stage = PrecomputeStage::new(n).unwrap();
+            let pairs: Vec<(Uint, Uint)> =
+                (0..lanes).map(|_| (rng.uniform(n), rng.uniform(n))).collect();
+            let batch = stage.run_batch(&pairs).unwrap();
+            assert_eq!(batch.stats.cycles, stage.latency(), "n = {n}");
+            assert_eq!(batch.endurance.len(), lanes);
+            for (lane, (a, b)) in pairs.iter().enumerate() {
+                let solo = stage.run(a, b).unwrap();
+                assert_eq!(batch.a_leaves[lane], solo.a_leaves, "lane {lane}, n = {n}");
+                assert_eq!(batch.b_leaves[lane], solo.b_leaves, "lane {lane}, n = {n}");
+                assert_eq!(batch.stats, solo.stats, "lane {lane}, n = {n}");
+                // The stage program is lane-oblivious after the chunk
+                // writes, so per-lane wear equals the solo array's.
+                assert_eq!(
+                    batch.endurance[lane], solo.endurance,
+                    "lane {lane}, n = {n}"
+                );
+            }
         }
     }
 

@@ -39,10 +39,17 @@ struct SuffixKey {
     additions: usize,
 }
 
+/// One cache entry: a per-key [`OnceLock`] so construction runs
+/// *exactly once* per key process-wide. Racing first callers block on
+/// the slot (not the whole map) until the winner's compile finishes —
+/// distinct keys still compile in parallel, and a duplicate compile
+/// can never race into the cache.
+type Slot = Arc<OnceLock<Arc<[MicroOp]>>>;
+
 #[derive(Default)]
 struct Caches {
-    adders: HashMap<AdderKey, Arc<[MicroOp]>>,
-    suffixes: HashMap<SuffixKey, Arc<[MicroOp]>>,
+    adders: HashMap<AdderKey, Slot>,
+    suffixes: HashMap<SuffixKey, Slot>,
 }
 
 static CACHES: OnceLock<Mutex<Caches>> = OnceLock::new();
@@ -53,9 +60,30 @@ fn caches() -> &'static Mutex<Caches> {
     CACHES.get_or_init(Mutex::default)
 }
 
-/// `(hits, misses)` of the process-wide program cache.
+/// `(hits, misses)` of the process-wide program cache. A *miss* is a
+/// call that ran the compile itself; every other call — including
+/// those that blocked on a racing compile — is a hit, so
+/// `misses` equals the number of distinct keys ever constructed and
+/// `hits + misses` equals the number of lookups.
 pub fn stats() -> (u64, u64) {
     (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Resolves a slot: at most one caller ever runs `compile` (the
+/// `OnceLock` serializes same-key racers), everyone shares the single
+/// stored allocation.
+fn resolve(slot: &Slot, compile: impl FnOnce() -> Arc<[MicroOp]>) -> Arc<[MicroOp]> {
+    let mut compiled = false;
+    let prog = slot.get_or_init(|| {
+        compiled = true;
+        compile()
+    });
+    if compiled {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    Arc::clone(prog)
 }
 
 /// The adder's program for `op`, compiled once per
@@ -67,16 +95,12 @@ pub fn adder_program(adder: &KoggeStoneAdder, op: AddOp) -> Arc<[MicroOp]> {
         op,
         layout: adder.layout().clone(),
     };
-    if let Some(hit) = caches().lock().expect("progcache poisoned").adders.get(&key) {
-        HITS.fetch_add(1, Ordering::Relaxed);
-        return Arc::clone(hit);
-    }
-    MISSES.fetch_add(1, Ordering::Relaxed);
-    // Compile outside the lock — first-call compiles of distinct
-    // widths don't serialize each other.
-    let prog: Arc<[MicroOp]> = adder.program(op).into();
-    let mut guard = caches().lock().expect("progcache poisoned");
-    Arc::clone(guard.adders.entry(key).or_insert(prog))
+    // The map lock only guards slot lookup; compiles run outside it.
+    let slot = {
+        let mut guard = caches().lock().expect("progcache poisoned");
+        Arc::clone(guard.adders.entry(key).or_default())
+    };
+    resolve(&slot, || adder.program(op).into())
 }
 
 /// An operand-independent addition suffix (a concatenation of adder
@@ -93,19 +117,11 @@ pub(crate) fn precompute_suffix(
         adder_width,
         additions,
     };
-    if let Some(hit) = caches()
-        .lock()
-        .expect("progcache poisoned")
-        .suffixes
-        .get(&key)
-    {
-        HITS.fetch_add(1, Ordering::Relaxed);
-        return Arc::clone(hit);
-    }
-    MISSES.fetch_add(1, Ordering::Relaxed);
-    let prog: Arc<[MicroOp]> = build().into();
-    let mut guard = caches().lock().expect("progcache poisoned");
-    Arc::clone(guard.suffixes.entry(key).or_insert(prog))
+    let slot = {
+        let mut guard = caches().lock().expect("progcache poisoned");
+        Arc::clone(guard.suffixes.entry(key).or_default())
+    };
+    resolve(&slot, || build().into())
 }
 
 #[cfg(test)]
@@ -150,6 +166,80 @@ mod tests {
         // Programs for different sum rows must differ somewhere.
         assert_ne!(a.as_ref(), b.as_ref());
         let _ = SCRATCH_ROWS; // layout() above must match the real count
+    }
+
+    #[test]
+    fn concurrent_compilation_constructs_each_key_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+
+        // Keys unique to this test (other tests share the process-wide
+        // cache, so reuse would turn first calls into hits).
+        const THREADS: usize = 16;
+        const ROUNDS: usize = 8;
+        const SHARED_WIDTH: usize = 131; // all threads race this key
+        const SUFFIX_KEYS: std::ops::Range<usize> = 7001..7005;
+
+        let builds = SUFFIX_KEYS.map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        let (hits_before, misses_before) = stats();
+
+        let canonical: Arc<[MicroOp]> = KoggeStoneAdder::with_layout(SHARED_WIDTH, layout(2))
+            .program(AddOp::Add)
+            .into();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let builds = &builds;
+                let canonical = &canonical;
+                scope.spawn(move || {
+                    for round in 0..ROUNDS {
+                        // Everyone hammers the same adder key…
+                        let adder = KoggeStoneAdder::with_layout(SHARED_WIDTH, layout(2));
+                        let prog = adder_program(&adder, AddOp::Add);
+                        assert_eq!(prog.as_ref(), canonical.as_ref());
+                        // …and a distinct-per-thread key, so distinct
+                        // compiles overlap same-key races.
+                        let own = KoggeStoneAdder::with_layout(140 + t, layout(2));
+                        let own_prog = adder_program(&own, AddOp::Add);
+                        assert_eq!(own_prog.as_ref(), own.program(AddOp::Add).as_slice());
+                        // Suffix keys are contended by all threads; the
+                        // per-key counter proves the builder can never
+                        // run twice, even mid-race.
+                        let k = (t + round) % builds.len();
+                        let _ = precompute_suffix(SUFFIX_KEYS.start + k, 10, || {
+                            builds[k].fetch_add(1, Ordering::Relaxed);
+                            vec![MicroOp::reset_region(0..1, 0..4)]
+                        });
+                    }
+                });
+            }
+        });
+
+        for (k, b) in builds.iter().enumerate() {
+            assert_eq!(
+                b.load(Ordering::Relaxed),
+                1,
+                "suffix key {k} must be constructed exactly once"
+            );
+        }
+        // All racers on the shared key resolved to one allocation.
+        let shared = adder_program(
+            &KoggeStoneAdder::with_layout(SHARED_WIDTH, layout(2)),
+            AddOp::Add,
+        );
+        let again = adder_program(
+            &KoggeStoneAdder::with_layout(SHARED_WIDTH, layout(2)),
+            AddOp::Add,
+        );
+        assert!(Arc::ptr_eq(&shared, &again));
+        // Stats stay consistent under the race: every lookup counted
+        // exactly once (other tests run concurrently in this process,
+        // so the delta is a lower bound, not an equality).
+        let (hits_after, misses_after) = stats();
+        let calls = (THREADS * ROUNDS * 3 + 2) as u64;
+        assert!(
+            hits_after + misses_after - hits_before - misses_before >= calls,
+            "every lookup must be counted as hit or miss"
+        );
+        assert!(hits_after > hits_before, "contended keys must produce hits");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::cell::{Cell, Fault};
 use crate::error::{Axis, CrossbarError};
 use crate::geometry::{ColRange, Region};
 use crate::packed::PackedPlanes;
+use crate::sliced::{SlicedPlanes, MAX_LANES};
 use crate::PRACTICAL_LINE_LIMIT;
 use std::sync::OnceLock;
 
@@ -29,6 +30,11 @@ pub enum BackendKind {
     Scalar,
     /// `u64` bit-plane words per row, sparse fault masks, lazy wear.
     Packed,
+    /// Lane-transposed batch backend: one `u64` word per cell, each
+    /// bit an independent problem instance (see
+    /// [`Crossbar::new_sliced`]). Via [`Crossbar::with_backend`] it
+    /// carries the full 64 lanes.
+    Sliced,
 }
 
 impl BackendKind {
@@ -47,6 +53,7 @@ impl BackendKind {
 enum Backing {
     Scalar(Vec<Cell>),
     Packed(PackedPlanes),
+    Sliced(SlicedPlanes),
 }
 
 /// A rows × columns grid of memristors with MAGIC compute support.
@@ -99,8 +106,54 @@ impl Crossbar {
         let state = match kind {
             BackendKind::Scalar => Backing::Scalar(vec![Cell::default(); rows * cols]),
             BackendKind::Packed => Backing::Packed(PackedPlanes::new(rows, cols)),
+            BackendKind::Sliced => Backing::Sliced(SlicedPlanes::new(rows, cols, MAX_LANES)),
         };
         Ok(Crossbar { rows, cols, state })
+    }
+
+    /// Creates a lane-transposed batch crossbar: every cell holds one
+    /// bit per *lane*, and each of the `lanes` (1..=64) lanes is an
+    /// independent problem instance driven by the same program. See
+    /// the `sliced` module docs for the accounting model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::EmptyDimension`] on a zero dimension
+    /// and [`CrossbarError::LaneOutOfRange`] when `lanes` is 0 or
+    /// above 64.
+    pub fn new_sliced(rows: usize, cols: usize, lanes: usize) -> Result<Self, CrossbarError> {
+        if rows == 0 || cols == 0 {
+            return Err(CrossbarError::EmptyDimension);
+        }
+        if lanes == 0 || lanes > MAX_LANES {
+            return Err(CrossbarError::LaneOutOfRange {
+                lane: lanes,
+                lanes: MAX_LANES,
+            });
+        }
+        Ok(Crossbar {
+            rows,
+            cols,
+            state: Backing::Sliced(SlicedPlanes::new(rows, cols, lanes)),
+        })
+    }
+
+    /// Batch lanes this array carries: 1 on the scalar/packed
+    /// backends, the constructed lane count on the sliced backend.
+    pub fn lanes(&self) -> usize {
+        match &self.state {
+            Backing::Sliced(p) => p.lanes(),
+            _ => 1,
+        }
+    }
+
+    fn check_lane(&self, lane: usize) -> Result<(), CrossbarError> {
+        let lanes = self.lanes();
+        if lane >= lanes {
+            Err(CrossbarError::LaneOutOfRange { lane, lanes })
+        } else {
+            Ok(())
+        }
     }
 
     /// The backend this array runs on.
@@ -108,6 +161,7 @@ impl Crossbar {
         match &self.state {
             Backing::Scalar(_) => BackendKind::Scalar,
             Backing::Packed(_) => BackendKind::Packed,
+            Backing::Sliced(_) => BackendKind::Sliced,
         }
     }
 
@@ -163,6 +217,7 @@ impl Crossbar {
         Ok(match &self.state {
             Backing::Scalar(cells) => cells[self.idx(row, col)].read(),
             Backing::Packed(p) => p.read_bit(row, col),
+            Backing::Sliced(p) => p.read_bit(row, col),
         })
     }
 
@@ -201,6 +256,7 @@ impl Crossbar {
                 out.extend(cols.map(|c| cells[row * self.cols + c].read()));
             }
             Backing::Packed(p) => p.read_into(row, cols, out),
+            Backing::Sliced(p) => p.read_into(row, cols, out),
         }
         Ok(())
     }
@@ -232,6 +288,7 @@ impl Crossbar {
                 }
             }
             Backing::Packed(p) => p.read_words_into(row, cols, out),
+            Backing::Sliced(p) => p.read_words_into(row, cols, out),
         }
         Ok(())
     }
@@ -256,6 +313,7 @@ impl Crossbar {
                 }
             }
             Backing::Packed(p) => p.write_bits(row, col_offset, bits),
+            Backing::Sliced(p) => p.write_bits(row, col_offset, bits),
         }
         Ok(())
     }
@@ -284,8 +342,253 @@ impl Crossbar {
                 }
             }
             Backing::Packed(p) => p.write_words(row, col_offset, words, len),
+            Backing::Sliced(p) => p.write_words(row, col_offset, words, len),
         }
         Ok(())
+    }
+
+    /// Writes one *lane word* per column into `row` starting at
+    /// `col_offset` — the lane-transposed counterpart of
+    /// [`Crossbar::write_row`]: bit `l` of `lane_words[j]` is the bit
+    /// written into lane `l` of column `col_offset + j`. Every cell in
+    /// the span wears exactly once, on every lane, same as a broadcast
+    /// row write. On the scalar/packed backends this degrades to
+    /// writing the lane-0 bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the span exceeds the array.
+    pub fn write_row_lanes(
+        &mut self,
+        row: usize,
+        col_offset: usize,
+        lane_words: &[u64],
+    ) -> Result<(), CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&(col_offset..col_offset + lane_words.len()))?;
+        if let Backing::Sliced(p) = &mut self.state {
+            p.write_lanes(row, col_offset, lane_words);
+            return Ok(());
+        }
+        let bits: Vec<bool> = lane_words.iter().map(|&w| w & 1 == 1).collect();
+        self.write_row(row, col_offset, &bits)
+    }
+
+    /// Lane-masked variant of [`Crossbar::write_row_lanes`]: only the
+    /// lanes selected by `mask` take the new values and wear; the other
+    /// lanes keep both value and wear untouched — the primitive behind
+    /// data-dependent batch steps (a shift-add iteration only pulses
+    /// the lanes whose multiplier bit is set). On the scalar/packed
+    /// backends lane 0 is written iff bit 0 of `mask` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the span exceeds the array.
+    pub fn write_row_lanes_masked(
+        &mut self,
+        row: usize,
+        col_offset: usize,
+        lane_words: &[u64],
+        mask: u64,
+    ) -> Result<(), CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&(col_offset..col_offset + lane_words.len()))?;
+        if let Backing::Sliced(p) = &mut self.state {
+            p.write_lanes_masked(row, col_offset, lane_words, mask);
+            return Ok(());
+        }
+        if mask & 1 == 1 {
+            let bits: Vec<bool> = lane_words.iter().map(|&w| w & 1 == 1).collect();
+            self.write_row(row, col_offset, &bits)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds `pulses` write pulses of wear to every cell (every lane)
+    /// of `region` without changing values — the wear half of a write.
+    ///
+    /// Batch fast paths that compute final cell values in the
+    /// controller use this (plus [`Crossbar::store_row_lane_words`])
+    /// to account a sequence of writes pulse for pulse while issuing
+    /// the value changes only once; composing the two halves in the
+    /// same spans as the writes they replace keeps every per-cell
+    /// observable identical to executing the writes one by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the region exceeds the array.
+    pub fn wear_region(&mut self, region: &Region, pulses: u64) -> Result<(), CrossbarError> {
+        if region.rows.end > self.rows {
+            return Err(CrossbarError::RowOutOfRange {
+                row: region.rows.end - 1,
+                rows: self.rows,
+            });
+        }
+        self.check_cols(&region.cols)?;
+        match &mut self.state {
+            Backing::Scalar(cells) => {
+                for row in region.rows.clone() {
+                    for col in region.cols.clone() {
+                        cells[row * self.cols + col].add_wear(pulses);
+                    }
+                }
+            }
+            Backing::Packed(p) => {
+                for row in region.rows.clone() {
+                    p.wear.add(row, region.cols.clone(), pulses);
+                }
+            }
+            Backing::Sliced(p) => {
+                for row in region.rows.clone() {
+                    p.wear_uniform(row, region.cols.clone(), pulses);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Records one write pulse of wear over the span for the lanes in
+    /// `mask` — the wear half of [`Crossbar::write_row_lanes_masked`]
+    /// — without touching values. On the scalar/packed backends the
+    /// cells wear iff bit 0 of `mask` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the span exceeds the array.
+    pub fn wear_row_lanes_masked(
+        &mut self,
+        row: usize,
+        cols: ColRange,
+        mask: u64,
+    ) -> Result<(), CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&cols)?;
+        match &mut self.state {
+            Backing::Sliced(p) => p.wear_masked(row, cols, mask),
+            Backing::Packed(p) => {
+                if mask & 1 == 1 {
+                    p.wear.add(row, cols, 1);
+                }
+            }
+            Backing::Scalar(cells) => {
+                if mask & 1 == 1 {
+                    for col in cols {
+                        cells[row * self.cols + col].add_wear(1);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores one lane word per column for the lanes in `mask` — the
+    /// value half of [`Crossbar::write_row_lanes_masked`] — without
+    /// recording any wear. Fault lanes keep their value. On the
+    /// scalar/packed backends the lane-0 bits are stored iff bit 0 of
+    /// `mask` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the span exceeds the array.
+    pub fn store_row_lane_words(
+        &mut self,
+        row: usize,
+        col_offset: usize,
+        words: &[u64],
+        mask: u64,
+    ) -> Result<(), CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&(col_offset..col_offset + words.len()))?;
+        match &mut self.state {
+            Backing::Sliced(p) => p.store_lane_words(row, col_offset, words, mask),
+            Backing::Packed(p) => {
+                if mask & 1 == 1 {
+                    for (j, &w) in words.iter().enumerate() {
+                        p.store_bit(row, col_offset + j, w & 1 == 1);
+                    }
+                }
+            }
+            Backing::Scalar(cells) => {
+                if mask & 1 == 1 {
+                    for (j, &w) in words.iter().enumerate() {
+                        cells[row * self.cols + col_offset + j].store(w & 1 == 1);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the span of `row` as one fault-adjusted *lane word* per
+    /// column — the bulk sense path of batch arithmetic. On the
+    /// scalar/packed backends each word is 0 or 1 (the lane-0 bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinates are out of range.
+    pub fn read_row_lane_words(
+        &self,
+        row: usize,
+        cols: ColRange,
+        out: &mut Vec<u64>,
+    ) -> Result<(), CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&cols)?;
+        match &self.state {
+            Backing::Sliced(p) => {
+                p.read_lane_words(row, cols, out);
+                Ok(())
+            }
+            _ => {
+                out.clear();
+                out.reserve(cols.len());
+                for col in cols {
+                    out.push(self.read_cell(row, col)? as u64);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads all lanes of one cell as a fault-adjusted lane word (bit
+    /// `l` = lane `l`); 0 or 1 on the scalar/packed backends.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinates are out of range.
+    pub fn read_cell_lanes(&self, row: usize, col: usize) -> Result<u64, CrossbarError> {
+        self.check_row(row)?;
+        self.check_cols(&(col..col + 1))?;
+        Ok(match &self.state {
+            Backing::Sliced(p) => p.read_word(row, col),
+            _ => self.read_cell(row, col)? as u64,
+        })
+    }
+
+    /// Reads one lane's bits of `row` over the column span — the
+    /// per-lane readout path. Lane 0 is valid on every backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinates or lane are out of range.
+    pub fn read_row_lane_bits(
+        &self,
+        lane: usize,
+        row: usize,
+        cols: ColRange,
+    ) -> Result<Vec<bool>, CrossbarError> {
+        self.check_lane(lane)?;
+        self.check_row(row)?;
+        self.check_cols(&cols)?;
+        match &self.state {
+            Backing::Sliced(p) => {
+                let mut out = Vec::new();
+                p.read_lane_into(lane, row, cols, &mut out);
+                Ok(out)
+            }
+            _ => self.read_row_bits(row, cols),
+        }
     }
 
     /// Drives every cell of `region` to logic 1 (MAGIC output
@@ -324,6 +627,7 @@ impl Crossbar {
                 }
             }
             Backing::Packed(p) => p.fill(region.rows.clone(), region.cols.clone(), value),
+            Backing::Sliced(p) => p.fill(region.rows.clone(), region.cols.clone(), value),
         }
         Ok(())
     }
@@ -371,6 +675,9 @@ impl Crossbar {
                 Ok(())
             }
             Backing::Packed(p) => p
+                .nor_rows(inputs, out, cols, strict)
+                .map_err(|col| CrossbarError::OutputNotInitialized { row: out, col }),
+            Backing::Sliced(p) => p
                 .nor_rows(inputs, out, cols, strict)
                 .map_err(|col| CrossbarError::OutputNotInitialized { row: out, col }),
         }
@@ -422,6 +729,9 @@ impl Crossbar {
                 Ok(())
             }
             Backing::Packed(p) => p
+                .nor_cols(in_cols, out_col, rows, strict)
+                .map_err(|row| CrossbarError::OutputNotInitialized { row, col: out_col }),
+            Backing::Sliced(p) => p
                 .nor_cols(in_cols, out_col, rows, strict)
                 .map_err(|row| CrossbarError::OutputNotInitialized { row, col: out_col }),
         }
@@ -499,6 +809,9 @@ impl Crossbar {
             Backing::Packed(p) => p
                 .nor_cols_partitioned(rows, cols, part_width, in_offsets, out_offset, strict)
                 .map_err(|(row, col)| CrossbarError::OutputNotInitialized { row, col }),
+            Backing::Sliced(p) => p
+                .nor_cols_partitioned(rows, cols, part_width, in_offsets, out_offset, strict)
+                .map_err(|(row, col)| CrossbarError::OutputNotInitialized { row, col }),
         }
     }
 
@@ -523,6 +836,15 @@ impl Crossbar {
         offset: isize,
         fill: bool,
     ) -> Result<(), CrossbarError> {
+        self.check_row(src)?;
+        self.check_row(dst)?;
+        self.check_cols(&cols)?;
+        // The sliced backend moves whole lane words per column; the
+        // packed/scalar path goes through the bit-plane word form.
+        if let Backing::Sliced(p) = &mut self.state {
+            p.shift(src, dst, cols, offset, fill);
+            return Ok(());
+        }
         let w = cols.len();
         let mut words = Vec::new();
         self.read_row_words(src, cols.clone(), &mut words)?;
@@ -561,8 +883,67 @@ impl Crossbar {
         match &mut self.state {
             Backing::Scalar(cells) => cells[row * self.cols + col].set_fault(fault),
             Backing::Packed(p) => p.set_fault(row, col, fault),
+            Backing::Sliced(p) => p.set_fault(row, col, fault),
         }
         Ok(())
+    }
+
+    /// Injects (or clears) a stuck-at fault on a single lane of a
+    /// cell. On the scalar/packed backends only lane 0 exists and
+    /// this is [`Crossbar::inject_fault`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinates or lane are out of range.
+    pub fn inject_fault_lane(
+        &mut self,
+        lane: usize,
+        row: usize,
+        col: usize,
+        fault: Option<Fault>,
+    ) -> Result<(), CrossbarError> {
+        self.check_lane(lane)?;
+        self.check_row(row)?;
+        self.check_cols(&(col..col + 1))?;
+        if let Backing::Sliced(p) = &mut self.state {
+            p.set_fault_lane(lane, row, col, fault);
+            return Ok(());
+        }
+        self.inject_fault(row, col, fault)
+    }
+
+    /// The [`Cell`] view of one lane of one cell: raw value, exact
+    /// per-lane wear, per-lane fault. Lane 0 equals [`Crossbar::cell`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinates or lane are out of range.
+    pub fn lane_cell(&self, lane: usize, row: usize, col: usize) -> Result<Cell, CrossbarError> {
+        self.check_lane(lane)?;
+        self.check_row(row)?;
+        self.check_cols(&(col..col + 1))?;
+        Ok(match &self.state {
+            Backing::Sliced(p) => p.lane_cell(lane, row, col),
+            _ => self.cell_unchecked(row, col),
+        })
+    }
+
+    /// `(max, total, touched)` per-cell write statistics of one lane.
+    pub(crate) fn lane_wear_stats(&self, lane: usize) -> (u64, u64, usize) {
+        match &self.state {
+            Backing::Sliced(p) => p.lane_wear_stats(lane),
+            _ => self.wear_stats(),
+        }
+    }
+
+    /// Per-lane `(max, total, touched)` wear statistics for all 64
+    /// lane slots in one sweep (only the active lanes are meaningful);
+    /// on the scalar/packed backends a single-entry vector.
+    pub(crate) fn lane_wear_stats_all(&self) -> Vec<(u64, u64, usize)> {
+        match &self.state {
+            Backing::Sliced(p) => p.lane_wear_stats_all(),
+            _ => vec![self.wear_stats()],
+        }
     }
 
     /// Whether no cell of `row` across `cols` carries a stuck-at
@@ -585,6 +966,7 @@ impl Crossbar {
                 .clone()
                 .all(|c| cells[row * self.cols + c].fault().is_none()),
             Backing::Packed(p) => p.region_fault_free(row, cols),
+            Backing::Sliced(p) => p.region_fault_free(row, cols),
         })
     }
 
@@ -592,6 +974,7 @@ impl Crossbar {
         match &self.state {
             Backing::Scalar(cells) => cells[row * self.cols + col],
             Backing::Packed(p) => p.cell(row, col),
+            Backing::Sliced(p) => p.cell(row, col),
         }
     }
 
@@ -645,6 +1028,7 @@ impl Crossbar {
                 }
                 (max, total, touched)
             }
+            Backing::Sliced(p) => p.wear_stats(),
         }
     }
 
@@ -664,6 +1048,7 @@ impl Crossbar {
                 }
             }
             Backing::Packed(p) => p.wear.reset(),
+            Backing::Sliced(p) => p.reset_wear(),
         }
     }
 

@@ -60,6 +60,21 @@ impl Cell {
         }
     }
 
+    /// Adds `pulses` write pulses of wear without changing the value —
+    /// the wear half of a write, for batch fast paths that account the
+    /// two effects separately.
+    pub(crate) fn add_wear(&mut self, pulses: u64) {
+        self.writes += pulses;
+    }
+
+    /// Sets the value without wear — the value half of a write. A
+    /// faulty cell keeps its value, exactly as under [`Cell::write`].
+    pub(crate) fn store(&mut self, value: bool) {
+        if self.fault.is_none() {
+            self.value = value;
+        }
+    }
+
     /// Number of write pulses this cell has received.
     pub fn writes(&self) -> u64 {
         self.writes

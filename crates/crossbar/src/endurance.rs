@@ -40,6 +40,38 @@ impl EnduranceReport {
         }
     }
 
+    /// Computes the report for one batch lane of a sliced array — the
+    /// wear that lane's instance would have accumulated on a solo
+    /// array running the same program. On the scalar/packed backends
+    /// lane 0 is the whole array.
+    pub fn from_lane(array: &Crossbar, lane: usize) -> Self {
+        let (max_writes, total_writes, cells_touched) = array.lane_wear_stats(lane);
+        EnduranceReport {
+            max_writes,
+            total_writes,
+            cells_touched,
+            cells_total: array.cell_count(),
+        }
+    }
+
+    /// Per-lane reports for every active lane of the array, computed
+    /// in one sweep over the wear representation (cheaper than calling
+    /// [`EnduranceReport::from_lane`] per lane).
+    pub fn per_lane(array: &Crossbar) -> Vec<Self> {
+        let lanes = array.lanes();
+        array
+            .lane_wear_stats_all()
+            .into_iter()
+            .take(lanes)
+            .map(|(max_writes, total_writes, cells_touched)| EnduranceReport {
+                max_writes,
+                total_writes,
+                cells_touched,
+                cells_total: array.cell_count(),
+            })
+            .collect()
+    }
+
     /// `(max, mean)` per-cell write counts in one call — the summary
     /// the wear-leveling scheduler and `FarmReport` consume, so they
     /// never have to walk raw cells themselves.

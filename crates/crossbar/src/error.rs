@@ -70,6 +70,14 @@ pub enum CrossbarError {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// A batch lane index (or lane count) was outside the array's
+    /// lane range — only the sliced backend carries more than one.
+    LaneOutOfRange {
+        /// Offending lane index or requested lane count.
+        lane: usize,
+        /// Lanes the array carries.
+        lanes: usize,
+    },
 }
 
 impl fmt::Display for CrossbarError {
@@ -93,6 +101,9 @@ impl fmt::Display for CrossbarError {
                 write!(f, "row write of {got} bits into a span of {expected} columns")
             }
             CrossbarError::BadPartition { detail } => write!(f, "bad partition: {detail}"),
+            CrossbarError::LaneOutOfRange { lane, lanes } => {
+                write!(f, "lane {lane} out of range for {lanes}-lane array")
+            }
         }
     }
 }

@@ -117,6 +117,12 @@ impl OpTrace {
                 row: *row,
                 bits: bits.len(),
             },
+            // Same write circuit, same trace shape: a lane-staged write
+            // is indistinguishable from a solo row write of the span.
+            MicroOp::WriteRowLanes { row, lane_words, .. } => OpTrace::Write {
+                row: *row,
+                bits: lane_words.len(),
+            },
             MicroOp::ReadRow { row, cols } => OpTrace::Read {
                 row: *row,
                 cells: cols.len(),
@@ -442,6 +448,14 @@ impl<'a> Executor<'a> {
                 bits,
             } => {
                 self.array.write_row(*row, *col_offset, bits)?;
+                OpClass::Write
+            }
+            MicroOp::WriteRowLanes {
+                row,
+                col_offset,
+                lane_words,
+            } => {
+                self.array.write_row_lanes(*row, *col_offset, lane_words)?;
                 OpClass::Write
             }
             MicroOp::ReadRow { row, cols } => {

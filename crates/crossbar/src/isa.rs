@@ -28,6 +28,21 @@ pub enum MicroOp {
         /// Bit payload.
         bits: Vec<bool>,
     },
+    /// Write one *lane word* per column into `row` starting at
+    /// `col_offset` (1 cc): bit `l` of `lane_words[j]` is the bit for
+    /// batch lane `l` of column `col_offset + j`. On a sliced array
+    /// this stages up to 64 independent operands in the same write
+    /// pulse a [`MicroOp::WriteRow`] would take; on scalar/packed
+    /// arrays the lane-0 bits are written. Cycle cost, wear and trace
+    /// shape are identical to `WriteRow` of the same span.
+    WriteRowLanes {
+        /// Target word line.
+        row: usize,
+        /// First column written.
+        col_offset: usize,
+        /// One lane word per column.
+        lane_words: Vec<u64>,
+    },
     /// Read a row span; the value is latched into the executor's
     /// read buffer (1 cc).
     ReadRow {
@@ -120,6 +135,15 @@ impl MicroOp {
             row,
             col_offset,
             bits: bits.to_vec(),
+        }
+    }
+
+    /// Writes one lane word per column into `row` at `col_offset`.
+    pub fn write_row_lanes(row: usize, col_offset: usize, lane_words: &[u64]) -> Self {
+        MicroOp::WriteRowLanes {
+            row,
+            col_offset,
+            lane_words: lane_words.to_vec(),
         }
     }
 
@@ -251,6 +275,14 @@ impl MicroOp {
             } => OpFootprint {
                 reads: Vec::new(),
                 writes: vec![row_span(*row, &(*col_offset..col_offset + bits.len()))],
+            },
+            MicroOp::WriteRowLanes {
+                row,
+                col_offset,
+                lane_words,
+            } => OpFootprint {
+                reads: Vec::new(),
+                writes: vec![row_span(*row, &(*col_offset..col_offset + lane_words.len()))],
             },
             MicroOp::ReadRow { row, cols } => OpFootprint {
                 reads: vec![row_span(*row, cols)],

@@ -1,0 +1,141 @@
+//! Lane-word transposition for the bit-sliced backend's controller
+//! paths.
+//!
+//! The sliced backend stores one `u64` per cell where bit `l` is lane
+//! `l`'s value, while controllers (the batch multiplier stages) hold
+//! each lane's operand as little-endian `u64` limbs where bit `j` is
+//! column `j`. Moving between the two representations bit by bit costs
+//! `lanes × cols` shift/or operations per staging or readout — the
+//! dominant controller cost of a 64-lane batch. These helpers do the
+//! same conversion as 64×64 bit-matrix transposes, `O(cols · log 64)`
+//! word operations total.
+
+/// In-place 64×64 bit-matrix transpose: afterwards, bit `i` of
+/// `m[b]` equals what bit `b` of `m[i]` was (Hacker's Delight 7-3,
+/// widened to 64 bits).
+fn transpose64(m: &mut [u64; 64]) {
+    let mut j = 32;
+    let mut mask = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            let t = (m[k] >> j ^ m[k + j]) & mask;
+            m[k] ^= t << j;
+            m[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
+/// Transposes per-lane limb slices into per-column lane words: bit `l`
+/// of `out[j]` is bit `j` of `per_lane[l]` (reading missing limbs and
+/// missing lanes as zero). `out` has exactly `cols` words — lane bits
+/// at column `cols` and beyond are truncated, like `Uint::to_bits`.
+///
+/// # Panics
+///
+/// Panics if more than 64 lanes are given.
+pub fn transpose_lanes(per_lane: &[&[u64]], cols: usize) -> Vec<u64> {
+    assert!(per_lane.len() <= 64, "at most 64 lanes per word");
+    let mut out = vec![0u64; cols];
+    let mut buf = [0u64; 64];
+    for (bi, chunk) in out.chunks_mut(64).enumerate() {
+        buf.fill(0);
+        for (l, limbs) in per_lane.iter().enumerate() {
+            buf[l] = limbs.get(bi).copied().unwrap_or(0);
+        }
+        transpose64(&mut buf);
+        chunk.copy_from_slice(&buf[..chunk.len()]);
+    }
+    out
+}
+
+/// The inverse of [`transpose_lanes`]: per-column lane words back into
+/// per-lane limb vectors. `out[l]` has `col_words.len().div_ceil(64)`
+/// limbs with bit `j` equal to bit `l` of `col_words[j]`.
+///
+/// # Panics
+///
+/// Panics if more than 64 lanes are requested.
+pub fn lane_limbs(col_words: &[u64], lanes: usize) -> Vec<Vec<u64>> {
+    assert!(lanes <= 64, "at most 64 lanes per word");
+    let blocks = col_words.len().div_ceil(64);
+    let mut out = vec![vec![0u64; blocks]; lanes];
+    let mut buf = [0u64; 64];
+    for (bi, chunk) in col_words.chunks(64).enumerate() {
+        buf.fill(0);
+        buf[..chunk.len()].copy_from_slice(chunk);
+        transpose64(&mut buf);
+        for (l, limbs) in out.iter_mut().enumerate() {
+            limbs[bi] = buf[l];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose64_moves_single_bits() {
+        let mut m = [0u64; 64];
+        m[3] = 1 << 5;
+        m[60] = 1 << 0;
+        transpose64(&mut m);
+        assert_eq!(m[5], 1 << 3);
+        assert_eq!(m[0], 1 << 60);
+        assert_eq!(m.iter().map(|w| w.count_ones()).sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn transpose64_is_an_involution() {
+        let mut m: [u64; 64] =
+            std::array::from_fn(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xabcd);
+        let orig = m;
+        transpose64(&mut m);
+        transpose64(&mut m);
+        assert_eq!(m, orig);
+    }
+
+    #[test]
+    fn lanes_round_trip_through_columns() {
+        // 3 lanes, 130 columns (one full block + a ragged tail).
+        let lanes: Vec<Vec<u64>> = vec![
+            vec![0xdead_beef_0123_4567, 0x89ab_cdef_fedc_ba98, 0x3],
+            vec![0x1111_2222_3333_4444, 0, 0x1],
+            vec![u64::MAX, u64::MAX, 0x3],
+        ];
+        let refs: Vec<&[u64]> = lanes.iter().map(|v| v.as_slice()).collect();
+        let cols = transpose_lanes(&refs, 130);
+        assert_eq!(cols.len(), 130);
+        for (l, limbs) in lanes.iter().enumerate() {
+            for (j, word) in cols.iter().enumerate() {
+                let expect = (limbs[j / 64] >> (j % 64)) & 1;
+                assert_eq!(word >> l & 1, expect, "lane {l} col {j}");
+            }
+        }
+        let back = lane_limbs(&cols, 3);
+        for (l, limbs) in lanes.iter().enumerate() {
+            // Bits at column 130 and beyond are truncated by the
+            // forward transpose; mask them off the expectation.
+            let mut expect = limbs.clone();
+            expect[2] &= (1 << 2) - 1;
+            assert_eq!(back[l], expect, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn truncation_and_zero_fill_match_bitwise_semantics() {
+        // A lane with fewer limbs than the span reads as zero-padded;
+        // columns past `cols` never leak into the output.
+        let lane0: &[u64] = &[0b1011];
+        let cols = transpose_lanes(&[lane0], 3);
+        assert_eq!(cols, vec![1, 1, 0]); // bit 3 of the lane truncated
+        let back = lane_limbs(&cols, 2);
+        assert_eq!(back[0], vec![0b011]);
+        assert_eq!(back[1], vec![0]);
+    }
+}

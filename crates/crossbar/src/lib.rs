@@ -57,9 +57,11 @@ mod error;
 mod exec;
 mod geometry;
 mod isa;
+pub mod lanes;
 pub mod meter;
 mod packed;
 pub mod parasitics;
+mod sliced;
 mod stats;
 mod wear;
 
@@ -73,6 +75,10 @@ pub use geometry::{ColRange, Region};
 pub use isa::{MicroOp, OpFootprint};
 pub use meter::MeterSpec;
 pub use stats::{CycleStats, OpClass};
+
+/// Maximum batch lanes a sliced ([`BackendKind::Sliced`]) array can
+/// carry: one per bit of the `u64` lane word.
+pub const MAX_BATCH_LANES: usize = sliced::MAX_LANES;
 
 /// Practical upper bound on bit-line length (cells per line) before
 /// parasitic IR-drop makes sensing unreliable — the paper (Sec. II-C,

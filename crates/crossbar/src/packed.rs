@@ -203,6 +203,21 @@ impl PackedPlanes {
         self.wear.add(row, range, 1);
     }
 
+    /// Sets one cell's raw value without wear — the value half of a
+    /// write. A fault cell keeps its value, as under a real write.
+    pub(crate) fn store_bit(&mut self, row: usize, col: usize, value: bool) {
+        if self.fault_at(row, col).is_some() {
+            return;
+        }
+        let i = self.idx(row, col / WORD_BITS);
+        let bit = 1u64 << (col % WORD_BITS);
+        if value {
+            self.value[i] |= bit;
+        } else {
+            self.value[i] &= !bit;
+        }
+    }
+
     pub(crate) fn write_bits(&mut self, row: usize, col_offset: usize, bits: &[bool]) {
         let mut words = [0u64; 4];
         if bits.len() <= words.len() * WORD_BITS {

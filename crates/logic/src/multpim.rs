@@ -285,6 +285,241 @@ impl RowMultiplier {
         ))
     }
 
+    /// The batch operand-loading prologue: each `(a, b)` pair is
+    /// transposed into per-column lane words (bit `l` of the word for
+    /// column `j` = bit `j` of lane `l`'s operand), so the same three
+    /// micro-ops that load one instance load up to 64 — identical
+    /// cycle cost, identical trace shape, identical per-cell wear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand exceeds `width` bits or more than 64
+    /// pairs are given.
+    pub fn load_batch_program(
+        &self,
+        row: usize,
+        col_base: usize,
+        pairs: &[(Uint, Uint)],
+    ) -> Vec<MicroOp> {
+        let w = self.width;
+        let at = |off: usize| col_base + off * w;
+        assert!(
+            !pairs.is_empty() && pairs.len() <= 64,
+            "batch must hold 1..=64 lanes"
+        );
+        let a_refs: Vec<&[u64]> = pairs.iter().map(|(a, _)| a.limbs()).collect();
+        let b_refs: Vec<&[u64]> = pairs.iter().map(|(_, b)| b.limbs()).collect();
+        let a_lanes = cim_crossbar::lanes::transpose_lanes(&a_refs, w);
+        let b_lanes = cim_crossbar::lanes::transpose_lanes(&b_refs, w);
+        let prog = vec![
+            MicroOp::write_row_lanes(row, at(A_OFF), &a_lanes),
+            MicroOp::write_row_lanes(row, at(B_OFF), &b_lanes),
+            MicroOp::reset_region(row..row + 1, at(P_OFF)..at(P_OFF) + 2 * w),
+        ];
+        cim_check::debug_assert_verified(
+            &prog,
+            &cim_check::VerifyConfig::new(row + 1, col_base + self.required_cols()),
+            "RowMultiplier::load_batch_program",
+        );
+        prog
+    }
+
+    /// Runs up to 64 independent multiplications in row `row` of a
+    /// bit-sliced array — lane `l` computes `pairs[l].0 · pairs[l].1`.
+    /// One loading prologue and one shift-add pass execute every lane
+    /// in the same `O(w)` bulk operations a single instance takes, so
+    /// the analytic latency (and the trace shape) is identical to
+    /// [`RowMultiplier::run_in`]; throughput scales with the lane
+    /// count. Per lane, the final cell values and per-cell wear are
+    /// bit-identical to a solo run with the same operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::LaneOutOfRange`] if more pairs are
+    /// given than the array has lanes, and propagates geometry errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or an operand exceeds `width` bits.
+    pub fn run_batch_in(
+        &self,
+        array: &mut Crossbar,
+        row: usize,
+        col_base: usize,
+        pairs: &[(Uint, Uint)],
+    ) -> Result<(Vec<Uint>, RowMultStats), CrossbarError> {
+        let w = self.width;
+        let at = |off: usize| col_base + off * w;
+        if pairs.len() > array.lanes() {
+            return Err(CrossbarError::LaneOutOfRange {
+                lane: pairs.len() - 1,
+                lanes: array.lanes(),
+            });
+        }
+        let mut loader = Executor::new(&mut *array);
+        loader.run(&self.load_batch_program(row, col_base, pairs))?;
+
+        // Same split as the solo path: the lane-parallel fast path
+        // mirrors the accumulator planes in software, which requires a
+        // fault-free region (in every active lane); otherwise fall
+        // back to the live-read reference loop, which feeds pinned
+        // lane bits back through the per-lane sums.
+        let region = col_base..col_base + self.required_cols();
+        if array.row_region_fault_free(row, region)? {
+            self.batch_shift_add_packed(array, row, col_base, pairs.len())?;
+        } else {
+            self.batch_shift_add_reference(array, row, col_base, pairs.len())?;
+        }
+
+        let mut p_cols = Vec::new();
+        array.read_row_lane_words(row, at(P_OFF)..at(P_OFF) + 2 * w, &mut p_cols)?;
+        let products = cim_crossbar::lanes::lane_limbs(&p_cols, pairs.len())
+            .into_iter()
+            .map(Uint::from_limbs)
+            .collect();
+        Ok((
+            products,
+            RowMultStats {
+                cycles: self.latency(),
+                iterations: w,
+            },
+        ))
+    }
+
+    /// Lane-parallel shift-add: the transposed counterpart of
+    /// [`RowMultiplier::shift_add_packed`], with the write bookkeeping
+    /// split into its two halves (see [`Crossbar::wear_region`]).
+    ///
+    /// Wear is accounted iteration for iteration exactly like the
+    /// reference loop: the broadcast scratch reset pulses every
+    /// iteration, and each iteration whose multiplier bit is set in
+    /// any lane records the reference's three masked write pulses
+    /// (`C[0]`, the `C` span, the product window) for exactly those
+    /// lanes. Values, however, are data-oblivious to *when* they were
+    /// written — a cell's final value is the last write it took — so
+    /// the fast path stores them once, per lane, in closed form: the
+    /// product region takes `a·b`, and the carry-staging cells take the
+    /// ripple carries of the lane's last executed iteration, recovered
+    /// as `s ^ a ^ window` exactly like the solo fast path. Lanes whose
+    /// multiplier is zero never write, so their `C` cells keep their
+    /// prior values and their product region stays at the prologue's
+    /// reset zeros (= their product).
+    fn batch_shift_add_packed(
+        &self,
+        array: &mut Crossbar,
+        row: usize,
+        col_base: usize,
+        lanes: usize,
+    ) -> Result<(), CrossbarError> {
+        use cim_bigint::mul::schoolbook;
+        use cim_crossbar::lanes as xl;
+        use wordvec as wv;
+        let w = self.width;
+        let at = |off: usize| col_base + off * w;
+        let active = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+
+        let mut a_cols = Vec::new();
+        array.read_row_lane_words(row, at(A_OFF)..at(A_OFF) + w, &mut a_cols)?;
+        let mut b_cols = Vec::new();
+        array.read_row_lane_words(row, at(B_OFF)..at(B_OFF) + w, &mut b_cols)?;
+
+        // Wear, iteration for iteration: the scratch reset is broadcast
+        // (the reference resets before testing `b_i`, so skipped
+        // iterations pulse too — `w` pulses per scratch cell in total),
+        // and active iterations pulse C[0], the C span and the product
+        // window for exactly the lanes whose multiplier bit is set.
+        let scratch = at(S_OFF)..at(S_OFF) + w;
+        array.store_row_lane_words(row, scratch.start, &vec![0u64; w], u64::MAX)?;
+        array.wear_region(&Region::new(row..row + 1, scratch), w as u64)?;
+        let mut written = 0u64;
+        for (i, &b_word) in b_cols.iter().enumerate() {
+            let m = b_word & active;
+            if m == 0 {
+                continue;
+            }
+            array.wear_row_lanes_masked(row, at(C_OFF)..at(C_OFF) + 1, m)?;
+            array.wear_row_lanes_masked(row, at(C_OFF)..at(C_OFF) + w, m)?;
+            array.wear_row_lanes_masked(row, at(P_OFF) + i..at(P_OFF) + i + w + 1, m)?;
+            written |= m;
+        }
+
+        // Final values, lane by lane in the controller.
+        let a_lanes = xl::lane_limbs(&a_cols, lanes);
+        let b_lanes = xl::lane_limbs(&b_cols, lanes);
+        let mut p_lanes = vec![Vec::new(); lanes];
+        let mut c_lanes = vec![Vec::new(); lanes];
+        for l in 0..lanes {
+            if written >> l & 1 == 0 {
+                continue;
+            }
+            let a = Uint::from_limbs(a_lanes[l].clone());
+            let b = Uint::from_limbs(b_lanes[l].clone());
+            p_lanes[l] = schoolbook::mul(&a, &b).limbs().to_vec();
+            // The lane's last executed iteration is its top multiplier
+            // bit; its carries are those of adding `a` into the window
+            // `[i_last, i_last + w + 1)` of the accumulator *before*
+            // that iteration, i.e. of `a · (b mod 2^i_last)`.
+            let i_last = b.bit_len() - 1;
+            let before = schoolbook::mul(&a, &b.low_bits(i_last));
+            let win = wv::window(before.limbs(), i_last, w + 1);
+            let sum = wv::add(&a_lanes[l], &win, w + 2);
+            let carries = wv::xor3(&sum, &a_lanes[l], &win, w + 2);
+            // Reference C layout: C[k] ← carry out of bit k for
+            // k = 1..w, with j = w wrapping its carry onto C[0].
+            let mut c_words = wv::shr1(&carries);
+            wv::set_bit(&mut c_words, 0, wv::bit(&carries, w + 1));
+            c_lanes[l] = c_words;
+        }
+        let p_refs: Vec<&[u64]> = p_lanes.iter().map(|v| v.as_slice()).collect();
+        let c_refs: Vec<&[u64]> = c_lanes.iter().map(|v| v.as_slice()).collect();
+        array.store_row_lane_words(row, at(P_OFF), &xl::transpose_lanes(&p_refs, 2 * w), active)?;
+        array.store_row_lane_words(row, at(C_OFF), &xl::transpose_lanes(&c_refs, w), written)?;
+        Ok(())
+    }
+
+    /// Lane-word reference shift-add for regions with faults: live
+    /// fault-adjusted lane reads with immediate masked write-back,
+    /// step for step the solo reference loop run in every lane at
+    /// once. Within an iteration the reference never reads a cell it
+    /// has already written (A/B are read-only, `P[i+j]` is read at
+    /// step j and written at step j, C is write-only), so pinned lane
+    /// bits feed back into later iterations exactly as they do solo.
+    fn batch_shift_add_reference(
+        &self,
+        array: &mut Crossbar,
+        row: usize,
+        col_base: usize,
+        lanes: usize,
+    ) -> Result<(), CrossbarError> {
+        let w = self.width;
+        let at = |off: usize| col_base + off * w;
+        let active = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        for i in 0..w {
+            let m = array.read_cell_lanes(row, at(B_OFF) + i)? & active;
+            let scratch_cols = at(S_OFF)..at(S_OFF) + w;
+            array.reset_region(&Region::new(row..row + 1, scratch_cols))?;
+            if m == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for j in 0..=w {
+                let p_col = at(P_OFF) + i + j;
+                let a = if j < w {
+                    array.read_cell_lanes(row, at(A_OFF) + j)?
+                } else {
+                    0
+                };
+                let p = array.read_cell_lanes(row, p_col)?;
+                let t = a ^ p;
+                let sum = t ^ carry;
+                carry = (a & p) | (t & carry);
+                array.write_row_lanes_masked(row, at(C_OFF) + j % w, &[carry], m)?;
+                array.write_row_lanes_masked(row, p_col, &[sum], m)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Reference shift-add: iteration i adds (a·b_i) << i into the
     /// accumulator cell by cell, so accumulator, carry and scratch
     /// cells see realistic traffic. This is the behavioural gold the
@@ -534,6 +769,72 @@ mod tests {
             .run_in(&mut array, 0, 0, &Uint::from_u64(0), &Uint::from_u64(0))
             .unwrap();
         assert_eq!(p, Uint::from_u64(8), "stuck-at-1 bit 3 shows in 0·0");
+    }
+
+    /// Every lane of a batch run must leave exactly the per-lane cell
+    /// state and wear a solo run with the same operands leaves — the
+    /// lane-isolation contract the whole batching layer rests on.
+    #[test]
+    fn batch_lanes_match_solo_state_wear_and_products() {
+        let mut rng = UintRng::seeded(4242);
+        for (w, lanes) in [(4usize, 3usize), (8, 64), (17, 7), (33, 12)] {
+            let m = RowMultiplier::new(w);
+            let pairs: Vec<(Uint, Uint)> =
+                (0..lanes).map(|_| (rng.uniform(w), rng.uniform(w))).collect();
+            let mut batch = Crossbar::new_sliced(1, m.required_cols(), lanes).unwrap();
+            let (products, stats) = m.run_batch_in(&mut batch, 0, 0, &pairs).unwrap();
+            assert_eq!(stats.cycles, m.latency());
+            for (lane, (a, b)) in pairs.iter().enumerate() {
+                let mut solo = Crossbar::new(1, m.required_cols()).unwrap();
+                let (p, solo_stats) = m.run_in(&mut solo, 0, 0, a, b).unwrap();
+                assert_eq!(products[lane], p, "lane {lane}, w = {w}");
+                assert_eq!(
+                    products[lane],
+                    cim_bigint::mul::schoolbook::mul(a, b),
+                    "lane {lane}, w = {w}"
+                );
+                assert_eq!(stats, solo_stats);
+                for c in 0..m.required_cols() {
+                    assert_eq!(
+                        batch.lane_cell(lane, 0, c).unwrap(),
+                        solo.cell(0, c).unwrap(),
+                        "cell {c}, lane {lane}, w = {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A lane-local stuck-at fault must feed back into that lane's
+    /// product only, through the live-read fallback path.
+    #[test]
+    fn batch_lane_fault_feeds_back_into_that_lane_only() {
+        use cim_crossbar::Fault;
+        let m = RowMultiplier::new(8);
+        let mut array = Crossbar::new_sliced(1, m.required_cols(), 3).unwrap();
+        // Pin accumulator bit 3 of lane 1 to 1.
+        array
+            .inject_fault_lane(1, 0, 2 * 8 + 3, Some(Fault::StuckAt1))
+            .unwrap();
+        let zero = Uint::from_u64(0);
+        let pairs = vec![
+            (Uint::from_u64(5), Uint::from_u64(7)),
+            (zero.clone(), zero.clone()),
+            (zero.clone(), zero),
+        ];
+        let (products, _) = m.run_batch_in(&mut array, 0, 0, &pairs).unwrap();
+        assert_eq!(products[0], Uint::from_u64(35), "healthy lane unaffected");
+        assert_eq!(products[1], Uint::from_u64(8), "stuck-at-1 bit 3 shows in 0·0");
+        assert_eq!(products[2], Uint::from_u64(0), "healthy lane unaffected");
+    }
+
+    #[test]
+    fn batch_rejects_more_pairs_than_lanes() {
+        let m = RowMultiplier::new(4);
+        let mut array = Crossbar::new_sliced(1, m.required_cols(), 2).unwrap();
+        let one = Uint::from_u64(1);
+        let pairs = vec![(one.clone(), one.clone()); 3];
+        assert!(m.run_batch_in(&mut array, 0, 0, &pairs).is_err());
     }
 
     #[test]

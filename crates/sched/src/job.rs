@@ -16,6 +16,11 @@ pub enum Algo {
     /// A single-row MultPIM-style schoolbook multiplier at full
     /// operand width — one stage, no pipelining within the job.
     Schoolbook,
+    /// The Karatsuba pipeline on bit-sliced arrays: one job carries 64
+    /// independent multiplications through the same micro-op programs
+    /// (one per `u64` lane), so it costs one instance's cycles and
+    /// delivers 64 products.
+    KaratsubaBatch64,
 }
 
 impl Algo {
@@ -24,6 +29,15 @@ impl Algo {
         match self {
             Algo::Karatsuba => "karatsuba",
             Algo::Schoolbook => "schoolbook",
+            Algo::KaratsubaBatch64 => "karatsuba_batch64",
+        }
+    }
+
+    /// Products one job of this algorithm delivers.
+    pub fn lanes(self) -> usize {
+        match self {
+            Algo::Karatsuba | Algo::Schoolbook => 1,
+            Algo::KaratsubaBatch64 => 64,
         }
     }
 }

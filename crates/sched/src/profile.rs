@@ -86,6 +86,9 @@ pub struct JobProfile {
     pub stats: CycleStats,
     /// Cells of the stage arrays a tile must provision for this class.
     pub area_cells: u64,
+    /// Products delivered per job (bit-sliced batch classes carry up
+    /// to 64 multiplications through one job's cycles).
+    pub lanes: usize,
 }
 
 impl JobProfile {
@@ -137,6 +140,34 @@ impl JobProfile {
             wear,
             stats: synth_stats(stage_latency, HANDOFF_CYCLES),
             area_cells: d.area_cells(),
+            lanes: 1,
+        }
+    }
+
+    /// Closed-form profile for a bit-sliced 64-lane Karatsuba batch
+    /// job: the stage latencies (and thus occupancy and handoff) are
+    /// exactly the solo profile's — batching executes the same micro-op
+    /// program with one instance per `u64` lane — while every lane
+    /// wears its own bit plane, so total writes, provisioned cells and
+    /// area scale by 64. Per-plane hot-cell writes are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of 4.
+    pub fn karatsuba_batch_analytic(n: usize) -> Self {
+        let solo = Self::karatsuba_analytic(n);
+        let lanes = Algo::KaratsubaBatch64.lanes() as u64;
+        let wear = solo.wear.map(|w| StageWear {
+            max_writes: w.max_writes,
+            total_writes: w.total_writes * lanes,
+            cells: w.cells * lanes,
+        });
+        JobProfile {
+            algo: Algo::KaratsubaBatch64,
+            wear,
+            area_cells: solo.area_cells * lanes,
+            lanes: lanes as usize,
+            ..solo
         }
     }
 
@@ -173,6 +204,7 @@ impl JobProfile {
             wear,
             stats: synth_stats(stage_latency, handoff),
             area_cells: area,
+            lanes: 1,
         }
     }
 
@@ -208,6 +240,7 @@ impl JobProfile {
             ],
             stats,
             area_cells: r.area_cells,
+            lanes: 1,
         })
     }
 
@@ -236,6 +269,8 @@ impl JobProfile {
         let row_width = match self.algo {
             Algo::Karatsuba => self.width / 4 + 2,
             Algo::Schoolbook => self.width,
+            // Every cycle evaluates all 64 bit planes of the row.
+            Algo::KaratsubaBatch64 => 64 * (self.width / 4 + 2),
         };
         EnergyReport::from_stats(&self.stats, row_width, params)
     }
@@ -316,6 +351,10 @@ impl ProfileTable {
                 JobProfile::karatsuba_measured(width, seed ^ width as u64)?
             }
             (Algo::Schoolbook, _) => JobProfile::schoolbook_analytic(width),
+            // Batch latencies equal the solo analytic latencies by
+            // construction (verified against the simulator in
+            // karatsuba-cim), so both sources resolve analytically.
+            (Algo::KaratsubaBatch64, _) => JobProfile::karatsuba_batch_analytic(width),
         })
     }
 
@@ -404,6 +443,47 @@ mod tests {
                 p.wear[1].max_writes.max(p.wear[2].max_writes),
                 d.max_writes,
                 "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_profile_same_latency_64x_products_and_wear() {
+        for n in [256usize, 2048] {
+            let solo = JobProfile::karatsuba_analytic(n);
+            let batch = JobProfile::karatsuba_batch_analytic(n);
+            assert_eq!(batch.stage_latency, solo.stage_latency, "n={n}");
+            assert_eq!(batch.handoff, solo.handoff);
+            assert_eq!(batch.service_latency(), solo.service_latency());
+            assert_eq!(batch.stage_occupancy(), solo.stage_occupancy());
+            assert_eq!(batch.lanes, 64);
+            assert_eq!(batch.max_writes(), solo.max_writes(), "per-plane wear unchanged");
+            for s in 0..3 {
+                assert_eq!(batch.wear[s].total_writes, 64 * solo.wear[s].total_writes);
+                assert_eq!(batch.wear[s].cells, 64 * solo.wear[s].cells);
+            }
+            assert_eq!(batch.area_cells, 64 * solo.area_cells);
+            // Energy per job grows with the lane count (MAGIC term).
+            let params = EnergyParams::default();
+            assert!(batch.energy(&params).total_pj() > solo.energy(&params).total_pj());
+        }
+    }
+
+    #[test]
+    fn batch_class_resolves_in_both_profile_sources() {
+        for source in [ProfileSource::Analytic, ProfileSource::Measured { seed: 1 }] {
+            let mut t = ProfileTable::new(source);
+            let job = Job {
+                id: 0,
+                width: 256,
+                algo: Algo::KaratsubaBatch64,
+                arrival: 0,
+            };
+            let p = t.profile(&job).unwrap();
+            assert_eq!(p.lanes, 64);
+            assert_eq!(
+                p.stage_latency,
+                JobProfile::karatsuba_analytic(256).stage_latency
             );
         }
     }
