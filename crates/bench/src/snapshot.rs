@@ -31,6 +31,8 @@ use cim_bigint::rng::UintRng;
 use cim_crossbar::EnergyParams;
 use cim_metrics::jsonval::JsonValue;
 use cim_metrics::MetricsHub;
+use cim_obs::journal::{FlightRecorder, RecorderConfig};
+use cim_obs::slo::{SloEngine, SloRule};
 use cim_sched::{FarmConfig, JobMix, JobProfile, Policy, Scheduler};
 use cim_serve::loadgen::LoadgenConfig;
 use cim_serve::FleetConfig as ServeFleetConfig;
@@ -226,6 +228,74 @@ fn serve_workload(hub: &MetricsHub) -> WorkloadResult {
     WorkloadResult { name: "serve_2tenant_4farm".into(), metrics }
 }
 
+fn obs_workload() -> WorkloadResult {
+    // The observability overhead gate: the serving workload runs once
+    // plain and once with the full cim-obs stack attached (flight
+    // recorder, SLO engine, journal/SLO gauges). The serving decisions
+    // must be identical — observation never moves a cycle — and the
+    // wall-time ratio is gated like a speedup so a pathological
+    // obs-on slowdown regresses while noise is tolerated.
+    let config = LoadgenConfig {
+        requests: 1_500,
+        tenants: 2,
+        rate: 300,
+        mean_gap: 1_500,
+        exp_bits: 6,
+        scalar_bits: 6,
+        fleet: ServeFleetConfig { farms: 4, tiles_per_farm: 4, ..ServeFleetConfig::default() },
+        ..LoadgenConfig::default()
+    };
+
+    let off_hub = MetricsHub::recording();
+    let off_start = Instant::now();
+    let plain = cim_serve::loadgen::run(&config, &off_hub);
+    let off_ms = off_start.elapsed().as_secs_f64() * 1e3;
+
+    let on_hub = MetricsHub::recording();
+    let recorder = FlightRecorder::new(RecorderConfig::default());
+    let mut rules = Vec::new();
+    for tenant in ["tenant0", "tenant1"] {
+        for spec in [
+            format!("{tenant}.correctness"),
+            format!("{tenant}.p99_latency_cycles <= 1000000000"),
+            format!("{tenant}.shed_ratio <= 0.95"),
+        ] {
+            rules.push(SloRule::parse(&spec).expect("builtin rule parses"));
+        }
+    }
+    let mut slo = SloEngine::new(rules);
+    let on_start = Instant::now();
+    let observed = cim_serve::loadgen::run_observed(&config, &on_hub, &recorder, &mut slo);
+    let on_ms = on_start.elapsed().as_secs_f64() * 1e3;
+
+    let decisions_identical = plain.served == observed.served
+        && plain.shed == observed.shed
+        && plain.errors == observed.errors
+        && plain.stats.drained_at == observed.stats.drained_at;
+    let pages = slo
+        .verdicts()
+        .iter()
+        .filter(|v| v.state.name() == "page")
+        .count();
+
+    let mut metrics = BTreeMap::new();
+    metrics.insert("served".into(), observed.served as f64);
+    metrics.insert("shed".into(), observed.shed as f64);
+    metrics.insert("incorrect".into(), observed.incorrect as f64);
+    metrics.insert("drained_cycles".into(), observed.stats.drained_at as f64);
+    metrics.insert("decisions_identical".into(), f64::from(decisions_identical));
+    metrics.insert("journal_events".into(), recorder.recorded() as f64);
+    metrics.insert("journal_dropped".into(), recorder.dropped() as f64);
+    metrics.insert("slo_rules".into(), slo.verdicts().len() as f64);
+    metrics.insert("slo_pages".into(), pages as f64);
+    metrics.insert("obs_off_wall_ms".into(), off_ms);
+    metrics.insert("obs_on_wall_ms".into(), on_ms);
+    // ≈1.0 when observation is free; gated as a speedup, so only a
+    // collapse (obs-on dramatically slower than obs-off) regresses.
+    metrics.insert("obs_overhead_speedup_x".into(), off_ms / on_ms);
+    WorkloadResult { name: "obs_2tenant_4farm".into(), metrics }
+}
+
 fn farm_workload(hub: &MetricsHub) -> WorkloadResult {
     let jobs = JobMix::crypto_default(300).generate(64, 7);
     let mut sched = Scheduler::new(FarmConfig::new(4, Policy::WearLeveling));
@@ -276,6 +346,7 @@ impl BenchSnapshot {
         timed(&|_| pipeline_workload());
         timed(&farm_workload);
         timed(&serve_workload);
+        timed(&|_| obs_workload());
         BenchSnapshot { tag: tag.into(), quick, workloads }
     }
 
@@ -748,6 +819,18 @@ mod tests {
         assert_eq!(serve.metrics["incorrect"], 0.0);
         assert!(serve.metrics["served"] > 0.0);
         assert!(serve.metrics["throughput_per_mcc"] > 0.0);
+        // The observability workload proves observation is free: same
+        // decisions with the recorder and SLO engine attached, no
+        // pages on the healthy run, and a populated journal.
+        let obs = a
+            .workloads
+            .iter()
+            .find(|w| w.name == "obs_2tenant_4farm")
+            .expect("obs workload in snapshot");
+        assert_eq!(obs.metrics["decisions_identical"], 1.0);
+        assert_eq!(obs.metrics["slo_pages"], 0.0);
+        assert_eq!(obs.metrics["incorrect"], 0.0);
+        assert!(obs.metrics["journal_events"] > 0.0);
         // The gate passes against itself.
         assert!(diff(&a, &b, &DiffOptions::default()).passed());
     }

@@ -1039,6 +1039,47 @@ impl Crossbar {
         crate::endurance::EnduranceReport::from_array(self).max_and_mean()
     }
 
+    /// Per-row `(max, total)` per-cell write counts, in row order —
+    /// the surface wear-heatmap reports rank rows by. On the packed
+    /// backend this walks the lazy wear plane's constant segments; on
+    /// the sliced backend the per-cell snapshot aggregates all lanes.
+    pub fn row_wear_totals(&self) -> Vec<(u64, u64)> {
+        match &self.state {
+            Backing::Scalar(cells) => (0..self.rows)
+                .map(|r| {
+                    let (mut max, mut total) = (0u64, 0u64);
+                    for cell in &cells[r * self.cols..(r + 1) * self.cols] {
+                        let w = cell.writes();
+                        max = max.max(w);
+                        total += w;
+                    }
+                    (max, total)
+                })
+                .collect(),
+            Backing::Packed(p) => (0..self.rows)
+                .map(|r| {
+                    let (mut max, mut total) = (0u64, 0u64);
+                    p.wear.for_each_segment(r, |w, n| {
+                        max = max.max(w);
+                        total += w * n as u64;
+                    });
+                    (max, total)
+                })
+                .collect(),
+            Backing::Sliced(_) => (0..self.rows)
+                .map(|r| {
+                    let (mut max, mut total) = (0u64, 0u64);
+                    for c in 0..self.cols {
+                        let w = self.cell_unchecked(r, c).writes();
+                        max = max.max(w);
+                        total += w;
+                    }
+                    (max, total)
+                })
+                .collect(),
+        }
+    }
+
     /// Clears all wear counters (keeps values and faults).
     pub fn reset_wear(&mut self) {
         match &mut self.state {
@@ -1133,6 +1174,32 @@ mod tests {
             Crossbar::new_scalar(0, 4).unwrap_err(),
             CrossbarError::EmptyDimension
         );
+    }
+
+    #[test]
+    fn row_wear_totals_match_cell_walk_on_all_backends() {
+        type MakeCrossbar = fn(usize, usize) -> Result<Crossbar, CrossbarError>;
+        let makes: [MakeCrossbar; 3] = [
+            Crossbar::new,
+            Crossbar::new_scalar,
+            |r, c| Crossbar::new_sliced(r, c, 1),
+        ];
+        for make in makes {
+            let mut x = make(3, 4).unwrap();
+            x.write_row(0, 0, &[true, true, false, true]).unwrap();
+            x.write_row(0, 1, &[false, true]).unwrap();
+            x.write_row(2, 3, &[true]).unwrap();
+            let per_row = x.row_wear_totals();
+            assert_eq!(per_row.len(), 3);
+            for (r, &(max, total)) in per_row.iter().enumerate() {
+                let writes: Vec<u64> =
+                    (0..4).map(|c| x.cell(r, c).unwrap().writes()).collect();
+                assert_eq!(max, writes.iter().copied().max().unwrap(), "row {r}");
+                assert_eq!(total, writes.iter().sum::<u64>(), "row {r}");
+            }
+            let (_, total_all, _) = x.wear_stats();
+            assert_eq!(per_row.iter().map(|&(_, t)| t).sum::<u64>(), total_all);
+        }
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Correlation identities threaded through the serving pipeline.
+//!
+//! A request is identified by the (tenant-scoped) id the client chose
+//! plus the global submission sequence number the engine assigns at
+//! admission. The sequence number is what every downstream artifact —
+//! trace span tags, journal events, batch membership, farm job ranges
+//! — keys on, because it is dense, unique, and deterministic.
+//!
+//! The helpers here build [`cim_trace::Args`] tag sets for
+//! [`cim_trace::Tracer::set_tags`], so instrumented layers that know
+//! nothing about serving (the scheduler, the multiplier, the crossbar)
+//! still stamp every span they emit with the request context active at
+//! the time.
+
+use cim_trace::Args;
+
+/// The engine-assigned submission sequence number of one request.
+///
+/// Dense and unique per engine lifetime; assigned at admission, before
+/// batching, so shed requests never consume one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+/// Index of a tenant in the engine's tenant table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u16);
+
+/// Sequence number of a flushed batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BatchId(pub u64);
+
+/// Index of a farm job within one dispatched batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+/// Tag key for the request sequence number.
+pub const TAG_REQUEST: &str = "request";
+/// Tag key for the tenant index.
+pub const TAG_TENANT: &str = "tenant";
+/// Tag key for the batch sequence number.
+pub const TAG_BATCH: &str = "batch";
+/// Tag key for the farm index.
+pub const TAG_FARM: &str = "farm";
+
+/// Ambient tags for one request's execution context.
+pub fn request_tags(request: RequestId, tenant: TenantId) -> Args {
+    Args::new()
+        .with(TAG_REQUEST, request.0 as i64)
+        .with(TAG_TENANT, i64::from(tenant.0))
+}
+
+/// Ambient tags for one batch's dispatch onto a farm.
+pub fn batch_tags(batch: BatchId, farm: usize) -> Args {
+    Args::new()
+        .with(TAG_BATCH, batch.0 as i64)
+        .with(TAG_FARM, farm as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip_through_args() {
+        let t = request_tags(RequestId(42), TenantId(3));
+        assert_eq!(t.get(TAG_REQUEST), Some(42));
+        assert_eq!(t.get(TAG_TENANT), Some(3));
+        let b = batch_tags(BatchId(7), 2);
+        assert_eq!(b.get(TAG_BATCH), Some(7));
+        assert_eq!(b.get(TAG_FARM), Some(2));
+    }
+
+    #[test]
+    fn ids_order_by_inner_value() {
+        assert!(RequestId(1) < RequestId(2));
+        assert!(TenantId(0) < TenantId(1));
+        assert_eq!(JobId(5), JobId(5));
+    }
+}

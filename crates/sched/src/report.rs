@@ -41,6 +41,13 @@ pub struct TileReport {
     pub jobs_done: u64,
     /// Stage-occupancy cycles accumulated.
     pub busy_cycles: u64,
+    /// Total cycles this tile's jobs spent waiting between arrival
+    /// and dispatch (Σ start − arrival over the tile's records).
+    pub queue_wait_cycles: u64,
+    /// Total cycles this tile's jobs spent in service (Σ finish −
+    /// start), the complement of the queue-wait split attribution
+    /// reports consume directly.
+    pub service_cycles: u64,
     /// Worst accumulated per-cell writes on the tile.
     pub max_cell_writes: u64,
     /// Fraction of stage-cycles in use over the makespan.
@@ -221,6 +228,8 @@ impl FarmReport {
                 .field_uint("tile", t.tile as u64)
                 .field_uint("jobs_done", t.jobs_done)
                 .field_uint("busy_cycles", t.busy_cycles)
+                .field_uint("queue_wait_cycles", t.queue_wait_cycles)
+                .field_uint("service_cycles", t.service_cycles)
                 .field_uint("max_cell_writes", t.max_cell_writes)
                 .field_float("utilization", t.utilization);
             w.key("stats");

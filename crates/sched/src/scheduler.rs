@@ -363,6 +363,14 @@ impl Scheduler {
         }
 
         let makespan = records.iter().map(|r| r.finish).max().unwrap_or(0);
+        // Per-tile queue-wait vs service-time split, folded from the
+        // job records so attribution reports don't have to infer it.
+        let mut queue_wait = vec![0u64; self.config.tiles];
+        let mut service = vec![0u64; self.config.tiles];
+        for r in &records {
+            queue_wait[r.tile] += r.queue_cycles();
+            service[r.tile] += r.finish - r.start;
+        }
         let mut total_stats = CycleStats::default();
         let mut total_energy = EnergyReport::default();
         let tile_reports = tiles
@@ -374,6 +382,8 @@ impl Scheduler {
                     tile: t.id(),
                     jobs_done: t.jobs_done(),
                     busy_cycles: t.busy_cycles(),
+                    queue_wait_cycles: queue_wait[t.id()],
+                    service_cycles: service[t.id()],
                     max_cell_writes: t.max_cell_writes(),
                     utilization: t.utilization(makespan),
                     stats: *t.stats(),
@@ -653,6 +663,33 @@ mod tests {
             .collect();
         assert!(counters.contains(&"queue_depth"));
         assert!(counters.contains(&"jobs_running"));
+    }
+
+    #[test]
+    fn tile_queue_service_split_matches_records() {
+        let jobs = JobMix::crypto_default(300).generate(80, 17);
+        let report = Scheduler::new(FarmConfig::new(4, Policy::LeastLoaded).with_queue_depth(8))
+            .run(&jobs)
+            .unwrap();
+        assert!(report.jobs_done() > 0);
+        for t in &report.tile_reports {
+            let of_tile = || report.records.iter().filter(|r| r.tile == t.tile);
+            assert_eq!(
+                t.queue_wait_cycles,
+                of_tile().map(|r| r.queue_cycles()).sum::<u64>(),
+                "tile {}",
+                t.tile
+            );
+            assert_eq!(
+                t.service_cycles,
+                of_tile().map(|r| r.finish - r.start).sum::<u64>(),
+                "tile {}",
+                t.tile
+            );
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"queue_wait_cycles\""));
+        assert!(json.contains("\"service_cycles\""));
     }
 
     #[test]

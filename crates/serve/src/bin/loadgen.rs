@@ -7,6 +7,7 @@
 //!         [--max-batch-jobs N] [--max-wait CYCLES]
 //!         [--threaded] [--workers N] [--smoke]
 //!         [--json PATH] [--prom PATH]
+//!         [--slo RULE]... [--dump PATH]
 //! ```
 //!
 //! Generates a deterministic zkEVM-precompile-style request trace,
@@ -14,21 +15,35 @@
 //! `--threaded`), verifies every `Ok` response against an independent
 //! gold path, and prints a human summary. `--json` writes the full
 //! report; `--prom` writes the Prometheus exposition of the
-//! `cim_serve_*` families. `--smoke` is the CI preset: a small run
-//! that still covers all four operations, both tenants shedding and
-//! the threaded path.
+//! `cim_serve_*` (and `cim_obs_*`) families. `--smoke` is the CI
+//! preset: a small run that still covers all four operations, both
+//! tenants shedding and the threaded path.
 //!
-//! Exit codes: 0 all responses correct, 1 any incorrect response or
-//! internal error, 2 usage errors.
+//! Every run carries a flight recorder and an SLO engine. The default
+//! rule set is `tenant<i>.correctness` for each tenant — it can only
+//! page if the gold verifier rejects a result. `--slo` (repeatable)
+//! adds rules like `tenant0.p99_latency_cycles <= 40000000` or
+//! `tenant1.shed_ratio <= 0.5`. If any rule ends the run in the
+//! `page` state, the flight-recorder journal is dumped to the `--dump`
+//! path (default `loadgen-flight-dump.json`), the path is printed,
+//! and the exit code is 3.
+//!
+//! Exit codes: 0 all responses correct and no SLO page, 1 any
+//! incorrect response or internal error, 2 usage errors, 3 an SLO
+//! rule ended in the `page` state.
 
 use cim_metrics::{prometheus, MetricsHub};
-use cim_serve::loadgen::{run, LoadgenConfig};
+use cim_obs::journal::{FlightRecorder, RecorderConfig};
+use cim_obs::slo::{SloEngine, SloRule};
+use cim_serve::loadgen::{run_observed, LoadgenConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut config = LoadgenConfig::default();
     let mut json_path: Option<String> = None;
     let mut prom_path: Option<String> = None;
+    let mut slo_specs: Vec<String> = Vec::new();
+    let mut dump_path = String::from("loadgen-flight-dump.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let num = |args: &mut dyn Iterator<Item = String>| -> Result<u64, String> {
@@ -117,12 +132,37 @@ fn main() -> ExitCode {
                 Some(p) => prom_path = Some(p),
                 None => return usage("--prom needs a path"),
             },
+            "--slo" => match args.next() {
+                Some(rule) => slo_specs.push(rule),
+                None => return usage("--slo needs a rule, e.g. 'tenant0.shed_ratio <= 0.5'"),
+            },
+            "--dump" => match args.next() {
+                Some(p) => dump_path = p,
+                None => return usage("--dump needs a path"),
+            },
             other => return usage(&format!("unknown argument {other}")),
         }
     }
 
+    // Default rules: correctness per tenant — pages only on a gold
+    // mismatch, so the smoke preset cannot flake on latency noise.
+    let mut rules = Vec::new();
+    for i in 0..config.tenants {
+        rules.push(
+            SloRule::parse(&format!("tenant{i}.correctness")).expect("builtin rule parses"),
+        );
+    }
+    for spec in &slo_specs {
+        match SloRule::parse(spec) {
+            Ok(rule) => rules.push(rule),
+            Err(e) => return usage(&format!("bad --slo rule: {e}")),
+        }
+    }
+    let mut slo = SloEngine::new(rules);
+    let recorder = FlightRecorder::new(RecorderConfig::default());
+
     let hub = MetricsHub::recording();
-    let report = run(&config, &hub);
+    let report = run_observed(&config, &hub, &recorder, &mut slo);
 
     println!(
         "loadgen: {} requests ({} tenants, {} farms x {} tiles, seed {}, {})",
@@ -162,6 +202,25 @@ fn main() -> ExitCode {
         "  drained at {} cycles, throughput {:.2} served/Mcycle, wall {} ms",
         report.stats.drained_at, report.stats.throughput_per_mcc, report.wall_ms
     );
+    for v in slo.verdicts() {
+        println!(
+            "  slo {}: {} (measured {:.3}, short burn {:.2}, long burn {:.2})",
+            v.rule,
+            v.state.name(),
+            v.measured,
+            v.short_burn,
+            v.long_burn
+        );
+    }
+    println!(
+        "  journal: {} events recorded, {} overwritten{}",
+        recorder.recorded(),
+        recorder.dropped(),
+        match recorder.trigger() {
+            Some(t) => format!(", trigger latched: {t}"),
+            None => String::new(),
+        }
+    );
 
     if let Some(path) = &json_path {
         if let Err(e) = std::fs::write(path, report.to_json()) {
@@ -191,6 +250,20 @@ fn main() -> ExitCode {
         eprintln!("loadgen: FAIL — responses do not account for every request");
         return ExitCode::from(1);
     }
+    if slo.any_page() {
+        match recorder.dump_to(std::path::Path::new(&dump_path)) {
+            Ok(()) => eprintln!(
+                "loadgen: SLO PAGE — flight-recorder journal dumped to {dump_path}"
+            ),
+            Err(e) => eprintln!(
+                "loadgen: SLO PAGE — cannot write journal to {dump_path}: {e}"
+            ),
+        }
+        for v in slo.verdicts().iter().filter(|v| v.state.name() == "page") {
+            eprintln!("  paging rule: {}", v.rule);
+        }
+        return ExitCode::from(3);
+    }
     println!("loadgen: PASS — every served response verified against gold");
     ExitCode::SUCCESS
 }
@@ -201,7 +274,8 @@ fn usage(err: &str) -> ExitCode {
         "usage: loadgen [--requests N] [--tenants N] [--farms N] [--tiles N] \
          [--seed N] [--mean-gap CYCLES] [--rate R] [--burst B] [--queue-depth D] \
          [--exp-bits N] [--scalar-bits N] [--max-batch-jobs N] [--max-wait CYCLES] \
-         [--threaded] [--workers N] [--smoke] [--json PATH] [--prom PATH]"
+         [--threaded] [--workers N] [--smoke] [--json PATH] [--prom PATH] \
+         [--slo RULE]... [--dump PATH]"
     );
     ExitCode::from(2)
 }

@@ -20,6 +20,8 @@ use crate::fleet::{FarmFleet, FleetConfig, RequestCompletion};
 use crate::metrics as m;
 use crate::protocol::{OpKind, Request, Response, ShedReason};
 use cim_metrics::{Histogram, MetricsHub};
+use cim_obs::correlation;
+use cim_obs::journal::{FlightRecorder, ObsEventKind};
 use cim_trace::{Args, TrackId, Tracer};
 use karatsuba_cim::multiplier::MultiplyError;
 
@@ -122,6 +124,9 @@ pub struct EngineStats {
     pub tenants: Vec<TenantSummary>,
     /// Per-farm summaries.
     pub farms: Vec<FarmSummary>,
+    /// Cumulative per-tile wear in `(farm, tile)` order (see
+    /// [`crate::fleet::TileWear`]).
+    pub tile_wear: Vec<crate::fleet::TileWear>,
 }
 
 /// The serving engine. See the module docs for the pipeline.
@@ -132,6 +137,7 @@ pub struct Engine {
     fleet: FarmFleet,
     hub: MetricsHub,
     tracer: Tracer,
+    recorder: FlightRecorder,
     farm_tracks: Vec<TrackId>,
     sched_track: Option<TrackId>,
     tenant_latency: Vec<Histogram>,
@@ -157,6 +163,7 @@ impl Engine {
             config,
             hub: MetricsHub::disabled(),
             tracer: Tracer::disabled(),
+            recorder: FlightRecorder::disabled(),
             farm_tracks: Vec::new(),
             sched_track: None,
             tenant_latency: vec![Histogram::new(); tenants],
@@ -171,6 +178,20 @@ impl Engine {
     /// it from now on. Metrics never change any decision.
     pub fn attach_metrics(&mut self, hub: &MetricsHub) {
         self.hub = hub.clone();
+    }
+
+    /// Attaches a flight recorder; every serving decision (admission
+    /// verdicts, sheds, batch formation, job dispatch/retire) is
+    /// journaled into it from now on. Recording never changes any
+    /// decision.
+    pub fn attach_recorder(&mut self, recorder: &FlightRecorder) {
+        self.recorder = recorder.clone();
+    }
+
+    /// The attached flight recorder (disabled unless
+    /// [`Engine::attach_recorder`] was called).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// Attaches a tracer: one process with a `serving` track
@@ -231,6 +252,10 @@ impl Engine {
         if let Err(message) = validate(&request.op) {
             self.tenant_counters[t].errors += 1;
             m::count_request(&self.hub, self.tenant_name(request.tenant), request.op.kind().label(), "error");
+            self.recorder.record(
+                now,
+                ObsEventKind::Error { request: request.id, tenant: request.tenant },
+            );
             let resp = Response::Error { id: request.id, message };
             return Ok((Disposition::Rejected(resp), Vec::new()));
         }
@@ -254,6 +279,14 @@ impl Engine {
                         .with("reason", reason as i64),
                 );
             }
+            self.recorder.record(
+                now,
+                ObsEventKind::Shed {
+                    request: request.id,
+                    tenant: request.tenant,
+                    reason: reason.label(),
+                },
+            );
             let resp = Response::Shed { id: request.id, reason };
             return Ok((Disposition::Rejected(resp), Vec::new()));
         }
@@ -261,6 +294,14 @@ impl Engine {
         // Batch it.
         let seq = self.seq;
         self.seq += 1;
+        self.recorder.record(
+            now,
+            ObsEventKind::Admit {
+                request: seq,
+                tenant: request.tenant,
+                op: request.op.kind().label(),
+            },
+        );
         let jobs = request.op.farm_passes();
         let flushed = self.batcher.push(seq, request, jobs, now);
         m::set_queue_depth(&self.hub, &self.config.tenants[t].name, self.admission.queued(t));
@@ -281,10 +322,30 @@ impl Engine {
     fn flush(&mut self, batches: Vec<Batch>) -> Result<Vec<CompletedRequest>, MultiplyError> {
         let mut out = Vec::new();
         for batch in batches {
+            let batch_id = self.batches;
             self.batches += 1;
             m::count_batch(&self.hub, batch.width, batch.total_jobs);
+            self.recorder.record(
+                batch.ready_at(),
+                ObsEventKind::BatchFormed {
+                    batch: batch_id,
+                    width: batch.width as u32,
+                    requests: batch.requests.len() as u32,
+                    jobs: batch.total_jobs as u32,
+                },
+            );
             let jobs_before: Vec<u64> = self.fleet.stats().iter().map(|s| s.jobs).collect();
-            let outcome = self.fleet.dispatch(&batch)?;
+            // Ambient correlation tags: any span emitted while the
+            // batch executes (scheduler, crossbar layers sharing this
+            // tracer) is stamped with the batch id and width class.
+            let tracer = self.tracer.clone();
+            let fleet = &mut self.fleet;
+            let outcome = tracer.with_tags(
+                Args::new()
+                    .with(correlation::TAG_BATCH, batch_id as i64)
+                    .with("width", batch.width as i64),
+                || fleet.dispatch(&batch),
+            )?;
             if let Some(&track) = self.farm_tracks.get(outcome.farm) {
                 self.tracer.complete(
                     track,
@@ -294,7 +355,8 @@ impl Engine {
                     Args::new()
                         .with("width", batch.width as i64)
                         .with("jobs", outcome.jobs as i64)
-                        .with("requests", batch.requests.len() as i64),
+                        .with("requests", batch.requests.len() as i64)
+                        .with(correlation::TAG_BATCH, batch_id as i64),
                 );
             }
             let farm_stats = self.fleet.stats()[outcome.farm];
@@ -308,6 +370,27 @@ impl Engine {
             for (pending, completion) in batch.requests.iter().zip(&outcome.completions) {
                 let t = completion.tenant as usize;
                 self.admission.release(t);
+                self.recorder.record(
+                    outcome.start,
+                    ObsEventKind::JobDispatch {
+                        request: completion.seq,
+                        tenant: completion.tenant,
+                        batch: batch_id,
+                        farm: completion.farm as u16,
+                        job_lo: completion.job_lo,
+                        job_hi: completion.job_hi,
+                    },
+                );
+                self.recorder.record(
+                    outcome.start + completion.service_cycles,
+                    ObsEventKind::JobRetire {
+                        request: completion.seq,
+                        tenant: completion.tenant,
+                        farm: completion.farm as u16,
+                        tile: completion.tile,
+                        service_cycles: completion.service_cycles,
+                    },
+                );
                 self.tenant_latency[t].record(completion.latency());
                 m::observe_latency(
                     &self.hub,
@@ -356,22 +439,30 @@ impl Engine {
         completed: Vec<CompletedRequest>,
         exec: &OpExecutor,
     ) -> Vec<Response> {
+        let tracer = self.tracer.clone();
         completed
             .into_iter()
-            .map(|c| match exec.execute(&c.request.op) {
-                Ok(result) => {
-                    self.note_result(c.request.tenant, c.request.op.kind(), true);
-                    Response::Ok {
-                        id: c.request.id,
-                        result,
-                        queue_cycles: c.completion.queue_cycles,
-                        service_cycles: c.completion.service_cycles,
-                        farm: c.completion.farm,
+            .map(|c| {
+                // Tag the executor's spans with the request context.
+                let tags = correlation::request_tags(
+                    correlation::RequestId(c.completion.seq),
+                    correlation::TenantId(c.request.tenant),
+                );
+                match tracer.with_tags(tags, || exec.execute(&c.request.op)) {
+                    Ok(result) => {
+                        self.note_result(c.request.tenant, c.request.op.kind(), true);
+                        Response::Ok {
+                            id: c.request.id,
+                            result,
+                            queue_cycles: c.completion.queue_cycles,
+                            service_cycles: c.completion.service_cycles,
+                            farm: c.completion.farm,
+                        }
                     }
-                }
-                Err(message) => {
-                    self.note_result(c.request.tenant, c.request.op.kind(), false);
-                    Response::Error { id: c.request.id, message }
+                    Err(message) => {
+                        self.note_result(c.request.tenant, c.request.op.kind(), false);
+                        Response::Error { id: c.request.id, message }
+                    }
                 }
             })
             .collect()
@@ -460,6 +551,7 @@ impl Engine {
             },
             tenants,
             farms,
+            tile_wear: self.fleet.tile_wear(),
         }
     }
 

@@ -62,6 +62,14 @@ pub struct RequestCompletion {
     pub service_cycles: u64,
     /// Farm that served it.
     pub farm: u32,
+    /// First farm-job index (inclusive) the request expanded into,
+    /// within its batch's job list.
+    pub job_lo: u32,
+    /// Last farm-job index (exclusive) within the batch's job list.
+    pub job_hi: u32,
+    /// Tile that retired the request's final job — the crossbar whose
+    /// program produced the result.
+    pub tile: u16,
 }
 
 impl RequestCompletion {
@@ -113,12 +121,33 @@ impl FarmStats {
     }
 }
 
+/// Cumulative per-tile wear across every batch a farm has served.
+///
+/// Each dispatch runs on freshly-modeled arrays, but the physical
+/// device keeps its wear — so the running sums here are the
+/// device-lifetime figures a wear heatmap or endurance percentile
+/// reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileWear {
+    /// Farm index.
+    pub farm: u32,
+    /// Tile index within the farm.
+    pub tile: u32,
+    /// Jobs the tile has served.
+    pub jobs: u64,
+    /// Summed worst per-cell writes across dispatches.
+    pub max_cell_writes: u64,
+    /// Summed stage-occupancy cycles.
+    pub busy_cycles: u64,
+}
+
 /// The fleet: `farms` schedulers with virtual clocks.
 #[derive(Debug)]
 pub struct FarmFleet {
     config: FleetConfig,
     schedulers: Vec<Scheduler>,
     stats: Vec<FarmStats>,
+    wear: Vec<Vec<TileWear>>,
 }
 
 impl FarmFleet {
@@ -133,6 +162,17 @@ impl FarmFleet {
         FarmFleet {
             schedulers: (0..config.farms).map(|_| Scheduler::new(farm_config)).collect(),
             stats: vec![FarmStats::default(); config.farms],
+            wear: (0..config.farms)
+                .map(|f| {
+                    (0..config.tiles_per_farm)
+                        .map(|t| TileWear {
+                            farm: f as u32,
+                            tile: t as u32,
+                            ..TileWear::default()
+                        })
+                        .collect()
+                })
+                .collect(),
             config,
         }
     }
@@ -145,6 +185,11 @@ impl FarmFleet {
     /// Per-farm accounting so far.
     pub fn stats(&self) -> &[FarmStats] {
         &self.stats
+    }
+
+    /// Cumulative per-tile wear, flattened in `(farm, tile)` order.
+    pub fn tile_wear(&self) -> Vec<TileWear> {
+        self.wear.iter().flatten().copied().collect()
     }
 
     /// Virtual cycle at which the whole fleet drains.
@@ -198,11 +243,17 @@ impl FarmFleet {
             .iter()
             .zip(&ranges)
             .map(|(pending, &(begin, end))| {
-                let service = report.records[begin..end]
+                // The request's final job: max finish, first such
+                // record on ties, so the placement is deterministic.
+                let (service, tile) = report.records[begin..end]
                     .iter()
-                    .map(|r| r.finish)
-                    .max()
-                    .unwrap_or(0);
+                    .fold((0u64, 0usize), |(best, tile), r| {
+                        if r.finish > best {
+                            (r.finish, r.tile)
+                        } else {
+                            (best, tile)
+                        }
+                    });
                 RequestCompletion {
                     seq: pending.seq,
                     id: pending.request.id,
@@ -212,9 +263,19 @@ impl FarmFleet {
                     queue_cycles: start - pending.request.arrival_cycle.min(start),
                     service_cycles: service,
                     farm: farm as u32,
+                    job_lo: begin as u32,
+                    job_hi: end as u32,
+                    tile: tile as u16,
                 }
             })
             .collect();
+
+        for t in &report.tile_reports {
+            let w = &mut self.wear[farm][t.tile];
+            w.jobs += t.jobs_done;
+            w.max_cell_writes += t.max_cell_writes;
+            w.busy_cycles += t.busy_cycles;
+        }
 
         let stats = &mut self.stats[farm];
         stats.batches += 1;

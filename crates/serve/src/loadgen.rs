@@ -23,6 +23,8 @@ use cim_bigint::rng::UintRng;
 use cim_bigint::Uint;
 use cim_metrics::MetricsHub;
 use cim_modmul::ec::Curve;
+use cim_obs::journal::FlightRecorder;
+use cim_obs::slo::{SloEngine, SloInputs};
 use cim_modmul::fields::FieldId;
 use cim_trace::json::JsonWriter;
 use std::collections::HashMap;
@@ -404,6 +406,104 @@ pub fn run(config: &LoadgenConfig, hub: &MetricsHub) -> LoadReport {
     report
 }
 
+/// Runs the load-generation cycle with observability attached: the
+/// engine journals into `recorder`, the SLO engine is evaluated over
+/// metrics snapshots as the run progresses, and any client-side gold
+/// mismatch is journaled as an incorrect result (latching the
+/// recorder's auto-dump trigger).
+///
+/// The sync path (`workers == 0`) observes the SLO engine at a fixed
+/// request cadence, so its burn-rate windows — and hence its verdicts
+/// — are a pure function of the trace. The threaded path observes
+/// once at the end (mid-run metric timing is not deterministic
+/// there). Every serving *decision* is identical to [`run`]: the
+/// recorder and SLO engine only read state the engine already
+/// computed.
+pub fn run_observed(
+    config: &LoadgenConfig,
+    hub: &MetricsHub,
+    recorder: &FlightRecorder,
+    slo: &mut SloEngine,
+) -> LoadReport {
+    let trace = generate_trace(config);
+    let tenants: HashMap<u64, u16> = trace.iter().map(|r| (r.id, r.tenant)).collect();
+    let ops: HashMap<u64, Op> = trace.iter().map(|r| (r.id, r.op.clone())).collect();
+    let exec = OpExecutor::new();
+    let start = std::time::Instant::now();
+
+    let (responses, stats, threaded) = if config.workers == 0 {
+        let mut engine = Engine::new(config.engine_config());
+        engine.attach_metrics(hub);
+        engine.attach_recorder(recorder);
+        let mut responses = Vec::with_capacity(trace.len());
+        // Observe at a fixed request cadence so sync-mode burn-rate
+        // windows are trace-deterministic.
+        let observe_every = (config.requests / 8).max(1);
+        for (i, request) in trace.into_iter().enumerate() {
+            let cycle = request.arrival_cycle;
+            responses.extend(engine.serve(request, &exec).expect("validated trace"));
+            if (i as u64 + 1).is_multiple_of(observe_every) {
+                slo.observe(cycle, &hub.snapshot(), &SloInputs { incorrect: 0 }, recorder);
+            }
+        }
+        responses.extend(engine.finish(&exec).expect("drain"));
+        let stats = engine.stats();
+        (responses, stats, false)
+    } else {
+        let server = CimServer::start_observed(
+            ServerConfig { engine: config.engine_config(), workers: config.workers },
+            hub,
+            recorder.clone(),
+        );
+        let conn = server.connect();
+        let n = trace.len();
+        for request in &trace {
+            conn.send(request);
+        }
+        conn.drain();
+        let responses: Vec<Response> = (0..n)
+            .map(|_| conn.recv().expect("server delivers every response"))
+            .collect();
+        let stats = server.stats();
+        server.shutdown();
+        (responses, stats, true)
+    };
+
+    let mut report = blank_report(responses.len() as u64, threaded, stats);
+    tally(&responses, &ops, &exec, &mut report);
+
+    // Journal client-side verification failures: each one latches the
+    // recorder's incorrect-result trigger.
+    if report.incorrect > 0 {
+        for resp in &responses {
+            if let Response::Ok { id, result, .. } = resp {
+                let op = ops.get(id).expect("response to a known request");
+                if !exec.verify(op, result) {
+                    recorder.note_incorrect(
+                        report.stats.drained_at,
+                        *id,
+                        tenants.get(id).copied().unwrap_or(0),
+                    );
+                }
+            }
+        }
+    }
+
+    // Final observation carries the true correctness count; publish
+    // the verdicts and journal gauges for scraping.
+    slo.observe(
+        report.stats.drained_at,
+        &hub.snapshot(),
+        &SloInputs { incorrect: report.incorrect },
+        recorder,
+    );
+    slo.publish_metrics(hub);
+    cim_obs::metrics::publish_journal(hub, recorder);
+
+    report.wall_ms = start.elapsed().as_millis();
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,6 +561,47 @@ mod tests {
         assert_eq!(sync.incorrect, 0);
         assert_eq!(threaded.incorrect, 0);
         assert_eq!(sync.stats, threaded.stats, "cycle domain identical");
+    }
+
+    #[test]
+    fn observed_run_never_perturbs_and_is_deterministic() {
+        use cim_obs::journal::RecorderConfig;
+        use cim_obs::slo::SloRule;
+
+        let plain = run(&small(), &MetricsHub::disabled());
+
+        let observed = || {
+            let hub = MetricsHub::recording();
+            let recorder = FlightRecorder::new(RecorderConfig::default());
+            let mut slo = SloEngine::new(vec![
+                SloRule::parse("tenant0.p99_latency_cycles <= 50000000").unwrap(),
+                SloRule::parse("tenant0.correctness").unwrap(),
+                SloRule::parse("tenant1.shed_ratio <= 0.9").unwrap(),
+            ]);
+            let report = run_observed(&small(), &hub, &recorder, &mut slo);
+            let verdicts = slo
+                .verdicts()
+                .iter()
+                .map(|v| format!("{} {:?} {} {}", v.rule, v.state, v.short_burn, v.long_burn))
+                .collect::<Vec<_>>();
+            (report, recorder.dump_json(), verdicts, slo.any_page())
+        };
+        let (a_report, a_dump, a_verdicts, a_page) = observed();
+        let (b_report, b_dump, b_verdicts, b_page) = observed();
+
+        // Identical decisions to the unobserved run.
+        assert_eq!(plain.served, a_report.served);
+        assert_eq!(plain.shed, a_report.shed);
+        assert_eq!(plain.stats, a_report.stats, "observation cannot move a cycle");
+        assert_eq!(a_report.incorrect, 0);
+
+        // Deterministic journal and verdicts across runs.
+        assert_eq!(a_dump, b_dump, "journal dump must be byte-identical");
+        assert_eq!(a_verdicts, b_verdicts);
+        assert_eq!(a_report.stats, b_report.stats);
+        assert!(!a_page && !b_page, "healthy run must not page");
+        assert!(!a_verdicts.is_empty(), "every rule produces a verdict");
+        assert!(a_dump.contains("\"admit\""), "journal saw admissions");
     }
 
     #[test]

@@ -321,6 +321,12 @@ const KIND_REQUEST: u8 = 0;
 const KIND_OK: u8 = 1;
 const KIND_SHED: u8 = 2;
 const KIND_ERROR: u8 = 3;
+// Control plane (PR 8). New codes extend the space; 0–3 are never
+// reassigned.
+const KIND_HEALTH_PROBE: u8 = 4;
+const KIND_HEALTH: u8 = 5;
+const KIND_DIAG_PROBE: u8 = 6;
+const KIND_DIAG: u8 = 7;
 
 const OP_MUL: u8 = 0;
 const OP_MODEXP: u8 = 1;
@@ -614,6 +620,130 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
     Ok(resp)
 }
 
+/// A control-plane request: diagnostics, not arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlRequest {
+    /// Ask the server for its health summary.
+    HealthProbe,
+    /// Ask the server to dump its flight-recorder journal.
+    DiagnosticsDump,
+}
+
+/// A control-plane response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlResponse {
+    /// Health summary: SLO-style state plus cumulative counters.
+    Health {
+        /// 0 = ok, 1 = warn, 2 = page (a latched flight-recorder
+        /// trigger reports as 2).
+        state: u8,
+        /// Requests submitted.
+        submitted: u64,
+        /// Requests served.
+        served: u64,
+        /// Requests shed.
+        shed: u64,
+        /// Requests errored.
+        errors: u64,
+        /// Flight-recorder events ever recorded.
+        journal_events: u64,
+        /// Flight-recorder events overwritten by the ring.
+        journal_dropped: u64,
+    },
+    /// The flight-recorder journal as deterministic JSON.
+    Diagnostics {
+        /// Journal dump (see `cim_obs::FlightRecorder::dump_json`).
+        json: String,
+    },
+}
+
+/// Whether a decoded payload's kind byte is a control-plane frame.
+/// Lets a dispatcher route without attempting a full request decode.
+pub fn is_control_payload(payload: &[u8]) -> bool {
+    payload.len() > 3 && (KIND_HEALTH_PROBE..=KIND_DIAG).contains(&payload[3])
+}
+
+/// Encodes a control request payload (no length prefix — see
+/// [`frame`]).
+pub fn encode_control_request(req: &ControlRequest) -> Vec<u8> {
+    let kind = match req {
+        ControlRequest::HealthProbe => KIND_HEALTH_PROBE,
+        ControlRequest::DiagnosticsDump => KIND_DIAG_PROBE,
+    };
+    Writer::new(kind).0
+}
+
+/// Decodes a control request payload.
+///
+/// # Errors
+///
+/// Any [`WireError`] for malformed, truncated or foreign bytes.
+pub fn decode_control_request(payload: &[u8]) -> Result<ControlRequest, WireError> {
+    let (kind, r) = open(payload)?;
+    let req = match kind {
+        KIND_HEALTH_PROBE => ControlRequest::HealthProbe,
+        KIND_DIAG_PROBE => ControlRequest::DiagnosticsDump,
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Encodes a control response payload (no length prefix — see
+/// [`frame`]).
+pub fn encode_control_response(resp: &ControlResponse) -> Vec<u8> {
+    match resp {
+        ControlResponse::Health {
+            state,
+            submitted,
+            served,
+            shed,
+            errors,
+            journal_events,
+            journal_dropped,
+        } => {
+            let mut w = Writer::new(KIND_HEALTH);
+            w.u8(*state);
+            w.u64(*submitted);
+            w.u64(*served);
+            w.u64(*shed);
+            w.u64(*errors);
+            w.u64(*journal_events);
+            w.u64(*journal_dropped);
+            w.0
+        }
+        ControlResponse::Diagnostics { json } => {
+            let mut w = Writer::new(KIND_DIAG);
+            w.str(json);
+            w.0
+        }
+    }
+}
+
+/// Decodes a control response payload.
+///
+/// # Errors
+///
+/// Any [`WireError`] for malformed, truncated or foreign bytes.
+pub fn decode_control_response(payload: &[u8]) -> Result<ControlResponse, WireError> {
+    let (kind, mut r) = open(payload)?;
+    let resp = match kind {
+        KIND_HEALTH => ControlResponse::Health {
+            state: r.u8()?,
+            submitted: r.u64()?,
+            served: r.u64()?,
+            shed: r.u64()?,
+            errors: r.u64()?,
+            journal_events: r.u64()?,
+            journal_dropped: r.u64()?,
+        },
+        KIND_DIAG => ControlResponse::Diagnostics { json: r.str()? },
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
 /// Prepends the `u32` little-endian length prefix to a payload.
 pub fn frame(payload: Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + payload.len());
@@ -778,6 +908,44 @@ mod tests {
         for cut in 4..bytes.len() {
             assert!(decode_request(&bytes[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        for req in [ControlRequest::HealthProbe, ControlRequest::DiagnosticsDump] {
+            let bytes = encode_control_request(&req);
+            assert!(is_control_payload(&bytes));
+            assert_eq!(decode_control_request(&bytes).unwrap(), req);
+            // Control frames are not data requests and vice versa.
+            assert!(matches!(decode_request(&bytes), Err(WireError::UnknownKind(_))));
+        }
+        let health = ControlResponse::Health {
+            state: 2,
+            submitted: 100,
+            served: 80,
+            shed: 19,
+            errors: 1,
+            journal_events: 512,
+            journal_dropped: 12,
+        };
+        let diag = ControlResponse::Diagnostics { json: "{\"events\":[]}".to_string() };
+        for resp in [health, diag] {
+            let bytes = encode_control_response(&resp);
+            assert!(is_control_payload(&bytes));
+            assert_eq!(decode_control_response(&bytes).unwrap(), resp);
+        }
+        // Data frames are not control frames.
+        assert!(!is_control_payload(&encode_request(&sample_requests()[0])));
+        assert!(!is_control_payload(&[]));
+        // Hostile control bytes error, never panic.
+        assert!(decode_control_request(b"CS\x01\x05").is_err(), "response kind");
+        assert!(decode_control_response(b"CS\x01\x04").is_err(), "request kind");
+        let mut trailing = encode_control_request(&ControlRequest::HealthProbe);
+        trailing.push(9);
+        assert_eq!(
+            decode_control_request(&trailing),
+            Err(WireError::TrailingBytes(1))
+        );
     }
 
     #[test]

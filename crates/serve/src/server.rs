@@ -16,8 +16,9 @@
 
 use crate::engine::{CompletedRequest, Disposition, Engine, EngineConfig, EngineStats};
 use crate::exec::OpExecutor;
-use crate::protocol::{self, Request, Response};
+use crate::protocol::{self, ControlRequest, ControlResponse, Request, Response};
 use cim_metrics::MetricsHub;
+use cim_obs::journal::FlightRecorder;
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -108,6 +109,36 @@ impl Connection {
         self.drain();
         self.recv()
     }
+
+    /// Sends a control-plane probe and blocks for its response.
+    ///
+    /// The dispatcher answers control frames inline, but worker
+    /// responses to earlier data requests may already be queued on
+    /// this connection — interleave with [`Connection::drain`] (or a
+    /// dedicated connection) when pairing probes with data traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wire error if the response fails to decode, or a
+    /// `Truncated` error if the server shut down first.
+    pub fn control(
+        &self,
+        request: &ControlRequest,
+    ) -> Result<ControlResponse, protocol::WireError> {
+        let bytes = protocol::frame(protocol::encode_control_request(request));
+        let _ = self.events.send(Event::Frame {
+            bytes,
+            reply: self.reply_tx.clone(),
+        });
+        let bytes = self
+            .reply_rx
+            .recv()
+            .map_err(|_| protocol::WireError::Truncated)?;
+        let (payload, rest) = protocol::deframe(&bytes)?
+            .ok_or(protocol::WireError::Truncated)?;
+        debug_assert!(rest.is_empty());
+        protocol::decode_control_response(payload)
+    }
 }
 
 /// The running server: dispatcher + worker pool.
@@ -121,6 +152,19 @@ impl CimServer {
     /// Starts the server. The engine is built on the dispatcher
     /// thread; `workers` is clamped to at least one.
     pub fn start(config: ServerConfig, hub: &MetricsHub) -> CimServer {
+        CimServer::start_observed(config, hub, FlightRecorder::disabled())
+    }
+
+    /// Starts the server with a flight recorder attached: the engine
+    /// journals admission/batch/job events into `recorder`, and the
+    /// dispatcher answers [`ControlRequest`] frames from it. A
+    /// [`FlightRecorder::disabled`] recorder makes this identical to
+    /// [`CimServer::start`].
+    pub fn start_observed(
+        config: ServerConfig,
+        hub: &MetricsHub,
+        recorder: FlightRecorder,
+    ) -> CimServer {
         let (event_tx, event_rx) = channel::<Event>();
         let (work_tx, work_rx) = channel::<Work>();
         let work_rx = Arc::new(Mutex::new(work_rx));
@@ -143,6 +187,7 @@ impl CimServer {
             .spawn(move || {
                 let mut engine = Engine::new(engine_config);
                 engine.attach_metrics(&hub);
+                engine.attach_recorder(&recorder);
                 dispatcher_loop(&mut engine, &event_rx, &work_tx);
             })
             .expect("spawn dispatcher");
@@ -243,10 +288,41 @@ fn dispatcher_loop(engine: &mut Engine, events: &Receiver<Event>, work_tx: &Send
     while let Ok(event) = events.recv() {
         match event {
             Event::Frame { bytes, reply } => {
-                let request = match protocol::deframe(&bytes)
+                let payload = match protocol::deframe(&bytes)
                     .and_then(|frame| frame.ok_or(protocol::WireError::Truncated))
-                    .and_then(|(payload, _)| protocol::decode_request(payload))
                 {
+                    Ok((payload, _)) => payload,
+                    Err(e) => {
+                        let resp = Response::Error {
+                            id: 0,
+                            message: format!("malformed request: {e}"),
+                        };
+                        let _ = reply
+                            .send(protocol::frame(protocol::encode_response(&resp)));
+                        continue;
+                    }
+                };
+                // Control frames are answered inline by the
+                // dispatcher: they never enter admission or the work
+                // queue, so probing cannot perturb any decision.
+                if protocol::is_control_payload(payload) {
+                    let resp = match protocol::decode_control_request(payload) {
+                        Ok(req) => control_response(&req, engine),
+                        Err(e) => {
+                            let resp = Response::Error {
+                                id: 0,
+                                message: format!("malformed control request: {e}"),
+                            };
+                            let _ = reply
+                                .send(protocol::frame(protocol::encode_response(&resp)));
+                            continue;
+                        }
+                    };
+                    let _ = reply
+                        .send(protocol::frame(protocol::encode_control_response(&resp)));
+                    continue;
+                }
+                let request = match protocol::decode_request(payload) {
                     Ok(r) => r,
                     Err(e) => {
                         let resp = Response::Error {
@@ -311,6 +387,31 @@ fn dispatcher_loop(engine: &mut Engine, events: &Receiver<Event>, work_tx: &Send
         }
     }
     // work_tx drops with this frame; workers exit on the closed queue.
+}
+
+/// Answers a control-plane probe from the engine's live state and its
+/// attached flight recorder.
+fn control_response(request: &ControlRequest, engine: &Engine) -> ControlResponse {
+    let recorder = engine.recorder();
+    match request {
+        ControlRequest::HealthProbe => {
+            let stats = engine.stats();
+            ControlResponse::Health {
+                // A latched flight-recorder trigger (incorrect result
+                // or shed burst) reports straight as "page".
+                state: if recorder.trigger().is_some() { 2 } else { 0 },
+                submitted: stats.submitted,
+                served: stats.served,
+                shed: stats.shed,
+                errors: stats.errors,
+                journal_events: recorder.recorded(),
+                journal_dropped: recorder.dropped(),
+            }
+        }
+        ControlRequest::DiagnosticsDump => ControlResponse::Diagnostics {
+            json: recorder.dump_json(),
+        },
+    }
 }
 
 /// Routes completed requests to the worker pool; returns how many
@@ -489,6 +590,53 @@ mod tests {
         let resp = conn.call(&req).expect("decode");
         assert_eq!(resp.id(), 7);
         assert!(matches!(resp, Response::Ok { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn observed_server_answers_probes_and_journals() {
+        use cim_obs::journal::RecorderConfig;
+        let hub = MetricsHub::disabled();
+        let recorder = FlightRecorder::new(RecorderConfig::default());
+        let server =
+            CimServer::start_observed(server_config(2, 1000), &hub, recorder.clone());
+        let conn = server.connect();
+        let mut rng = UintRng::seeded(26);
+        for i in 0..12 {
+            conn.send(&mul(i, (i % 2) as u16, i * 10_000, &mut rng));
+        }
+        conn.drain();
+        for _ in 0..12 {
+            conn.recv().expect("decode");
+        }
+
+        match conn.control(&ControlRequest::HealthProbe).expect("health") {
+            ControlResponse::Health {
+                state,
+                submitted,
+                served,
+                journal_events,
+                ..
+            } => {
+                assert_eq!(state, 0, "no trigger latched");
+                assert_eq!(submitted, 12);
+                assert_eq!(served, 12);
+                assert!(journal_events > 0, "engine journaled into the recorder");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match conn
+            .control(&ControlRequest::DiagnosticsDump)
+            .expect("diagnostics")
+        {
+            ControlResponse::Diagnostics { json } => {
+                cim_trace::json::check(&json).expect("valid JSON");
+                assert!(json.contains("\"admit\""), "{json}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The shared clone sees the same ring the dispatcher wrote.
+        assert!(recorder.recorded() > 0);
         server.shutdown();
     }
 

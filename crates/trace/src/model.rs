@@ -61,7 +61,11 @@ impl From<String> for Name {
 }
 
 /// Maximum number of key/value arguments an event carries inline.
-pub const MAX_ARGS: usize = 4;
+///
+/// Sized so an instrumentation site's own arguments plus the tracer's
+/// ambient correlation tags ([`crate::Tracer::set_tags`] — request,
+/// tenant, job ids) fit without spilling.
+pub const MAX_ARGS: usize = 8;
 
 /// A fixed-capacity, heap-free argument list (`&'static str` keys,
 /// integer values) attached to span and instant events.
@@ -103,6 +107,26 @@ impl Args {
     /// Iterates over `(key, value)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, i64)> + '_ {
         (0..self.len as usize).map(|i| (self.keys[i], self.vals[i]))
+    }
+
+    /// Value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<i64> {
+        self.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Returns this list extended by every pair of `tags` whose key is
+    /// not already present; pairs past [`MAX_ARGS`] are dropped. The
+    /// tracer uses this to fold its ambient correlation tags into each
+    /// event without letting them shadow an event's own arguments.
+    #[must_use]
+    pub fn merged(self, tags: Args) -> Self {
+        let mut out = self;
+        for (k, v) in tags.iter() {
+            if out.get(k).is_none() {
+                out = out.with(k, v);
+            }
+        }
+        out
     }
 }
 
@@ -235,18 +259,29 @@ mod tests {
 
     #[test]
     fn args_cap_at_max() {
-        let a = Args::new()
-            .with("a", 1)
-            .with("b", 2)
-            .with("c", 3)
-            .with("d", 4)
-            .with("overflow", 5);
+        let mut a = Args::new();
+        for (i, key) in ["a", "b", "c", "d", "e", "f", "g", "h"].iter().enumerate() {
+            a = a.with(key, i as i64 + 1);
+        }
+        a = a.with("overflow", 99);
         assert_eq!(a.len(), MAX_ARGS);
         let pairs: Vec<_> = a.iter().collect();
         assert_eq!(pairs[0], ("a", 1));
-        assert_eq!(pairs[3], ("d", 4));
+        assert_eq!(pairs[MAX_ARGS - 1], ("h", MAX_ARGS as i64));
+        assert_eq!(a.get("overflow"), None);
         assert!(!a.is_empty());
         assert!(Args::new().is_empty());
+    }
+
+    #[test]
+    fn merged_appends_without_shadowing() {
+        let own = Args::new().with("job", 7).with("width", 2048);
+        let tags = Args::new().with("request", 42).with("job", 999);
+        let merged = own.merged(tags);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.get("job"), Some(7), "event's own arg wins");
+        assert_eq!(merged.get("request"), Some(42));
+        assert_eq!(Args::new().merged(Args::new()).len(), 0);
     }
 
     #[test]

@@ -16,6 +16,10 @@ struct Inner {
     /// Highest cycle stamp seen — the fallback close cycle for a
     /// [`SpanGuard`] dropped without an explicit `end`.
     high_water: Cell<u64>,
+    /// Ambient correlation tags (request/tenant/job ids) folded into
+    /// every argument-bearing event emitted while set. `Args` is
+    /// `Copy`, so this costs one fixed-size load per emission.
+    tags: Cell<Args>,
 }
 
 /// A cheap, cloneable handle through which the whole stack emits
@@ -71,6 +75,7 @@ impl Tracer {
                 tracks: RefCell::new(Vec::new()),
                 next_span: Cell::new(0),
                 high_water: Cell::new(0),
+                tags: Cell::new(Args::new()),
             })),
         }
     }
@@ -229,8 +234,51 @@ impl Tracer {
         })
     }
 
+    /// Replaces the ambient correlation tags. Every argument-bearing
+    /// event (`Begin`/`Complete`/`Instant`) emitted while tags are set
+    /// has them appended — without shadowing the event's own arguments
+    /// — so a whole call tree is correlated to a request without
+    /// threading ids through every signature. No-op when disabled.
+    pub fn set_tags(&self, tags: Args) {
+        if let Some(inner) = &self.inner {
+            inner.tags.set(tags);
+        }
+    }
+
+    /// Clears the ambient correlation tags.
+    pub fn clear_tags(&self) {
+        self.set_tags(Args::new());
+    }
+
+    /// The current ambient correlation tags (empty when disabled).
+    pub fn tags(&self) -> Args {
+        self.inner.as_ref().map_or_else(Args::new, |i| i.tags.get())
+    }
+
+    /// Runs `f` with the ambient tags set to `tags`, restoring the
+    /// previous tags afterwards (panic-safe restoration is not needed:
+    /// the tracer is per-thread and a panic tears the whole trace
+    /// down).
+    pub fn with_tags<R>(&self, tags: Args, f: impl FnOnce() -> R) -> R {
+        let prev = self.tags();
+        self.set_tags(tags);
+        let out = f();
+        self.set_tags(prev);
+        out
+    }
+
     fn emit(&self, event: Event) {
         let Some(inner) = &self.inner else { return };
+        let mut event = event;
+        let tags = inner.tags.get();
+        if !tags.is_empty() {
+            match &mut event.kind {
+                EventKind::Begin { args, .. }
+                | EventKind::Complete { args, .. }
+                | EventKind::Instant { args, .. } => *args = args.merged(tags),
+                EventKind::End { .. } | EventKind::Counter { .. } => {}
+            }
+        }
         let end = match &event.kind {
             EventKind::Complete { dur, .. } => event.cycle + dur,
             _ => event.cycle,
@@ -353,6 +401,47 @@ mod tests {
             .find(|e| matches!(e.kind, EventKind::End { .. }))
             .expect("span closed on drop");
         assert_eq!(end.cycle, 12);
+    }
+
+    #[test]
+    fn ambient_tags_fold_into_events() {
+        let t = Tracer::recording();
+        let track = t.track(t.process("p"), "t");
+        t.instant(track, "before", 0, Args::new());
+        t.with_tags(Args::new().with("request", 7).with("tenant", 1), || {
+            t.complete(track, "op", 1, 2, Args::new().with("width", 256));
+            t.counter(track, "depth", 1, 3.0); // counters carry no args
+        });
+        t.instant(track, "after", 5, Args::new());
+        let trace = t.finish().unwrap();
+        match &trace.events[0].kind {
+            EventKind::Instant { args, .. } => assert!(args.is_empty()),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match &trace.events[1].kind {
+            EventKind::Complete { args, .. } => {
+                assert_eq!(args.get("width"), Some(256));
+                assert_eq!(args.get("request"), Some(7));
+                assert_eq!(args.get("tenant"), Some(1));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        match &trace.events[3].kind {
+            EventKind::Instant { args, .. } => {
+                assert!(args.is_empty(), "tags restored after scope");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tags_are_noops_on_disabled_tracer() {
+        let t = Tracer::disabled();
+        t.set_tags(Args::new().with("request", 1));
+        assert!(t.tags().is_empty());
+        assert_eq!(t.with_tags(Args::new().with("x", 2), || 42), 42);
+        t.clear_tags();
+        assert!(t.finish().is_none());
     }
 
     #[test]
