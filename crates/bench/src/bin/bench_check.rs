@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench_check BASELINE CURRENT [--subset[=PATTERNS]] [--wall-tol-x N] [--wall-tol-ms N]
+//! bench_check --trajectory SNAPSHOT... [--out PATH]
 //! ```
 //!
 //! Every metric except `wall_ms` must match *exactly* (the snapshot is
@@ -17,17 +18,33 @@
 //! skippable, so CI can demand a workload family without enumerating
 //! its members.
 //!
-//! Exit codes: 0 pass, 1 regression, 2 usage/parse errors.
+//! In `--trajectory` mode the paths are an ordered lineage of
+//! committed snapshots (oldest first). The lineage invariants are
+//! verified — a workload or metric, once recorded, must appear in
+//! every later snapshot — and `--out PATH` refreshes the
+//! `BENCH_TRAJECTORY.json` artifact (omit `--out` to only verify).
+//!
+//! Exit codes: 0 pass, 1 regression/violation, 2 usage/parse errors.
 
 use cim_bench::snapshot::{diff, BenchSnapshot, DiffOptions};
+use cim_bench::trajectory::{build, path_label};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut paths = Vec::new();
     let mut opts = DiffOptions::default();
+    let mut trajectory = false;
+    let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--trajectory" => trajectory = true,
+            "--out" => {
+                let Some(path) = args.next() else {
+                    return usage("--out needs a path");
+                };
+                out = Some(path);
+            }
             "--subset" => opts.allow_subset = true,
             _ if arg.starts_with("--subset=") => {
                 opts.allow_subset = true;
@@ -54,13 +71,19 @@ fn main() -> ExitCode {
             path => paths.push(path.to_string()),
         }
     }
-    let [baseline_path, current_path] = paths.as_slice() else {
-        return usage("expected exactly BASELINE and CURRENT paths");
-    };
-
     let load = |path: &str| -> Result<BenchSnapshot, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         BenchSnapshot::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+
+    if trajectory {
+        return check_trajectory(&paths, out.as_deref(), &load);
+    }
+    if out.is_some() {
+        return usage("--out only applies to --trajectory mode");
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage("expected exactly BASELINE and CURRENT paths");
     };
     let (baseline, current) = match (load(baseline_path), load(current_path)) {
         (Ok(b), Ok(c)) => (b, c),
@@ -91,10 +114,50 @@ fn main() -> ExitCode {
     }
 }
 
+fn check_trajectory(
+    paths: &[String],
+    out: Option<&str>,
+    load: &dyn Fn(&str) -> Result<BenchSnapshot, String>,
+) -> ExitCode {
+    if paths.len() < 2 {
+        return usage("--trajectory expects two or more snapshot paths in lineage order");
+    }
+    let mut snapshots = Vec::new();
+    for path in paths {
+        match load(path) {
+            Ok(s) => snapshots.push((path_label(path), s)),
+            Err(e) => {
+                eprintln!("bench_check: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let t = build(&snapshots);
+    print!("{}", t.render());
+    if let Some(out_path) = out {
+        if let Err(e) = std::fs::write(out_path, t.to_json()) {
+            eprintln!("bench_check: cannot write {out_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("bench_check: wrote {out_path}");
+    }
+    if t.lineage_ok() {
+        println!("bench_check: TRAJECTORY PASS ({} snapshots)", t.snapshots.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench_check: TRAJECTORY FAIL ({} lineage violations)",
+            t.violations.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("bench_check: {err}");
     eprintln!(
-        "usage: bench_check BASELINE CURRENT [--subset[=PATTERNS]] [--wall-tol-x N] [--wall-tol-ms N]"
+        "usage: bench_check BASELINE CURRENT [--subset[=PATTERNS]] [--wall-tol-x N] [--wall-tol-ms N]\n\
+         \u{20}      bench_check --trajectory SNAPSHOT... [--out PATH]"
     );
     ExitCode::from(2)
 }

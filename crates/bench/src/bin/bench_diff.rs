@@ -1,0 +1,87 @@
+//! Cross-snapshot diff: loads two or more `bench_snapshot` files in
+//! lineage order, prints the human trajectory summary, and writes the
+//! machine artifact.
+//!
+//! ```text
+//! bench_diff BENCH_A.json BENCH_B.json [MORE...] [--out BENCH_TRAJECTORY.json]
+//! ```
+//!
+//! Every exact metric of every shared workload is diffed; the
+//! `multiply_*` deltas are attributed to pipeline stages (see
+//! `cim_bench::trajectory`). With `--out` (default
+//! `BENCH_TRAJECTORY.json`) the deterministic JSON trajectory is
+//! written next to the human table; `--no-out` skips the file.
+//!
+//! Exit codes: 0 ok, 1 lineage violation, 2 usage/parse errors.
+
+use cim_bench::snapshot::BenchSnapshot;
+use cim_bench::trajectory::{build, path_label};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut paths = Vec::new();
+    let mut out: Option<String> = Some("BENCH_TRAJECTORY.json".to_string());
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(path) = args.next() else {
+                    return usage("--out needs a path");
+                };
+                out = Some(path);
+            }
+            "--no-out" => out = None,
+            other if other.starts_with("--") => {
+                return usage(&format!("unknown argument {other}"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.len() < 2 {
+        return usage("expected two or more snapshot paths in lineage order");
+    }
+
+    let mut snapshots = Vec::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_diff: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match BenchSnapshot::parse(&text) {
+            Ok(s) => snapshots.push((path_label(path), s)),
+            Err(e) => {
+                eprintln!("bench_diff: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let trajectory = build(&snapshots);
+    print!("{}", trajectory.render());
+    if let Some(out_path) = out {
+        let json = trajectory.to_json();
+        if let Err(e) = std::fs::write(&out_path, &json) {
+            eprintln!("bench_diff: cannot write {out_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("\nbench_diff: wrote {out_path} ({} bytes)", json.len());
+    }
+    if trajectory.lineage_ok() {
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench_diff: LINEAGE VIOLATED ({} violations)",
+            trajectory.violations.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("bench_diff: {err}");
+    eprintln!("usage: bench_diff SNAPSHOT... [--out PATH | --no-out]");
+    ExitCode::from(2)
+}

@@ -18,7 +18,11 @@
 //! Perf gating (see [`snapshot`]): `bench_snapshot` records the fixed
 //! workload matrix as deterministic JSON (plus an optional Prometheus
 //! exposition of the run's metrics), `bench_check` diffs two
-//! snapshots and exits nonzero on regression.
+//! snapshots and exits nonzero on regression. Cross-snapshot history
+//! (see [`trajectory`]): `bench_diff` (or `bench_check --trajectory`)
+//! walks an ordered list of committed snapshots, verifies lineage
+//! monotonicity, attributes multiply deltas to pipeline stages, and
+//! writes `BENCH_TRAJECTORY.json`.
 //!
 //! Criterion benches (`cargo bench`): `algos` (software multiplication
 //! crossover), `stages` (simulated stage latencies), `adders`
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod snapshot;
+pub mod trajectory;
 
 use std::fmt::Display;
 

@@ -33,6 +33,7 @@ use cim_metrics::jsonval::JsonValue;
 use cim_metrics::MetricsHub;
 use cim_obs::journal::{FlightRecorder, RecorderConfig};
 use cim_obs::slo::{SloEngine, SloRule};
+use cim_pulse::{PulseConfig, PulseHub};
 use cim_sched::{FarmConfig, JobMix, JobProfile, Policy, Scheduler};
 use cim_serve::loadgen::LoadgenConfig;
 use cim_serve::FleetConfig as ServeFleetConfig;
@@ -296,6 +297,78 @@ fn obs_workload() -> WorkloadResult {
     WorkloadResult { name: "obs_2tenant_4farm".into(), metrics }
 }
 
+fn pulse_workload() -> WorkloadResult {
+    // The telemetry-history overhead gate: the serving workload runs
+    // once plain and once with the full pulse stack scraping it
+    // (timeline, endurance forecaster, drift detectors) on top of the
+    // cim-obs recorder and SLO engine. Serving decisions must be
+    // identical — a scrape never moves a cycle — the steady trace must
+    // raise zero drift alerts, and the wear forecaster's totals must
+    // reproduce the engine's tile-wear counters exactly. The wall
+    // ratio is gated like a speedup so only a pathological slowdown
+    // regresses.
+    let config = LoadgenConfig {
+        requests: 1_500,
+        tenants: 2,
+        rate: 300,
+        mean_gap: 1_500,
+        exp_bits: 6,
+        scalar_bits: 6,
+        fleet: ServeFleetConfig { farms: 4, tiles_per_farm: 4, ..ServeFleetConfig::default() },
+        ..LoadgenConfig::default()
+    };
+
+    let off_hub = MetricsHub::recording();
+    let off_start = Instant::now();
+    let plain = cim_serve::loadgen::run(&config, &off_hub);
+    let off_ms = off_start.elapsed().as_secs_f64() * 1e3;
+
+    let on_hub = MetricsHub::recording();
+    let recorder = FlightRecorder::new(RecorderConfig::default());
+    let mut slo = SloEngine::new(vec![
+        SloRule::parse("fleet.correctness").expect("builtin rule parses"),
+        SloRule::parse("fleet.drift_alerts <= 0").expect("builtin rule parses"),
+    ]);
+    let mut pulse = PulseHub::new(PulseConfig::default());
+    let on_start = Instant::now();
+    let pulsed =
+        cim_serve::loadgen::run_pulsed(&config, &on_hub, &recorder, &mut slo, &mut pulse);
+    let on_ms = on_start.elapsed().as_secs_f64() * 1e3;
+
+    let decisions_identical = plain.served == pulsed.served
+        && plain.shed == pulsed.shed
+        && plain.errors == pulsed.errors
+        && plain.stats == pulsed.stats;
+    let pages = slo
+        .verdicts()
+        .iter()
+        .filter(|v| v.state.name() == "page")
+        .count();
+    let forecast_exact = pulsed.stats.tile_wear.iter().all(|t| {
+        pulse.forecaster().current_totals().get(&(t.farm, t.tile)) == Some(&t.max_cell_writes)
+    }) && pulse.forecaster().tile_count() == pulsed.stats.tile_wear.len();
+
+    let mut metrics = BTreeMap::new();
+    metrics.insert("served".into(), pulsed.served as f64);
+    metrics.insert("shed".into(), pulsed.shed as f64);
+    metrics.insert("incorrect".into(), pulsed.incorrect as f64);
+    metrics.insert("drained_cycles".into(), pulsed.stats.drained_at as f64);
+    metrics.insert("decisions_identical".into(), f64::from(decisions_identical));
+    metrics.insert("scrapes".into(), pulse.timeline().scrapes() as f64);
+    metrics.insert("timeline_series".into(), pulse.timeline().series_count() as f64);
+    metrics.insert("timeline_points".into(), pulse.timeline().point_count() as f64);
+    metrics.insert("drift_alerts".into(), pulse.alerts_total() as f64);
+    metrics.insert("forecast_exact".into(), f64::from(forecast_exact));
+    metrics.insert("wear_total_writes".into(), pulse.forecaster().total_writes() as f64);
+    metrics.insert("slo_pages".into(), pages as f64);
+    metrics.insert("pulse_off_wall_ms".into(), off_ms);
+    metrics.insert("pulse_on_wall_ms".into(), on_ms);
+    // ≈1.0 when scraping is free; gated as a speedup, so only a
+    // collapse (pulse-on dramatically slower) regresses.
+    metrics.insert("pulse_overhead_speedup_x".into(), off_ms / on_ms);
+    WorkloadResult { name: "pulse_2tenant_4farm".into(), metrics }
+}
+
 fn farm_workload(hub: &MetricsHub) -> WorkloadResult {
     let jobs = JobMix::crypto_default(300).generate(64, 7);
     let mut sched = Scheduler::new(FarmConfig::new(4, Policy::WearLeveling));
@@ -347,6 +420,7 @@ impl BenchSnapshot {
         timed(&farm_workload);
         timed(&serve_workload);
         timed(&|_| obs_workload());
+        timed(&|_| pulse_workload());
         BenchSnapshot { tag: tag.into(), quick, workloads }
     }
 
@@ -831,6 +905,22 @@ mod tests {
         assert_eq!(obs.metrics["slo_pages"], 0.0);
         assert_eq!(obs.metrics["incorrect"], 0.0);
         assert!(obs.metrics["journal_events"] > 0.0);
+        // The pulse workload proves telemetry history is free and
+        // exact: same decisions with scraping on, zero drift alerts on
+        // the steady trace, and the wear forecast reproduces the
+        // engine's counters.
+        let pulse = a
+            .workloads
+            .iter()
+            .find(|w| w.name == "pulse_2tenant_4farm")
+            .expect("pulse workload in snapshot");
+        assert_eq!(pulse.metrics["decisions_identical"], 1.0);
+        assert_eq!(pulse.metrics["drift_alerts"], 0.0);
+        assert_eq!(pulse.metrics["forecast_exact"], 1.0);
+        assert_eq!(pulse.metrics["slo_pages"], 0.0);
+        assert!(pulse.metrics["scrapes"] >= 9.0);
+        assert!(pulse.metrics["timeline_series"] > 0.0);
+        assert!(pulse.metrics["wear_total_writes"] > 0.0);
         // The gate passes against itself.
         assert!(diff(&a, &b, &DiffOptions::default()).passed());
     }

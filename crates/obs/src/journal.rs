@@ -146,6 +146,15 @@ impl ObsEvent {
                 w.field_uint("rule", u64::from(rule))
                     .field_uint("state", u64::from(state));
             }
+            ObsEventKind::Drift {
+                signal,
+                direction,
+                deviation_x1000,
+            } => {
+                w.field_str("signal", signal)
+                    .field_str("direction", direction)
+                    .field_uint("deviation_x1000", deviation_x1000);
+            }
         }
         w.close_object();
     }
@@ -242,6 +251,16 @@ pub enum ObsEventKind {
         /// Encoded state: 0 = ok, 1 = warn, 2 = page.
         state: u8,
     },
+    /// A pulse drift detector flagged a change point on a telemetry
+    /// series.
+    Drift {
+        /// Signal label (`throughput`, `shed_ratio`, `p99_latency`).
+        signal: &'static str,
+        /// Shift direction label (`up` / `down`).
+        direction: &'static str,
+        /// Absolute deviation in robust scale units, ×1000.
+        deviation_x1000: u64,
+    },
 }
 
 impl ObsEventKind {
@@ -257,6 +276,7 @@ impl ObsEventKind {
             ObsEventKind::VerifyFail { .. } => "verify_fail",
             ObsEventKind::FaultFallback { .. } => "fault_fallback",
             ObsEventKind::SloTransition { .. } => "slo_transition",
+            ObsEventKind::Drift { .. } => "drift",
         }
     }
 
@@ -393,6 +413,16 @@ impl FlightRecorder {
     /// earlier shed-burst latch, never the reverse).
     pub fn trigger(&self) -> Option<&'static str> {
         self.lock().and_then(|s| s.trigger)
+    }
+
+    /// Numeric encoding of the latched trigger for gauges:
+    /// 0 = none, 1 = shed_burst, 2 = incorrect_result.
+    pub fn trigger_state(&self) -> u8 {
+        match self.trigger() {
+            None => 0,
+            Some(TRIGGER_SHED_BURST) => 1,
+            Some(_) => 2,
+        }
     }
 
     /// Total events ever recorded (retained + dropped).

@@ -6,6 +6,7 @@
 //! | `cim_obs_slo_burn_rate` | gauge | `rule`, `tenant`, `window` |
 //! | `cim_obs_journal_events_total` | gauge | — |
 //! | `cim_obs_journal_dropped_total` | gauge | — |
+//! | `cim_obs_journal_trigger_state` | gauge | — |
 //!
 //! States encode as 0 = ok, 1 = warn, 2 = page, so a dashboard can
 //! alert on `max(cim_obs_slo_state) >= 2` without string matching.
@@ -23,6 +24,8 @@ pub const SLO_BURN_RATE: &str = "cim_obs_slo_burn_rate";
 pub const JOURNAL_EVENTS_TOTAL: &str = "cim_obs_journal_events_total";
 /// Events overwritten by the flight recorder's ring.
 pub const JOURNAL_DROPPED_TOTAL: &str = "cim_obs_journal_dropped_total";
+/// Latched auto-dump trigger (0 none / 1 shed_burst / 2 incorrect).
+pub const JOURNAL_TRIGGER_STATE: &str = "cim_obs_journal_trigger_state";
 
 /// Publishes every verdict's state and burn rates.
 pub fn publish_slo(hub: &MetricsHub, verdicts: &[SloVerdict]) {
@@ -65,6 +68,12 @@ pub fn publish_journal(hub: &MetricsHub, recorder: &FlightRecorder) {
         &Labels::new(),
         recorder.dropped() as f64,
     );
+    hub.set_gauge(
+        JOURNAL_TRIGGER_STATE,
+        "latched auto-dump trigger (0 none / 1 shed_burst / 2 incorrect_result)",
+        &Labels::new(),
+        f64::from(recorder.trigger_state()),
+    );
 }
 
 #[cfg(test)]
@@ -96,6 +105,11 @@ mod tests {
         let snap = hub.snapshot();
         assert_eq!(snap.number(JOURNAL_EVENTS_TOTAL), Some(3.0));
         assert_eq!(snap.number(JOURNAL_DROPPED_TOTAL), Some(1.0));
+        assert_eq!(snap.number(JOURNAL_TRIGGER_STATE), Some(0.0));
+        recorder.note_incorrect(3, 7, 0);
+        publish_journal(&hub, &recorder);
+        let snap = hub.snapshot();
+        assert_eq!(snap.number(JOURNAL_TRIGGER_STATE), Some(2.0));
         assert!(snap.family(SLO_STATE).is_some());
         assert!(snap.family(SLO_BURN_RATE).is_some());
         let text = cim_metrics::prometheus::render(&snap);

@@ -44,6 +44,10 @@ pub const LATENCY_FAMILY: &str = "cim_serve_latency_cycles";
 pub const REQUESTS_FAMILY: &str = "cim_serve_requests_total";
 /// Sheds-by-reason counter family.
 pub const SHED_FAMILY: &str = "cim_serve_shed_total";
+/// Pulse-layer drift-alert counter family (published by `cim-pulse`;
+/// a constant here for the same reason as the serve families — the
+/// dependency points from pulse to obs, not the reverse).
+pub const DRIFT_ALERTS_FAMILY: &str = "cim_pulse_drift_alerts_total";
 
 /// Burn rates are capped here so hard violations (correctness) stay
 /// finite and JSON-serializable while still exceeding any sane page
@@ -61,6 +65,10 @@ pub enum SloKind {
     ShedRatio(f64),
     /// No incorrect results, ever. Hard-violates on the first one.
     Correctness,
+    /// Pulse drift alerts (summed across signals) must stay at or
+    /// below the given count. A bound of 0 hard-violates on the first
+    /// alert.
+    DriftAlerts(u64),
 }
 
 /// One declarative SLO rule: a subject (tenant name, or any label the
@@ -104,6 +112,13 @@ impl SloRule {
                     kind: SloKind::P99LatencyCycles(b),
                 })
                 .map_err(|e| format!("rule `{s}`: bad cycle bound: {e}")),
+            "drift_alerts" => bound
+                .parse::<u64>()
+                .map(|b| SloRule {
+                    tenant: subject.to_string(),
+                    kind: SloKind::DriftAlerts(b),
+                })
+                .map_err(|e| format!("rule `{s}`: bad alert bound: {e}")),
             "shed_ratio" => bound
                 .parse::<f64>()
                 .map_err(|e| format!("rule `{s}`: bad ratio bound: {e}"))
@@ -127,6 +142,7 @@ impl SloRule {
             SloKind::P99LatencyCycles(_) => "p99_latency_cycles",
             SloKind::ShedRatio(_) => "shed_ratio",
             SloKind::Correctness => "correctness",
+            SloKind::DriftAlerts(_) => "drift_alerts",
         }
     }
 }
@@ -139,6 +155,7 @@ impl fmt::Display for SloRule {
             }
             SloKind::ShedRatio(b) => write!(f, "{}.shed_ratio <= {b}", self.tenant),
             SloKind::Correctness => write!(f, "{}.correctness", self.tenant),
+            SloKind::DriftAlerts(b) => write!(f, "{}.drift_alerts <= {b}", self.tenant),
         }
     }
 }
@@ -262,6 +279,7 @@ impl SloEngine {
                     SloKind::P99LatencyCycles(b) => b as f64,
                     SloKind::ShedRatio(b) => b,
                     SloKind::Correctness => 0.0,
+                    SloKind::DriftAlerts(b) => b as f64,
                 },
                 short_burn: 0.0,
                 long_burn: 0.0,
@@ -316,6 +334,22 @@ impl SloEngine {
             SloKind::Correctness => {
                 let incorrect = inputs.incorrect as f64;
                 (incorrect, if inputs.incorrect > 0 { BURN_CAP } else { 0.0 })
+            }
+            SloKind::DriftAlerts(bound) => {
+                // Sum across every signal series the pulse layer
+                // publishes; drift alerts are fleet-wide, so the
+                // rule's subject is a naming convention, not a label
+                // filter.
+                let alerts = snapshot.family(DRIFT_ALERTS_FAMILY).map_or(0.0, |f| {
+                    f.samples
+                        .iter()
+                        .map(|s| match &s.value {
+                            MetricValue::Number(v) => *v,
+                            MetricValue::Histogram(_) => 0.0,
+                        })
+                        .sum()
+                });
+                (alerts, ratio_burn(alerts, bound as f64))
             }
         }
     }
@@ -455,6 +489,8 @@ mod tests {
             "tenant0.p99_latency_cycles <= 40000000",
             "tenant1.shed_ratio <= 0.35",
             "fleet.correctness",
+            "fleet.drift_alerts <= 0",
+            "fleet.drift_alerts <= 3",
         ] {
             let rule = SloRule::parse(decl).unwrap();
             assert_eq!(rule.to_string(), decl);
@@ -570,6 +606,37 @@ mod tests {
         let v = &engine.verdicts()[0];
         assert!((v.measured - 0.4).abs() < 1e-12, "40 sheds / 100 requests");
         assert_eq!(v.state, SloState::Ok);
+    }
+
+    #[test]
+    fn drift_alert_rule_sums_the_pulse_family() {
+        let hub = MetricsHub::recording();
+        hub.set_gauge(
+            DRIFT_ALERTS_FAMILY,
+            "",
+            &Labels::new().with("signal", "throughput"),
+            2.0,
+        );
+        hub.set_gauge(
+            DRIFT_ALERTS_FAMILY,
+            "",
+            &Labels::new().with("signal", "p99_latency"),
+            1.0,
+        );
+        let mut engine = SloEngine::new(vec![
+            SloRule::parse("fleet.drift_alerts <= 4").unwrap(),
+            SloRule::parse("fleet.drift_alerts <= 0").unwrap(),
+        ]);
+        engine.observe(
+            0,
+            &hub.snapshot(),
+            &SloInputs::default(),
+            &FlightRecorder::disabled(),
+        );
+        let v = engine.verdicts();
+        assert_eq!(v[0].measured, 3.0, "sums across signal series");
+        assert_eq!(v[0].state, SloState::Ok);
+        assert_eq!(v[1].state, SloState::Page, "zero bound hard-violates");
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Endurance forecasting: per-tile wear trends against the cell write
+//! budget.
+//!
+//! Each `(farm, tile)` gets a series of cumulative worst-cell write
+//! counts sampled at virtual-cycle observation points (the serve
+//! layer's `EngineStats::tile_wear`). An **integer least-squares** fit
+//! over the retained points yields the wear slope as an exact rational
+//! `slope_num / slope_den` (all i128 arithmetic, no floating-point
+//! round-off in the fit itself):
+//!
+//! ```text
+//! slope = (n·Σxy − Σx·Σy) / (n·Σx² − (Σx)²)
+//! ```
+//!
+//! with `x` = cycle, `y` = writes. Remaining lifetime is then
+//!
+//! ```text
+//! cycles_remaining = ceil((budget − current) · slope_den / slope_num)
+//! ```
+//!
+//! i.e. "virtual cycles until the worst cell crosses the 1e10-write
+//! budget if the observed trend continues". The latest sample of every
+//! series is the *actual* cumulative count, so
+//! [`EnduranceForecaster::current_totals`] cross-checks **exactly**
+//! against replayed `WearHeatmap` / `EngineStats::tile_wear` totals —
+//! the forecast extrapolates, the totals never drift.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use cim_trace::json::JsonWriter;
+
+/// The per-cell write budget forecasts are measured against
+/// (re-exported from the crossbar's endurance model).
+pub const WRITE_BUDGET: u64 = cim_crossbar::CELL_ENDURANCE_WRITES;
+
+/// One tile's fitted trend and remaining-lifetime estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileForecast {
+    /// Farm index.
+    pub farm: u32,
+    /// Tile index within the farm.
+    pub tile: u32,
+    /// Points the fit used.
+    pub samples: u64,
+    /// Latest cumulative worst-cell write count (exact).
+    pub current_writes: u64,
+    /// Slope numerator (writes · cycles scale); positive when wear is
+    /// growing.
+    pub slope_num: i128,
+    /// Slope denominator (always > 0 once two distinct cycles exist).
+    pub slope_den: i128,
+    /// Virtual cycles until `current_writes` reaches the budget at the
+    /// fitted rate. `None` when the trend is flat or shrinking (no
+    /// finite crossing); `Some(0)` when the budget is already spent.
+    pub cycles_remaining: Option<u64>,
+}
+
+impl TileForecast {
+    /// Fitted wear rate in writes per 10⁶ cycles, for display.
+    pub fn writes_per_mcc(&self) -> f64 {
+        if self.slope_den == 0 {
+            return 0.0;
+        }
+        self.slope_num as f64 / self.slope_den as f64 * 1e6
+    }
+}
+
+/// Per-(farm, tile) wear series and the fit over them.
+#[derive(Debug, Clone)]
+pub struct EnduranceForecaster {
+    capacity: usize,
+    budget: u64,
+    tiles: BTreeMap<(u32, u32), VecDeque<(u64, u64)>>,
+}
+
+impl EnduranceForecaster {
+    /// A forecaster retaining at most `capacity` points per tile,
+    /// forecasting against `budget` worst-cell writes.
+    pub fn new(capacity: usize, budget: u64) -> Self {
+        EnduranceForecaster {
+            capacity: capacity.max(2),
+            budget: budget.max(1),
+            tiles: BTreeMap::new(),
+        }
+    }
+
+    /// The write budget forecasts are measured against.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Tiles with at least one sample.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Records one observation: every tile's cumulative worst-cell
+    /// write count at virtual cycle `cycle`. Same-cycle re-records
+    /// replace; regressions in the cumulative count are ignored (wear
+    /// is monotone by construction).
+    pub fn record(&mut self, cycle: u64, wear: &[(u32, u32, u64)]) {
+        for &(farm, tile, writes) in wear {
+            let series = self.tiles.entry((farm, tile)).or_default();
+            if let Some(&mut (ref mut last_cycle, ref mut last_writes)) = series.back_mut() {
+                if cycle < *last_cycle || writes < *last_writes {
+                    continue;
+                }
+                if cycle == *last_cycle {
+                    *last_writes = writes;
+                    continue;
+                }
+            }
+            if series.len() == self.capacity {
+                series.pop_front();
+            }
+            series.push_back((cycle, writes));
+        }
+    }
+
+    /// Latest cumulative write count per tile — exact, for
+    /// cross-checking against `EngineStats::tile_wear` or a replayed
+    /// `WearHeatmap`.
+    pub fn current_totals(&self) -> BTreeMap<(u32, u32), u64> {
+        self.tiles
+            .iter()
+            .filter_map(|(&k, s)| s.back().map(|&(_, w)| (k, w)))
+            .collect()
+    }
+
+    /// Sum of [`EnduranceForecaster::current_totals`] across tiles.
+    pub fn total_writes(&self) -> u64 {
+        self.tiles
+            .values()
+            .filter_map(|s| s.back().map(|&(_, w)| w))
+            .sum()
+    }
+
+    /// Fits every tile's series; tiles in `(farm, tile)` order.
+    pub fn forecasts(&self) -> Vec<TileForecast> {
+        self.tiles
+            .iter()
+            .map(|(&(farm, tile), series)| {
+                let (slope_num, slope_den) = fit_slope(series);
+                let current_writes = series.back().map_or(0, |&(_, w)| w);
+                let cycles_remaining = if current_writes >= self.budget {
+                    Some(0)
+                } else if slope_num <= 0 || slope_den <= 0 {
+                    None
+                } else {
+                    let remaining = (self.budget - current_writes) as i128;
+                    // ceil(remaining · den / num), saturating to u64.
+                    let cycles = (remaining * slope_den + slope_num - 1) / slope_num;
+                    Some(u64::try_from(cycles).unwrap_or(u64::MAX))
+                };
+                TileForecast {
+                    farm,
+                    tile,
+                    samples: series.len() as u64,
+                    current_writes,
+                    slope_num,
+                    slope_den,
+                    cycles_remaining,
+                }
+            })
+            .collect()
+    }
+
+    /// Serializes the forecasts into `w` as an array of objects.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.open_array();
+        for f in self.forecasts() {
+            w.open_object()
+                .field_uint("farm", u64::from(f.farm))
+                .field_uint("tile", u64::from(f.tile))
+                .field_uint("samples", f.samples)
+                .field_uint("current_writes", f.current_writes)
+                .field_float("writes_per_mcc", f.writes_per_mcc())
+                .key("cycles_remaining");
+            match f.cycles_remaining {
+                Some(c) => w.uint(c),
+                None => w.string("unbounded"),
+            };
+            w.close_object();
+        }
+        w.close_array();
+    }
+}
+
+/// Integer least-squares slope over `(cycle, writes)` points, as the
+/// exact rational `(num, den)`. `den == 0` when fewer than two
+/// distinct cycles exist (no fit).
+fn fit_slope(points: &VecDeque<(u64, u64)>) -> (i128, i128) {
+    let n = points.len() as i128;
+    if n < 2 {
+        return (0, 0);
+    }
+    // Shift x to the first cycle so the i128 products stay small.
+    let x0 = points.front().map_or(0, |&(c, _)| c);
+    let (mut sx, mut sy, mut sxy, mut sxx) = (0i128, 0i128, 0i128, 0i128);
+    for &(c, w) in points {
+        let x = (c - x0) as i128;
+        let y = w as i128;
+        sx += x;
+        sy += y;
+        sxy += x * y;
+        sxx += x * x;
+    }
+    let den = n * sxx - sx * sx;
+    if den == 0 {
+        return (0, 0);
+    }
+    (n * sxy - sx * sy, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_wear_fits_exactly() {
+        // writes = 7 per 100 cycles, starting at 50.
+        let mut f = EnduranceForecaster::new(64, 1_000_000);
+        for i in 0..10u64 {
+            f.record(i * 100, &[(0, 0, 50 + 7 * i)]);
+        }
+        let fc = &f.forecasts()[0];
+        assert_eq!(fc.samples, 10);
+        assert_eq!(fc.current_writes, 50 + 63);
+        // slope must be exactly 7/100.
+        assert_eq!(fc.slope_num * 100, fc.slope_den * 7);
+        // remaining = ceil((1e6 - 113) * 100 / 7).
+        let expected = ((1_000_000u128 - 113) * 100).div_ceil(7) as u64;
+        assert_eq!(fc.cycles_remaining, Some(expected));
+        assert!((fc.writes_per_mcc() - 70_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_series_has_no_crossing() {
+        let mut f = EnduranceForecaster::new(8, 100);
+        f.record(0, &[(0, 0, 10)]);
+        f.record(50, &[(0, 0, 10)]);
+        let fc = &f.forecasts()[0];
+        assert_eq!(fc.slope_num, 0);
+        assert_eq!(fc.cycles_remaining, None);
+    }
+
+    #[test]
+    fn spent_budget_reports_zero() {
+        let mut f = EnduranceForecaster::new(8, 100);
+        f.record(0, &[(1, 2, 100)]);
+        let fc = &f.forecasts()[0];
+        assert_eq!((fc.farm, fc.tile), (1, 2));
+        assert_eq!(fc.cycles_remaining, Some(0));
+    }
+
+    #[test]
+    fn totals_are_exact_latest_samples() {
+        let mut f = EnduranceForecaster::new(4, WRITE_BUDGET);
+        f.record(0, &[(0, 0, 5), (0, 1, 7)]);
+        f.record(10, &[(0, 0, 15), (0, 1, 7)]);
+        let totals = f.current_totals();
+        assert_eq!(totals[&(0, 0)], 15);
+        assert_eq!(totals[&(0, 1)], 7);
+        assert_eq!(f.total_writes(), 22);
+        assert_eq!(f.tile_count(), 2);
+    }
+
+    #[test]
+    fn ring_capacity_and_monotonicity_guards() {
+        let mut f = EnduranceForecaster::new(3, 1000);
+        for i in 0..5u64 {
+            f.record(i * 10, &[(0, 0, i)]);
+        }
+        // Non-monotone write count ignored; same-cycle replaces.
+        f.record(40, &[(0, 0, 100)]);
+        f.record(39, &[(0, 0, 500)]);
+        let fc = &f.forecasts()[0];
+        assert_eq!(fc.samples, 3);
+        assert_eq!(fc.current_writes, 100);
+    }
+
+    #[test]
+    fn forecast_json_is_valid_and_deterministic() {
+        let build = || {
+            let mut f = EnduranceForecaster::new(8, 1000);
+            f.record(0, &[(0, 0, 1), (0, 1, 0)]);
+            f.record(100, &[(0, 0, 11), (0, 1, 0)]);
+            let mut w = JsonWriter::new();
+            f.write_json(&mut w);
+            w.finish()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        cim_trace::json::check(&a).unwrap();
+        assert!(a.contains("\"cycles_remaining\":\"unbounded\""));
+    }
+}

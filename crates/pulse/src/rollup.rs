@@ -1,0 +1,255 @@
+//! Exact mergeable windowed rollups.
+//!
+//! A [`Rollup`] buckets integer samples into fixed-width virtual-cycle
+//! windows and keeps, per window, the exact sum / min / max plus the
+//! sorted sample list, so nearest-rank percentiles are **exact** (the
+//! same convention as `cim_metrics::Histogram::percentile`, but
+//! without bucketing error — rollup windows hold the raw samples).
+//!
+//! The merge law is the whole point: merging two rollups is sample-set
+//! union per window, so
+//!
+//! ```text
+//! rollup(a ++ b) == merge(rollup(a), rollup(b))
+//! ```
+//!
+//! holds *exactly*, for every statistic including percentiles. That is
+//! what lets per-farm rollups be combined into a fleet rollup without
+//! re-observing anything, and is property-tested below.
+
+use std::collections::BTreeMap;
+
+use cim_trace::json::JsonWriter;
+
+/// Exact statistics for one window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Samples observed in the window.
+    pub count: u64,
+    /// Exact sum (u128 so a full window of u64::MAX cannot overflow).
+    pub sum: u128,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// All samples, kept sorted ascending.
+    samples: Vec<u64>,
+}
+
+impl WindowStats {
+    fn new(value: u64) -> Self {
+        WindowStats {
+            count: 1,
+            sum: value as u128,
+            min: value,
+            max: value,
+            samples: vec![value],
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let at = self.samples.partition_point(|&s| s <= value);
+        self.samples.insert(at, value);
+    }
+
+    fn absorb(&mut self, other: &WindowStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged = Vec::with_capacity(self.samples.len() + other.samples.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.samples.len() && j < other.samples.len() {
+            if self.samples[i] <= other.samples[j] {
+                merged.push(self.samples[i]);
+                i += 1;
+            } else {
+                merged.push(other.samples[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.samples[i..]);
+        merged.extend_from_slice(&other.samples[j..]);
+        self.samples = merged;
+    }
+
+    /// Exact nearest-rank percentile: the smallest sample such that at
+    /// least `p`% of samples are <= it. `p` is clamped to [0, 100].
+    pub fn percentile(&self, p: f64) -> u64 {
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        self.samples[(rank - 1).min(self.count - 1) as usize]
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+}
+
+/// Fixed-width windowed rollup of integer samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rollup {
+    window_cycles: u64,
+    windows: BTreeMap<u64, WindowStats>,
+}
+
+impl Rollup {
+    /// A rollup with `window_cycles`-wide windows (min 1); window `k`
+    /// covers cycles `[k * window_cycles, (k + 1) * window_cycles)`.
+    pub fn new(window_cycles: u64) -> Self {
+        Rollup {
+            window_cycles: window_cycles.max(1),
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// Window width in virtual cycles.
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+
+    /// Number of non-empty windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Records one sample at `cycle`.
+    pub fn record(&mut self, cycle: u64, value: u64) {
+        let window = cycle / self.window_cycles;
+        self.windows
+            .entry(window)
+            .and_modify(|w| w.record(value))
+            .or_insert_with(|| WindowStats::new(value));
+    }
+
+    /// Stats for window index `window`, if any sample landed there.
+    pub fn window(&self, window: u64) -> Option<&WindowStats> {
+        self.windows.get(&window)
+    }
+
+    /// Non-empty windows in index order.
+    pub fn windows(&self) -> impl Iterator<Item = (u64, &WindowStats)> {
+        self.windows.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Total samples across all windows.
+    pub fn count(&self) -> u64 {
+        self.windows.values().map(|w| w.count).sum()
+    }
+
+    /// Merges `other` into `self`. Panics if window widths differ —
+    /// merging incompatible grids silently would corrupt every
+    /// statistic.
+    pub fn merge(&mut self, other: &Rollup) {
+        assert_eq!(
+            self.window_cycles, other.window_cycles,
+            "rollup merge requires identical window widths"
+        );
+        for (&k, w) in &other.windows {
+            match self.windows.get_mut(&k) {
+                Some(mine) => mine.absorb(w),
+                None => {
+                    self.windows.insert(k, w.clone());
+                }
+            }
+        }
+    }
+
+    /// Serializes as
+    /// `{"window_cycles":..,"windows":[{"window":..,"count":..,
+    /// "sum":..,"min":..,"max":..,"p50":..,"p99":..},..]}`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.open_object()
+            .field_uint("window_cycles", self.window_cycles)
+            .key("windows")
+            .open_array();
+        for (k, stats) in &self.windows {
+            w.open_object()
+                .field_uint("window", *k)
+                .field_uint("count", stats.count)
+                .field_uint("sum", stats.sum.min(u64::MAX as u128) as u64)
+                .field_uint("min", stats.min)
+                .field_uint("max", stats.max)
+                .field_uint("p50", stats.percentile(50.0))
+                .field_uint("p99", stats.percentile(99.0));
+            w.close_object();
+        }
+        w.close_array().close_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn windows_partition_the_cycle_axis() {
+        let mut r = Rollup::new(100);
+        r.record(0, 5);
+        r.record(99, 7);
+        r.record(100, 11);
+        assert_eq!(r.len(), 2);
+        let w0 = r.window(0).unwrap();
+        assert_eq!((w0.count, w0.sum, w0.min, w0.max), (2, 12, 5, 7));
+        assert_eq!(r.window(1).unwrap().count, 1);
+        assert_eq!(r.count(), 3);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank_exact() {
+        let mut r = Rollup::new(1000);
+        for v in [10u64, 20, 30, 40, 50] {
+            r.record(0, v);
+        }
+        let w = r.window(0).unwrap();
+        assert_eq!(w.percentile(0.0), 10);
+        assert_eq!(w.percentile(20.0), 10);
+        assert_eq!(w.percentile(50.0), 30);
+        assert_eq!(w.percentile(99.0), 50);
+        assert_eq!(w.percentile(100.0), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical window widths")]
+    fn merge_rejects_mismatched_widths() {
+        let mut a = Rollup::new(10);
+        a.merge(&Rollup::new(20));
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_rollup_of_concatenation(
+            a in proptest::collection::vec((0u64..10_000, 0u64..1_000_000), 0..200),
+            b in proptest::collection::vec((0u64..10_000, 0u64..1_000_000), 0..200),
+        ) {
+            let mut ra = Rollup::new(512);
+            for &(c, v) in &a { ra.record(c, v); }
+            let mut rb = Rollup::new(512);
+            for &(c, v) in &b { rb.record(c, v); }
+            let mut merged = ra.clone();
+            merged.merge(&rb);
+
+            let mut whole = Rollup::new(512);
+            for &(c, v) in a.iter().chain(&b) { whole.record(c, v); }
+
+            prop_assert_eq!(&merged, &whole, "merge law must hold exactly");
+            for (k, w) in whole.windows() {
+                let m = merged.window(k).unwrap();
+                for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+                    prop_assert_eq!(m.percentile(p), w.percentile(p));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Fixed-capacity ring-buffer series over the virtual-cycle axis.
+//!
+//! A [`Series`] is the unit of storage in the timeline: an ordered run
+//! of `(cycle, value)` points where cycles are **virtual** (from the
+//! simulation's deterministic clock, never wall time). Because every
+//! producer stamps points with virtual cycles, two identical runs push
+//! identical point sequences and the serialized series is
+//! byte-identical — the property the whole pulse layer is built on.
+//!
+//! At capacity the oldest point is dropped and counted, mirroring the
+//! flight recorder's oldest-first overwrite: the series always holds
+//! the newest `capacity` points.
+
+use std::collections::VecDeque;
+
+use cim_trace::json::JsonWriter;
+
+/// One observation: a value at a virtual cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Virtual cycle stamp.
+    pub cycle: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// A bounded time series. Points are kept in non-decreasing cycle
+/// order; pushing a point at the same cycle as the newest one replaces
+/// it (a re-scrape at the same observation point supersedes, it does
+/// not duplicate).
+#[derive(Debug, Clone)]
+pub struct Series {
+    capacity: usize,
+    points: VecDeque<SeriesPoint>,
+    pushed: u64,
+    dropped: u64,
+}
+
+impl Series {
+    /// An empty series retaining at most `capacity` points (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Series {
+            capacity,
+            points: VecDeque::with_capacity(capacity),
+            pushed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Ring capacity in points.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Points currently retained.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points are retained.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points ever pushed (retained + replaced + dropped).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Points evicted by the ring so far (same-cycle replacements are
+    /// not evictions).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Newest point, if any.
+    pub fn last(&self) -> Option<SeriesPoint> {
+        self.points.back().copied()
+    }
+
+    /// Oldest retained point, if any.
+    pub fn first(&self) -> Option<SeriesPoint> {
+        self.points.front().copied()
+    }
+
+    /// Appends a point. `cycle` must be >= the newest retained cycle;
+    /// an out-of-order push is ignored (and still counted as pushed)
+    /// rather than corrupting the order invariant.
+    pub fn push(&mut self, cycle: u64, value: f64) {
+        self.pushed += 1;
+        if let Some(last) = self.points.back_mut() {
+            if cycle < last.cycle {
+                return;
+            }
+            if cycle == last.cycle {
+                last.value = value;
+                return;
+            }
+        }
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+            self.dropped += 1;
+        }
+        self.points.push_back(SeriesPoint { cycle, value });
+    }
+
+    /// Retained points, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = SeriesPoint> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Retained points with `from <= cycle < to`, oldest first.
+    pub fn window(&self, from: u64, to: u64) -> impl Iterator<Item = SeriesPoint> + '_ {
+        self.points
+            .iter()
+            .copied()
+            .filter(move |p| p.cycle >= from && p.cycle < to)
+    }
+
+    /// Serializes the retained points into `w` as
+    /// `[[cycle, value], ...]`.
+    pub fn write_points_json(&self, w: &mut JsonWriter) {
+        w.open_array();
+        for p in &self.points {
+            w.open_array();
+            w.uint(p.cycle);
+            w.float(p.value);
+            w.close_array();
+        }
+        w.close_array();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_points() {
+        let mut s = Series::new(3);
+        for i in 0..5u64 {
+            s.push(i * 10, i as f64);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.pushed(), 5);
+        assert_eq!(s.dropped(), 2);
+        let cycles: Vec<u64> = s.points().map(|p| p.cycle).collect();
+        assert_eq!(cycles, vec![20, 30, 40]);
+        assert_eq!(s.first().unwrap().cycle, 20);
+        assert_eq!(s.last().unwrap().value, 4.0);
+    }
+
+    #[test]
+    fn same_cycle_replaces_out_of_order_ignored() {
+        let mut s = Series::new(4);
+        s.push(100, 1.0);
+        s.push(100, 2.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.last().unwrap().value, 2.0);
+        assert_eq!(s.dropped(), 0, "replacement is not an eviction");
+        s.push(50, 9.0);
+        assert_eq!(s.len(), 1, "out-of-order push ignored");
+        assert_eq!(s.last().unwrap().value, 2.0);
+        assert_eq!(s.pushed(), 3);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let mut s = Series::new(8);
+        for c in [10u64, 20, 30, 40] {
+            s.push(c, c as f64);
+        }
+        let w: Vec<u64> = s.window(20, 40).map(|p| p.cycle).collect();
+        assert_eq!(w, vec![20, 30]);
+    }
+
+    #[test]
+    fn points_json_is_deterministic() {
+        let build = || {
+            let mut s = Series::new(4);
+            s.push(1, 0.5);
+            s.push(2, 1.5);
+            let mut w = JsonWriter::new();
+            s.write_points_json(&mut w);
+            w.finish()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        cim_trace::json::check(&a).unwrap();
+    }
+}

@@ -15,6 +15,10 @@
 //!   in service (gauge, max over runs);
 //! * `cim_sched_makespan_cycles{policy}` — longest run's makespan
 //!   (gauge, max over runs);
+//! * `cim_sched_farm_clock_cycles_total{policy}` — cumulative farm
+//!   virtual-clock cycles across published runs (counter); this is
+//!   the scheduler's virtual-time scrape point for the pulse timeline
+//!   — successive snapshots of it recover per-run makespans exactly;
 //! * `cim_sched_tile_cycles_total{policy,tile,op_class}` — per-tile
 //!   cycle totals by micro-op class;
 //! * `cim_sched_tile_energy_pj_total{policy,tile,component}` —
@@ -39,6 +43,8 @@ pub const METRIC_SCHED_QUEUE_DEPTH_PEAK: &str = "cim_sched_queue_depth_peak";
 pub const METRIC_SCHED_JOBS_RUNNING_PEAK: &str = "cim_sched_jobs_running_peak";
 /// Family: makespan of the longest published run (gauge, cycles).
 pub const METRIC_SCHED_MAKESPAN: &str = "cim_sched_makespan_cycles";
+/// Family: cumulative farm virtual-clock cycles (counter).
+pub const METRIC_SCHED_FARM_CLOCK: &str = "cim_sched_farm_clock_cycles_total";
 /// Family: per-tile cycles by op class (counter).
 pub const METRIC_SCHED_TILE_CYCLES: &str = "cim_sched_tile_cycles_total";
 /// Family: per-tile energy by component (counter, picojoules).
@@ -90,6 +96,12 @@ impl FarmReport {
             &policy,
         )
         .set_max(self.makespan_cycles as f64);
+        hub.add_counter(
+            METRIC_SCHED_FARM_CLOCK,
+            "cumulative farm virtual-clock cycles across published runs",
+            &policy,
+            self.makespan_cycles as f64,
+        );
         for t in &self.tile_reports {
             let tile = policy.clone().with("tile", t.tile);
             for class in OpClass::ALL {
@@ -152,6 +164,10 @@ mod tests {
             snap.number_with(METRIC_SCHED_MAKESPAN, &policy),
             Some(report.makespan_cycles as f64)
         );
+        assert_eq!(
+            snap.number_with(METRIC_SCHED_FARM_CLOCK, &policy),
+            Some(report.makespan_cycles as f64)
+        );
         for t in &report.tile_reports {
             let tile = policy.clone().with("tile", t.tile);
             assert_eq!(
@@ -181,10 +197,16 @@ mod tests {
         let mut sched = Scheduler::new(FarmConfig::new(2, Policy::Fifo));
         let hub = MetricsHub::recording();
         sched.attach_metrics(&hub);
-        sched.run(&jobs).unwrap();
+        let makespan = sched.run(&jobs).unwrap().makespan_cycles;
         sched.run(&jobs).unwrap();
         let snap = hub.snapshot();
         let policy = Labels::new().with("policy", "fifo");
+        // The virtual clock accumulates: two identical runs, twice the
+        // makespan.
+        assert_eq!(
+            snap.number_with(METRIC_SCHED_FARM_CLOCK, &policy),
+            Some(2.0 * makespan as f64)
+        );
         let lat = snap
             .histogram_with(METRIC_SCHED_JOB_LATENCY, &policy)
             .expect("latency histogram");

@@ -402,7 +402,8 @@ fn render_json(input: RenderInput<'_>) -> String {
     w.key("journal").open_object();
     w.field_uint("recorded", input.recorder.recorded())
         .field_uint("dropped", input.recorder.dropped())
-        .field_str("trigger", input.recorder.trigger().unwrap_or("none"));
+        .field_str("trigger", input.recorder.trigger().unwrap_or("none"))
+        .field_uint("trigger_state", u64::from(input.recorder.trigger_state()));
     w.close_object();
 
     w.key("exemplar");
@@ -602,6 +603,9 @@ fn describe(e: &ObsEvent) -> String {
         ObsEventKind::FaultFallback { component } => format!("fault fallback in {component}"),
         ObsEventKind::SloTransition { rule, state } => {
             format!("slo rule {rule} -> state {state}")
+        }
+        ObsEventKind::Drift { signal, direction, deviation_x1000 } => {
+            format!("drift    {signal} {direction} ({:.1} scale units)", deviation_x1000 as f64 / 1000.0)
         }
     }
 }

@@ -25,6 +25,7 @@ use cim_metrics::MetricsHub;
 use cim_modmul::ec::Curve;
 use cim_obs::journal::FlightRecorder;
 use cim_obs::slo::{SloEngine, SloInputs};
+use cim_pulse::{PulseHub, ServeObservation};
 use cim_modmul::fields::FieldId;
 use cim_trace::json::JsonWriter;
 use std::collections::HashMap;
@@ -425,6 +426,71 @@ pub fn run_observed(
     recorder: &FlightRecorder,
     slo: &mut SloEngine,
 ) -> LoadReport {
+    run_observed_inner(config, hub, recorder, slo, None)
+}
+
+/// [`run_observed`] plus pulse telemetry: at every observation point
+/// the engine's stats are folded into `pulse` (timeline scrape, wear
+/// series, drift detectors) and the hub's `cim_pulse_*` gauges are
+/// republished **before** the SLO engine observes, so
+/// `fleet.drift_alerts` rules see the current alert counts.
+///
+/// The pulse hub only reads state the engine already computed; every
+/// serving decision stays identical to [`run`] and [`run_observed`]
+/// (asserted by test and exact-gated in the bench snapshot).
+pub fn run_pulsed(
+    config: &LoadgenConfig,
+    hub: &MetricsHub,
+    recorder: &FlightRecorder,
+    slo: &mut SloEngine,
+    pulse: &mut PulseHub,
+) -> LoadReport {
+    run_observed_inner(config, hub, recorder, slo, Some(pulse))
+}
+
+/// Feeds one engine-stats reading into the pulse hub at `cycle`.
+fn pulse_observe(
+    stats: &EngineStats,
+    cycle: u64,
+    drain: bool,
+    pulse: &mut PulseHub,
+    hub: &MetricsHub,
+    recorder: &FlightRecorder,
+) {
+    let wear: Vec<(u32, u32, u64)> = stats
+        .tile_wear
+        .iter()
+        .map(|t| (t.farm, t.tile, t.max_cell_writes))
+        .collect();
+    let p99 = stats
+        .tenants
+        .iter()
+        .map(|t| t.p99_latency_cycles)
+        .max()
+        .unwrap_or(0);
+    pulse.observe(
+        &ServeObservation {
+            cycle,
+            submitted: stats.submitted,
+            served: stats.served,
+            shed: stats.shed,
+            p99_latency_cycles: p99,
+            tile_wear: &wear,
+            drain,
+        },
+        &hub.snapshot(),
+        recorder,
+    );
+    pulse.publish_metrics(hub);
+}
+
+fn run_observed_inner(
+    config: &LoadgenConfig,
+    hub: &MetricsHub,
+    recorder: &FlightRecorder,
+    slo: &mut SloEngine,
+    mut pulse: Option<&mut PulseHub>,
+) -> LoadReport {
     let trace = generate_trace(config);
     let tenants: HashMap<u64, u16> = trace.iter().map(|r| (r.id, r.tenant)).collect();
     let ops: HashMap<u64, Op> = trace.iter().map(|r| (r.id, r.op.clone())).collect();
@@ -443,6 +509,9 @@ pub fn run_observed(
             let cycle = request.arrival_cycle;
             responses.extend(engine.serve(request, &exec).expect("validated trace"));
             if (i as u64 + 1).is_multiple_of(observe_every) {
+                if let Some(pulse) = pulse.as_deref_mut() {
+                    pulse_observe(&engine.stats(), cycle, false, pulse, hub, recorder);
+                }
                 slo.observe(cycle, &hub.snapshot(), &SloInputs { incorrect: 0 }, recorder);
             }
         }
@@ -491,6 +560,16 @@ pub fn run_observed(
 
     // Final observation carries the true correctness count; publish
     // the verdicts and journal gauges for scraping.
+    if let Some(pulse) = pulse {
+        pulse_observe(
+            &report.stats,
+            report.stats.drained_at,
+            true,
+            pulse,
+            hub,
+            recorder,
+        );
+    }
     slo.observe(
         report.stats.drained_at,
         &hub.snapshot(),

@@ -53,6 +53,7 @@ fn obs_report_json_is_byte_deterministic_and_complete() {
     for key in [
         "\"run\":",
         "\"journal\":",
+        "\"trigger_state\":",
         "\"exemplar\":",
         "\"attribution\":",
         "\"wear\":",
