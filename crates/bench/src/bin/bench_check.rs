@@ -2,7 +2,7 @@
 //! `bench_snapshot` and exits nonzero when the current one regresses.
 //!
 //! ```text
-//! bench_check BASELINE CURRENT [--subset[=PATTERNS]] [--wall-tol-x N] [--wall-tol-ms N]
+//! bench_check BASELINE CURRENT [--subset[=PATTERNS]] [--improved] [--wall-tol-x N] [--wall-tol-ms N]
 //! bench_check --trajectory SNAPSHOT... [--out PATH]
 //! ```
 //!
@@ -17,6 +17,14 @@
 //! matching any pattern *required* while everything else stays
 //! skippable, so CI can demand a workload family without enumerating
 //! its members.
+//!
+//! `--improved` relaxes exact equality in one direction only, for
+//! *cost* metrics (cycles, writes, energy, latency percentiles): the
+//! current snapshot may beat the baseline — fewer cycles passes,
+//! labeled `improved` — but any increase still regresses. This is the
+//! cross-snapshot mode (gate `BENCH_PR<N>.json` against
+//! `BENCH_PR<N-1>.json` after an optimization lands); same-commit
+//! gates stay byte-exact without it.
 //!
 //! In `--trajectory` mode the paths are an ordered lineage of
 //! committed snapshots (oldest first). The lineage invariants are
@@ -46,6 +54,7 @@ fn main() -> ExitCode {
                 out = Some(path);
             }
             "--subset" => opts.allow_subset = true,
+            "--improved" => opts.allow_improvement = true,
             _ if arg.starts_with("--subset=") => {
                 opts.allow_subset = true;
                 opts.subset_patterns.extend(
@@ -156,7 +165,7 @@ fn check_trajectory(
 fn usage(err: &str) -> ExitCode {
     eprintln!("bench_check: {err}");
     eprintln!(
-        "usage: bench_check BASELINE CURRENT [--subset[=PATTERNS]] [--wall-tol-x N] [--wall-tol-ms N]\n\
+        "usage: bench_check BASELINE CURRENT [--subset[=PATTERNS]] [--improved] [--wall-tol-x N] [--wall-tol-ms N]\n\
          \u{20}      bench_check --trajectory SNAPSHOT... [--out PATH]"
     );
     ExitCode::from(2)

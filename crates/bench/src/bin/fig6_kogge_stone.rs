@@ -34,6 +34,10 @@ fn op_name(op: &MicroOp) -> String {
         MicroOp::Shift { src, dst, offset, .. } => {
             format!("periphery shift row {src} by {offset:+} → row {dst}")
         }
+        MicroOp::Parallel(ops) => {
+            let inner: Vec<String> = ops.iter().map(op_name).collect();
+            format!("co-issue [{}]", inner.join(" ∥ "))
+        }
     }
 }
 

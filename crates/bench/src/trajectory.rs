@@ -73,6 +73,14 @@ impl MetricDelta {
     pub fn rel(&self) -> Option<f64> {
         (self.from != 0.0).then(|| self.delta() / self.from)
     }
+
+    /// Whether this delta is an *improvement*: a cost-shaped metric
+    /// (see [`crate::snapshot::is_improvable_metric`]) moving down.
+    /// Labeled in the rendered table and the JSON artifact so an
+    /// optimization PR's wins read differently from regressions.
+    pub fn is_improvement(&self) -> bool {
+        crate::snapshot::is_improvable_metric(&self.metric) && self.to < self.from
+    }
 }
 
 /// One stage's share of a `multiply_*` workload's step delta.
@@ -305,8 +313,9 @@ impl Trajectory {
                         .field_str("metric", &d.metric)
                         .field_float("from", d.from)
                         .field_float("to", d.to)
-                        .field_float("delta", d.delta())
-                        .close_object();
+                        .field_float("delta", d.delta());
+                    w.key("improved").bool(d.is_improvement());
+                    w.close_object();
                 }
                 w.close_array();
             }
@@ -353,7 +362,8 @@ impl Trajectory {
                 out.push_str(&format!("  + workload {name}\n"));
             }
             if !step.changed.is_empty() {
-                let mut t = TextTable::new(&["workload", "metric", "from", "to", "delta", "rel"]);
+                let mut t =
+                    TextTable::new(&["workload", "metric", "from", "to", "delta", "rel", "note"]);
                 for d in &step.changed {
                     t.row(&[
                         d.workload.clone(),
@@ -363,6 +373,7 @@ impl Trajectory {
                         format!("{:+}", d.delta()),
                         d.rel()
                             .map_or("n/a".into(), |r| format!("{:+.2}%", 100.0 * r)),
+                        if d.is_improvement() { "improved".into() } else { String::new() },
                     ]);
                 }
                 out.push_str(&t.render());
@@ -527,6 +538,38 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("lineage OK"), "{rendered}");
         assert!(rendered.contains("multiply_512"), "{rendered}");
+    }
+
+    #[test]
+    fn improvements_are_labeled_in_render_and_json() {
+        // multiply stage cycles drop (an optimization landing), the
+        // paper-exact baseline metric is untouched.
+        let a = msnap(&[(100.0, 200.0, 50.0, 10.0, 2.0, 1_000.0)]);
+        let b = msnap(&[(100.0, 150.0, 50.0, 10.0, 2.0, 900.0)]);
+        let t = build(&[("A".into(), a), ("B".into(), b)]);
+        assert!(t.lineage_ok(), "a value decrease is not a lineage violation");
+        let step = &t.steps[0];
+        let cycles = step.changed.iter().find(|d| d.metric == "cycles").unwrap();
+        assert!(cycles.is_improvement());
+        assert!(cycles.delta() < 0.0);
+        let rendered = t.render();
+        assert!(rendered.contains("improved"), "{rendered}");
+        assert!(t.to_json().contains("\"improved\":true"), "{}", t.to_json());
+        // A cost increase is NOT an improvement; nor is a non-cost move.
+        let worse = MetricDelta {
+            workload: "w".into(),
+            metric: "cycles".into(),
+            from: 1.0,
+            to: 2.0,
+        };
+        assert!(!worse.is_improvement());
+        let other = MetricDelta {
+            workload: "w".into(),
+            metric: "utilization".into(),
+            from: 2.0,
+            to: 1.0,
+        };
+        assert!(!other.is_improvement());
     }
 
     #[test]

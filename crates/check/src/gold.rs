@@ -88,6 +88,18 @@ impl GoldMatrix {
     /// Panics if the op addresses cells outside the matrix or has
     /// inconsistent partition geometry — verify the program first.
     pub fn apply(&mut self, op: &MicroOp) -> Option<Vec<bool>> {
+        // A co-issue bundle applies every inner op but charges only
+        // the bundle maximum — mirror the executor by charging the
+        // bundle here and the inner ops nothing.
+        if let MicroOp::Parallel(inner) = op {
+            self.cycles += op.cycles();
+            let rewind = self.cycles;
+            for o in inner {
+                self.apply(o);
+                self.cycles = rewind;
+            }
+            return None;
+        }
         self.cycles += op.cycles();
         match op {
             MicroOp::WriteRow {
@@ -198,6 +210,7 @@ impl GoldMatrix {
                 }
                 None
             }
+            MicroOp::Parallel(_) => unreachable!("bundles are intercepted above"),
         }
     }
 
@@ -256,6 +269,23 @@ mod tests {
         // Partition 0: NOR(t,f)=f at col 2; partition 1: NOR(f,f)=t at col 5.
         assert!(!m.cell(0, 2));
         assert!(m.cell(0, 5));
+    }
+
+    #[test]
+    fn bundle_applies_all_inner_ops_at_max_cost() {
+        let mut m = GoldMatrix::new(4, 3);
+        m.apply(&MicroOp::write_row(0, &[true, false, true]));
+        m.apply(&MicroOp::parallel(vec![
+            MicroOp::init_rows(&[1], 0..3),
+            MicroOp::init_rows(&[2], 0..3),
+        ]));
+        m.apply(&MicroOp::parallel(vec![
+            MicroOp::not_row(0, 1, 0..3),
+            MicroOp::nor_rows(&[0], 2, 0..3),
+        ]));
+        assert_eq!(m.row_bits(1, 0..3), vec![false, true, false]);
+        assert_eq!(m.row_bits(2, 0..3), vec![false, true, false]);
+        assert_eq!(m.cycles(), 3, "write + two 1-cycle bundles");
     }
 
     #[test]

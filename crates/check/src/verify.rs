@@ -126,6 +126,15 @@ pub enum Violation {
         /// Human-readable description of the conflict.
         detail: String,
     },
+    /// A co-issue bundle breaks the issue rules: empty, nested, a
+    /// serial-periphery op inside, or two inner ops whose cells
+    /// collide (write/write or write/read).
+    BundleConflict {
+        /// Program index of the bundle op.
+        op: usize,
+        /// Human-readable description of the conflict.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -149,6 +158,9 @@ impl fmt::Display for Violation {
             }
             Violation::PartitionConflict { op, detail } => {
                 write!(f, "op {op}: partition conflict: {detail}")
+            }
+            Violation::BundleConflict { op, detail } => {
+                write!(f, "op {op}: bundle conflict: {detail}")
             }
         }
     }
@@ -255,6 +267,66 @@ impl AbstractState {
         violations: &mut Vec<Violation>,
         mut pressure: Option<&mut WritePressure>,
     ) {
+        // Co-issue bundles: re-derive the issue rules here instead of
+        // calling the executor's `MicroOp::bundle_conflict`, so the
+        // verifier stays an independent implementation of the ISA
+        // contract (the differential-testing philosophy of this crate).
+        // A legal bundle then applies its inner ops in order — exact,
+        // because legality requires pairwise independence.
+        if let MicroOp::Parallel(inner) = op {
+            if inner.is_empty() {
+                violations.push(Violation::BundleConflict {
+                    op: index,
+                    detail: "bundle is empty".to_string(),
+                });
+                return;
+            }
+            for (i, o) in inner.iter().enumerate() {
+                if matches!(o, MicroOp::Parallel(_)) {
+                    violations.push(Violation::BundleConflict {
+                        op: index,
+                        detail: format!("inner op {i} is a nested bundle"),
+                    });
+                    return;
+                }
+                if !o.can_co_issue() {
+                    violations.push(Violation::BundleConflict {
+                        op: index,
+                        detail: format!("inner op {i} occupies the serial periphery"),
+                    });
+                    return;
+                }
+            }
+            let fps: Vec<_> = inner.iter().map(MicroOp::footprint).collect();
+            for (i, a) in fps.iter().enumerate() {
+                for (j, b) in fps.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    // A write colliding with another op's read *or*
+                    // write breaks same-cycle determinism; shared
+                    // reads are fine (one driven line, many gates).
+                    let collides = a.writes.iter().any(|w| {
+                        b.writes
+                            .iter()
+                            .chain(b.reads.iter())
+                            .any(|r| w.intersects(r))
+                    });
+                    if collides {
+                        violations.push(Violation::BundleConflict {
+                            op: index,
+                            detail: format!("inner ops {i} and {j} collide"),
+                        });
+                        return;
+                    }
+                }
+            }
+            for inner_op in inner {
+                self.apply(index, inner_op, violations, pressure.as_deref_mut());
+            }
+            return;
+        }
+
         // Partition geometry first: the footprint of a broken
         // partitioned op is only conservative.
         if let MicroOp::NorColsPartitioned {
@@ -444,6 +516,7 @@ impl AbstractState {
                     self.write(*dst, c, CellState::Defined, &mut pressure);
                 }
             }
+            MicroOp::Parallel(_) => unreachable!("bundles are intercepted at the top of apply"),
         }
     }
 }
@@ -665,6 +738,78 @@ mod tests {
         // With the operand rows declared preloaded it passes.
         let config = cfg(3, 4).with_preloaded_rows(&[0, 1], 0..4);
         verify(&program, &config).expect("preloaded operands");
+    }
+
+    #[test]
+    fn legal_bundle_passes_and_costs_the_max() {
+        let program = vec![
+            MicroOp::write_row(0, &[true, false, true]),
+            MicroOp::write_row(1, &[false, false, true]),
+            MicroOp::parallel(vec![
+                MicroOp::init_rows(&[2], 0..3),
+                MicroOp::init_rows(&[3], 0..3),
+            ]),
+            MicroOp::parallel(vec![
+                MicroOp::nor_rows(&[0, 1], 2, 0..3),
+                MicroOp::not_row(0, 3, 0..3),
+            ]),
+            MicroOp::read_row(2, 0..3),
+        ];
+        let report = verify(&program, &cfg(4, 3)).expect("legal bundled program");
+        assert_eq!(report.ops, 5);
+        assert_eq!(report.cycles, 5, "each bundle charges one cycle");
+        // Wear is per inner op: both init waves recorded.
+        assert_eq!(report.pressure.writes_at(2, 0), 2);
+        assert_eq!(report.pressure.writes_at(3, 0), 2);
+    }
+
+    #[test]
+    fn detects_bundle_conflicts() {
+        // Two waves driving the same cells.
+        let program = vec![MicroOp::parallel(vec![
+            MicroOp::init_rows(&[2], 0..3),
+            MicroOp::reset_rows(&[2], 0..3),
+        ])];
+        let err = verify(&program, &cfg(4, 3)).unwrap_err();
+        assert!(matches!(err.violations[0], Violation::BundleConflict { op: 0, .. }));
+        // A NOR reading what a co-issued wave writes.
+        let program = vec![
+            MicroOp::write_row(0, &[true; 3]),
+            MicroOp::init_rows(&[1], 0..3),
+            MicroOp::parallel(vec![
+                MicroOp::nor_rows(&[0], 1, 0..3),
+                MicroOp::reset_rows(&[0], 0..3),
+            ]),
+        ];
+        let err = verify(&program, &cfg(4, 3)).unwrap_err();
+        assert!(matches!(err.violations[0], Violation::BundleConflict { op: 2, .. }));
+        // Serial periphery inside a bundle.
+        let program = vec![MicroOp::parallel(vec![
+            MicroOp::init_rows(&[1], 0..3),
+            MicroOp::write_row(0, &[true; 3]),
+        ])];
+        let err = verify(&program, &cfg(4, 3)).unwrap_err();
+        assert!(matches!(err.violations[0], Violation::BundleConflict { .. }));
+        assert!(err.to_string().contains("bundle conflict"));
+    }
+
+    #[test]
+    fn bundle_inner_ops_still_face_the_lattice_rules() {
+        // The bundle is legal per the issue rules, but one inner NOR
+        // drives an output that was never initialized to 1.
+        let program = vec![
+            MicroOp::write_row(0, &[true, false]),
+            MicroOp::init_rows(&[1], 0..2),
+            MicroOp::parallel(vec![
+                MicroOp::nor_rows(&[0], 1, 0..2),
+                MicroOp::not_row(0, 2, 0..2), // row 2 never initialized
+            ]),
+        ];
+        let err = verify(&program, &cfg(3, 2)).unwrap_err();
+        assert!(matches!(
+            err.violations[0],
+            Violation::OutputNotInitialized { op: 2, row: 2, .. }
+        ));
     }
 
     #[test]

@@ -209,7 +209,7 @@ impl KaratsubaDepth1Multiplier {
                         y: &Uint|
          -> Result<Uint, CrossbarError> {
             let span = tracer.span_at(post_track, name, post_start + exec.stats().cycles);
-            crate::postcompute::run_pass(exec, &adder, op, x, y)?;
+            crate::postcompute::run_pass(exec, &adder, op, cim_mir::OptLevel::O0, x, y)?;
             span.end(post_start + exec.stats().cycles);
             let bits = exec.array().read_row_bits(2, 0..w + 1)?;
             let full = Uint::from_bits(&bits);

@@ -189,13 +189,37 @@ impl KaratsubaCimMultiplier {
     ///
     /// Panics if `n < 8` or `n` is not a multiple of 4.
     pub fn new(n: usize) -> Result<Self, MultiplyError> {
+        Self::with_opt_level(n, cim_mir::OptLevel::O0)
+    }
+
+    /// Creates an `n`-bit multiplier whose stage programs are lowered
+    /// through the cim-mir pass pipeline at `opt`. `O0` reproduces the
+    /// paper-exact programs byte for byte; higher levels eliminate dead
+    /// writes (`O1`), co-issue independent NOR partitions (`O2`), and
+    /// add crossbar-constrained placement (`O3`). Every optimized
+    /// program is verified by `cim-check` at build time and every
+    /// product is still checked against the software gold model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a stage array cannot be constructed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 8` or `n` is not a multiple of 4.
+    pub fn with_opt_level(n: usize, opt: cim_mir::OptLevel) -> Result<Self, MultiplyError> {
         Ok(KaratsubaCimMultiplier {
             n,
-            precompute: PrecomputeStage::new(n)?,
-            multiply: MultiplyStage::new(n)?,
-            postcompute: PostcomputeStage::new(n)?,
+            precompute: PrecomputeStage::with_opt_level(n, opt)?,
+            multiply: MultiplyStage::with_opt_level(n, opt)?,
+            postcompute: PostcomputeStage::with_opt_level(n, opt)?,
             meter: None,
         })
+    }
+
+    /// The optimization level the stage programs are lowered at.
+    pub fn opt_level(&self) -> cim_mir::OptLevel {
+        self.precompute.opt_level()
     }
 
     /// Publishes an [`ExecutionReport`] into `hub` after every

@@ -55,7 +55,8 @@ pub struct MultiplyStage {
 }
 
 impl MultiplyStage {
-    /// Creates the stage for `n`-bit multiplications.
+    /// Creates the stage for `n`-bit multiplications at the
+    /// paper-exact [`cim_mir::OptLevel::O0`].
     ///
     /// # Errors
     ///
@@ -65,11 +66,31 @@ impl MultiplyStage {
     ///
     /// Panics if `n` is not a positive multiple of 4.
     pub fn new(n: usize) -> Result<Self, CrossbarError> {
+        Self::with_opt_level(n, cim_mir::OptLevel::O0)
+    }
+
+    /// Creates the stage with its row multipliers scheduled at `opt`
+    /// (co-issuing independent iteration steps across partitions at
+    /// `O2`+; see [`cim_mir::rowmul`]).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; kept fallible for interface symmetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of 4.
+    pub fn with_opt_level(n: usize, opt: cim_mir::OptLevel) -> Result<Self, CrossbarError> {
         assert!(n > 0 && n.is_multiple_of(4), "operand width must be a multiple of 4");
         Ok(MultiplyStage {
             n,
-            multiplier: RowMultiplier::new(n / 4 + 2),
+            multiplier: RowMultiplier::with_opt_level(n / 4 + 2, opt),
         })
+    }
+
+    /// The optimization level the row multipliers are scheduled at.
+    pub fn opt_level(&self) -> cim_mir::OptLevel {
+        self.multiplier.opt_level()
     }
 
     /// Operand width of each small multiplier: `n/4 + 2` bits.

@@ -40,6 +40,7 @@ use crate::chunks::LEAVES;
 use cim_bigint::Uint;
 use cim_crossbar::{Crossbar, CrossbarError, CycleStats, EnduranceReport, Executor, MicroOp};
 use cim_logic::kogge_stone::{AddOp, AdderLayout, KoggeStoneAdder, SCRATCH_ROWS};
+use cim_mir::OptLevel;
 use cim_trace::{TrackId, Tracer};
 
 /// Rows of the stage array: 8 data rows + 12 adder scratch rows.
@@ -89,11 +90,12 @@ pub(crate) fn run_pass(
     exec: &mut Executor<'_>,
     adder: &KoggeStoneAdder,
     op: AddOp,
+    opt: OptLevel,
     x: &Uint,
     y: &Uint,
 ) -> Result<(), CrossbarError> {
     let staging = pass_staging(adder, x, y);
-    let body = crate::progcache::adder_program(adder, op);
+    let body = crate::progcache::adder_program_opt(adder, op, opt);
     if cfg!(debug_assertions) {
         let mut full = staging.to_vec();
         full.extend_from_slice(&body);
@@ -143,11 +145,12 @@ pub(crate) fn run_pass_batch(
     exec: &mut Executor<'_>,
     adder: &KoggeStoneAdder,
     op: AddOp,
+    opt: OptLevel,
     xs: &[Uint],
     ys: &[Uint],
 ) -> Result<(), CrossbarError> {
     let staging = pass_staging_batch(adder, xs, ys);
-    let body = crate::progcache::adder_program(adder, op);
+    let body = crate::progcache::adder_program_opt(adder, op, opt);
     if cfg!(debug_assertions) {
         let mut full = staging.to_vec();
         full.extend_from_slice(&body);
@@ -194,10 +197,12 @@ pub struct BatchPostcomputeOutput {
 #[derive(Debug, Clone)]
 pub struct PostcomputeStage {
     n: usize,
+    opt: OptLevel,
 }
 
 impl PostcomputeStage {
-    /// Creates the stage for `n`-bit multiplications.
+    /// Creates the stage for `n`-bit multiplications at the
+    /// paper-exact [`OptLevel::O0`].
     ///
     /// # Errors
     ///
@@ -207,11 +212,30 @@ impl PostcomputeStage {
     ///
     /// Panics if `n < 8` or `n` is not a multiple of 4.
     pub fn new(n: usize) -> Result<Self, CrossbarError> {
+        Self::with_opt_level(n, OptLevel::O0)
+    }
+
+    /// Creates the stage with every shared-adder pass lowered through
+    /// the cim-mir pipeline at `opt`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; kept fallible for interface symmetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 8` or `n` is not a multiple of 4.
+    pub fn with_opt_level(n: usize, opt: OptLevel) -> Result<Self, CrossbarError> {
         assert!(
             n >= 8 && n.is_multiple_of(4),
             "operand width must be a multiple of 4, at least 8"
         );
-        Ok(PostcomputeStage { n })
+        Ok(PostcomputeStage { n, opt })
+    }
+
+    /// The optimization level the stage's adder programs are lowered at.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt
     }
 
     /// Width of the shared adder: `1.5n` bits.
@@ -225,11 +249,12 @@ impl PostcomputeStage {
         (ROWS * self.adder_width()) as u64
     }
 
-    /// Measured (implementation-exact) latency:
-    /// `11·(20 + 11·⌈log2 1.5n⌉) + 1` cc.
+    /// Measured (implementation-exact) latency. At `O0`:
+    /// `11·(20 + 11·⌈log2 1.5n⌉) + 1` cc; higher levels substitute the
+    /// optimized adder body's cycle count.
     pub fn latency(&self) -> u64 {
         let adder = KoggeStoneAdder::new(self.adder_width());
-        11 * (3 + adder.latency()) + 1
+        11 * (3 + adder.latency_at(self.opt)) + 1
     }
 
     /// The paper's closed-form latency:
@@ -309,7 +334,7 @@ impl PostcomputeStage {
                     xs: &[Uint],
                     ys: &[Uint]|
          -> Result<Vec<Uint>, CrossbarError> {
-            run_pass_batch(exec, &adder, op, xs, ys)?;
+            run_pass_batch(exec, &adder, op, self.opt, xs, ys)?;
             let mut sum_cols = Vec::new();
             exec.array().read_row_lane_words(2, 0..w + 1, &mut sum_cols)?;
             Ok(cim_crossbar::lanes::lane_limbs(&sum_cols, lanes)
@@ -455,7 +480,7 @@ impl PostcomputeStage {
                         y: &Uint|
          -> Result<Uint, CrossbarError> {
             let span = tracer.span_at(track, name, start_cycle + exec.stats().cycles);
-            run_pass(exec, &adder, op, x, y)?;
+            run_pass(exec, &adder, op, self.opt, x, y)?;
             span.end(start_cycle + exec.stats().cycles);
             let bits = exec.array().read_row_bits(2, 0..w + 1)?;
             let full = Uint::from_bits(&bits);

@@ -17,11 +17,12 @@
 //! (8 input-row writes, 10 sequential additions, 1 reset wave.)
 
 use crate::chunks::{decompose_operand, LEAVES};
+use crate::progcache::SuffixProgram;
 use cim_bigint::Uint;
-use cim_crossbar::{Crossbar, CrossbarError, CycleStats, EnduranceReport, Executor, MicroOp};
+use cim_crossbar::{Crossbar, CrossbarError, CycleStats, EnduranceReport, Executor, MicroOp, Region};
 use cim_logic::kogge_stone::{AddOp, AdderLayout, KoggeStoneAdder, SCRATCH_ROWS};
+use cim_mir::{MirProgram, OptLevel, TileLimits};
 use cim_trace::{TrackId, Tracer};
-use std::sync::Arc;
 
 /// Output of one precomputation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +68,7 @@ pub struct BatchPrecomputeOutput {
 #[derive(Debug, Clone)]
 pub struct PrecomputeStage {
     n: usize,
+    opt: OptLevel,
 }
 
 // Row map.
@@ -114,8 +116,32 @@ impl PrecomputeStage {
     ///
     /// Panics if `n` is not a positive multiple of 4.
     pub fn new(n: usize) -> Result<Self, CrossbarError> {
+        Self::with_opt_level(n, OptLevel::O0)
+    }
+
+    /// Creates the stage with its addition suffix lowered at `opt`
+    /// through the `cim-mir` pass pipeline: above `O0`, dead writes
+    /// are eliminated *across* addition boundaries (the inter-addition
+    /// scratch resets fall to the next addition's init wave) and, at
+    /// `O2`+, each addition is re-packed into co-issue bundles. The
+    /// optimized suffix is verifier-gated and cached per
+    /// `(width, count, opt)`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; kept fallible for interface stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of 4.
+    pub fn with_opt_level(n: usize, opt: OptLevel) -> Result<Self, CrossbarError> {
         assert!(n > 0 && n.is_multiple_of(4), "operand width must be a multiple of 4");
-        Ok(PrecomputeStage { n })
+        Ok(PrecomputeStage { n, opt })
+    }
+
+    /// The optimization level this stage lowers its programs at.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt
     }
 
     /// Adder operand width: `n/4 + 1` bits.
@@ -133,10 +159,17 @@ impl PrecomputeStage {
         (ROWS * self.cols()) as u64
     }
 
-    /// Analytic latency: `8 + 10·(17 + 11·⌈log2(n/4+1)⌉) + 1`.
+    /// Analytic latency. At `O0` this is the paper's
+    /// `8 + 10·(17 + 11·⌈log2(n/4+1)⌉) + 1`; at higher levels the
+    /// optimized suffix's exact cycle count replaces the `10·adder`
+    /// term.
     pub fn latency(&self) -> u64 {
-        let adder = KoggeStoneAdder::new(self.adder_width());
-        8 + 10 * adder.latency() + 1
+        if self.opt == OptLevel::O0 {
+            let adder = KoggeStoneAdder::new(self.adder_width());
+            8 + 10 * adder.latency() + 1
+        } else {
+            8 + cim_mir::program_cycles(&self.addition_suffix(ADDITIONS.len()).ops) + 1
+        }
     }
 
     /// Rows of the stage array holding the 18 leaf operands after a
@@ -147,10 +180,15 @@ impl PrecomputeStage {
     }
 
     /// Latency of the squaring variant (`a = b`): only the five
-    /// `a`-side additions run — `8 + 5·(17 + 11·⌈log2(n/4+1)⌉) + 1`.
+    /// `a`-side additions run — `8 + 5·(17 + 11·⌈log2(n/4+1)⌉) + 1`
+    /// at `O0`, the optimized five-addition suffix's count otherwise.
     pub fn square_latency(&self) -> u64 {
-        let adder = KoggeStoneAdder::new(self.adder_width());
-        8 + 5 * adder.latency() + 1
+        if self.opt == OptLevel::O0 {
+            let adder = KoggeStoneAdder::new(self.adder_width());
+            8 + 5 * adder.latency() + 1
+        } else {
+            8 + cim_mir::program_cycles(&self.addition_suffix(5).ops) + 1
+        }
     }
 
     /// The layout of the addition with result row `sum` on the stage's
@@ -250,7 +288,7 @@ impl PrecomputeStage {
         let mut array = Crossbar::new_sliced(ROWS, cols, pairs.len())?;
         let mut exec = Executor::new(&mut array);
         let mut prog = self.chunk_writes_batch(&chunk_rows);
-        prog.extend_from_slice(&self.addition_suffix(ADDITIONS.len()));
+        prog.extend_from_slice(&self.addition_suffix(ADDITIONS.len()).ops);
         cim_check::debug_assert_verified(
             &prog,
             &cim_check::VerifyConfig::new(ROWS, cols),
@@ -298,19 +336,82 @@ impl PrecomputeStage {
 
     /// The operand-independent addition suffix covering the first
     /// `additions` entries of [`ADDITIONS`], compiled once per
-    /// `(adder width, count)` and shared via [`crate::progcache`].
+    /// `(adder width, count, opt)` and shared via [`crate::progcache`].
     /// The row map and layouts are constants, so the key captures
     /// everything the suffix depends on.
-    fn addition_suffix(&self, additions: usize) -> Arc<[MicroOp]> {
-        crate::progcache::precompute_suffix(self.adder_width(), additions, || {
-            let mut prog = Vec::new();
-            for &(x, y, sum) in &ADDITIONS[..additions] {
-                prog.extend_from_slice(&crate::progcache::adder_program(
-                    &self.adder_for(x, y, sum),
-                    AddOp::Add,
-                ));
+    ///
+    /// Above `O0` the suffix is optimized as a *whole* (cross-stage
+    /// program fusion): dead-write elimination runs over the
+    /// concatenation with the result and scratch rows as live-out, so
+    /// each addition's trailing scratch reset — overwritten unread by
+    /// the next addition's init wave — is eliminated for all but the
+    /// last addition, along with the per-adder dead ops. At `O2`+ each
+    /// addition is then re-packed into co-issue bundles individually
+    /// (bundles never straddle addition boundaries, preserving
+    /// per-addition trace attribution). The returned bounds locate
+    /// each addition's ops in the fused program.
+    fn addition_suffix(&self, additions: usize) -> SuffixProgram {
+        let opt = self.opt;
+        let cols = self.cols();
+        crate::progcache::precompute_suffix(self.adder_width(), additions, opt, || {
+            let parts: Vec<_> = ADDITIONS[..additions]
+                .iter()
+                .map(|&(x, y, sum)| {
+                    crate::progcache::adder_program(&self.adder_for(x, y, sum), AddOp::Add)
+                })
+                .collect();
+            if opt == OptLevel::O0 {
+                let mut ops = Vec::new();
+                let mut bounds = Vec::with_capacity(additions);
+                for part in &parts {
+                    ops.extend_from_slice(part);
+                    bounds.push(ops.len());
+                }
+                return SuffixProgram {
+                    ops: ops.into(),
+                    bounds: bounds.into(),
+                };
             }
-            prog
+            // Tag every op with its addition, fuse, and eliminate dead
+            // writes across the whole suffix. Live-out: the ten result
+            // rows plus the scratch region (which the stage contract
+            // requires reset — keeping exactly the final reset alive).
+            let mut tags = Vec::new();
+            let mut fused = Vec::new();
+            for (i, part) in parts.iter().enumerate() {
+                tags.extend(std::iter::repeat_n(i, part.len()));
+                fused.extend_from_slice(part);
+            }
+            let mut live_out = vec![Region::new(
+                RESULT_BASE..RESULT_BASE + 10,
+                0..cols,
+            )];
+            live_out.push(Region::new(
+                SCRATCH_BASE..SCRATCH_BASE + SCRATCH_ROWS,
+                0..cols,
+            ));
+            let whole = MirProgram::from_ops(ROWS, cols, fused, live_out);
+            let keep = cim_mir::dead_write_mask(&whole);
+            let limits = TileLimits::for_array(ROWS, cols);
+            let mut ops: Vec<MicroOp> = Vec::new();
+            let mut bounds = Vec::with_capacity(additions);
+            for i in 0..additions {
+                let kept: Vec<MicroOp> = (0..whole.len())
+                    .filter(|&j| keep[j] && tags[j] == i)
+                    .map(|j| whole.ops()[j].clone())
+                    .collect();
+                if opt >= OptLevel::O2 {
+                    let frag = MirProgram::from_ops(ROWS, cols, kept, Vec::new());
+                    ops.extend(cim_mir::parallel_pack(&frag, &limits));
+                } else {
+                    ops.extend(kept);
+                }
+                bounds.push(ops.len());
+            }
+            SuffixProgram {
+                ops: ops.into(),
+                bounds: bounds.into(),
+            }
         })
     }
 
@@ -320,7 +421,7 @@ impl PrecomputeStage {
     /// writes define every operand the additions consume.
     fn compose_program(&self, chunks: &[&Uint], additions: usize) -> Vec<MicroOp> {
         let mut prog = self.chunk_writes(chunks);
-        prog.extend_from_slice(&self.addition_suffix(additions));
+        prog.extend_from_slice(&self.addition_suffix(additions).ops);
         cim_check::debug_assert_verified(
             &prog,
             &cim_check::VerifyConfig::new(ROWS, self.cols()),
@@ -457,21 +558,24 @@ impl PrecomputeStage {
         let suffix = self.addition_suffix(ADDITIONS.len());
         if cfg!(debug_assertions) {
             let mut full = writes_prog.clone();
-            full.extend_from_slice(&suffix);
+            full.extend_from_slice(&suffix.ops);
             cim_check::debug_assert_verified(
                 &full,
                 &cim_check::VerifyConfig::new(ROWS, cols),
                 "PrecomputeStage::program",
             );
         }
-        let add_len = suffix.len() / ADDITIONS.len();
         let writes = tracer.span_at(track, "write chunks", start_cycle);
         exec.run(&writes_prog)?;
         writes.end(start_cycle + exec.stats().cycles);
+        // Per-addition slices come from the suffix's bounds — after
+        // optimization the additions are no longer uniform in length.
+        let mut slice_start = 0;
         for (i, name) in ADDITION_NAMES.iter().enumerate() {
             let from = start_cycle + exec.stats().cycles;
             let span = tracer.span_at(track, *name, from);
-            exec.run(&suffix[i * add_len..(i + 1) * add_len])?;
+            exec.run(&suffix.ops[slice_start..suffix.bounds[i]])?;
+            slice_start = suffix.bounds[i];
             span.end(start_cycle + exec.stats().cycles);
         }
 

@@ -2,22 +2,28 @@
 //!
 //! The micro-op programs the stages execute are functions of *widths
 //! and layouts only* — the Kogge–Stone adder program for a given
-//! `(width, op, layout)` triple, and therefore the whole operand-
-//! independent addition suffix of the precompute stage, are identical
-//! across multiplications. Regenerating them per multiply costs
-//! allocation and network construction on every call; this module
-//! caches them process-wide as `Arc<[MicroOp]>` slices, the same way
-//! `cim-sched`'s profile table caches one `JobProfile` per job class.
+//! `(width, op, layout, opt)` quadruple, and therefore the whole
+//! operand-independent addition suffix of the precompute stage, are
+//! identical across multiplications. Regenerating them per multiply
+//! costs allocation, network construction and (at `O1`+) a full
+//! optimizer pipeline run on every call; this module caches them
+//! process-wide as `Arc<[MicroOp]>` slices, the same way `cim-sched`'s
+//! profile table caches one `JobProfile` per job class.
 //!
 //! Only operand-*independent* program parts are cached (adder bodies,
 //! the precompute addition tree). Operand writes are always rebuilt —
 //! they embed data bits.
 //!
-//! Hit/miss counters are exposed via [`stats`] so benchmarks and tests
-//! can assert the cache is actually doing something.
+//! Keys include the [`OptLevel`] the program was lowered at, so
+//! paper-exact (`O0`) and optimized programs coexist without
+//! invalidation. Hit/miss/entry counters are exposed via [`stats`] and
+//! [`entries`], and published to a metrics hub as
+//! `cim_core_progcache_*` counters by
+//! [`publish_metrics`].
 
 use cim_crossbar::MicroOp;
 use cim_logic::kogge_stone::{AddOp, AdderLayout, KoggeStoneAdder};
+use cim_mir::OptLevel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -28,15 +34,31 @@ struct AdderKey {
     width: usize,
     op: AddOp,
     layout: AdderLayout,
+    opt: OptLevel,
 }
 
 /// Key of one cached precompute addition suffix: the stage's adder
-/// width plus how many tree additions run (10 for a general multiply,
-/// 5 for a square).
+/// width, how many tree additions run (10 for a general multiply, 5
+/// for a square), and the optimization level the suffix was lowered
+/// at.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct SuffixKey {
     adder_width: usize,
     additions: usize,
+    opt: OptLevel,
+}
+
+/// A cached, possibly optimized addition suffix. `bounds[i]` is one
+/// past the last op of addition `i`, so callers can attribute trace
+/// spans per addition even when optimization leaves the additions with
+/// different lengths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SuffixProgram {
+    /// The concatenated per-addition programs.
+    pub ops: Arc<[MicroOp]>,
+    /// Cumulative per-addition end indices into `ops` (one per
+    /// addition; the last equals `ops.len()`).
+    pub bounds: Arc<[usize]>,
 }
 
 /// One cache entry: a per-key [`OnceLock`] so construction runs
@@ -44,12 +66,12 @@ struct SuffixKey {
 /// the slot (not the whole map) until the winner's compile finishes —
 /// distinct keys still compile in parallel, and a duplicate compile
 /// can never race into the cache.
-type Slot = Arc<OnceLock<Arc<[MicroOp]>>>;
+type Slot<T> = Arc<OnceLock<T>>;
 
 #[derive(Default)]
 struct Caches {
-    adders: HashMap<AdderKey, Slot>,
-    suffixes: HashMap<SuffixKey, Slot>,
+    adders: HashMap<AdderKey, Slot<Arc<[MicroOp]>>>,
+    suffixes: HashMap<SuffixKey, Slot<SuffixProgram>>,
 }
 
 static CACHES: OnceLock<Mutex<Caches>> = OnceLock::new();
@@ -69,10 +91,47 @@ pub fn stats() -> (u64, u64) {
     (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
 }
 
+/// Number of distinct programs resident in the cache.
+pub fn entries() -> u64 {
+    let guard = caches().lock().expect("progcache poisoned");
+    (guard.adders.len() + guard.suffixes.len()) as u64
+}
+
+/// Publishes the cache counters to a metrics hub:
+/// `cim_core_progcache_hits`, `cim_core_progcache_misses` and
+/// `cim_core_progcache_entries`. Values are absolute process-wide
+/// totals (published as gauges so repeated publication is idempotent
+/// per scrape, not additive).
+pub fn publish_metrics(hub: &cim_metrics::MetricsHub) {
+    if !hub.is_enabled() {
+        return;
+    }
+    let labels = cim_metrics::Labels::new();
+    let (hits, misses) = stats();
+    hub.set_gauge(
+        "cim_core_progcache_hits",
+        "compiled-program cache hits (process-wide total)",
+        &labels,
+        hits as f64,
+    );
+    hub.set_gauge(
+        "cim_core_progcache_misses",
+        "compiled-program cache misses, i.e. distinct programs compiled",
+        &labels,
+        misses as f64,
+    );
+    hub.set_gauge(
+        "cim_core_progcache_entries",
+        "programs resident in the compiled-program cache",
+        &labels,
+        entries() as f64,
+    );
+}
+
 /// Resolves a slot: at most one caller ever runs `compile` (the
 /// `OnceLock` serializes same-key racers), everyone shares the single
-/// stored allocation.
-fn resolve(slot: &Slot, compile: impl FnOnce() -> Arc<[MicroOp]>) -> Arc<[MicroOp]> {
+/// stored value.
+fn resolve<T: Clone>(slot: &Slot<T>, compile: impl FnOnce() -> T) -> T {
     let mut compiled = false;
     let prog = slot.get_or_init(|| {
         compiled = true;
@@ -83,45 +142,55 @@ fn resolve(slot: &Slot, compile: impl FnOnce() -> Arc<[MicroOp]>) -> Arc<[MicroO
     } else {
         HITS.fetch_add(1, Ordering::Relaxed);
     }
-    Arc::clone(prog)
+    prog.clone()
 }
 
-/// The adder's program for `op`, compiled once per
-/// `(width, op, layout)` and shared afterwards. Identical, op for op,
-/// to what [`KoggeStoneAdder::program`] returns.
+/// The adder's paper-exact (`O0`) program for `op`, compiled once per
+/// key and shared afterwards. Identical, op for op, to what
+/// [`KoggeStoneAdder::program`] returns.
 pub fn adder_program(adder: &KoggeStoneAdder, op: AddOp) -> Arc<[MicroOp]> {
+    adder_program_opt(adder, op, OptLevel::O0)
+}
+
+/// The adder's program lowered at `opt`, compiled (and, above `O0`,
+/// optimized and verified) once per `(width, op, layout, opt)` and
+/// shared afterwards.
+pub fn adder_program_opt(adder: &KoggeStoneAdder, op: AddOp, opt: OptLevel) -> Arc<[MicroOp]> {
     let key = AdderKey {
         width: adder.width(),
         op,
         layout: adder.layout().clone(),
+        opt,
     };
     // The map lock only guards slot lookup; compiles run outside it.
     let slot = {
         let mut guard = caches().lock().expect("progcache poisoned");
         Arc::clone(guard.adders.entry(key).or_default())
     };
-    resolve(&slot, || adder.program(op).into())
+    resolve(&slot, || adder.program_opt(op, opt).into())
 }
 
-/// An operand-independent addition suffix (a concatenation of adder
-/// programs, all of the same length), compiled once per key via
-/// `build` and shared afterwards. The caller keys by everything the
-/// suffix depends on; `cim-core` uses `(adder_width, additions)` for
-/// the precompute tree.
+/// An operand-independent addition suffix (a concatenation of
+/// per-addition adder programs plus their end indices), compiled once
+/// per key via `build` and shared afterwards. The caller keys by
+/// everything the suffix depends on; `cim-core` uses
+/// `(adder_width, additions, opt)` for the precompute tree.
 pub(crate) fn precompute_suffix(
     adder_width: usize,
     additions: usize,
-    build: impl FnOnce() -> Vec<MicroOp>,
-) -> Arc<[MicroOp]> {
+    opt: OptLevel,
+    build: impl FnOnce() -> SuffixProgram,
+) -> SuffixProgram {
     let key = SuffixKey {
         adder_width,
         additions,
+        opt,
     };
     let slot = {
         let mut guard = caches().lock().expect("progcache poisoned");
         Arc::clone(guard.suffixes.entry(key).or_default())
     };
-    resolve(&slot, || build().into())
+    resolve(&slot, build)
 }
 
 #[cfg(test)]
@@ -137,6 +206,12 @@ mod tests {
             scratch: std::array::from_fn(|i| 8 + i),
             col_base: 0,
         }
+    }
+
+    fn one_op_suffix(cols: usize) -> SuffixProgram {
+        let ops: Arc<[MicroOp]> = vec![MicroOp::reset_region(0..1, 0..cols)].into();
+        let bounds: Arc<[usize]> = vec![ops.len()].into();
+        SuffixProgram { ops, bounds }
     }
 
     #[test]
@@ -156,6 +231,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "second lookup must be a cache hit");
         let (hits, _) = stats();
         assert!(hits >= 1);
+        assert!(entries() >= 1);
     }
 
     #[test]
@@ -166,6 +242,34 @@ mod tests {
         // Programs for different sum rows must differ somewhere.
         assert_ne!(a.as_ref(), b.as_ref());
         let _ = SCRATCH_ROWS; // layout() above must match the real count
+    }
+
+    #[test]
+    fn distinct_opt_levels_do_not_collide() {
+        let adder = KoggeStoneAdder::with_layout(48, layout(2));
+        let o0 = adder_program_opt(&adder, AddOp::Add, OptLevel::O0);
+        let o2 = adder_program_opt(&adder, AddOp::Add, OptLevel::O2);
+        assert!(!Arc::ptr_eq(&o0, &o2));
+        assert_eq!(o0.as_ref(), adder.program(AddOp::Add).as_slice());
+        let o0_cycles: u64 = o0.iter().map(MicroOp::cycles).sum();
+        let o2_cycles: u64 = o2.iter().map(MicroOp::cycles).sum();
+        assert!(o2_cycles < o0_cycles, "optimized program must be shorter");
+        // Same keys hit.
+        let again = adder_program_opt(&adder, AddOp::Add, OptLevel::O2);
+        assert!(Arc::ptr_eq(&o2, &again));
+    }
+
+    #[test]
+    fn publish_metrics_exports_counters() {
+        let adder = KoggeStoneAdder::with_layout(52, layout(2));
+        let _ = adder_program(&adder, AddOp::Add);
+        let _ = adder_program(&adder, AddOp::Add);
+        let hub = cim_metrics::MetricsHub::recording();
+        publish_metrics(&hub);
+        let snap = hub.snapshot();
+        assert!(snap.number("cim_core_progcache_hits").is_some_and(|v| v >= 1.0));
+        assert!(snap.number("cim_core_progcache_misses").is_some_and(|v| v >= 1.0));
+        assert!(snap.number("cim_core_progcache_entries").is_some_and(|v| v >= 1.0));
     }
 
     #[test]
@@ -204,9 +308,9 @@ mod tests {
                         // per-key counter proves the builder can never
                         // run twice, even mid-race.
                         let k = (t + round) % builds.len();
-                        let _ = precompute_suffix(SUFFIX_KEYS.start + k, 10, || {
+                        let _ = precompute_suffix(SUFFIX_KEYS.start + k, 10, OptLevel::O0, || {
                             builds[k].fetch_add(1, Ordering::Relaxed);
-                            vec![MicroOp::reset_region(0..1, 0..4)]
+                            one_op_suffix(4)
                         });
                     }
                 });
@@ -248,11 +352,15 @@ mod tests {
         static BUILDS: AtomicUsize = AtomicUsize::new(0);
         let build = || {
             BUILDS.fetch_add(1, Ordering::Relaxed);
-            vec![MicroOp::reset_region(0..1, 0..909)]
+            one_op_suffix(909)
         };
-        let a = precompute_suffix(909, 10, build);
-        let b = precompute_suffix(909, 10, build);
-        assert!(Arc::ptr_eq(&a, &b));
+        let a = precompute_suffix(909, 10, OptLevel::O0, build);
+        let b = precompute_suffix(909, 10, OptLevel::O0, build);
+        assert!(Arc::ptr_eq(&a.ops, &b.ops));
         assert_eq!(BUILDS.load(Ordering::Relaxed), 1);
+        // A different opt level is a different key.
+        let c = precompute_suffix(909, 10, OptLevel::O3, build);
+        assert_eq!(BUILDS.load(Ordering::Relaxed), 2);
+        assert!(!Arc::ptr_eq(&a.ops, &c.ops));
     }
 }

@@ -70,6 +70,13 @@ pub enum CrossbarError {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// A co-issue bundle broke the issue rules: empty, nested, a
+    /// serial-only op inside, or two inner ops touching the same cells
+    /// (write/write or write/read).
+    InvalidBundle {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
     /// A batch lane index (or lane count) was outside the array's
     /// lane range — only the sliced backend carries more than one.
     LaneOutOfRange {
@@ -101,6 +108,9 @@ impl fmt::Display for CrossbarError {
                 write!(f, "row write of {got} bits into a span of {expected} columns")
             }
             CrossbarError::BadPartition { detail } => write!(f, "bad partition: {detail}"),
+            CrossbarError::InvalidBundle { detail } => {
+                write!(f, "invalid co-issue bundle: {detail}")
+            }
             CrossbarError::LaneOutOfRange { lane, lanes } => {
                 write!(f, "lane {lane} out of range for {lanes}-lane array")
             }

@@ -107,6 +107,16 @@ pub enum OpTrace {
         /// Cells in the shifted window.
         cells: usize,
     },
+    /// Co-issue bundle summary. The executor traces each inner op
+    /// individually (all stamped at the bundle's start cycle), so this
+    /// shape only appears when external tooling summarizes a
+    /// [`MicroOp::Parallel`] directly.
+    Bundle {
+        /// Inner ops co-issued.
+        ops: usize,
+        /// Cells driven across all inner ops.
+        cells: usize,
+    },
 }
 
 impl OpTrace {
@@ -184,18 +194,25 @@ impl OpTrace {
                 offset: *offset,
                 cells: cols.len(),
             },
+            MicroOp::Parallel(inner) => OpTrace::Bundle {
+                ops: inner.len(),
+                cells: inner.iter().map(|o| OpTrace::of(o).cells()).sum(),
+            },
         }
     }
 
-    /// Cycle-accounting class of the op.
+    /// Cycle-accounting class of the op. Bundles report as `Magic`:
+    /// co-issue classes are the in-array waves, and MAGIC NORs dominate
+    /// every bundle the scheduler emits.
     pub fn class(&self) -> OpClass {
         match self {
             OpTrace::Write { .. } => OpClass::Write,
             OpTrace::Read { .. } => OpClass::Read,
             OpTrace::Init { .. } | OpTrace::Reset { .. } => OpClass::Init,
-            OpTrace::NorRows { .. } | OpTrace::NorCols { .. } | OpTrace::NorPart { .. } => {
-                OpClass::Magic
-            }
+            OpTrace::NorRows { .. }
+            | OpTrace::NorCols { .. }
+            | OpTrace::NorPart { .. }
+            | OpTrace::Bundle { .. } => OpClass::Magic,
             OpTrace::Shift { .. } => OpClass::Shift,
         }
     }
@@ -218,6 +235,7 @@ impl OpTrace {
             | OpTrace::NorCols { out, .. }
             | OpTrace::NorPart { out, .. } => *out,
             OpTrace::Shift { dst, .. } => *dst,
+            OpTrace::Bundle { .. } => 0,
         }
     }
 
@@ -233,6 +251,7 @@ impl OpTrace {
                 partitions, rows, ..
             } => partitions * rows,
             OpTrace::Shift { cells, .. } => *cells,
+            OpTrace::Bundle { cells, .. } => *cells,
         }
     }
 
@@ -306,6 +325,12 @@ impl OpTrace {
                     .with("dst", *dst as i64)
                     .with("offset", *offset as i64),
             ),
+            OpTrace::Bundle { ops, cells } => (
+                "bundle",
+                Args::new()
+                    .with("ops", *ops as i64)
+                    .with("cells", *cells as i64),
+            ),
         }
     }
 }
@@ -343,6 +368,9 @@ impl std::fmt::Display for OpTrace {
             OpTrace::Shift {
                 src, dst, offset, ..
             } => write!(f, "shift row {src} by {offset:+} -> row {dst}"),
+            OpTrace::Bundle { ops, cells } => {
+                write!(f, "co-issue bundle of {ops} ops ({cells} cells)")
+            }
         }
     }
 }
@@ -436,11 +464,76 @@ impl<'a> Executor<'a> {
 
     /// Executes one micro-op.
     ///
+    /// A [`MicroOp::Parallel`] bundle is validated against the
+    /// co-issue rules ([`MicroOp::bundle_conflict`]), its inner ops
+    /// are applied (sequential application is exact because inner ops
+    /// are pairwise independent), and the *bundle maximum* is charged
+    /// to the wall clock while every inner op still records its own
+    /// per-class cycles, trace events and meter counts — so energy
+    /// and occupancy stay per-gate-exact even though the gates share
+    /// cycles.
+    ///
     /// # Errors
     ///
     /// Propagates any [`CrossbarError`] from the array; on error the
     /// op's cycles are *not* charged.
     pub fn step(&mut self, op: &MicroOp) -> Result<(), CrossbarError> {
+        if let MicroOp::Parallel(inner) = op {
+            return self.step_bundle(inner);
+        }
+        let class = self.apply_effect(op)?;
+        self.observe(op, class, self.stats.cycles);
+        self.stats.record(class, op.cycles());
+        Ok(())
+    }
+
+    /// Executes a co-issue bundle: all inner ops start on the same
+    /// cycle; the wall clock advances by the bundle maximum.
+    fn step_bundle(&mut self, inner: &[MicroOp]) -> Result<(), CrossbarError> {
+        if let Some(detail) = MicroOp::bundle_conflict(inner) {
+            return Err(CrossbarError::InvalidBundle { detail });
+        }
+        let start = self.stats.cycles;
+        let wall = inner.iter().map(MicroOp::cycles).max().unwrap_or(0);
+        for op in inner {
+            let class = self.apply_effect(op)?;
+            self.observe(op, class, start);
+            self.stats.record_co_issued(class, op.cycles());
+        }
+        self.stats.cycles += wall;
+        Ok(())
+    }
+
+    /// Records trace/tracer/meter observations for one applied op,
+    /// stamped at `start` (the op's first cycle, 0-based).
+    fn observe(&mut self, op: &MicroOp, class: OpClass, start: u64) {
+        if self.config.record_trace {
+            self.trace.push(TraceEntry {
+                cycle: start + 1,
+                cycles: op.cycles(),
+                op: OpTrace::of(op),
+            });
+        }
+        if let Some(track) = self.track {
+            if self.tracer.is_enabled() {
+                let t = OpTrace::of(op);
+                let at = self.cycle_offset + start;
+                let (name, args) = t.event();
+                self.tracer.complete(track, name, at, op.cycles(), args);
+                self.tracer
+                    .counter(track, "cells_active", at, t.cells() as f64);
+                self.tracer
+                    .counter(track, "partitions_active", at, t.partitions() as f64);
+            }
+        }
+        if let Some(meter) = &self.meter {
+            meter.record(class, op.cycles());
+        }
+    }
+
+    /// Applies the array-state effect of one non-bundle op and returns
+    /// its accounting class; charges nothing.
+    fn apply_effect(&mut self, op: &MicroOp) -> Result<OpClass, CrossbarError> {
         let class = match op {
             MicroOp::WriteRow {
                 row,
@@ -525,31 +618,15 @@ impl<'a> Executor<'a> {
                     .shift_row_to(*src, *dst, cols.clone(), *offset, *fill)?;
                 OpClass::Shift
             }
-        };
-        if self.config.record_trace {
-            self.trace.push(TraceEntry {
-                cycle: self.stats.cycles + 1,
-                cycles: op.cycles(),
-                op: OpTrace::of(op),
-            });
-        }
-        if let Some(track) = self.track {
-            if self.tracer.is_enabled() {
-                let t = OpTrace::of(op);
-                let start = self.cycle_offset + self.stats.cycles;
-                let (name, args) = t.event();
-                self.tracer.complete(track, name, start, op.cycles(), args);
-                self.tracer
-                    .counter(track, "cells_active", start, t.cells() as f64);
-                self.tracer
-                    .counter(track, "partitions_active", start, t.partitions() as f64);
+            MicroOp::Parallel(_) => {
+                // `step` intercepts bundles; reaching here means one
+                // was nested inside another.
+                return Err(CrossbarError::InvalidBundle {
+                    detail: "nested bundle".to_string(),
+                });
             }
-        }
-        if let Some(meter) = &self.meter {
-            meter.record(class, op.cycles());
-        }
-        self.stats.record(class, op.cycles());
-        Ok(())
+        };
+        Ok(class)
     }
 
     /// Executes a whole program in order.
@@ -895,6 +972,128 @@ mod tests {
         assert_eq!(
             e.array().read_row_bits(1, 0..2).unwrap(),
             vec![false, false]
+        );
+    }
+
+    #[test]
+    fn bundle_charges_max_once_but_counts_every_inner_op() {
+        let mut x = Crossbar::new(6, 4).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.run(&[
+            MicroOp::write_row(0, &[true, true, false, false]),
+            MicroOp::write_row(1, &[true, false, true, false]),
+            // Two init waves co-issued: 1 wall cycle, 2 init ops.
+            MicroOp::parallel(vec![
+                MicroOp::init_rows(&[2], 0..4),
+                MicroOp::init_rows(&[3], 0..4),
+            ]),
+            // Two NORs sharing input rows (reads may overlap) but with
+            // disjoint outputs: 1 wall cycle, 2 magic ops.
+            MicroOp::parallel(vec![
+                MicroOp::nor_rows(&[0, 1], 2, 0..4),
+                MicroOp::not_row(0, 3, 0..4),
+            ]),
+            MicroOp::read_row(2, 0..4),
+        ])
+        .unwrap();
+        let s = e.stats();
+        assert_eq!(s.cycles, 2 + 1 + 1 + 1, "each bundle costs its max");
+        assert_eq!(s.ops, 7, "inner ops count individually");
+        assert_eq!(s.init_ops, 2);
+        assert_eq!(s.init_cycles, 2, "per-class cycles count both waves");
+        assert_eq!(s.magic_ops, 2);
+        assert_eq!(s.magic_cycles, 2);
+        // NOR(row0,row1) = [0,0,0,1].
+        assert_eq!(e.read_buffer(), &[false, false, false, true]);
+        // NOT(row0) = [0,0,1,1].
+        assert_eq!(
+            e.array().read_row_bits(3, 0..4).unwrap(),
+            vec![false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn bundle_rejects_conflicts_and_serial_ops_without_charging() {
+        let mut x = Crossbar::new(4, 4).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.step(&MicroOp::write_row(0, &[true; 4])).unwrap();
+        // Two waves writing the same cells.
+        let err = e
+            .step(&MicroOp::parallel(vec![
+                MicroOp::init_rows(&[2], 0..4),
+                MicroOp::reset_rows(&[2], 0..4),
+            ]))
+            .unwrap_err();
+        assert!(matches!(err, CrossbarError::InvalidBundle { .. }));
+        // Serial periphery op inside a bundle.
+        let err = e
+            .step(&MicroOp::parallel(vec![
+                MicroOp::init_rows(&[2], 0..4),
+                MicroOp::write_row(3, &[true; 4]),
+            ]))
+            .unwrap_err();
+        assert!(matches!(err, CrossbarError::InvalidBundle { .. }));
+        // Nested bundle.
+        let err = e
+            .step(&MicroOp::parallel(vec![MicroOp::parallel(vec![
+                MicroOp::init_rows(&[2], 0..4),
+            ])]))
+            .unwrap_err();
+        assert!(matches!(err, CrossbarError::InvalidBundle { .. }));
+        assert_eq!(e.stats().cycles, 1, "rejected bundles charge nothing");
+        assert_eq!(e.stats().ops, 1);
+    }
+
+    #[test]
+    fn bundle_inner_ops_trace_at_the_same_start_cycle() {
+        let mut x = Crossbar::new(6, 4).unwrap();
+        let mut e = Executor::with_config(
+            &mut x,
+            ExecConfig {
+                strict_init: true,
+                record_trace: true,
+            },
+        );
+        e.run(&[
+            MicroOp::write_row(0, &[true; 4]),
+            MicroOp::parallel(vec![
+                MicroOp::init_rows(&[2], 0..4),
+                MicroOp::init_rows(&[3], 0..4),
+            ]),
+            MicroOp::read_row(2, 0..4),
+        ])
+        .unwrap();
+        let t = e.trace();
+        assert_eq!(t.len(), 4, "bundles trace per inner op");
+        assert_eq!(t[1].cycle, 2);
+        assert_eq!(t[2].cycle, 2, "co-issued ops share the start stamp");
+        assert_eq!(t[3].cycle, 3, "wall advanced by the bundle max only");
+    }
+
+    #[test]
+    fn bundle_metering_matches_per_class_stats() {
+        use crate::meter::METRIC_XBAR_CYCLES;
+        use cim_metrics::{Labels, MetricsHub};
+        let hub = MetricsHub::recording();
+        let mut x = Crossbar::new(6, 4).unwrap();
+        let mut e = Executor::new(&mut x);
+        e.attach_meter(&MeterSpec::new(&hub, Labels::new()));
+        e.run(&[
+            MicroOp::write_row(0, &[true; 4]),
+            MicroOp::parallel(vec![
+                MicroOp::init_rows(&[2], 0..4),
+                MicroOp::init_rows(&[3], 0..4),
+            ]),
+        ])
+        .unwrap();
+        let stats = *e.stats();
+        assert_eq!(stats.init_cycles, 2);
+        let snap = hub.snapshot();
+        let labels = Labels::new().with("op_class", OpClass::Init.label());
+        assert_eq!(
+            snap.number_with(METRIC_XBAR_CYCLES, &labels),
+            Some(stats.init_cycles as f64),
+            "meter sees each co-issued gate"
         );
     }
 

@@ -117,6 +117,22 @@ pub enum MicroOp {
         /// Bit filled into vacated positions (carry-in injection).
         fill: bool,
     },
+    /// Co-issued bundle: every inner op executes in the *same* clock
+    /// cycle(s), so the bundle charges the maximum inner cost instead
+    /// of the sum — the multi-partition issue model the optimizing
+    /// compiler (`cim-mir`) exploits.
+    ///
+    /// Only controller-free in-array waves may co-issue: the MAGIC NOR
+    /// family and init/reset waves. Ops that occupy the serial
+    /// periphery (row writes/reads, shifts) never bundle, matching the
+    /// paper's single-read/write-circuit model. Inner ops must be
+    /// pairwise independent (no op's written cells may intersect
+    /// another's read or written cells — shared *read* rows are fine:
+    /// one driven word line can feed several gates); the executor and
+    /// the static verifier both reject bundles that break these rules,
+    /// so sequential simulation of the bundle is semantically identical
+    /// to true parallel issue.
+    Parallel(Vec<MicroOp>),
 }
 
 impl MicroOp {
@@ -239,22 +255,89 @@ impl MicroOp {
         }
     }
 
-    /// Clock cycles this operation takes.
+    /// Wraps independent co-issue-class ops into a same-cycle bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) on an empty bundle — the executor and
+    /// verifier additionally reject illegal bundles at run/check time.
+    pub fn parallel(ops: Vec<MicroOp>) -> Self {
+        debug_assert!(!ops.is_empty(), "empty co-issue bundle");
+        MicroOp::Parallel(ops)
+    }
+
+    /// Clock cycles this operation takes. A [`MicroOp::Parallel`]
+    /// bundle costs the maximum of its inner ops — that is the whole
+    /// point of co-issue.
     pub fn cycles(&self) -> u64 {
         match self {
             MicroOp::Shift { .. } => 2,
+            MicroOp::Parallel(ops) => ops.iter().map(MicroOp::cycles).max().unwrap_or(0),
             _ => 1,
         }
     }
 
     /// Whether this op is an in-array MAGIC gate (NOR family) — the
     /// ops whose output cells must be pre-initialized and must not
-    /// alias an input.
+    /// alias an input. A bundle is not itself a gate; its inner ops
+    /// keep their own classification.
     pub fn is_magic(&self) -> bool {
         matches!(
             self,
             MicroOp::NorRows { .. } | MicroOp::NorCols { .. } | MicroOp::NorColsPartitioned { .. }
         )
+    }
+
+    /// Whether this op may appear inside a [`MicroOp::Parallel`]
+    /// bundle: in-array waves (MAGIC NORs, init/reset) co-issue across
+    /// partitions; periphery ops (write/read/shift) are serial-only.
+    pub fn can_co_issue(&self) -> bool {
+        matches!(
+            self,
+            MicroOp::NorRows { .. }
+                | MicroOp::NorCols { .. }
+                | MicroOp::NorColsPartitioned { .. }
+                | MicroOp::InitRows { .. }
+                | MicroOp::ResetRows { .. }
+                | MicroOp::ResetRegion(_)
+        )
+    }
+
+    /// Returns the first co-issue rule violation among `ops` (a
+    /// prospective [`MicroOp::Parallel`] bundle), or `None` when the
+    /// bundle is legal: non-empty, no nesting, every op in the
+    /// co-issue class, and pairwise independent (no op's writes
+    /// intersect another op's reads or writes). Shared read regions
+    /// are allowed. Used by the executor at issue time and by the
+    /// `cim-mir` scheduler when packing; the static verifier in
+    /// `cim-check` re-implements the same rules independently.
+    pub fn bundle_conflict(ops: &[MicroOp]) -> Option<String> {
+        if ops.is_empty() {
+            return Some("bundle is empty".to_string());
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if matches!(op, MicroOp::Parallel(_)) {
+                return Some(format!("op {i}: nested bundle"));
+            }
+            if !op.can_co_issue() {
+                return Some(format!("op {i}: serial-only op cannot co-issue"));
+            }
+        }
+        let fps: Vec<OpFootprint> = ops.iter().map(MicroOp::footprint).collect();
+        for (i, a) in fps.iter().enumerate() {
+            for (j, b) in fps.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let hits_write = |w: &Region| {
+                    b.writes.iter().chain(b.reads.iter()).any(|r| w.intersects(r))
+                };
+                if a.writes.iter().any(hits_write) {
+                    return Some(format!("ops {i} and {j} touch the same cells"));
+                }
+            }
+        }
+        None
     }
 
     /// The cells this op senses (reads) and drives (writes), as
@@ -354,6 +437,15 @@ impl MicroOp {
                 reads: vec![row_span(*src, cols)],
                 writes: vec![row_span(*dst, cols)],
             },
+            MicroOp::Parallel(ops) => {
+                let mut fp = OpFootprint::default();
+                for op in ops {
+                    let inner = op.footprint();
+                    fp.reads.extend(inner.reads);
+                    fp.writes.extend(inner.writes);
+                }
+                fp
+            }
         }
     }
 }
@@ -461,6 +553,33 @@ mod tests {
         assert_eq!(fp.reads, vec![Region::new(0..1, 0..8)]);
         assert_eq!(fp.writes, vec![Region::new(0..1, 0..8)]);
         assert!(fp.writes_overlap_reads());
+    }
+
+    #[test]
+    fn parallel_bundle_costs_max_and_unions_footprints() {
+        let bundle = MicroOp::parallel(vec![
+            MicroOp::nor_rows(&[0, 1], 2, 0..4),
+            MicroOp::not_row(0, 3, 0..4),
+            MicroOp::init_rows(&[5], 0..4),
+        ]);
+        assert_eq!(bundle.cycles(), 1, "co-issue charges the max, not the sum");
+        assert!(!bundle.is_magic());
+        let fp = bundle.footprint();
+        assert_eq!(fp.writes.len(), 3);
+        assert_eq!(fp.row_bound(), 6);
+        assert!(fp.touches(3, 0) && fp.touches(5, 3));
+    }
+
+    #[test]
+    fn co_issue_class_excludes_serial_periphery() {
+        assert!(MicroOp::nor_rows(&[0], 1, 0..2).can_co_issue());
+        assert!(MicroOp::nor_cols(&[0], 1, 0..2).can_co_issue());
+        assert!(MicroOp::init_rows(&[0], 0..2).can_co_issue());
+        assert!(MicroOp::reset_rows(&[0], 0..2).can_co_issue());
+        assert!(MicroOp::reset_region(0..1, 0..2).can_co_issue());
+        assert!(!MicroOp::write_row(0, &[true]).can_co_issue());
+        assert!(!MicroOp::read_row(0, 0..2).can_co_issue());
+        assert!(!MicroOp::shift(0, 0..2, 1).can_co_issue());
     }
 
     #[test]

@@ -107,6 +107,19 @@ impl CycleStats {
         }
     }
 
+    /// Records an operation that co-issues inside a
+    /// [`Parallel`](crate::MicroOp::Parallel) bundle: the per-class
+    /// cycle/op counters advance (the gate still burns its energy and
+    /// occupies its partition), but the wall-clock total does *not* —
+    /// the caller charges the bundle's maximum once. As a consequence,
+    /// the per-class cycle sums of a program with co-issued bundles
+    /// may exceed its wall `cycles`.
+    pub fn record_co_issued(&mut self, class: OpClass, cycles: u64) {
+        let wall = self.cycles;
+        self.record(class, cycles);
+        self.cycles = wall;
+    }
+
     /// Merges another statistics record into this one.
     pub fn merge(&mut self, other: &CycleStats) {
         self.cycles += other.cycles;

@@ -33,8 +33,9 @@
 
 use cim_bigint::Uint;
 use cim_crossbar::{
-    Crossbar, CrossbarError, CycleStats, EnduranceReport, Executor, MicroOp,
+    Crossbar, CrossbarError, CycleStats, EnduranceReport, Executor, MicroOp, Region,
 };
+use cim_mir::{MirBuilder, MirProgram, OptLevel, TileLimits};
 
 /// Number of scratch rows the adder needs — constant in `n` (paper:
 /// "amounts to 12 rows for storing intermediate results").
@@ -226,6 +227,65 @@ impl KoggeStoneAdder {
             "KoggeStoneAdder::program",
         );
         prog
+    }
+
+    /// The adder program in mid-level IR form: the legacy instruction
+    /// stream plus the stage contract as live-out regions — the sum
+    /// row carries the result, and the scratch rows must end reset
+    /// (which is what keeps the final reset wave alive through
+    /// dead-write elimination).
+    pub fn mir_program(&self, op: AddOp) -> MirProgram {
+        let cols = self.cols();
+        let mut b = MirBuilder::new(self.required_rows(), self.required_cols());
+        b.extend(&self.build_program(op));
+        b.live_out(Region::new(
+            self.layout.sum_row..self.layout.sum_row + 1,
+            cols.clone(),
+        ));
+        for &s in &self.layout.scratch {
+            b.live_out(Region::new(s..s + 1, cols.clone()));
+        }
+        b.build()
+    }
+
+    /// Emits the program lowered at an optimization level. `O0` is
+    /// byte-identical to [`KoggeStoneAdder::program`]; higher levels
+    /// run the `cim-mir` pass pipeline (dead-write elimination,
+    /// co-issue re-packing, placement validation) and are gated on the
+    /// `cim-check` verifier.
+    pub fn program_opt(&self, op: AddOp, opt: OptLevel) -> Vec<MicroOp> {
+        if opt == OptLevel::O0 {
+            return self.program(op);
+        }
+        let limits = TileLimits::for_array(self.required_rows(), self.required_cols());
+        let config = cim_check::VerifyConfig::new(self.required_rows(), self.required_cols())
+            .with_preloaded_rows(&[self.layout.x_row, self.layout.y_row], self.cols());
+        cim_mir::verified_lower(
+            &self.mir_program(op),
+            opt,
+            &limits,
+            &config,
+            "KoggeStoneAdder::program_opt",
+        )
+    }
+
+    /// Latency of the program lowered at `opt`. `O0` is the paper
+    /// formula; higher levels report the optimized program's measured
+    /// cycle count (addition and subtraction schedules cost the same).
+    pub fn latency_at(&self, opt: OptLevel) -> u64 {
+        if opt == OptLevel::O0 {
+            self.latency()
+        } else {
+            self.program_opt(AddOp::Add, opt)
+                .iter()
+                .map(MicroOp::cycles)
+                .sum()
+        }
+    }
+
+    /// Latency with co-issue re-packing (the O2 pipeline).
+    pub fn packed_latency(&self) -> u64 {
+        self.latency_at(OptLevel::O2)
     }
 
     fn build_program(&self, op: AddOp) -> Vec<MicroOp> {
@@ -763,6 +823,79 @@ mod tests {
             report.max_writes
         );
         assert!(report.max_writes >= 2 * levels - 2);
+    }
+
+    #[test]
+    fn program_opt_at_o0_is_byte_identical() {
+        for width in [1usize, 4, 33, 64, 129] {
+            let adder = KoggeStoneAdder::new(width);
+            for op in [AddOp::Add, AddOp::Sub] {
+                assert_eq!(adder.program_opt(op, OptLevel::O0), adder.program(op));
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_programs_compute_the_same_sums() {
+        let mut rng = UintRng::seeded(77);
+        for width in [4usize, 17, 64, 65] {
+            let adder = KoggeStoneAdder::new(width);
+            for opt in [OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+                let a = rng.uniform(width);
+                let b = rng.uniform(width);
+                let mut array =
+                    Crossbar::new(adder.required_rows(), adder.required_cols()).unwrap();
+                array.write_row(0, 0, &a.to_bits(width + 1)).unwrap();
+                array.write_row(1, 0, &b.to_bits(width + 1)).unwrap();
+                let mut exec = Executor::new(&mut array);
+                exec.run(&adder.program_opt(AddOp::Add, opt)).unwrap();
+                let bits = exec.array().read_row_bits(2, 0..width + 1).unwrap();
+                assert_eq!(Uint::from_bits(&bits), a.add(&b), "width {width} {opt}");
+                // Scratch contract survives optimization.
+                for r in 3..15 {
+                    assert_eq!(
+                        exec.array().read_row_bits(r, 0..width + 1).unwrap(),
+                        vec![false; width + 1],
+                        "scratch row {r} at {opt}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_subtraction_matches() {
+        let adder = KoggeStoneAdder::new(4);
+        for opt in [OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+            for a in 0u64..16 {
+                for b in 0u64..=a {
+                    let mut array =
+                        Crossbar::new(adder.required_rows(), adder.required_cols()).unwrap();
+                    array.write_row(0, 0, &Uint::from_u64(a).to_bits(5)).unwrap();
+                    array.write_row(1, 0, &Uint::from_u64(b).to_bits(5)).unwrap();
+                    let mut exec = Executor::new(&mut array);
+                    exec.run(&adder.program_opt(AddOp::Sub, opt)).unwrap();
+                    let bits = exec.array().read_row_bits(2, 0..4).unwrap();
+                    assert_eq!(Uint::from_bits(&bits), Uint::from_u64(a - b), "{a}-{b} {opt}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opt_latency_is_monotone_and_packing_beats_the_paper() {
+        for width in [4usize, 64, 513] {
+            let adder = KoggeStoneAdder::new(width);
+            let o0 = adder.latency_at(OptLevel::O0);
+            let o1 = adder.latency_at(OptLevel::O1);
+            let o2 = adder.latency_at(OptLevel::O2);
+            let o3 = adder.latency_at(OptLevel::O3);
+            assert_eq!(o0, adder.latency());
+            assert!(o1 < o0, "dead-write elim must save cycles at width {width}");
+            assert!(o2 < o1, "packing must save further cycles at width {width}");
+            assert_eq!(o3, o2, "placement is identity on compact layouts");
+            assert_eq!(adder.packed_latency(), o2);
+        }
     }
 
     #[test]

@@ -179,22 +179,44 @@ pub struct RowMultStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RowMultiplier {
     width: usize,
+    opt: cim_mir::OptLevel,
 }
 
 impl RowMultiplier {
-    /// Creates a `width`-bit in-row multiplier.
+    /// Creates a `width`-bit in-row multiplier with the paper-exact
+    /// (O0) iteration schedule.
     ///
     /// # Panics
     ///
     /// Panics if `width == 0`.
     pub fn new(width: usize) -> Self {
+        Self::with_opt_level(width, cim_mir::OptLevel::O0)
+    }
+
+    /// Creates a multiplier whose iterations are scheduled at `opt`:
+    /// at O2+ the per-iteration micro-step DAG (`cim-mir::rowmul`) is
+    /// re-packed into co-issue bundles, shrinking the per-iteration
+    /// depth from `⌈log₂w⌉ + 14` to `⌈log₂w⌉ + 9`. Functional state
+    /// and wear are unchanged — the iteration performs the same gate
+    /// set either way; only the issue schedule (and thus latency)
+    /// differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn with_opt_level(width: usize, opt: cim_mir::OptLevel) -> Self {
         assert!(width > 0, "multiplier width must be positive");
-        RowMultiplier { width }
+        RowMultiplier { width, opt }
     }
 
     /// Operand width in bits.
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// The optimization level the iteration schedule uses.
+    pub fn opt_level(&self) -> cim_mir::OptLevel {
+        self.opt
     }
 
     /// Row length in cells: `12·w` (the paper's optimized layout;
@@ -203,10 +225,16 @@ impl RowMultiplier {
         CELLS_PER_BIT * self.width
     }
 
-    /// Analytic latency: `w·(⌈log2 w⌉ + 14) + 3` cc.
+    /// Analytic latency at this multiplier's opt level:
+    /// `w·(⌈log2 w⌉ + 14) + 3` cc at O0/O1, `w·depth + 3` with the
+    /// re-packed iteration depth at O2+.
     pub fn latency(&self) -> u64 {
-        let w = self.width as u64;
-        w * (crate::kogge_stone::ceil_log2(self.width) as u64 + 14) + 3
+        self.latency_at(self.opt)
+    }
+
+    /// Latency the iteration schedule would have at `opt`.
+    pub fn latency_at(&self, opt: cim_mir::OptLevel) -> u64 {
+        cim_mir::rowmul::latency(self.width, opt, cim_mir::TileLimits::DEFAULT_PARTITIONS)
     }
 
     /// The operand-loading prologue as a verified micro-op program:
@@ -702,6 +730,31 @@ mod tests {
         assert_eq!(RowMultiplier::new(66).latency(), 1389);
         // n=64: w = 18 → 18·(5+14)+3 = 345 cc.
         assert_eq!(RowMultiplier::new(18).latency(), 345);
+    }
+
+    #[test]
+    fn opt_level_shrinks_iteration_depth_without_touching_state() {
+        use cim_mir::OptLevel;
+        let base = RowMultiplier::new(66);
+        let opt = RowMultiplier::with_opt_level(66, OptLevel::O3);
+        // Packed iterations: 66·(7+9)+3 = 1059 vs the paper's 1389.
+        assert_eq!(opt.latency(), 1059);
+        assert_eq!(base.latency_at(OptLevel::O3), opt.latency());
+        assert_eq!(opt.latency_at(OptLevel::O0), base.latency());
+        assert!(opt.latency() < base.latency());
+        // Same gates, same state and wear — only the schedule differs.
+        let a = Uint::from_u64(0x1234_5678);
+        let b = Uint::from_u64(0x9abc_def0);
+        let m0 = RowMultiplier::new(33);
+        let m3 = RowMultiplier::with_opt_level(33, OptLevel::O3);
+        let mut x0 = Crossbar::new(1, m0.required_cols()).unwrap();
+        let mut x3 = Crossbar::new(1, m3.required_cols()).unwrap();
+        let (p0, s0) = m0.run_in(&mut x0, 0, 0, &a, &b).unwrap();
+        let (p3, s3) = m3.run_in(&mut x3, 0, 0, &a, &b).unwrap();
+        assert_eq!(p0, p3);
+        assert_eq!(x0, x3);
+        assert_eq!(s0.iterations, s3.iterations);
+        assert!(s3.cycles < s0.cycles);
     }
 
     #[test]

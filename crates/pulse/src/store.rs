@@ -55,6 +55,7 @@ impl Default for TimelineConfig {
                 "cim_sched_*".to_string(),
                 "cim_obs_*".to_string(),
                 "cim_pulse_*".to_string(),
+                "cim_core_progcache_*".to_string(),
             ],
         }
     }
@@ -310,6 +311,22 @@ mod tests {
         let mut store = TimelineStore::new(config);
         store.scrape(1, &hub().snapshot());
         assert_eq!(store.series_count(), 8);
+    }
+
+    #[test]
+    fn default_filter_tracks_progcache_gauges() {
+        let config = TimelineConfig::default();
+        assert!(config.tracks("cim_core_progcache_hits"));
+        assert!(config.tracks("cim_core_progcache_misses"));
+        assert!(config.tracks("cim_core_progcache_entries"));
+        // Other core families stay opt-in: the timeline is a fleet
+        // view, not a per-multiplication firehose.
+        assert!(!config.tracks("cim_core_stage_cycles"));
+        let mut store = TimelineStore::new(config);
+        let hub = MetricsHub::recording();
+        hub.set_gauge("cim_core_progcache_hits", "", &Labels::new(), 42.0);
+        store.scrape(5, &hub.snapshot());
+        assert_eq!(store.series_count(), 1);
     }
 
     #[test]
